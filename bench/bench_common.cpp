@@ -1,0 +1,64 @@
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+
+namespace mha::bench {
+
+double run_bandwidth(layouts::LayoutScheme& scheme, const sim::ClusterConfig& cluster,
+                     const trace::Trace& trace, workloads::ReplayMode mode) {
+  auto result = run_full(scheme, cluster, trace, mode);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", scheme.name().c_str(),
+                 result.status().to_string().c_str());
+    return 0.0;
+  }
+  return result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+}
+
+common::Result<workloads::ReplayResult> run_full(layouts::LayoutScheme& scheme,
+                                                 const sim::ClusterConfig& cluster,
+                                                 const trace::Trace& trace,
+                                                 workloads::ReplayMode mode) {
+  workloads::ReplayOptions options;
+  options.mode = mode;
+  return workloads::run_scheme(scheme, cluster, trace, options, /*store_data=*/false);
+}
+
+std::vector<std::string> scheme_columns() { return {"DEF", "AAL", "HARL", "MHA"}; }
+
+void print_table(const std::string& title, const std::vector<std::string>& columns,
+                 const std::vector<Row>& rows, const char* unit) {
+  std::printf("\n%s  (%s)\n", title.c_str(), unit);
+  std::printf("%-14s", "");
+  for (const auto& col : columns) std::printf("%10s", col.c_str());
+  const bool standard = columns == scheme_columns();
+  if (standard) std::printf("%12s%12s", "MHA/DEF", "MHA/HARL");
+  std::printf("\n");
+  for (const Row& row : rows) {
+    std::printf("%-14s", row.label.c_str());
+    for (double v : row.values) std::printf("%10.1f", v);
+    if (standard && row.values.size() == 4 && row.values[0] > 0 && row.values[2] > 0) {
+      std::printf("%11.1f%%%11.1f%%", (row.values[3] / row.values[0] - 1.0) * 100.0,
+                  (row.values[3] / row.values[2] - 1.0) * 100.0);
+    }
+    std::printf("\n");
+  }
+}
+
+std::vector<Row> run_figure(const std::string& title,
+                            const std::vector<std::pair<std::string, trace::Trace>>& cases,
+                            const sim::ClusterConfig& cluster, workloads::ReplayMode mode) {
+  std::vector<Row> rows;
+  for (const auto& [label, trace] : cases) {
+    Row row;
+    row.label = label;
+    for (auto& scheme : layouts::all_schemes()) {
+      row.values.push_back(run_bandwidth(*scheme, cluster, trace, mode));
+    }
+    rows.push_back(std::move(row));
+  }
+  print_table(title, scheme_columns(), rows);
+  return rows;
+}
+
+}  // namespace mha::bench

@@ -1,0 +1,63 @@
+// Shared harness for the figure-regeneration benches.
+//
+// Every bench binary reproduces one table/figure of the paper's evaluation:
+// it builds the paper's workload (scaled to simulator-friendly sizes),
+// prepares each layout scheme on a fresh simulated cluster, replays the
+// trace, and prints the same rows/series the paper plots.  Absolute numbers
+// are simulator numbers; the shapes (who wins, by what factor, where
+// crossovers fall) are the reproduction target — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "layouts/scheme.hpp"
+#include "sim/cluster_sim.hpp"
+#include "trace/record.hpp"
+#include "workloads/replayer.hpp"
+
+namespace mha::bench {
+
+/// The paper's default testbed: 6 HServers + 2 SServers.
+inline sim::ClusterConfig paper_cluster(std::size_t h = 6, std::size_t s = 2) {
+  sim::ClusterConfig c;
+  c.num_hservers = h;
+  c.num_sservers = s;
+  return c;
+}
+
+/// Runs one scheme on a fresh timing-only PFS; returns MiB/s (0 on error).
+double run_bandwidth(layouts::LayoutScheme& scheme, const sim::ClusterConfig& cluster,
+                     const trace::Trace& trace,
+                     workloads::ReplayMode mode = workloads::ReplayMode::kSynchronous);
+
+/// Runs one scheme and returns the full replay result.
+common::Result<workloads::ReplayResult> run_full(
+    layouts::LayoutScheme& scheme, const sim::ClusterConfig& cluster,
+    const trace::Trace& trace,
+    workloads::ReplayMode mode = workloads::ReplayMode::kSynchronous);
+
+/// One row of a figure table: a label plus one bandwidth per scheme.
+struct Row {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Prints a paper-style table: columns DEF/AAL/HARL/MHA (or custom), values
+/// in MiB/s, plus MHA-vs-DEF and MHA-vs-HARL improvement percentages when
+/// the standard four columns are used.
+void print_table(const std::string& title, const std::vector<std::string>& columns,
+                 const std::vector<Row>& rows, const char* unit = "MiB/s");
+
+/// Convenience: run all four schemes over a set of labelled traces and
+/// print the table.  Returns the rows for further processing.
+std::vector<Row> run_figure(const std::string& title,
+                            const std::vector<std::pair<std::string, trace::Trace>>& cases,
+                            const sim::ClusterConfig& cluster,
+                            workloads::ReplayMode mode = workloads::ReplayMode::kSynchronous);
+
+/// Standard scheme column labels.
+std::vector<std::string> scheme_columns();
+
+}  // namespace mha::bench

@@ -1,0 +1,48 @@
+// Extension bench: validating the paper's related-work criticism of CARL.
+//
+// §VI: "CARL ... places file regions with high access costs only on SSD
+// servers.  However, this may compromise I/O performance because I/O
+// parallelism on all servers may not be fully utilized.  Our current work,
+// MHA, can do this because of its adaptive data distribution."
+//
+// The bench sweeps CARL's SSD traffic budget on the Fig. 7 "128+256" mixed
+// workload and compares with DEF and MHA.  Expected shape: CARL beats DEF
+// once hot regions reach the SSDs, but plateaus below MHA — its exclusive
+// tiers idle one half of the cluster per request, exactly the parallelism
+// loss the paper calls out.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+int main() {
+  std::printf("=== Extension: CARL [36] vs DEF/MHA (paper Sec. VI criticism) ===\n");
+
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 32;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = 128_MiB;
+  config.op = common::OpType::kWrite;
+  config.file_name = "carl.ior";
+  const trace::Trace trace = workloads::ior_mixed_sizes(config);
+  const auto cluster = bench::paper_cluster();
+
+  auto def = layouts::make_def();
+  auto mha = layouts::make_mha();
+  const double bw_def = bench::run_bandwidth(*def, cluster, trace);
+  const double bw_mha = bench::run_bandwidth(*mha, cluster, trace);
+
+  std::printf("%-26s %8.1f MiB/s\n", "DEF (fixed 64KiB)", bw_def);
+  for (double share : {0.1, 0.25, 0.5, 0.75}) {
+    auto carl = layouts::make_carl(share);
+    const double bw = bench::run_bandwidth(*carl, cluster, trace);
+    std::printf("CARL (SSD share %.0f%%)      %8.1f MiB/s  (%+5.1f%% vs DEF)\n",
+                share * 100, bw, (bw / bw_def - 1) * 100);
+  }
+  std::printf("%-26s %8.1f MiB/s  (%+5.1f%% vs DEF)\n", "MHA (adaptive distribution)",
+              bw_mha, (bw_mha / bw_def - 1) * 100);
+  return 0;
+}

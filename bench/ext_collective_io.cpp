@@ -1,0 +1,98 @@
+// Extension bench: two-phase collective I/O vs independent I/O.
+//
+// HPIO's interleaved strided pattern is the canonical collective-buffering
+// case: every process owns every P-th small region, so independent I/O
+// floods the servers with tiny requests while two-phase aggregation turns
+// each iteration into a few large contiguous ones.  This quantifies the
+// substrate's collective path across region sizes (the layout schemes of the
+// paper are orthogonal: both modes run on the same DEF-striped file).
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "io/collective.hpp"
+#include "workloads/hpio.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+int main() {
+  std::printf("=== Extension: collective (two-phase) vs independent I/O ===\n");
+  std::printf("HPIO interleaved pattern, 16 procs, 512 iterations, 6h:2s, DEF layout\n\n");
+  std::printf("%-12s %14s %14s %10s\n", "region size", "indep MiB/s", "collec MiB/s", "speedup");  // indep = synchronous per-iteration
+
+  for (common::ByteCount size : {4_KiB, 16_KiB, 64_KiB, 256_KiB}) {
+    workloads::HpioConfig config;
+    config.num_procs = 16;
+    config.region_count = 512;
+    config.region_sizes = {size};
+    config.op = common::OpType::kWrite;
+    const trace::Trace trace = workloads::hpio(config);
+    const common::ByteCount total = size * 512 * 16;
+
+    pfs::PfsOptions timing_only;
+    timing_only.store_data = false;
+
+    // Independent: closed-loop per rank, as the replayer does it.
+    double independent;
+    {
+      pfs::HybridPfs pfs(bench::paper_cluster(), timing_only);
+      auto file = pfs.create_file(trace.file_name);
+      if (!file.is_ok()) return 1;
+      // Synchronous independent I/O: each iteration's pieces issue together
+      // and a barrier closes the iteration (the same synchronisation a
+      // collective call implies).
+      io::MpiSim mpi(config.num_procs);
+      std::vector<std::uint8_t> buffer;
+      common::Seconds iteration = trace.records.front().t_start;
+      for (const auto& r : trace.records) {
+        if (r.t_start != iteration) {
+          mpi.barrier();
+          iteration = r.t_start;
+        }
+        buffer.resize(r.size);
+        auto w = pfs.write(*file, r.offset, buffer.data(), r.size, mpi.now(r.rank));
+        if (!w.is_ok()) return 1;
+        mpi.advance(r.rank, w->completion);
+      }
+      mpi.barrier();
+      independent = static_cast<double>(total) / mpi.max_time() / 1048576.0;
+    }
+
+    // Collective: one write_at_all per iteration (the records sharing a
+    // t_start), the way an MPI application would issue this pattern.
+    double collective;
+    {
+      pfs::HybridPfs pfs(bench::paper_cluster(), timing_only);
+      auto file = pfs.create_file(trace.file_name);
+      if (!file.is_ok()) return 1;
+      io::MpiSim mpi(config.num_procs);
+      std::vector<io::CollectiveRequest> batch;
+      common::Seconds batch_time = trace.records.front().t_start;
+      auto flush = [&]() -> bool {
+        if (batch.empty()) return true;
+        auto result = io::collective_write(pfs, mpi, *file, batch);
+        batch.clear();
+        return result.is_ok();
+      };
+      for (const auto& r : trace.records) {
+        if (r.t_start != batch_time) {
+          if (!flush()) return 1;
+          batch_time = r.t_start;
+        }
+        batch.push_back(io::CollectiveRequest{r.rank, r.offset, r.size});
+      }
+      if (!flush()) return 1;
+      collective = static_cast<double>(total) / mpi.max_time() / 1048576.0;
+    }
+
+    std::printf("%-12s %14.1f %14.1f %9.2fx\n", common::format_bytes(size).c_str(),
+                independent, collective, collective / independent);
+  }
+  std::printf(
+      "\nReading guide: the textbook two-phase crossover — aggregation wins for\n"
+      "small strided pieces (per-request overheads dominate) and loses once\n"
+      "pieces are large enough that the extra copy through the aggregators\n"
+      "costs more than it saves.  ROMIO enables collective buffering under\n"
+      "exactly this heuristic.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Extension bench (beyond the paper's figures): online/dynamic MHA.
+//
+// The paper's future work asks for "dynamic approaches to further improve
+// the performance of those applications with unpredictable patterns".  This
+// bench runs a two-phase application whose pattern changes mid-run — phase A
+// is large concurrent reads, phase B small concurrent writes — under:
+//
+//   static DEF   - fixed stripes all the way
+//   static MHA   - planned once from a phase-A profile (stale for phase B)
+//   online MHA   - OnlineMha adapting between phases
+//
+// Expected shape: static MHA wins phase A but loses its edge in phase B;
+// online MHA tracks both phases and wins overall.
+#include "bench_common.hpp"
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/online.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+std::vector<trace::TraceRecord> make_phase(common::OpType op, common::ByteCount size,
+                                           int iterations, int procs,
+                                           common::ByteCount base,
+                                           common::ByteCount span, double t0,
+                                           std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<trace::TraceRecord> out;
+  for (int i = 0; i < iterations; ++i) {
+    for (int rank = 0; rank < procs; ++rank) {
+      trace::TraceRecord r;
+      r.rank = rank;
+      r.op = op;
+      r.size = size;
+      r.offset = base + rng.next_below(span / size) * size;
+      r.t_start = t0 + i * 2.5e-3;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+/// Replays records through the shared file handle, feeding the adapter and
+/// giving it a chance to adapt every `adapt_every` requests.  Adaptation
+/// (migration) runs out-of-band: after a swap the server queues are reset,
+/// as the re-layout happens during an application quiescent period.
+void run(pfs::HybridPfs& pfs, io::MpiFile& file, core::OnlineMha* online,
+         const std::vector<trace::TraceRecord>& records, std::size_t adapt_every = 1024) {
+  std::vector<std::uint8_t> buffer;
+  std::size_t count = 0;
+  for (const trace::TraceRecord& r : records) {
+    buffer.resize(r.size);
+    if (r.op == common::OpType::kWrite) {
+      (void)file.write_at(r.rank, r.offset, buffer.data(), r.size);
+    } else {
+      (void)file.read_at(r.rank, r.offset, buffer.data(), r.size);
+    }
+    if (online != nullptr) {
+      online->observe(r);
+      if (++count % adapt_every == 0) {
+        auto adapted = online->maybe_adapt();
+        if (adapted.is_ok() && *adapted) pfs.reset_clocks();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: online MHA vs static layouts on a pattern shift ===\n");
+  const int procs = 16;
+  const auto phase_a =
+      make_phase(common::OpType::kRead, 512_KiB, 128, procs, 0, 128_MiB, 0.0, 21);
+  const auto phase_b =
+      make_phase(common::OpType::kWrite, 1_MiB, 128, procs, 128_MiB, 32_MiB, 10.0, 22);
+  const common::ByteCount extent = 160_MiB;
+
+  struct Mode {
+    const char* name;
+    bool use_mha_static;
+    bool use_online;
+  };
+  for (const Mode mode : {Mode{"static DEF", false, false}, Mode{"static MHA (phase-A plan)", true, false},
+                          Mode{"online MHA", false, true}}) {
+    pfs::PfsOptions pfs_options;
+    pfs_options.store_data = false;
+    pfs::HybridPfs pfs(bench::paper_cluster(), pfs_options);
+    auto original = pfs.create_file("shift.dat");
+    if (!original.is_ok()) return 1;
+    pfs.mds().extend(*original, extent);
+
+    io::MpiSim mpi(procs);
+    auto file = io::MpiFile::open(pfs, mpi, "shift.dat");
+    if (!file.is_ok()) return 1;
+
+    std::unique_ptr<core::Redirector> static_redirector;
+    std::unique_ptr<core::OnlineMha> online;
+    if (mode.use_mha_static) {
+      trace::Trace profile;
+      profile.file_name = "shift.dat";
+      profile.records = phase_a;  // plan from phase A only
+      auto deployment = core::MhaPipeline::deploy(pfs, profile, {});
+      if (!deployment.is_ok()) return 1;
+      static_redirector = std::move(deployment->redirector);
+      file->set_interceptor(static_redirector.get());
+    } else if (mode.use_online) {
+      core::OnlineOptions options;
+      options.window = 1024;
+      options.min_records = 512;
+      options.drift_threshold = 0.25;
+      auto created = core::OnlineMha::create(pfs, "shift.dat", options);
+      if (!created.is_ok()) return 1;
+      online = std::move(created).take();
+      file->set_interceptor(online.get());
+    }
+    pfs.reset_stats();
+    pfs.reset_clocks();
+    mpi.reset();
+
+    run(pfs, *file, online.get(), phase_a);
+    const double t_a = mpi.max_time();
+    run(pfs, *file, online.get(), phase_b);
+    const double t_b = mpi.max_time() - t_a;
+
+    common::ByteCount bytes_a = 0, bytes_b = 0;
+    for (const auto& r : phase_a) bytes_a += r.size;
+    for (const auto& r : phase_b) bytes_b += r.size;
+    std::printf("%-28s phase A %7.1f MiB/s   phase B %7.1f MiB/s", mode.name,
+                static_cast<double>(bytes_a) / t_a / 1048576.0,
+                static_cast<double>(bytes_b) / t_b / 1048576.0);
+    if (online != nullptr) std::printf("   (%zu adaptations)", online->adaptations());
+    std::printf("\n");
+  }
+  return 0;
+}

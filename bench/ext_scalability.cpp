@@ -1,0 +1,58 @@
+// Extension bench (beyond the paper's figures): cluster-scale sweep.
+//
+// The paper's future work: "we plan to evaluate MHA in a much larger
+// cluster, which is not currently available to us".  The simulated substrate
+// has no such constraint — this bench scales the paper's 6h:2s testbed by
+// 1x/2x/4x/8x (keeping the 3:1 HServer:SServer ratio) with a matching scale
+// of processes and data volume, and reports how each scheme's aggregate
+// bandwidth and MHA's relative gain evolve.
+//
+// Expected shape: absolute bandwidth scales near-linearly with the server
+// count for the heterogeneity-aware schemes; MHA's gain over DEF persists at
+// scale (layout decisions are per-server-ratio, not per-server-count).
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+int main() {
+  std::printf("=== Extension: scaling the testbed (paper Sec. VII future work) ===\n");
+  std::vector<bench::Row> rows;
+  for (int scale : {1, 2, 4, 8}) {
+    sim::ClusterConfig cluster;
+    cluster.num_hservers = 6u * static_cast<std::size_t>(scale);
+    cluster.num_sservers = 2u * static_cast<std::size_t>(scale);
+
+    workloads::IorMixedSizesConfig config;
+    config.num_procs = 32 * scale;
+    config.request_sizes = {128_KiB, 256_KiB};
+    config.file_size = 128_MiB * static_cast<common::ByteCount>(scale);
+    config.op = common::OpType::kWrite;
+    config.file_name = "scale.ior";
+    config.seed = 40 + static_cast<std::uint64_t>(scale);
+    const trace::Trace trace = workloads::ior_mixed_sizes(config);
+
+    bench::Row row;
+    row.label = std::to_string(cluster.num_hservers) + "h:" +
+                std::to_string(cluster.num_sservers) + "s/" +
+                std::to_string(config.num_procs) + "p";
+    for (auto& scheme : layouts::all_schemes()) {
+      row.values.push_back(bench::run_bandwidth(*scheme, cluster, trace));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::print_table("Scaling sweep (IOR 128+256 KiB writes)", bench::scheme_columns(), rows);
+
+  // Efficiency: bandwidth per server, normalized to the 1x row.
+  std::printf("\nscaling efficiency (MHA MiB/s per server, normalized to 1x):\n");
+  const double base = rows[0].values[3] / 8.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double servers = 8.0 * static_cast<double>(1 << i);
+    std::printf("  %-14s %.2f\n", rows[i].label.c_str(),
+                rows[i].values[3] / servers / base);
+  }
+  return 0;
+}

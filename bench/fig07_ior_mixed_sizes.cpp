@@ -1,0 +1,65 @@
+// Fig. 7: IOR bandwidth with mixed request sizes.
+//
+// Paper setup: 32 processes, random requests over a 16 GiB shared file,
+// size mixes "16" (uniform baseline), "128+256", "256+512", "512+1024"
+// (KiB), read and write, on 6 HServers + 2 SServers.  The file is scaled to
+// 256 MiB per case (shape-preserving; see EXPERIMENTS.md).
+//
+// Expected shape: MHA ~= HARL on the uniform "16" case (MHA degrades to
+// HARL), MHA best on every mixed case, both heterogeneity-aware schemes
+// above DEF/AAL, bandwidth rising with request size.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "core/cost_model.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+trace::Trace make_case(const std::vector<common::ByteCount>& sizes, common::OpType op) {
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 32;
+  config.request_sizes = sizes;
+  config.file_size = 256_MiB;
+  config.op = op;
+  config.file_name = "fig7.ior";
+  config.seed = 7;
+  return workloads::ior_mixed_sizes(config);
+}
+
+void print_cost_params() {
+  const core::CostParams p = core::CostParams::from_cluster(bench::paper_cluster());
+  std::printf("Table I calibration (from simulator profiles):\n");
+  std::printf("  M=%zu N=%zu  t=%.2f ns/B\n", p.num_hservers, p.num_sservers, p.t * 1e9);
+  std::printf("  alpha_h=%.2f ms beta_h=%.2f ns/B (gamma_h=%.2f)\n", p.alpha_h * 1e3,
+              p.beta_h * 1e9, p.gamma_h);
+  std::printf("  alpha_sr=%.0f us beta_sr=%.2f ns/B  alpha_sw=%.0f us beta_sw=%.2f ns/B\n",
+              p.alpha_sr * 1e6, p.beta_sr * 1e9, p.alpha_sw * 1e6, p.beta_sw * 1e9);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: IOR with mixed request sizes (32 procs, 6h:2s) ===\n");
+  print_cost_params();
+
+  const std::vector<std::pair<std::string, std::vector<common::ByteCount>>> mixes = {
+      {"16", {16_KiB}},
+      {"128+256", {128_KiB, 256_KiB}},
+      {"256+512", {256_KiB, 512_KiB}},
+      {"512+1024", {512_KiB, 1024_KiB}},
+  };
+
+  for (common::OpType op : {common::OpType::kRead, common::OpType::kWrite}) {
+    std::vector<std::pair<std::string, trace::Trace>> cases;
+    for (const auto& [label, sizes] : mixes) {
+      cases.emplace_back(label, make_case(sizes, op));
+    }
+    bench::run_figure(std::string("Fig. 7 ") + (op == common::OpType::kRead ? "(a) read" : "(b) write"),
+                      cases, bench::paper_cluster());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 8: per-server I/O time under each layout scheme.
+//
+// Paper setup: the "128+256" mixed-size IOR write workload; the plot shows
+// each server's I/O time normalized to the minimum server time under MHA.
+// S0-S5 are HServers, S6-S7 SServers.
+//
+// Expected shape: DEF and AAL heavily skewed (HServers several times busier
+// than SServers); HARL and MHA nearly even, with MHA's times lowest.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+int main() {
+  std::printf("=== Fig. 8: per-server I/O time, IOR 128+256 KiB writes (32 procs, 6h:2s) ===\n");
+
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 32;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = 256_MiB;
+  config.op = common::OpType::kWrite;
+  config.file_name = "fig8.ior";
+  config.seed = 8;
+  const trace::Trace trace = workloads::ior_mixed_sizes(config);
+  const auto cluster = bench::paper_cluster();
+
+  // Gather per-server busy time for each scheme.
+  std::vector<std::vector<double>> busy;  // [scheme][server]
+  std::vector<std::string> names;
+  for (auto& scheme : layouts::all_schemes()) {
+    auto result = bench::run_full(*scheme, cluster, trace);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", scheme->name().c_str(),
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::vector<double> row;
+    for (const auto& st : result->server_stats) row.push_back(st.busy_time);
+    busy.push_back(std::move(row));
+    names.push_back(scheme->name());
+  }
+
+  // Normalize to the minimum server time under MHA (paper's normalization).
+  double mha_min = 1e300;
+  for (double v : busy.back()) {
+    if (v > 0) mha_min = std::min(mha_min, v);
+  }
+
+  std::vector<bench::Row> rows;
+  const std::size_t servers = busy.front().size();
+  for (std::size_t s = 0; s < servers; ++s) {
+    bench::Row row;
+    row.label = "S" + std::to_string(s) + (s < cluster.num_hservers ? " (H)" : " (S)");
+    for (std::size_t k = 0; k < busy.size(); ++k) row.values.push_back(busy[k][s] / mha_min);
+    rows.push_back(std::move(row));
+  }
+  bench::print_table("Fig. 8: server I/O time (normalized to min under MHA)", names, rows,
+                     "x min(MHA)");
+
+  // Skew summary: max/min busy ratio per scheme (load imbalance).
+  std::printf("\nload imbalance (max/min busy time):\n");
+  for (std::size_t k = 0; k < busy.size(); ++k) {
+    double lo = 1e300, hi = 0;
+    for (double v : busy[k]) {
+      if (v <= 0) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    std::printf("  %-5s %.2fx\n", names[k].c_str(), hi / lo);
+  }
+  return 0;
+}

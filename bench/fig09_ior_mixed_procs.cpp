@@ -1,0 +1,51 @@
+// Fig. 9: IOR bandwidth with mixed process numbers.
+//
+// Paper setup: request size fixed at 256 KiB; configurations "8" (uniform),
+// "8+32", "16+64", "32+128" — different parts of the file are accessed by
+// different numbers of processes.
+//
+// Expected shape: MHA ~= HARL on the uniform "8"; MHA best on all mixes;
+// bandwidth dropping as process counts rise (contention), with MHA degrading
+// the least.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+trace::Trace make_case(const std::vector<int>& counts, common::OpType op) {
+  workloads::IorMixedProcsConfig config;
+  config.process_counts = counts;
+  config.request_size = 256_KiB;
+  config.file_size = 256_MiB;
+  config.op = op;
+  config.file_name = "fig9.ior";
+  config.seed = 9;
+  return workloads::ior_mixed_procs(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 9: IOR with mixed process numbers (256 KiB requests, 6h:2s) ===\n");
+  const std::vector<std::pair<std::string, std::vector<int>>> mixes = {
+      {"8", {8}},
+      {"8+32", {8, 32}},
+      {"16+64", {16, 64}},
+      {"32+128", {32, 128}},
+  };
+  for (common::OpType op : {common::OpType::kRead, common::OpType::kWrite}) {
+    std::vector<std::pair<std::string, trace::Trace>> cases;
+    for (const auto& [label, counts] : mixes) {
+      cases.emplace_back(label, make_case(counts, op));
+    }
+    bench::run_figure(std::string("Fig. 9 ") +
+                          (op == common::OpType::kRead ? "(a) read" : "(b) write"),
+                      cases, bench::paper_cluster());
+  }
+  return 0;
+}

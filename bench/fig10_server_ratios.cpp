@@ -1,0 +1,48 @@
+// Fig. 10: IOR bandwidth under various HServer:SServer ratios.
+//
+// Paper setup: 32 processes, mixed 128+256 KiB requests, cluster shapes
+// 7h:1s, 6h:2s, 5h:3s, 4h:4s (8 servers total).
+//
+// Expected shape: bandwidth rising with the SServer share for every scheme;
+// MHA's edge over HARL growing with more SServers ("MHA can better utilize
+// the high-performance SServers").
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+int main() {
+  std::printf("=== Fig. 10: IOR with various server ratios (32 procs, 128+256 KiB) ===\n");
+
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 32;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = 256_MiB;
+  config.file_name = "fig10.ior";
+  config.seed = 10;
+
+  const std::vector<std::pair<std::size_t, std::size_t>> ratios = {
+      {7, 1}, {6, 2}, {5, 3}, {4, 4}};
+
+  for (common::OpType op : {common::OpType::kRead, common::OpType::kWrite}) {
+    config.op = op;
+    const trace::Trace trace = workloads::ior_mixed_sizes(config);
+    std::vector<bench::Row> rows;
+    for (const auto& [h, s] : ratios) {
+      bench::Row row;
+      row.label = std::to_string(h) + "h:" + std::to_string(s) + "s";
+      const auto cluster = bench::paper_cluster(h, s);
+      for (auto& scheme : layouts::all_schemes()) {
+        row.values.push_back(bench::run_bandwidth(*scheme, cluster, trace));
+      }
+      rows.push_back(std::move(row));
+    }
+    bench::print_table(std::string("Fig. 10 ") +
+                           (op == common::OpType::kRead ? "(a) read" : "(b) write"),
+                       bench::scheme_columns(), rows);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 11: HPIO bandwidth with various process numbers.
+//
+// Paper setup: region count 4096, region spacing 0, mixed region sizes
+// 16/32/64 KiB, process counts 16/32/64.
+//
+// Expected shape: MHA above DEF/AAL/HARL at every process count (the paper
+// reports up to ~49/32/45% over HARL); throughput decreasing with more
+// processes as small-request contention grows.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "workloads/hpio.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+int main() {
+  std::printf("=== Fig. 11: HPIO (region count 4096, spacing 0, sizes 16/32/64 KiB) ===\n");
+  for (common::OpType op : {common::OpType::kRead, common::OpType::kWrite}) {
+    std::vector<std::pair<std::string, trace::Trace>> cases;
+    for (int procs : {16, 32, 64}) {
+      workloads::HpioConfig config;
+      config.num_procs = procs;
+      config.region_count = 4096;
+      config.region_spacing = 0;
+      config.region_sizes = {16_KiB, 32_KiB, 64_KiB};
+      config.op = op;
+      config.file_name = "fig11.hpio";
+      cases.emplace_back(std::to_string(procs) + " procs", workloads::hpio(config));
+    }
+    bench::run_figure(std::string("Fig. 11 ") +
+                          (op == common::OpType::kRead ? "(a) read" : "(b) write"),
+                      cases, bench::paper_cluster());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 12: (a) BTIO aggregate bandwidth; (b) LANL App2 trace replay.
+//
+// Paper setup (a): BTIO modified to carry class B + class C footprints
+// (1.69 + 6.8 GB) with per-process requests interleaving the two class
+// sizes; 9/16/25 processes (square grids).  Scaled by 32x for simulation.
+// Paper setup (b): the LANL anonymous App2 trace (Fig. 3 loop pattern:
+// 16 B, 128K-16 B, 128 KiB writes per loop), 8 client processes.
+//
+// Expected shapes: (a) MHA ~48-65% over DEF, growing with process count;
+// (b) MHA ~90% over DEF, ~15% over HARL.
+#include "bench_common.hpp"
+
+#include "workloads/apps.hpp"
+#include "workloads/btio.hpp"
+
+using namespace mha;
+
+int main() {
+  std::printf("=== Fig. 12a: BTIO (class B+C interleaved, simple subtype, scaled 1/32) ===\n");
+  {
+    std::vector<std::pair<std::string, trace::Trace>> cases;
+    for (int procs : {9, 16, 25}) {
+      workloads::BtioConfig config;
+      config.num_procs = procs;
+      config.time_steps = 40;
+      config.scale = 32;
+      config.file_name = "fig12.btio";
+      cases.emplace_back(std::to_string(procs) + " procs", workloads::btio(config));
+    }
+    bench::run_figure("Fig. 12a: BTIO aggregate bandwidth", cases, bench::paper_cluster());
+  }
+
+  std::printf("\n=== Fig. 12b: LANL App2 replay (8 processes, 6h:2s) ===\n");
+  {
+    workloads::LanlConfig config;
+    config.num_procs = 8;
+    config.loops = 512;
+    const trace::Trace trace = workloads::lanl_app2(config);
+
+    // Show the head of the Fig. 3 access sequence for one process.
+    std::printf("Fig. 3 access sequence (first 9 requests of rank 0, bytes): ");
+    int shown = 0;
+    for (const auto& r : trace.records) {
+      if (r.rank != 0) continue;
+      std::printf("%llu ", static_cast<unsigned long long>(r.size));
+      if (++shown == 9) break;
+    }
+    std::printf("\n");
+
+    bench::run_figure("Fig. 12b: LANL App2", {{"LANL", trace}}, bench::paper_cluster());
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 13: (a) out-of-core LU decomposition; (b) sparse Cholesky
+// factorisation — real-application trace replays, 8 processes each,
+// 6 HServers + 2 SServers, file-per-process folded into per-process
+// sections of a shared file (see DESIGN.md substitutions).
+//
+// Expected shapes: (a) MHA ~56% over DEF, ~8% over AAL, ~14% over HARL;
+// (b) MHA ~78% over DEF, ~59% over AAL, ~30% over HARL; Cholesky's absolute
+// bandwidth below LU/LANL despite larger requests (wide size variance, few
+// large requests).
+#include "bench_common.hpp"
+
+#include "workloads/apps.hpp"
+
+using namespace mha;
+
+int main() {
+  std::printf("=== Fig. 13a: LU decomposition (8192x8192 doubles, 64-col slabs, 8 procs) ===\n");
+  {
+    workloads::LuConfig config;
+    config.num_procs = 8;
+    config.slabs = 128;
+    const auto trace = workloads::lu_decomposition(config);
+    bench::run_figure("Fig. 13a: LU", {{"LU", trace}}, bench::paper_cluster(),
+                      workloads::ReplayMode::kIndependent);
+  }
+
+  std::printf("\n=== Fig. 13b: sparse Cholesky (panel I/O, 8 procs) ===\n");
+  {
+    workloads::CholeskyConfig config;
+    config.num_procs = 8;
+    config.panels = 192;
+    const auto trace = workloads::sparse_cholesky(config);
+    bench::run_figure("Fig. 13b: Cholesky", {{"Cholesky", trace}}, bench::paper_cluster(),
+                      workloads::ReplayMode::kIndependent);
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Micro-benchmarks (google-benchmark) for the MHA core's hot paths, plus
+// ablation tables for the design choices DESIGN.md calls out:
+//   - concurrency term in the cost model on/off (MHA's extension over HARL)
+//   - adaptive RSSD bounds vs HARL's average-size bound
+//   - RSSD step sensitivity (4 KiB default vs coarser)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/drt.hpp"
+#include "core/grouping.hpp"
+#include "core/pipeline.hpp"
+#include "core/rssd.hpp"
+#include "pfs/layout.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+core::CostModel paper_model() {
+  return core::CostModel(core::CostParams::from_cluster(bench::paper_cluster()));
+}
+
+std::vector<core::ModelRequest> sample_requests(std::size_t n) {
+  std::vector<core::ModelRequest> out;
+  common::Rng rng(11);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(core::ModelRequest{
+        i % 3 ? common::OpType::kRead : common::OpType::kWrite,
+        rng.next_below(1_GiB), (1 + rng.next_below(64)) * 4_KiB,
+        static_cast<std::uint32_t>(1 + rng.next_below(32))});
+  }
+  return out;
+}
+
+void BM_CostModelRequestCost(benchmark::State& state) {
+  const auto model = paper_model();
+  const auto requests = sample_requests(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.request_cost(requests[i++ % requests.size()], 12_KiB, 40_KiB));
+  }
+}
+BENCHMARK(BM_CostModelRequestCost);
+
+void BM_CostModelAggregate(benchmark::State& state) {
+  const auto requests = sample_requests(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CostModel::aggregate(requests));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CostModelAggregate)->Arg(1024)->Arg(16384);
+
+void BM_RssdSweep(benchmark::State& state) {
+  const auto model = paper_model();
+  std::vector<core::ModelRequest> requests;
+  for (std::size_t i = 0; i < 64; ++i) {
+    requests.push_back(core::ModelRequest{common::OpType::kRead, i * 256_KiB,
+                                          static_cast<common::ByteCount>(state.range(0)), 16});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::determine_stripes(model, requests));
+  }
+}
+BENCHMARK(BM_RssdSweep)->Arg(64 * 1024)->Arg(256 * 1024)->Arg(1024 * 1024);
+
+void BM_KmeansGrouping(benchmark::State& state) {
+  std::vector<core::FeaturePoint> points;
+  common::Rng rng(3);
+  for (int i = 0; i < state.range(0); ++i) {
+    points.push_back(core::FeaturePoint{static_cast<double>(rng.next_below(1 << 20)),
+                                        static_cast<double>(1 + rng.next_below(64))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::group_requests_auto(points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KmeansGrouping)->Arg(1024)->Arg(32768);
+
+void BM_DrtLookup(benchmark::State& state) {
+  core::Drt drt("f");
+  const std::size_t entries = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < entries; ++i) {
+    (void)drt.insert(core::DrtEntry{i * 8_KiB, 4_KiB, "r" + std::to_string(i % 4), i * 4_KiB});
+  }
+  common::Rng rng(5);
+  for (auto _ : state) {
+    const common::Offset offset = rng.next_below(entries * 8_KiB);
+    benchmark::DoNotOptimize(drt.lookup(offset, 64_KiB));
+  }
+}
+BENCHMARK(BM_DrtLookup)->Arg(1024)->Arg(65536);
+
+void BM_LayoutMapExtent(benchmark::State& state) {
+  const auto layout = pfs::StripeLayout::stripe_pair(6, 2, 12_KiB, 40_KiB).take();
+  common::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.map_extent(rng.next_below(1_GiB), 256_KiB));
+  }
+}
+BENCHMARK(BM_LayoutMapExtent);
+
+void BM_PipelineAnalyze(benchmark::State& state) {
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 16;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = static_cast<common::ByteCount>(state.range(0)) * 1_MiB;
+  config.file_name = "bm.ior";
+  const auto trace = workloads::ior_mixed_sizes(config);
+  const auto cluster = bench::paper_cluster();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MhaPipeline::analyze(cluster, trace));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.records.size());
+}
+BENCHMARK(BM_PipelineAnalyze)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------ ablations ---
+
+void run_ablations_on(const char* label, const trace::Trace& trace) {
+  const auto cluster = bench::paper_cluster();
+  auto bw_with = [&](core::MhaOptions options) {
+    auto scheme = layouts::make_mha(options);
+    return bench::run_bandwidth(*scheme, cluster, trace);
+  };
+
+  std::printf("\n=== Ablations (MHA on %s) ===\n", label);
+
+  core::MhaOptions base;
+  const double full = bw_with(base);
+
+  core::MhaOptions no_conc = base;
+  no_conc.concurrency_aware = false;
+  const double without_concurrency = bw_with(no_conc);
+
+  core::MhaOptions harl_bounds = base;
+  harl_bounds.rssd.adaptive_bounds = false;
+  const double with_harl_bounds = bw_with(harl_bounds);
+
+  core::MhaOptions coarse = base;
+  coarse.rssd.step = 32_KiB;
+  const double with_coarse_step = bw_with(coarse);
+
+  core::MhaOptions single_group = base;
+  single_group.grouping.max_groups = 1;  // disables reordering benefit
+  const double without_grouping = bw_with(single_group);
+
+  std::printf("%-44s %8.1f MiB/s\n", "full MHA (concurrency model, adaptive bounds, 4K step)", full);
+  std::printf("%-44s %8.1f MiB/s (%+.1f%%)\n", "- concurrency term (HARL-era model)",
+              without_concurrency, (without_concurrency / full - 1) * 100);
+  std::printf("%-44s %8.1f MiB/s (%+.1f%%)\n", "- adaptive bounds (HARL average-size bound)",
+              with_harl_bounds, (with_harl_bounds / full - 1) * 100);
+  std::printf("%-44s %8.1f MiB/s (%+.1f%%)\n", "- 4K step (32K step)", with_coarse_step,
+              (with_coarse_step / full - 1) * 100);
+  std::printf("%-44s %8.1f MiB/s (%+.1f%%)\n", "- grouping (single region, k=1)",
+              without_grouping, (without_grouping / full - 1) * 100);
+}
+
+}  // namespace
+
+void run_ablations() {
+  workloads::IorMixedSizesConfig ior;
+  ior.num_procs = 32;
+  ior.request_sizes = {128_KiB, 256_KiB};
+  ior.file_size = 128_MiB;
+  ior.op = common::OpType::kWrite;
+  ior.file_name = "ablate.ior";
+  run_ablations_on("IOR 128+256 KiB writes, 32 procs", workloads::ior_mixed_sizes(ior));
+
+  workloads::LanlConfig lanl;
+  lanl.num_procs = 8;
+  lanl.loops = 256;
+  run_ablations_on("LANL App2 (heterogeneous sizes), 8 procs", workloads::lanl_app2(lanl));
+}
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  run_ablations();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// cluster_explorer — what-if analysis for hybrid PFS procurement.
+//
+// Answers the capacity-planning question the paper's Fig. 10 gestures at:
+// given a fixed budget of 8 file servers, how does the HServer:SServer split
+// change delivered bandwidth for *your* workload, and how much of the
+// potential does each layout scheme actually harvest?
+//
+// Runs a chosen workload across every ratio from 7h:1s to 1h:7s under DEF
+// and MHA and prints both the absolute bandwidths and MHA's harvest of the
+// SSD investment.
+//
+// Usage: cluster_explorer [ior|lu|cholesky]   (default: ior)
+#include <cstdio>
+#include <string>
+
+#include "common/units.hpp"
+#include "layouts/scheme.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/replayer.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+trace::Trace make_workload(const std::string& kind) {
+  if (kind == "lu") {
+    workloads::LuConfig config;
+    config.num_procs = 8;
+    config.slabs = 64;
+    return workloads::lu_decomposition(config);
+  }
+  if (kind == "cholesky") {
+    workloads::CholeskyConfig config;
+    config.num_procs = 8;
+    config.panels = 96;
+    return workloads::sparse_cholesky(config);
+  }
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 32;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = 128_MiB;
+  config.op = common::OpType::kWrite;
+  config.file_name = "explore.ior";
+  return workloads::ior_mixed_sizes(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string kind = argc > 1 ? argv[1] : "ior";
+  const trace::Trace workload = make_workload(kind);
+  std::printf("workload: %s (%zu requests, %s touched)\n\n", kind.c_str(),
+              workload.records.size(),
+              common::format_bytes(trace::extent_end(workload.records)).c_str());
+
+  std::printf("%-8s %12s %12s %10s\n", "ratio", "DEF MiB/s", "MHA MiB/s", "MHA gain");
+  double def_baseline = 0.0;  // all-HDD reference for the harvest column
+  for (std::size_t sservers = 1; sservers <= 7; ++sservers) {
+    sim::ClusterConfig cluster;
+    cluster.num_hservers = 8 - sservers;
+    cluster.num_sservers = sservers;
+
+    auto def = layouts::make_def();
+    auto mha = layouts::make_mha();
+    auto def_result = workloads::run_scheme(*def, cluster, workload, {});
+    auto mha_result = workloads::run_scheme(*mha, cluster, workload, {});
+    if (!def_result.is_ok() || !mha_result.is_ok()) {
+      std::fprintf(stderr, "run failed at ratio %zuh:%zus\n", 8 - sservers, sservers);
+      return 1;
+    }
+    const double def_bw = def_result->aggregate_bandwidth / (1024.0 * 1024.0);
+    const double mha_bw = mha_result->aggregate_bandwidth / (1024.0 * 1024.0);
+    if (sservers == 1) def_baseline = def_bw;
+    std::printf("%zuh:%zus   %12.1f %12.1f %9.1f%%\n", 8 - sservers, sservers, def_bw,
+                mha_bw, (mha_bw / def_bw - 1.0) * 100.0);
+  }
+  std::printf(
+      "\nReading guide: DEF barely improves as SSDs replace HDDs (fixed stripes\n"
+      "leave the fast servers underused), while MHA's per-region stripe pairs\n"
+      "shift load onto the SServers — the gap is the value a migratory,\n"
+      "heterogeneity-aware layout extracts from the same hardware budget\n"
+      "(baseline 7h:1s DEF = %.1f MiB/s).\n",
+      def_baseline);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial) used by the KV store's on-disk record
+// framing and by trace-file integrity checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mha::common {
+
+/// Computes CRC-32 over `size` bytes starting at `data`, continuing from
+/// `seed` (pass 0 for a fresh checksum; chain calls by passing the previous
+/// result).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// Convenience overload for string-like payloads.
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace mha::common

@@ -1,0 +1,52 @@
+// Minimal leveled logger.  Defaults to warnings-and-above on stderr so that
+// library use stays quiet; benches/examples raise the level explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mha::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr ("[level] message").  Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Builds the message lazily via operator<< and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace mha::common
+
+#define MHA_LOG(level)                                             \
+  if (static_cast<int>(level) < static_cast<int>(::mha::common::log_level())) \
+    ;                                                              \
+  else                                                             \
+    ::mha::common::detail::LogLine(level)
+
+#define MHA_DEBUG MHA_LOG(::mha::common::LogLevel::kDebug)
+#define MHA_INFO MHA_LOG(::mha::common::LogLevel::kInfo)
+#define MHA_WARN MHA_LOG(::mha::common::LogLevel::kWarn)
+#define MHA_ERROR MHA_LOG(::mha::common::LogLevel::kError)

@@ -1,0 +1,129 @@
+// Minimal Status / Result<T> error-handling vocabulary (std::expected is not
+// available in the targeted toolchain).  Follows the Core Guidelines advice
+// of reporting recoverable errors through return values rather than
+// exceptions in performance-sensitive library code.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mha::common {
+
+/// Coarse error taxonomy; the message carries the detail.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kFailedPrecondition,
+};
+
+/// Human-readable name of an error code.
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kCorruption: return "corruption";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+  }
+  return "unknown";
+}
+
+/// A success/error outcome with an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+  static Status not_found(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status already_exists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+  static Status out_of_range(std::string m) { return {ErrorCode::kOutOfRange, std::move(m)}; }
+  static Status io_error(std::string m) { return {ErrorCode::kIoError, std::move(m)}; }
+  static Status corruption(std::string m) { return {ErrorCode::kCorruption, std::move(m)}; }
+  static Status failed_precondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(common::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(state_).is_ok() && "Result must not hold an ok Status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(state_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Status of the result; ok() when a value is present.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(state_);
+  }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return is_ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace mha::common
+
+/// Propagates a non-ok Status from an expression that yields a Status.
+#define MHA_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::mha::common::Status mha_status__ = (expr);    \
+    if (!mha_status__.is_ok()) return mha_status__; \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating its Status on error and
+/// binding the value to `lhs` on success.
+#define MHA_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto mha_result__##__LINE__ = (expr);                       \
+  if (!mha_result__##__LINE__.is_ok())                        \
+    return mha_result__##__LINE__.status();                   \
+  lhs = std::move(mha_result__##__LINE__).take()

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (workload generators, k-means
+// initialisation, property-test data) takes an explicit seed so that runs
+// are reproducible — a hard requirement for regenerating the paper's
+// figures deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mha::common {
+
+/// xoshiro256** — small, fast, high-quality; good enough for workload
+/// synthesis and clustering initialisation (not cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound); bound must be > 0.  Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Picks one element of `items` uniformly; items must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[next_below(items.size())];
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[next_below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mha::common

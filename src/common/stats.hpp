@@ -1,0 +1,73 @@
+// Streaming statistics and fixed-bucket histograms used by the replayer's
+// bandwidth/server-load reporting and by the overhead analysis bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mha::common {
+
+/// Welford online accumulator: mean/variance/min/max without storing samples.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over retained samples.  Suitable for the bounded sample
+/// counts produced by the benches (tens of thousands of requests).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+
+  /// p in [0, 100]; returns 0 when empty.  Uses nearest-rank.
+  double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+/// Power-of-two bucketed histogram of byte sizes (1B, 2B, 4B, ... buckets),
+/// used to summarise request-size distributions in trace analysis.
+class SizeHistogram {
+ public:
+  void add(std::uint64_t size);
+  std::size_t count() const { return total_; }
+
+  /// Multi-line human-readable dump, one bucket per line.
+  std::string to_string() const;
+
+  /// Bucket index for a size (floor(log2(size)); size 0 maps to bucket 0).
+  static std::size_t bucket_of(std::uint64_t size);
+
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mha::common

@@ -1,0 +1,61 @@
+// Core value types shared by every MHA subsystem.
+//
+// The whole library talks about parallel-file I/O in terms of a small
+// vocabulary: byte offsets/counts inside a logical file, an operation type
+// (read or write), a client rank, and a virtual-time instant.  Keeping these
+// in one header avoids each subsystem inventing its own aliases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mha::common {
+
+/// Logical or physical byte offset within a file.
+using Offset = std::uint64_t;
+
+/// A count of bytes (request size, stripe size, file size, ...).
+using ByteCount = std::uint64_t;
+
+/// Identifier of a file inside the simulated parallel file system.
+using FileId = std::uint32_t;
+
+/// Sentinel for "no file".
+inline constexpr FileId kInvalidFileId = static_cast<FileId>(-1);
+
+/// Virtual time in seconds.  The simulator never sleeps; all service and
+/// queuing delays advance this clock analytically.
+using Seconds = double;
+
+/// Kind of a file operation.
+enum class OpType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+/// Human-readable name for an operation type ("read"/"write").
+inline const char* to_string(OpType op) {
+  return op == OpType::kRead ? "read" : "write";
+}
+
+/// One application-level file request as seen by the middleware layer.
+///
+/// `rank` identifies the issuing client process; `issue_time` is the virtual
+/// instant the request was posted.  The same struct is used by workload
+/// generators, the tracer, the cost model and the replayer.
+struct Request {
+  int rank = 0;
+  OpType op = OpType::kRead;
+  Offset offset = 0;
+  ByteCount size = 0;
+  Seconds issue_time = 0.0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Storage class of a file server in the hybrid PFS.
+enum class ServerKind : std::uint8_t { kHdd = 0, kSsd = 1 };
+
+/// Human-readable name ("HServer"/"SServer"), matching the paper's terms.
+inline const char* to_string(ServerKind k) {
+  return k == ServerKind::kHdd ? "HServer" : "SServer";
+}
+
+}  // namespace mha::common

@@ -1,0 +1,99 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mha::common {
+
+namespace {
+
+struct Suffix {
+  std::string_view name;
+  ByteCount factor;
+};
+
+// Longest-match-first so "KiB" is matched before "K" would be.
+constexpr std::array<Suffix, 10> kSuffixes = {{
+    {"KIB", kKiB},
+    {"MIB", kMiB},
+    {"GIB", kGiB},
+    {"KB", kKiB},
+    {"MB", kMiB},
+    {"GB", kGiB},
+    {"K", kKiB},
+    {"M", kMiB},
+    {"G", kGiB},
+    {"B", 1},
+}};
+
+}  // namespace
+
+std::string format_bytes(ByteCount bytes) {
+  struct Unit {
+    ByteCount factor;
+    const char* suffix;
+  };
+  constexpr Unit units[] = {{kGiB, "GiB"}, {kMiB, "MiB"}, {kKiB, "KiB"}};
+  for (const auto& u : units) {
+    if (bytes >= u.factor) {
+      if (bytes % u.factor == 0) {
+        return std::to_string(bytes / u.factor) + u.suffix;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.2f%s",
+                    static_cast<double>(bytes) / static_cast<double>(u.factor),
+                    u.suffix);
+      return buf;
+    }
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::optional<ByteCount> parse_bytes(std::string_view text) {
+  // Trim surrounding whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return std::nullopt;
+
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+
+  std::string_view rest(ptr, static_cast<std::size_t>(end - ptr));
+  if (rest.empty()) return value;
+
+  std::string upper(rest);
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (const auto& s : kSuffixes) {
+    if (upper == s.name) {
+      if (s.factor != 0 && value > UINT64_MAX / s.factor) return std::nullopt;
+      return value * s.factor;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  if (bytes_per_second >= static_cast<double>(kGiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB/s", bytes_per_second / static_cast<double>(kGiB));
+  } else if (bytes_per_second >= static_cast<double>(kMiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB/s", bytes_per_second / static_cast<double>(kMiB));
+  } else if (bytes_per_second >= static_cast<double>(kKiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB/s", bytes_per_second / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f B/s", bytes_per_second);
+  }
+  return buf;
+}
+
+}  // namespace mha::common

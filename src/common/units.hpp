@@ -1,0 +1,35 @@
+// Byte-unit helpers: KiB/MiB/GiB literals, formatting and parsing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace mha::common {
+
+inline constexpr ByteCount kKiB = 1024ULL;
+inline constexpr ByteCount kMiB = 1024ULL * kKiB;
+inline constexpr ByteCount kGiB = 1024ULL * kMiB;
+
+namespace literals {
+constexpr ByteCount operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr ByteCount operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr ByteCount operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+/// Formats a byte count with a binary suffix, e.g. "64KiB", "1.5MiB", "17B".
+/// Exact multiples print without a fractional part.
+std::string format_bytes(ByteCount bytes);
+
+/// Parses strings such as "64K", "64KiB", "1M", "2GiB", "512", "512B".
+/// Case-insensitive suffixes; returns std::nullopt on malformed input or
+/// overflow.
+std::optional<ByteCount> parse_bytes(std::string_view text);
+
+/// Formats a bandwidth (bytes per second) as "123.4 MiB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+}  // namespace mha::common

@@ -1,0 +1,285 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mha::core {
+
+CostParams CostParams::from_cluster(const sim::ClusterConfig& config) {
+  CostParams p;
+  p.num_hservers = config.num_hservers;
+  p.num_sservers = config.num_sservers;
+  p.t = config.network.per_byte;
+  p.net_latency = config.network.latency;
+  // Table I gives the HServer a single (alpha_h, beta_h); average the
+  // profile's read/write sides.  Network latency stays separate: the device
+  // startup amortises under load (gamma) but every message pays the full
+  // wire latency, exactly as the simulator charges it.
+  p.alpha_h = 0.5 * (config.hdd.startup_read + config.hdd.startup_write);
+  p.beta_h = 0.5 * (config.hdd.per_byte_read + config.hdd.per_byte_write);
+  p.alpha_sr = config.ssd.startup_read;
+  p.beta_sr = config.ssd.per_byte_read;
+  p.alpha_sw = config.ssd.startup_write;
+  p.beta_sw = config.ssd.per_byte_write;
+  p.gamma_h = config.hdd.queued_startup_factor;
+  p.gamma_s = config.ssd.queued_startup_factor;
+  return p;
+}
+
+common::ByteCount CostModel::bytes_on_slot(common::Offset offset, common::ByteCount size,
+                                           common::ByteCount slot_start,
+                                           common::ByteCount width,
+                                           common::ByteCount cycle) {
+  if (size == 0 || width == 0) return 0;
+  assert(cycle > 0 && slot_start + width <= cycle);
+  // f(x) = bytes of [0, x) whose position-in-cycle lies inside the slot.
+  auto f = [&](common::Offset x) -> common::ByteCount {
+    const common::ByteCount full = (x / cycle) * width;
+    const common::ByteCount rem = x % cycle;
+    const common::ByteCount partial =
+        rem <= slot_start ? 0 : std::min<common::ByteCount>(rem - slot_start, width);
+    return full + partial;
+  };
+  return f(offset + size) - f(offset);
+}
+
+double CostModel::request_cost(const ModelRequest& r, common::ByteCount h,
+                               common::ByteCount s) const {
+  const std::size_t m = params_.num_hservers;
+  const std::size_t n = params_.num_sservers;
+  assert(h > 0 || s > 0);
+  const common::ByteCount cycle =
+      static_cast<common::ByteCount>(m) * h + static_cast<common::ByteCount>(n) * s;
+  if (r.size == 0 || cycle == 0) return 0.0;
+
+  // Exact per-server byte shares under the stripe-pair layout: HServers own
+  // slots [i*h, (i+1)*h), SServers own [m*h + j*s, m*h + (j+1)*s).
+  std::vector<common::ByteCount> bytes(m + n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    bytes[i] = bytes_on_slot(r.offset, r.size, static_cast<common::ByteCount>(i) * h, h, cycle);
+  }
+  const common::ByteCount s_base = static_cast<common::ByteCount>(m) * h;
+  for (std::size_t j = 0; j < n; ++j) {
+    bytes[m + j] = bytes_on_slot(r.offset, r.size,
+                                 s_base + static_cast<common::ByteCount>(j) * s, s, cycle);
+  }
+
+  const double c = concurrency_aware_ ? std::max<std::uint32_t>(r.concurrency, 1) : 1.0;
+  const double others = c - 1.0;
+  const bool read = r.op == common::OpType::kRead;
+  const double alpha_s = read ? params_.alpha_sr : params_.alpha_sw;
+  const double beta_s = read ? params_.beta_sr : params_.beta_sw;
+  const auto w_cycle = static_cast<double>(cycle);
+  const auto size = static_cast<double>(r.size);
+
+  // Per-server batch term (see header): r contributes exact geometry, the
+  // other c-1 concurrent requests contribute phase-averaged expectations.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < m + n; ++i) {
+    const bool hserver = i < m;
+    const double w = static_cast<double>(hserver ? h : s);
+    if (w <= 0.0) continue;
+    const double q_touch = std::min(1.0, (size + w) / w_cycle);
+    const double p = (bytes[i] > 0 ? 1.0 : 0.0) + others * q_touch;
+    if (p <= 0.0) continue;
+    const double load = static_cast<double>(bytes[i]) + others * size * w / w_cycle;
+    const double alpha = hserver ? params_.alpha_h : alpha_s;
+    const double gamma = hserver ? params_.gamma_h : params_.gamma_s;
+    const double beta = hserver ? params_.beta_h : beta_s;
+    // First touch pays full alpha (probability-weighted when p < 1), queued
+    // touches pay gamma*alpha; every message pays the wire latency.
+    const double startup = alpha * (std::min(p, 1.0) + std::max(p - 1.0, 0.0) * gamma) +
+                           p * params_.net_latency;
+    worst = std::max(worst, startup + load * (params_.t + beta));
+  }
+  return worst;
+}
+
+double CostModel::region_cost(const std::vector<ModelRequest>& requests,
+                              common::ByteCount h, common::ByteCount s) const {
+  double total = 0.0;
+  for (const ModelRequest& r : requests) total += request_cost(r, h, s);
+  return total;
+}
+
+std::vector<CostModel::AggregatedRequest> CostModel::aggregate(
+    const std::vector<ModelRequest>& requests) {
+  std::vector<AggregatedRequest> patterns;
+  for (const ModelRequest& r : requests) {
+    auto match = std::find_if(patterns.begin(), patterns.end(), [&](const AggregatedRequest& p) {
+      return p.op == r.op && p.size == r.size && p.concurrency == r.concurrency;
+    });
+    if (match == patterns.end()) {
+      patterns.push_back(AggregatedRequest{r.op, r.size, r.concurrency, 0, {}});
+      match = std::prev(patterns.end());
+    }
+    ++match->count;
+    // Strided reservoir: keep the first kOffsetSamples offsets, then
+    // overwrite round-robin with an ever-growing stride so the samples stay
+    // spread across the whole region instead of clustering at its start.
+    if (match->sample_offsets.size() < kOffsetSamples) {
+      match->sample_offsets.push_back(r.offset);
+    } else if (match->count % (match->count / kOffsetSamples) == 0) {
+      match->sample_offsets[(match->count / kOffsetSamples) % kOffsetSamples] = r.offset;
+    }
+  }
+  return patterns;
+}
+
+double CostModel::batch_cost(const std::vector<const ModelRequest*>& batch,
+                             common::ByteCount h, common::ByteCount s) const {
+  const std::size_t m = params_.num_hservers;
+  const std::size_t n = params_.num_sservers;
+  const common::ByteCount cycle =
+      static_cast<common::ByteCount>(m) * h + static_cast<common::ByteCount>(n) * s;
+  if (batch.empty() || cycle == 0) return 0.0;
+
+  // Exact per-server accumulation over the batch.  When the trace-measured
+  // concurrency exceeds the batch's member count — a region sees only its
+  // slice of a file-wide concurrent burst, as with HARL's offset regions —
+  // the whole batch is scaled up: the sibling requests live in other
+  // regions but still contend on the same shared servers.
+  double scale = 1.0;
+  if (concurrency_aware_) {
+    std::uint32_t measured = 1;
+    for (const ModelRequest* r : batch) measured = std::max(measured, r->concurrency);
+    scale = std::max(1.0, static_cast<double>(measured) / static_cast<double>(batch.size()));
+  }
+  std::vector<common::ByteCount> read_bytes(m + n, 0);
+  std::vector<common::ByteCount> write_bytes(m + n, 0);
+  std::vector<std::uint32_t> touches(m + n, 0);
+  for (const ModelRequest* r : batch) {
+    if (r->size == 0) continue;
+    for (std::size_t i = 0; i < m + n; ++i) {
+      const common::ByteCount w = i < m ? h : s;
+      if (w == 0) continue;
+      const common::ByteCount start =
+          i < m ? static_cast<common::ByteCount>(i) * h
+                : static_cast<common::ByteCount>(m) * h + static_cast<common::ByteCount>(i - m) * s;
+      const common::ByteCount b = bytes_on_slot(r->offset, r->size, start, w, cycle);
+      if (b == 0) continue;
+      ++touches[i];
+      (r->op == common::OpType::kRead ? read_bytes[i] : write_bytes[i]) += b;
+    }
+  }
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < m + n; ++i) {
+    if (touches[i] == 0) continue;
+    const bool hserver = i < m;
+    const double p = touches[i] * scale;
+    const double alpha = hserver ? params_.alpha_h
+                                 : (read_bytes[i] >= write_bytes[i] ? params_.alpha_sr
+                                                                    : params_.alpha_sw);
+    const double gamma = hserver ? params_.gamma_h : params_.gamma_s;
+    const double startup =
+        alpha * (1.0 + (p - 1.0) * gamma) + p * params_.net_latency;
+    const double beta_r = hserver ? params_.beta_h : params_.beta_sr;
+    const double beta_w = hserver ? params_.beta_h : params_.beta_sw;
+    const double drain = scale * (static_cast<double>(read_bytes[i]) * (params_.t + beta_r) +
+                                  static_cast<double>(write_bytes[i]) * (params_.t + beta_w));
+    worst = std::max(worst, startup + drain);
+  }
+  return worst;
+}
+
+BatchedRegion BatchedRegion::build(const std::vector<ModelRequest>& requests,
+                                   bool batch_by_time, std::size_t max_samples) {
+  BatchedRegion region;
+  region.requests_ = requests;
+  std::sort(region.requests_.begin(), region.requests_.end(),
+            [](const ModelRequest& a, const ModelRequest& b) { return a.time < b.time; });
+
+  // Cut into batches (runs of equal issue time), then group batches whose
+  // shape — the multiset of (op, size) — matches.
+  struct Key {
+    std::vector<std::pair<int, common::ByteCount>> members;
+    bool operator==(const Key&) const = default;
+  };
+  std::vector<Key> keys;  // parallel to shapes_
+  max_samples = std::max<std::size_t>(max_samples, 1);
+
+  std::size_t begin = 0;
+  while (begin < region.requests_.size()) {
+    std::size_t end = begin;
+    if (batch_by_time) {
+      while (end < region.requests_.size() &&
+             region.requests_[end].time == region.requests_[begin].time) {
+        ++end;
+      }
+    } else {
+      end = begin + 1;  // every request alone: the c = 1 ablation
+    }
+    std::vector<const ModelRequest*> batch;
+    Key key;
+    for (std::size_t i = begin; i < end; ++i) {
+      batch.push_back(&region.requests_[i]);
+      key.members.emplace_back(static_cast<int>(region.requests_[i].op),
+                               region.requests_[i].size);
+    }
+    std::sort(key.members.begin(), key.members.end());
+
+    std::size_t shape_index = keys.size();
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      if (keys[k] == key) {
+        shape_index = k;
+        break;
+      }
+    }
+    if (shape_index == keys.size()) {
+      keys.push_back(std::move(key));
+      region.shapes_.emplace_back();
+    }
+    Shape& shape = region.shapes_[shape_index];
+    ++shape.count;
+    if (shape.samples.size() < max_samples) {
+      shape.samples.push_back(std::move(batch));
+    } else if (shape.count % (shape.count / max_samples) == 0) {
+      // Strided replacement keeps samples spread across the region's life.
+      shape.samples[(shape.count / max_samples) % max_samples] = std::move(batch);
+    }
+    ++region.total_batches_;
+    begin = end;
+  }
+  return region;
+}
+
+double BatchedRegion::cost(const CostModel& model, common::ByteCount h,
+                           common::ByteCount s) const {
+  double total = 0.0;
+  for (const Shape& shape : shapes_) {
+    double mean = 0.0;
+    for (const auto& batch : shape.samples) {
+      mean += model.batch_cost(batch, h, s);
+    }
+    mean /= static_cast<double>(shape.samples.size());
+    total += static_cast<double>(shape.count) * mean;
+  }
+  return total;
+}
+
+double CostModel::aggregated_cost(const std::vector<AggregatedRequest>& patterns,
+                                  common::ByteCount h, common::ByteCount s) const {
+  double total = 0.0;
+  for (const AggregatedRequest& p : patterns) {
+    ModelRequest r;
+    r.op = p.op;
+    r.size = p.size;
+    r.concurrency = p.concurrency;
+    double mean = 0.0;
+    if (p.sample_offsets.empty()) {
+      r.offset = 0;
+      mean = request_cost(r, h, s);
+    } else {
+      for (const common::Offset offset : p.sample_offsets) {
+        r.offset = offset;
+        mean += request_cost(r, h, s);
+      }
+      mean /= static_cast<double>(p.sample_offsets.size());
+    }
+    total += static_cast<double>(p.count) * mean;
+  }
+  return total;
+}
+
+}  // namespace mha::core

@@ -1,0 +1,127 @@
+#include "core/drt.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mha::core {
+
+common::Status Drt::insert(DrtEntry entry) {
+  if (entry.length == 0) {
+    return common::Status::invalid_argument("DRT: zero-length entry");
+  }
+  if (entry.r_file.empty()) {
+    return common::Status::invalid_argument("DRT: entry without region file");
+  }
+  const common::Offset start = entry.o_offset;
+  const common::Offset end = start + entry.length;
+  // Overlap checks against the neighbour on each side.
+  auto next = entries_.lower_bound(start);
+  if (next != entries_.end() && next->first < end) {
+    return common::Status::already_exists("DRT: overlapping entry at offset " +
+                                          std::to_string(next->first));
+  }
+  if (next != entries_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.o_offset + prev->second.length > start) {
+      return common::Status::already_exists("DRT: overlapping entry at offset " +
+                                            std::to_string(prev->first));
+    }
+  }
+  entries_.emplace(start, std::move(entry));
+  return common::Status::ok();
+}
+
+std::vector<DrtSegment> Drt::lookup(common::Offset offset, common::ByteCount size) const {
+  std::vector<DrtSegment> out;
+  if (size == 0) return out;
+  common::Offset pos = offset;
+  const common::Offset end = offset + size;
+
+  auto it = entries_.upper_bound(pos);
+  if (it != entries_.begin()) --it;
+  while (pos < end) {
+    // Skip entries entirely before `pos`.
+    while (it != entries_.end() && it->second.o_offset + it->second.length <= pos) ++it;
+    if (it == entries_.end() || it->second.o_offset >= end) {
+      // Tail gap: passthrough to the original file.
+      out.push_back(DrtSegment{false, {}, pos, end - pos, pos});
+      break;
+    }
+    const DrtEntry& e = it->second;
+    if (e.o_offset > pos) {
+      // Gap before the next entry.
+      out.push_back(DrtSegment{false, {}, pos, e.o_offset - pos, pos});
+      pos = e.o_offset;
+    }
+    const common::Offset piece_end = std::min<common::Offset>(end, e.o_offset + e.length);
+    DrtSegment seg;
+    seg.redirected = true;
+    seg.r_file = e.r_file;
+    seg.target_offset = e.r_offset + (pos - e.o_offset);
+    seg.length = piece_end - pos;
+    seg.logical_offset = pos;
+    out.push_back(std::move(seg));
+    pos = piece_end;
+    ++it;
+  }
+  return out;
+}
+
+common::ByteCount Drt::covered_bytes() const {
+  common::ByteCount total = 0;
+  for (const auto& [off, e] : entries_) total += e.length;
+  return total;
+}
+
+std::size_t Drt::metadata_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [off, e] : entries_) {
+    total += sizeof(DrtEntry) + e.r_file.size();
+  }
+  return total;
+}
+
+std::vector<DrtEntry> Drt::entries() const {
+  std::vector<DrtEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [off, e] : entries_) out.push_back(e);
+  return out;
+}
+
+common::Status Drt::save(kv::KvStore& store) const {
+  char key[128];
+  char value[192];
+  for (const auto& [off, e] : entries_) {
+    std::snprintf(key, sizeof(key), "%s#%020" PRIu64, o_file_.c_str(), off);
+    std::snprintf(value, sizeof(value), "%" PRIu64 ",%s,%" PRIu64, e.length,
+                  e.r_file.c_str(), e.r_offset);
+    MHA_RETURN_IF_ERROR(store.put(key, value));
+  }
+  return common::Status::ok();
+}
+
+common::Result<Drt> Drt::load(kv::KvStore& store, const std::string& o_file) {
+  Drt drt(o_file);
+  const std::string prefix = o_file + "#";
+  common::Status status = common::Status::ok();
+  store.for_each([&](std::string_view key, std::string_view value) {
+    if (key.substr(0, prefix.size()) != prefix) return true;
+    DrtEntry entry;
+    char r_file[128] = {0};
+    if (std::sscanf(std::string(key).c_str() + prefix.size(), "%" SCNu64,
+                    &entry.o_offset) != 1 ||
+        std::sscanf(std::string(value).c_str(), "%" SCNu64 ",%127[^,],%" SCNu64,
+                    &entry.length, r_file, &entry.r_offset) != 3) {
+      status = common::Status::corruption("DRT: bad persisted entry: " + std::string(key));
+      return false;
+    }
+    entry.r_file = r_file;
+    status = drt.insert(std::move(entry));
+    return status.is_ok();
+  });
+  if (!status.is_ok()) return status;
+  return drt;
+}
+
+}  // namespace mha::core

@@ -1,0 +1,89 @@
+// The Data Reordering Table of §III-E.
+//
+// Tracks where each byte range of the original file now lives: "Each entry
+// in DRT includes five important variables. O_file and O_offset are the file
+// name and the offset of the data in the original file, R_file and R_offset
+// are the file name and the offset of the data in the reordered region.
+// Length is the size of the data."
+//
+// One Drt instance covers one original file (so O_file is held once).  The
+// entries form a non-overlapping interval map over the original file's
+// offsets; lookups split a request into redirected segments, with uncovered
+// gaps returned as passthrough segments so partially-reordered files keep
+// working.  Persistence goes through the KV store (the Berkeley DB stand-in)
+// with one record per entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "kv/kvstore.hpp"
+
+namespace mha::core {
+
+struct DrtEntry {
+  common::Offset o_offset = 0;      ///< start in the original file
+  common::ByteCount length = 0;
+  std::string r_file;               ///< reordered region file name
+  common::Offset r_offset = 0;      ///< start in the region file
+
+  friend bool operator==(const DrtEntry&, const DrtEntry&) = default;
+};
+
+/// One piece of a translated request.
+struct DrtSegment {
+  bool redirected = false;          ///< false => read/write the original file
+  std::string r_file;               ///< empty for passthrough
+  common::Offset target_offset = 0; ///< offset in r_file (or the original)
+  common::ByteCount length = 0;
+  common::Offset logical_offset = 0;  ///< position within the original file
+};
+
+class Drt {
+ public:
+  Drt() = default;
+  explicit Drt(std::string o_file) : o_file_(std::move(o_file)) {}
+
+  const std::string& o_file() const { return o_file_; }
+
+  /// Inserts an entry; rejects zero-length and ranges overlapping an
+  /// existing entry ("DRT is updated each time a data location has been
+  /// changed" — locations are unique).
+  common::Status insert(DrtEntry entry);
+
+  /// Splits [offset, offset+size) into contiguous segments covering it
+  /// exactly, in ascending logical order.  Redirected pieces point into
+  /// region files; gaps come back as passthrough (target_offset == logical
+  /// offset in the original file).
+  std::vector<DrtSegment> lookup(common::Offset offset, common::ByteCount size) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total bytes covered by entries.
+  common::ByteCount covered_bytes() const;
+
+  /// Approximate in-memory/metadata footprint (for §V-E.2's space analysis):
+  /// the paper charges 6*4 bytes per entry; ours stores the region name too.
+  std::size_t metadata_bytes() const;
+
+  /// Entries in ascending o_offset order.
+  std::vector<DrtEntry> entries() const;
+
+  /// Persists every entry under keys "<o_file>#<o_offset>".
+  common::Status save(kv::KvStore& store) const;
+
+  /// Rebuilds a table for `o_file` from a store previously filled by save().
+  static common::Result<Drt> load(kv::KvStore& store, const std::string& o_file);
+
+ private:
+  std::string o_file_;
+  // o_offset -> entry; invariant: non-overlapping.
+  std::map<common::Offset, DrtEntry> entries_;
+};
+
+}  // namespace mha::core

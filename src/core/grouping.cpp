@@ -1,0 +1,132 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace mha::core {
+
+double feature_distance(const FeaturePoint& a, const FeaturePoint& b, double size_range,
+                        double conc_range) {
+  if (size_range <= 0.0) size_range = 1.0;
+  if (conc_range <= 0.0) conc_range = 1.0;
+  const double dx = (a.size - b.size) / size_range;
+  const double dy = (a.concurrency - b.concurrency) / conc_range;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::size_t choose_k(const std::vector<FeaturePoint>& points, const GroupingOptions& options) {
+  if (points.empty()) return 1;
+  std::set<std::pair<std::size_t, std::uint64_t>> buckets;
+  for (const FeaturePoint& p : points) {
+    const auto size_bucket =
+        common::SizeHistogram::bucket_of(static_cast<std::uint64_t>(std::max(p.size, 0.0)));
+    const auto conc = static_cast<std::uint64_t>(std::max(p.concurrency, 0.0));
+    buckets.emplace(size_bucket, conc);
+  }
+  return std::clamp<std::size_t>(buckets.size(), 1, std::max<std::size_t>(options.max_groups, 1));
+}
+
+GroupingResult group_requests(const std::vector<FeaturePoint>& points, std::size_t k,
+                              const GroupingOptions& options) {
+  GroupingResult result;
+  const std::size_t n = points.size();
+  if (n == 0 || k == 0) return result;
+  k = std::min(k, std::max<std::size_t>(options.max_groups, 1));
+
+  // Normalisation ranges over the whole point set (Eq. 1's denominators).
+  double size_min = std::numeric_limits<double>::infinity(), size_max = -size_min;
+  double conc_min = size_min, conc_max = -size_min;
+  for (const FeaturePoint& p : points) {
+    size_min = std::min(size_min, p.size);
+    size_max = std::max(size_max, p.size);
+    conc_min = std::min(conc_min, p.concurrency);
+    conc_max = std::max(conc_max, p.concurrency);
+  }
+  const double size_range = size_max - size_min;
+  const double conc_range = conc_max - conc_min;
+
+  result.assignment.assign(n, 0);
+
+  if (n <= k) {
+    // Algorithm 1 lines 2-5: too few points to iterate; every point seeds
+    // its own group.
+    result.centers = points;
+    result.num_groups = n;
+    for (std::size_t i = 0; i < n; ++i) result.assignment[i] = static_cast<int>(i);
+    return result;
+  }
+
+  // Random initial centers: k distinct points (line 4's "randomly selected
+  // R[t]", made collision-free so no center starts empty).
+  common::Rng rng(options.seed);
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  rng.shuffle(indices);
+  result.centers.reserve(k);
+  for (std::size_t g = 0; g < k; ++g) result.centers.push_back(points[indices[g]]);
+
+  // Lines 8-12: assign to the closest center, recompute centers; stop when
+  // centers are unchanged or after max_iterations rounds.
+  for (int iter = 0; iter < std::max(options.max_iterations, 1); ++iter) {
+    ++result.iterations_run;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_g = 0;
+      for (std::size_t g = 0; g < k; ++g) {
+        const double d = feature_distance(points[i], result.centers[g], size_range, conc_range);
+        if (d < best) {
+          best = d;
+          best_g = static_cast<int>(g);
+        }
+      }
+      result.assignment[i] = best_g;
+    }
+    std::vector<FeaturePoint> sums(k);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto g = static_cast<std::size_t>(result.assignment[i]);
+      sums[g].size += points[i].size;
+      sums[g].concurrency += points[i].concurrency;
+      ++counts[g];
+    }
+    bool changed = false;
+    for (std::size_t g = 0; g < k; ++g) {
+      if (counts[g] == 0) continue;  // keep the old center for empty groups
+      FeaturePoint mean{sums[g].size / static_cast<double>(counts[g]),
+                        sums[g].concurrency / static_cast<double>(counts[g])};
+      if (feature_distance(mean, result.centers[g], size_range, conc_range) > 1e-12) {
+        changed = true;
+      }
+      result.centers[g] = mean;
+    }
+    if (!changed) break;
+  }
+
+  // Compact away empty groups so labels are dense.
+  std::vector<int> remap(k, -1);
+  std::vector<FeaturePoint> live_centers;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto g = static_cast<std::size_t>(result.assignment[i]);
+    if (remap[g] < 0) {
+      remap[g] = static_cast<int>(live_centers.size());
+      live_centers.push_back(result.centers[g]);
+    }
+    result.assignment[i] = remap[g];
+  }
+  result.centers = std::move(live_centers);
+  result.num_groups = result.centers.size();
+  return result;
+}
+
+GroupingResult group_requests_auto(const std::vector<FeaturePoint>& points,
+                                   const GroupingOptions& options) {
+  return group_requests(points, choose_k(points, options), options);
+}
+
+}  // namespace mha::core

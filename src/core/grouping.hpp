@@ -1,0 +1,62 @@
+// Similar-access detection: the iterative request grouping of §III-D
+// (Algorithm 1).
+//
+// Each request is a point in a 2-D Euclidean space of (request size, request
+// concurrency).  Distances are range-normalised per dimension (Eq. 1) so the
+// two features compare on equal footing.  Grouping is k-means with the
+// paper's twists: random initial centers drawn from the points, at most
+// three refinement iterations, and an upper bound on k "so the number of the
+// groups is bounded by the number of the fixed-size region division method".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mha::core {
+
+/// A request's similarity features.
+struct FeaturePoint {
+  double size = 0.0;         ///< request size in bytes
+  double concurrency = 0.0;  ///< simultaneous requests on the file
+};
+
+/// Range-normalised Euclidean distance (Eq. 1).  `size_range` and
+/// `conc_range` are max-min over the whole point set (1 when degenerate).
+double feature_distance(const FeaturePoint& a, const FeaturePoint& b, double size_range,
+                        double conc_range);
+
+struct GroupingOptions {
+  /// Upper bound on k (paper §III-D: bounded to limit metadata overhead).
+  std::size_t max_groups = 8;
+  /// Algorithm 1 refines "until S_gi is no longer changed or three times at
+  /// most".
+  int max_iterations = 3;
+  std::uint64_t seed = 0x4D48'41ULL;  // deterministic runs
+};
+
+struct GroupingResult {
+  /// Group label per input point, in [0, num_groups).
+  std::vector<int> assignment;
+  /// Final group centers, index == label.
+  std::vector<FeaturePoint> centers;
+  std::size_t num_groups = 0;
+  int iterations_run = 0;
+};
+
+/// Picks k for a point set: the number of occupied (log2-size, concurrency)
+/// pattern buckets, clamped to [1, options.max_groups].
+std::size_t choose_k(const std::vector<FeaturePoint>& points, const GroupingOptions& options);
+
+/// Algorithm 1.  Empty groups are compacted away, so labels are dense and
+/// num_groups <= k.  With points.size() <= k every point gets its own group.
+GroupingResult group_requests(const std::vector<FeaturePoint>& points, std::size_t k,
+                              const GroupingOptions& options = {});
+
+/// Convenience: choose_k + group_requests.
+GroupingResult group_requests_auto(const std::vector<FeaturePoint>& points,
+                                   const GroupingOptions& options = {});
+
+}  // namespace mha::core

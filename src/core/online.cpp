@@ -1,0 +1,152 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace mha::core {
+
+namespace {
+/// Fixed signature width: size buckets 2^0 .. 2^31 cover every realistic
+/// request size and keep signatures comparable across windows.
+constexpr std::size_t kSignatureBuckets = 32;
+}  // namespace
+
+PatternSignature PatternSignature::of(const std::vector<trace::TraceRecord>& records) {
+  PatternSignature sig;
+  sig.size_shares.assign(kSignatureBuckets, 0.0);
+  if (records.empty()) return sig;
+  std::size_t writes = 0;
+  for (const trace::TraceRecord& r : records) {
+    const std::size_t bucket =
+        std::min(common::SizeHistogram::bucket_of(r.size), kSignatureBuckets - 1);
+    sig.size_shares[bucket] += 1.0;
+    if (r.op == common::OpType::kWrite) ++writes;
+  }
+  for (double& share : sig.size_shares) share /= static_cast<double>(records.size());
+  sig.write_fraction = static_cast<double>(writes) / static_cast<double>(records.size());
+  return sig;
+}
+
+double PatternSignature::distance(const PatternSignature& other) const {
+  double d = std::abs(write_fraction - other.write_fraction);
+  const std::size_t n = std::max(size_shares.size(), other.size_shares.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = i < size_shares.size() ? size_shares[i] : 0.0;
+    const double b = i < other.size_shares.size() ? other.size_shares[i] : 0.0;
+    d += std::abs(a - b);
+  }
+  return d;
+}
+
+common::Result<std::unique_ptr<OnlineMha>> OnlineMha::create(pfs::HybridPfs& pfs,
+                                                             std::string file_name,
+                                                             OnlineOptions options) {
+  auto id = pfs.open(file_name);
+  if (!id.is_ok()) return id.status();
+  auto online = std::unique_ptr<OnlineMha>(
+      new OnlineMha(pfs, std::move(file_name), std::move(options)));
+  online->original_id_ = *id;
+  return online;
+}
+
+std::vector<io::RedirectSegment> OnlineMha::translate(common::Offset offset,
+                                                      common::ByteCount size) {
+  if (redirector_ != nullptr) return redirector_->translate(offset, size);
+  return {io::RedirectSegment{original_id_, offset, size, offset}};
+}
+
+common::Seconds OnlineMha::lookup_overhead() const {
+  return redirector_ != nullptr ? redirector_->lookup_overhead() : 0.0;
+}
+
+void OnlineMha::observe(const trace::TraceRecord& record) {
+  ++observed_;
+  window_.push_back(record);
+  // Keep only the most recent window (simple ring via erase-from-front in
+  // bulk to stay amortised O(1)).
+  if (window_.size() > 2 * options_.window) {
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<long>(window_.size() - options_.window));
+  }
+}
+
+common::Result<bool> OnlineMha::maybe_adapt() {
+  if (window_.size() < std::max(options_.min_records, std::size_t{1})) return false;
+  std::vector<trace::TraceRecord> recent(
+      window_.end() - static_cast<long>(std::min(options_.window, window_.size())),
+      window_.end());
+  const PatternSignature now = PatternSignature::of(recent);
+  if (has_plan_ && now.distance(planned_for_) < options_.drift_threshold) {
+    return false;
+  }
+  MHA_RETURN_IF_ERROR(adapt_now());
+  return true;
+}
+
+common::Status OnlineMha::roll_back() {
+  if (redirector_ == nullptr) return common::Status::ok();
+  auto original = pfs_->open(file_name_);
+  if (!original.is_ok()) return original.status();
+
+  constexpr common::ByteCount kChunk = 4 * 1024 * 1024;
+  std::vector<std::uint8_t> buffer;
+  common::Seconds clock = 0.0;
+  std::vector<std::string> regions;
+  for (const DrtEntry& entry : redirector_->drt().entries()) {
+    if (std::find(regions.begin(), regions.end(), entry.r_file) == regions.end()) {
+      regions.push_back(entry.r_file);
+    }
+    auto region = pfs_->open(entry.r_file);
+    if (!region.is_ok()) return region.status();
+    common::ByteCount moved = 0;
+    while (moved < entry.length) {
+      const common::ByteCount piece = std::min<common::ByteCount>(kChunk, entry.length - moved);
+      buffer.resize(piece);
+      auto r = pfs_->read(*region, entry.r_offset + moved, buffer.data(), piece, clock);
+      if (!r.is_ok()) return r.status();
+      auto w = pfs_->write(*original, entry.o_offset + moved, buffer.data(), piece,
+                           r->completion);
+      if (!w.is_ok()) return w.status();
+      clock = w->completion;
+      moved += piece;
+    }
+  }
+  redirector_.reset();
+  for (const std::string& region : regions) {
+    MHA_RETURN_IF_ERROR(pfs_->remove(region));
+  }
+  return common::Status::ok();
+}
+
+common::Status OnlineMha::adapt_now() {
+  if (window_.empty()) return common::Status::failed_precondition("online: nothing observed");
+  std::vector<trace::TraceRecord> recent(
+      window_.end() - static_cast<long>(std::min(options_.window, window_.size())),
+      window_.end());
+
+  // Step 1: fold the current layout back so the original file is whole.
+  MHA_RETURN_IF_ERROR(roll_back());
+
+  // Steps 2-4: plan on the fresh window, place into versioned regions, swap.
+  trace::Trace trace;
+  trace.file_name = file_name_;
+  trace.records = std::move(recent);
+
+  MhaOptions options = options_.mha;
+  options.reorganizer.region_suffix = ".mha.v" + std::to_string(++version_) + ".r";
+  auto deployment = MhaPipeline::deploy(*pfs_, trace, options);
+  if (!deployment.is_ok()) return deployment.status();
+
+  redirector_ = std::move(deployment->redirector);
+  planned_for_ = PatternSignature::of(trace.records);
+  has_plan_ = true;
+  ++adaptations_;
+  MHA_INFO << "online: adapted to new pattern (v" << version_ << ", "
+           << deployment->plan.plan.regions.size() << " regions)";
+  return common::Status::ok();
+}
+
+}  // namespace mha::core

@@ -1,0 +1,107 @@
+// Online (dynamic) MHA — the paper's stated future work: "we also intend to
+// develop dynamic approaches to further improve the performance of those
+// applications with unpredictable patterns" (§VII).
+//
+// OnlineMha is an adaptive middleware controller that wraps one file.  It
+// serves as the runtime IoInterceptor (delegating to the current
+// Redirector), continuously observes the request stream, and summarises each
+// observation window into a pattern signature (request-size distribution +
+// op mix).  When the signature drifts beyond a threshold from the one the
+// current layout was planned for, it re-runs the off-line MHA phases on the
+// fresh window and swaps the deployment:
+//
+//   1. roll back: copy all reordered data from the current region files to
+//      the original file and drop the regions (keeps the fold-back simple
+//      and the DRT always consistent),
+//   2. re-plan on the window trace (grouping + RSSD),
+//   3. re-place into fresh, versioned region files,
+//   4. atomically swap the redirector.
+//
+// Adaptation is an explicit step (`maybe_adapt`), called between I/O phases
+// — the natural quiescent points of HPC applications.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/pipeline.hpp"
+#include "io/mpi_file.hpp"
+#include "trace/record.hpp"
+
+namespace mha::core {
+
+struct OnlineOptions {
+  /// Observation window: adaptation is considered every `window` requests.
+  std::size_t window = 2048;
+  /// Minimum records before the first plan is built.
+  std::size_t min_records = 256;
+  /// L1 distance between normalized pattern signatures that triggers
+  /// re-optimization (0 = always adapt, 2 = never).
+  double drift_threshold = 0.25;
+  /// Options for each re-planning pass.
+  MhaOptions mha;
+};
+
+/// Normalized summary of a window's access pattern: per-power-of-two size
+/// bucket shares plus the write fraction.
+struct PatternSignature {
+  std::vector<double> size_shares;
+  double write_fraction = 0.0;
+
+  /// L1 distance in [0, 2 + 1].
+  double distance(const PatternSignature& other) const;
+  static PatternSignature of(const std::vector<trace::TraceRecord>& records);
+};
+
+class OnlineMha : public io::IoInterceptor {
+ public:
+  /// Wraps `file_name` (must exist on `pfs`).  Until the first adaptation
+  /// the interceptor is a passthrough.
+  static common::Result<std::unique_ptr<OnlineMha>> create(pfs::HybridPfs& pfs,
+                                                           std::string file_name,
+                                                           OnlineOptions options = {});
+
+  // --- io::IoInterceptor -------------------------------------------------
+  std::vector<io::RedirectSegment> translate(common::Offset offset,
+                                             common::ByteCount size) override;
+  common::Seconds lookup_overhead() const override;
+
+  // --- observation & adaptation ------------------------------------------
+  /// Records one observed request (typically wired to the tracer).
+  void observe(const trace::TraceRecord& record);
+
+  /// If a full window has accumulated and the pattern drifted, re-plans and
+  /// re-places.  Returns true when an adaptation happened.
+  common::Result<bool> maybe_adapt();
+
+  /// Unconditional re-plan on the current window (ignores the threshold).
+  common::Status adapt_now();
+
+  std::size_t adaptations() const { return adaptations_; }
+  std::size_t observed() const { return observed_; }
+  const Redirector* current() const { return redirector_.get(); }
+
+ private:
+  OnlineMha(pfs::HybridPfs& pfs, std::string file_name, OnlineOptions options)
+      : pfs_(&pfs), file_name_(std::move(file_name)), options_(std::move(options)) {}
+
+  /// Copies every reordered byte back to the original file and removes the
+  /// current region files (step 1 above).
+  common::Status roll_back();
+
+  pfs::HybridPfs* pfs_;
+  std::string file_name_;
+  OnlineOptions options_;
+  std::vector<trace::TraceRecord> window_;
+  std::unique_ptr<Redirector> redirector_;
+  PatternSignature planned_for_;
+  bool has_plan_ = false;
+  common::FileId original_id_ = common::kInvalidFileId;
+  std::size_t observed_ = 0;
+  std::size_t adaptations_ = 0;
+  std::size_t version_ = 0;
+};
+
+}  // namespace mha::core

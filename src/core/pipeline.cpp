@@ -1,0 +1,102 @@
+#include "core/pipeline.hpp"
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+
+namespace mha::core {
+
+std::string MhaPlan::to_string() const {
+  std::string out;
+  out += "groups: " + std::to_string(grouping.num_groups) + " (after " +
+         std::to_string(grouping.iterations_run) + " refinement iterations)\n";
+  for (std::size_t g = 0; g < plan.regions.size(); ++g) {
+    const Region& region = plan.regions[g];
+    out += "region " + region.name + ": " + common::format_bytes(region.length) + ", " +
+           std::to_string(region.record_count) + " requests, stripes " +
+           stripe_pairs[g].to_string();
+    if (g < region_costs.size()) {
+      out += ", model cost " + std::to_string(region_costs[g]) + "s";
+    }
+    out += "\n";
+  }
+  out += "DRT entries: " + std::to_string(plan.drt.size()) + " (" +
+         common::format_bytes(plan.drt.covered_bytes()) + " covered)\n";
+  return out;
+}
+
+common::Result<MhaPlan> MhaPipeline::analyze(const sim::ClusterConfig& cluster,
+                                             const trace::Trace& trace,
+                                             const MhaOptions& options) {
+  if (trace.records.empty()) {
+    return common::Status::invalid_argument("MHA: empty trace");
+  }
+  if (trace.file_name.empty()) {
+    return common::Status::invalid_argument("MHA: trace does not name a file");
+  }
+
+  // Reordering phase, step 1: similarity features + Algorithm 1.
+  const auto concurrency = trace::request_concurrency(trace.records, options.analysis);
+  std::vector<FeaturePoint> points;
+  points.reserve(trace.records.size());
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    points.push_back(FeaturePoint{static_cast<double>(trace.records[i].size),
+                                  static_cast<double>(concurrency[i])});
+  }
+  MhaPlan result;
+  result.grouping = group_requests_auto(points, options.grouping);
+  MHA_INFO << "MHA: " << result.grouping.num_groups << " pattern groups over "
+           << trace.records.size() << " requests";
+
+  // Reordering phase, step 2: regions + DRT.
+  auto plan = build_plan(trace, result.grouping.assignment, concurrency,
+                         result.grouping.num_groups, options.reorganizer);
+  if (!plan.is_ok()) return plan.status();
+  result.plan = std::move(plan).take();
+
+  // Determination phase: RSSD per region.
+  const CostModel model(CostParams::from_cluster(cluster), options.concurrency_aware);
+  result.stripe_pairs.reserve(result.plan.regions.size());
+  for (const Region& region : result.plan.regions) {
+    auto rssd = determine_stripes(model, region.requests, options.rssd);
+    if (!rssd.is_ok()) return rssd.status();
+    result.stripe_pairs.push_back(rssd->best);
+    result.region_costs.push_back(rssd->best_cost);
+    MHA_DEBUG << "MHA: " << region.name << " -> " << rssd->best.to_string() << " ("
+              << rssd->pairs_evaluated << " candidates)";
+  }
+  return result;
+}
+
+common::Result<MhaDeployment> MhaPipeline::deploy(pfs::HybridPfs& pfs,
+                                                  const trace::Trace& trace,
+                                                  const MhaOptions& options) {
+  auto plan = analyze(pfs.config(), trace, options);
+  if (!plan.is_ok()) return plan.status();
+
+  MhaDeployment deployment;
+  deployment.plan = std::move(plan).take();
+
+  // Placement phase.
+  auto placement = Placer::apply(pfs, deployment.plan.plan, deployment.plan.stripe_pairs);
+  if (!placement.is_ok()) return placement.status();
+  deployment.placement = *placement;
+
+  // Optional DRT durability (§IV-A).  The initial table is bulk-loaded and
+  // synced once; runtime updates would use SyncMode::kEveryWrite.
+  if (!options.drt_path.empty()) {
+    kv::KvStore store;
+    MHA_RETURN_IF_ERROR(store.open(options.drt_path));
+    MHA_RETURN_IF_ERROR(deployment.plan.plan.drt.save(store));
+    MHA_RETURN_IF_ERROR(store.sync());
+    MHA_RETURN_IF_ERROR(store.close());
+  }
+
+  // Redirection phase.
+  auto redirector = Redirector::create(pfs, deployment.plan.plan.drt,
+                                       options.redirect_lookup_overhead);
+  if (!redirector.is_ok()) return redirector.status();
+  deployment.redirector = std::make_unique<Redirector>(std::move(redirector).take());
+  return deployment;
+}
+
+}  // namespace mha::core

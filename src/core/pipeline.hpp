@@ -1,0 +1,76 @@
+// The end-to-end MHA workflow of Fig. 6.
+//
+//   tracing       -> io::Tracer while the application runs (phase 1)
+//   reordering    -> concurrency annotation + Algorithm 1 + Reorganizer
+//   determination -> CostModel (Eq. 2) + RSSD (Algorithm 2) per region
+//   placement     -> Placer: region files + data migration + RST
+//   redirection   -> Redirector attached to the application's MpiFile
+//
+// `analyze` covers the off-line phases 2-3 (pure planning, no PFS side
+// effects); `deploy` also applies phase 4 and constructs the phase-5
+// redirector.  Plans can optionally be persisted (DRT to the KV store),
+// matching §IV-A.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/grouping.hpp"
+#include "core/placer.hpp"
+#include "core/redirector.hpp"
+#include "core/reorganizer.hpp"
+#include "core/rssd.hpp"
+#include "trace/analysis.hpp"
+
+namespace mha::core {
+
+struct MhaOptions {
+  GroupingOptions grouping;
+  RssdOptions rssd;
+  trace::AnalysisOptions analysis;
+  ReorganizerOptions reorganizer;
+  /// The paper's concurrency extension over HARL's model (ablation knob).
+  bool concurrency_aware = true;
+  /// Virtual cost charged per redirected request (DRT hash lookup).
+  common::Seconds redirect_lookup_overhead = 2.0e-6;
+  /// When non-empty, the DRT is persisted to this KV file during deploy.
+  std::string drt_path;
+};
+
+/// Output of the planning phases (2-3).
+struct MhaPlan {
+  ReorganizePlan plan;
+  /// Optimized <h, s> per region, aligned with plan.regions.
+  std::vector<StripePair> stripe_pairs;
+  GroupingResult grouping;
+  /// Cost-model totals per region at the chosen pair (diagnostics).
+  std::vector<double> region_costs;
+
+  std::string to_string() const;
+};
+
+/// A deployed MHA layout: the plan, what placement did, and the runtime
+/// redirector to attach to the application's file handle.
+struct MhaDeployment {
+  MhaPlan plan;
+  PlacementReport placement;
+  std::unique_ptr<Redirector> redirector;
+};
+
+class MhaPipeline {
+ public:
+  /// Phases 2-3: group the traced requests, build regions + DRT, optimize
+  /// per-region stripe pairs.  No PFS mutation.
+  static common::Result<MhaPlan> analyze(const sim::ClusterConfig& cluster,
+                                         const trace::Trace& trace,
+                                         const MhaOptions& options = {});
+
+  /// Phases 2-5 end to end against a live PFS holding the original file.
+  static common::Result<MhaDeployment> deploy(pfs::HybridPfs& pfs,
+                                              const trace::Trace& trace,
+                                              const MhaOptions& options = {});
+};
+
+}  // namespace mha::core

@@ -1,0 +1,65 @@
+#include "core/placer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.hpp"
+
+namespace mha::core {
+
+common::Result<PlacementReport> Placer::apply(pfs::HybridPfs& pfs,
+                                              const ReorganizePlan& plan,
+                                              const std::vector<StripePair>& stripe_pairs,
+                                              common::ByteCount chunk) {
+  if (stripe_pairs.size() != plan.regions.size()) {
+    return common::Status::invalid_argument("placer: one stripe pair per region required");
+  }
+  if (chunk == 0) return common::Status::invalid_argument("placer: zero chunk");
+
+  auto original = pfs.open(plan.drt.o_file());
+  if (!original.is_ok()) return original.status();
+
+  PlacementReport report;
+  std::unordered_map<std::string, common::FileId> region_ids;
+
+  // Create region files with their optimized layouts (RST rows).
+  for (std::size_t g = 0; g < plan.regions.size(); ++g) {
+    const Region& region = plan.regions[g];
+    auto layout = pfs::StripeLayout::stripe_pair(pfs.num_hservers(), pfs.num_sservers(),
+                                                 stripe_pairs[g].h, stripe_pairs[g].s);
+    if (!layout.is_ok()) return layout.status();
+    auto id = pfs.create_file(region.name, std::move(layout).take());
+    if (!id.is_ok()) return id.status();
+    region_ids.emplace(region.name, *id);
+    ++report.regions_created;
+    MHA_DEBUG << "placer: region " << region.name << " layout "
+              << stripe_pairs[g].to_string();
+  }
+
+  // Migrate: copy every DRT entry's bytes original -> region.
+  common::Seconds clock = 0.0;
+  std::vector<std::uint8_t> buffer;
+  for (const DrtEntry& entry : plan.drt.entries()) {
+    auto target = region_ids.find(entry.r_file);
+    if (target == region_ids.end()) {
+      return common::Status::corruption("placer: DRT names unknown region " + entry.r_file);
+    }
+    common::ByteCount moved = 0;
+    while (moved < entry.length) {
+      const common::ByteCount piece = std::min<common::ByteCount>(chunk, entry.length - moved);
+      buffer.resize(piece);
+      auto read = pfs.read(*original, entry.o_offset + moved, buffer.data(), piece, clock);
+      if (!read.is_ok()) return read.status();
+      auto write = pfs.write(target->second, entry.r_offset + moved, buffer.data(), piece,
+                             read->completion);
+      if (!write.is_ok()) return write.status();
+      clock = write->completion;
+      moved += piece;
+    }
+    report.bytes_migrated += entry.length;
+  }
+  report.migration_time = clock;
+  return report;
+}
+
+}  // namespace mha::core

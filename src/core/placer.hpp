@@ -1,0 +1,38 @@
+// The placement phase (§III-G): realises a ReorganizePlan on the PFS.
+//
+// For every region the Placer creates a region file striped with its
+// optimized <h, s> pair (the pair is recorded in the Region Stripe Table —
+// in this implementation the MDS's per-file layout store, persisted through
+// the KV backend when the PFS was opened with an RST path), then migrates
+// the data: each DRT entry's bytes are copied from the original file into
+// the region file.  Migration is the paper's off-line step, so it runs on a
+// dedicated virtual timeline and its traffic is excluded from measurement
+// windows (the caller resets stats afterwards).
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/reorganizer.hpp"
+#include "core/rssd.hpp"
+#include "pfs/file_system.hpp"
+
+namespace mha::core {
+
+struct PlacementReport {
+  common::ByteCount bytes_migrated = 0;
+  common::Seconds migration_time = 0.0;  ///< virtual time the copy took
+  std::size_t regions_created = 0;
+};
+
+class Placer {
+ public:
+  /// `stripe_pairs` is index-aligned with `plan.regions`.
+  /// Copies in `chunk` granularity to bound buffer sizes.
+  static common::Result<PlacementReport> apply(pfs::HybridPfs& pfs,
+                                               const ReorganizePlan& plan,
+                                               const std::vector<StripePair>& stripe_pairs,
+                                               common::ByteCount chunk = 4 * 1024 * 1024);
+};
+
+}  // namespace mha::core

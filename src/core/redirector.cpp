@@ -1,0 +1,52 @@
+#include "core/redirector.hpp"
+
+namespace mha::core {
+
+common::Result<Redirector> Redirector::create(pfs::HybridPfs& pfs, Drt drt,
+                                              common::Seconds lookup_overhead) {
+  auto original = pfs.open(drt.o_file());
+  if (!original.is_ok()) return original.status();
+  Redirector redirector(std::move(drt), *original, lookup_overhead);
+  // Resolve every region name once; all region files must already exist
+  // (the Placer runs before the redirection phase).
+  for (const DrtEntry& entry : redirector.drt_.entries()) {
+    if (redirector.id_cache_.contains(entry.r_file)) continue;
+    auto id = pfs.open(entry.r_file);
+    if (!id.is_ok()) return id.status();
+    redirector.id_cache_.emplace(entry.r_file, *id);
+  }
+  return redirector;
+}
+
+std::vector<io::RedirectSegment> Redirector::translate(common::Offset offset,
+                                                       common::ByteCount size) {
+  ++translations_;
+  std::vector<io::RedirectSegment> out;
+  for (const DrtSegment& seg : drt_.lookup(offset, size)) {
+    io::RedirectSegment r;
+    r.offset = seg.target_offset;
+    r.length = seg.length;
+    r.logical_offset = seg.logical_offset;
+    if (seg.redirected) {
+      r.file = id_cache_.at(seg.r_file);
+    } else {
+      r.file = original_;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Drt Redirector::identity_table(const std::string& file, common::ByteCount length,
+                               common::ByteCount entry_size) {
+  Drt drt(file);
+  if (entry_size == 0) entry_size = length;
+  for (common::Offset pos = 0; pos < length; pos += entry_size) {
+    const common::ByteCount piece = std::min<common::ByteCount>(entry_size, length - pos);
+    // Self-mapping entries: the "region" is the original file itself.
+    (void)drt.insert(DrtEntry{pos, piece, file, pos});
+  }
+  return drt;
+}
+
+}  // namespace mha::core

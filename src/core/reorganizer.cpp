@@ -1,0 +1,147 @@
+#include "core/reorganizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace mha::core {
+
+namespace {
+
+/// A byte range claimed for one group during the ownership pass.
+struct Block {
+  common::Offset o_offset = 0;
+  common::ByteCount length = 0;
+};
+
+}  // namespace
+
+common::Result<ReorganizePlan> build_plan(const trace::Trace& trace,
+                                          const std::vector<int>& assignment,
+                                          const std::vector<std::uint32_t>& concurrency,
+                                          std::size_t num_groups,
+                                          const ReorganizerOptions& options) {
+  const std::size_t n = trace.records.size();
+  if (assignment.size() != n || concurrency.size() != n) {
+    return common::Status::invalid_argument("reorganizer: annotation arrays misaligned");
+  }
+  if (num_groups == 0) {
+    return common::Status::invalid_argument("reorganizer: no groups");
+  }
+  for (int g : assignment) {
+    if (g < 0 || static_cast<std::size_t>(g) >= num_groups) {
+      return common::Status::invalid_argument("reorganizer: group label out of range");
+    }
+  }
+
+  ReorganizePlan plan;
+  plan.drt = Drt(trace.file_name);
+  plan.regions.resize(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    plan.regions[g].name = trace.file_name + options.region_suffix + std::to_string(g);
+    plan.regions[g].group = static_cast<int>(g);
+  }
+
+  // --- Ownership pass: first toucher (in trace order) claims each byte. ---
+  // claimed: start -> (end, group), non-overlapping, ordered.
+  std::map<common::Offset, std::pair<common::Offset, int>> claimed;
+  std::vector<std::vector<Block>> group_blocks(num_groups);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::TraceRecord& r = trace.records[i];
+    if (r.size == 0) continue;
+    const int g = assignment[i];
+    common::Offset pos = r.offset;
+    const common::Offset end = r.offset + r.size;
+
+    auto it = claimed.upper_bound(pos);
+    if (it != claimed.begin() && std::prev(it)->second.first > pos) --it;
+    while (pos < end) {
+      if (it == claimed.end() || it->first >= end) {
+        // Everything to `end` is unclaimed.
+        group_blocks[static_cast<std::size_t>(g)].push_back(Block{pos, end - pos});
+        it = claimed.emplace_hint(it, pos, std::make_pair(end, g));
+        ++it;
+        pos = end;
+        break;
+      }
+      if (it->first > pos) {
+        // Gap before the next claim.
+        const common::Offset gap_end = it->first;
+        group_blocks[static_cast<std::size_t>(g)].push_back(Block{pos, gap_end - pos});
+        claimed.emplace(pos, std::make_pair(gap_end, g));
+        pos = gap_end;
+      }
+      // Skip through the existing claim (whoever owns it keeps it).
+      pos = std::max(pos, it->second.first);
+      ++it;
+    }
+  }
+
+  // --- Region construction: per group, blocks ordered by original offset,
+  // packed densely; DRT entries merged when contiguous in both spaces. ---
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    auto& blocks = group_blocks[g];
+    std::sort(blocks.begin(), blocks.end(),
+              [](const Block& a, const Block& b) { return a.o_offset < b.o_offset; });
+    Region& region = plan.regions[g];
+    common::Offset r_cursor = 0;
+    DrtEntry pending;
+    bool have_pending = false;
+    for (const Block& b : blocks) {
+      if (have_pending && pending.o_offset + pending.length == b.o_offset) {
+        pending.length += b.length;  // contiguous in origin and region
+      } else {
+        if (have_pending) {
+          MHA_RETURN_IF_ERROR(plan.drt.insert(pending));
+        }
+        pending = DrtEntry{b.o_offset, b.length, region.name, r_cursor};
+        have_pending = true;
+      }
+      r_cursor += b.length;
+    }
+    if (have_pending) {
+      MHA_RETURN_IF_ERROR(plan.drt.insert(pending));
+    }
+    region.length = r_cursor;
+  }
+
+  // --- Per-region request lists for RSSD: each record anchors in the region
+  // holding its first byte (the DRT is authoritative; a record whose bytes
+  // were claimed by another group is costed where it will actually land). ---
+  std::unordered_map<std::string, std::size_t> region_by_name;
+  for (std::size_t g = 0; g < num_groups; ++g) region_by_name[plan.regions[g].name] = g;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::TraceRecord& r = trace.records[i];
+    if (r.size == 0) continue;
+    const auto segments = plan.drt.lookup(r.offset, r.size);
+    if (segments.empty() || !segments.front().redirected) {
+      return common::Status::corruption("reorganizer: traced range not claimed");
+    }
+    const auto region_it = region_by_name.find(segments.front().r_file);
+    if (region_it == region_by_name.end()) {
+      return common::Status::corruption("reorganizer: DRT names unknown region");
+    }
+    Region& region = plan.regions[region_it->second];
+    ModelRequest mr;
+    mr.op = r.op;
+    mr.offset = segments.front().target_offset;
+    mr.size = r.size;
+    mr.concurrency = concurrency[i];
+    mr.time = r.t_start;
+    region.requests.push_back(mr);
+    ++region.record_count;
+  }
+
+  // Drop regions that ended up empty (possible when a group's bytes were all
+  // claimed by earlier groups), keeping DRT names intact for the survivors.
+  std::vector<Region> live;
+  for (Region& region : plan.regions) {
+    if (region.length > 0 || !region.requests.empty()) live.push_back(std::move(region));
+  }
+  plan.regions = std::move(live);
+  return plan;
+}
+
+}  // namespace mha::core

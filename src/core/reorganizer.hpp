@@ -1,0 +1,60 @@
+// The Data Reorganizer of MHA's reordering phase (§III-E).
+//
+// Consumes the trace (with per-request concurrency annotations) and the
+// Algorithm 1 group assignment, and produces the migration plan: one region
+// per group, the DRT mapping original byte ranges into the regions, and the
+// per-region request lists (region-relative offsets) that feed Algorithm 2.
+//
+// Block ownership: data blocks are claimed by the *first* request that
+// touches them, in trace order — "a later data block is moved to be adjacent
+// to the first data block it is similar to" — so a byte range touched by
+// requests of several groups lands in the group of its earliest toucher.
+// Within a region, blocks are "ordered by their offsets within the original
+// file".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/cost_model.hpp"
+#include "core/drt.hpp"
+#include "trace/record.hpp"
+
+namespace mha::core {
+
+/// One reordered region: a physical file holding the data blocks of one
+/// access-pattern group.
+struct Region {
+  std::string name;          ///< region file name
+  int group = 0;             ///< Algorithm 1 label
+  common::ByteCount length = 0;
+  /// The group's requests translated to region-relative offsets (input to
+  /// RSSD).  A request whose bytes were claimed by another group keeps its
+  /// size but anchors at its first in-region byte.
+  std::vector<ModelRequest> requests;
+  /// How many trace records belong to this region's group.
+  std::size_t record_count = 0;
+};
+
+struct ReorganizePlan {
+  std::vector<Region> regions;
+  Drt drt;
+};
+
+struct ReorganizerOptions {
+  /// Region file names are "<original>.mha.r<group>".
+  std::string region_suffix = ".mha.r";
+};
+
+/// Builds the migration plan.  `assignment` and `concurrency` are
+/// index-aligned with `trace.records`; labels must be dense in
+/// [0, num_groups).
+common::Result<ReorganizePlan> build_plan(const trace::Trace& trace,
+                                          const std::vector<int>& assignment,
+                                          const std::vector<std::uint32_t>& concurrency,
+                                          std::size_t num_groups,
+                                          const ReorganizerOptions& options = {});
+
+}  // namespace mha::core

@@ -1,0 +1,53 @@
+// Region Stripe Size Determination — Algorithm 2 of §III-F.
+//
+// Exhaustively sweeps candidate stripe pairs <h, s> in `step` increments and
+// keeps the pair minimising the summed cost-model time of the region's
+// requests.  Bounds are adaptive (the scheme's improvement over HARL's
+// average-request-size bound): when the largest request r_max is small
+// (< (M+N)*64KiB) both bounds are r_max itself, widening the search;
+// otherwise B_h = r_max/M and B_s = r_max/N, which "increases the chance for
+// all the servers to work together" on large requests.  h starts at 0 —
+// "dispatching the data only on SServer is allowed as long as this leads to
+// enhanced performance" — and s starts above h to avoid assigning the slower
+// servers wider stripes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/cost_model.hpp"
+
+namespace mha::core {
+
+struct RssdOptions {
+  /// Sweep granularity; "the 'step' value is 4KB, which can be configured".
+  common::ByteCount step = 4 * 1024;
+  /// The small-r_max threshold multiplier (64KB in Algorithm 2 line 3).
+  common::ByteCount bound_unit = 64 * 1024;
+  /// Use HARL's fixed bound (mean request size) instead of the adaptive
+  /// bounds — ablation of the paper's bound policy.
+  bool adaptive_bounds = true;
+};
+
+struct StripePair {
+  common::ByteCount h = 0;  ///< stripe size on each HServer
+  common::ByteCount s = 0;  ///< stripe size on each SServer
+
+  friend bool operator==(const StripePair&, const StripePair&) = default;
+  std::string to_string() const;
+};
+
+struct RssdResult {
+  StripePair best;
+  double best_cost = 0.0;
+  std::size_t pairs_evaluated = 0;
+};
+
+/// Runs Algorithm 2 for one region.  `requests` hold region-relative
+/// offsets.  Fails with kInvalidArgument when the region is empty.
+common::Result<RssdResult> determine_stripes(const CostModel& model,
+                                             const std::vector<ModelRequest>& requests,
+                                             const RssdOptions& options = {});
+
+}  // namespace mha::core

@@ -1,0 +1,205 @@
+#include "io/collective.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mha::io {
+
+namespace {
+
+struct Domain {
+  common::Offset begin = 0;
+  common::Offset end = 0;
+  common::ByteCount shuffle_bytes = 0;
+  std::size_t senders = 0;
+  // Merged extents of request pieces inside the domain.
+  std::map<common::Offset, common::Offset> extents;  // begin -> end
+
+  void add_piece(common::Offset piece_begin, common::Offset piece_end) {
+    shuffle_bytes += piece_end - piece_begin;
+    // Merge into the extent map.
+    auto it = extents.upper_bound(piece_begin);
+    if (it != extents.begin() && std::prev(it)->second >= piece_begin) {
+      --it;
+      piece_begin = it->first;
+      piece_end = std::max(piece_end, it->second);
+      it = extents.erase(it);
+    }
+    while (it != extents.end() && it->first <= piece_end) {
+      piece_end = std::max(piece_end, it->second);
+      it = extents.erase(it);
+    }
+    extents.emplace(piece_begin, piece_end);
+  }
+};
+
+common::Result<CollectiveResult> run_collective(
+    pfs::HybridPfs& pfs, MpiSim& mpi, common::FileId file, common::OpType op,
+    const std::vector<CollectiveRequest>& requests,
+    const std::vector<std::vector<std::uint8_t>>* payloads,
+    std::vector<std::vector<std::uint8_t>>* out, const CollectiveOptions& options) {
+  if (requests.empty()) {
+    return common::Status::invalid_argument("collective: empty request batch");
+  }
+  if (file >= pfs.mds().file_count()) {
+    return common::Status::out_of_range("collective: bad file id");
+  }
+  if (payloads != nullptr && payloads->size() != requests.size()) {
+    return common::Status::invalid_argument("collective: payloads misaligned");
+  }
+  for (const CollectiveRequest& r : requests) {
+    if (r.rank < 0 || r.rank >= mpi.world_size()) {
+      return common::Status::invalid_argument("collective: rank out of range");
+    }
+  }
+
+  // Collective entry: everybody synchronises.
+  mpi.barrier();
+  CollectiveResult result;
+  result.start = mpi.max_time();
+
+  // Aggregate extent and file-domain partition (stripe-cycle aligned).
+  common::Offset lo = ~common::Offset{0};
+  common::Offset hi = 0;
+  for (const CollectiveRequest& r : requests) {
+    if (r.size == 0) continue;
+    lo = std::min(lo, r.offset);
+    hi = std::max(hi, r.offset + r.size);
+  }
+  if (hi <= lo) {  // all requests empty
+    result.completion = result.start;
+    return result;
+  }
+  const std::size_t world = static_cast<std::size_t>(mpi.world_size());
+  std::size_t num_aggregators =
+      options.aggregators > 0 ? static_cast<std::size_t>(options.aggregators)
+                              : std::min(world, pfs.num_servers());
+  num_aggregators = std::max<std::size_t>(num_aggregators, 1);
+
+  const common::ByteCount cycle = pfs.mds().info(file).layout.cycle_width();
+  common::ByteCount domain_size = (hi - lo + num_aggregators - 1) / num_aggregators;
+  domain_size = std::max<common::ByteCount>((domain_size + cycle - 1) / cycle * cycle, cycle);
+  num_aggregators = (hi - lo + domain_size - 1) / domain_size;
+
+  std::vector<Domain> domains(num_aggregators);
+  for (std::size_t a = 0; a < num_aggregators; ++a) {
+    domains[a].begin = lo + a * domain_size;
+    domains[a].end = std::min<common::Offset>(hi, lo + (a + 1) * domain_size);
+  }
+
+  // Phase 1 bookkeeping: split every request across the owning domains and
+  // (byte-accurate mode) land its payload in the file's byte store now —
+  // the timing is charged by the aggregated phase-2 submissions below.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const CollectiveRequest& r = requests[i];
+    if (r.size == 0) continue;
+    const common::Offset r_end = r.offset + r.size;
+    const std::size_t first = (r.offset - lo) / domain_size;
+    const std::size_t last = (r_end - 1 - lo) / domain_size;
+    for (std::size_t a = first; a <= last && a < num_aggregators; ++a) {
+      const common::Offset piece_begin = std::max(r.offset, domains[a].begin);
+      const common::Offset piece_end = std::min<common::Offset>(r_end, domains[a].end);
+      if (piece_begin >= piece_end) continue;
+      domains[a].add_piece(piece_begin, piece_end);
+      ++domains[a].senders;
+    }
+  }
+
+  // Data movement (bytes only; timing handled as aggregate below).
+  const pfs::StripeLayout& layout = pfs.mds().info(file).layout;
+  if (op == common::OpType::kWrite) {
+    std::vector<std::uint8_t> zero;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const CollectiveRequest& r = requests[i];
+      if (r.size == 0) continue;
+      const std::uint8_t* data;
+      if (payloads != nullptr) {
+        data = (*payloads)[i].data();
+        if ((*payloads)[i].size() != r.size) {
+          return common::Status::invalid_argument("collective: payload size mismatch");
+        }
+      } else {
+        zero.assign(r.size, 0);
+        data = zero.data();
+      }
+      for (const pfs::SubExtent& sub : layout.map_extent(r.offset, r.size)) {
+        pfs.data_server(sub.server)
+            .store(file, sub.physical_offset, data + (sub.logical_offset - r.offset),
+                   sub.length);
+      }
+      pfs.mds().extend(file, r.offset + r.size);
+    }
+  }
+
+  // Phase 1 + 2 timing, per aggregator, all in parallel from the barrier.
+  common::Seconds completion = result.start;
+  double worst_shuffle = 0.0;
+  for (const Domain& domain : domains) {
+    if (domain.extents.empty()) continue;
+    ++result.aggregators_used;
+    const common::Seconds shuffle =
+        options.shuffle_latency +
+        options.shuffle_per_message * static_cast<double>(domain.senders) +
+        options.shuffle_per_byte * static_cast<double>(domain.shuffle_bytes);
+    worst_shuffle = std::max(worst_shuffle, shuffle);
+    common::Seconds arrival = result.start + shuffle;
+    for (const auto& [begin, end] : domain.extents) {
+      // Aggregated contiguous file request; timing only (bytes moved above).
+      common::ByteCount per_server_total = end - begin;
+      std::vector<common::ByteCount> per_server(pfs.num_servers(), 0);
+      for (const pfs::SubExtent& sub : layout.map_extent(begin, per_server_total)) {
+        per_server[sub.server] += sub.length;
+      }
+      for (std::size_t s = 0; s < per_server.size(); ++s) {
+        if (per_server[s] == 0) continue;
+        const common::Seconds done =
+            pfs.data_server(s).sim().submit(op, per_server[s], arrival);
+        completion = std::max(completion, done);
+      }
+      ++result.file_requests;
+    }
+  }
+  result.shuffle_time = worst_shuffle;
+
+  // Reads: gather the requested bytes after the file phase.
+  if (op == common::OpType::kRead && out != nullptr) {
+    out->clear();
+    out->reserve(requests.size());
+    for (const CollectiveRequest& r : requests) {
+      std::vector<std::uint8_t> buffer(r.size);
+      for (const pfs::SubExtent& sub : layout.map_extent(r.offset, r.size)) {
+        pfs.data_server(sub.server)
+            .load(file, sub.physical_offset, buffer.data() + (sub.logical_offset - r.offset),
+                  sub.length);
+      }
+      out->push_back(std::move(buffer));
+    }
+  }
+
+  // Collective exit: everyone leaves together (reverse shuffle for reads is
+  // folded into the same shuffle bound).
+  result.completion = completion + (op == common::OpType::kRead ? worst_shuffle : 0.0);
+  for (int rank = 0; rank < mpi.world_size(); ++rank) mpi.advance(rank, result.completion);
+  return result;
+}
+
+}  // namespace
+
+common::Result<CollectiveResult> collective_write(
+    pfs::HybridPfs& pfs, MpiSim& mpi, common::FileId file,
+    const std::vector<CollectiveRequest>& requests,
+    const std::vector<std::vector<std::uint8_t>>* payloads,
+    const CollectiveOptions& options) {
+  return run_collective(pfs, mpi, file, common::OpType::kWrite, requests, payloads, nullptr,
+                        options);
+}
+
+common::Result<CollectiveResult> collective_read(
+    pfs::HybridPfs& pfs, MpiSim& mpi, common::FileId file,
+    const std::vector<CollectiveRequest>& requests,
+    std::vector<std::vector<std::uint8_t>>* out, const CollectiveOptions& options) {
+  return run_collective(pfs, mpi, file, common::OpType::kRead, requests, nullptr, out,
+                        options);
+}
+
+}  // namespace mha::io

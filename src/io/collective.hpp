@@ -1,0 +1,77 @@
+// Two-phase collective I/O (ROMIO-style MPI_File_{read,write}_at_all).
+//
+// Completes the MPI-IO middleware substrate: the paper's benchmarks run with
+// independent I/O (BTIO "simple" subtype), but the middleware the paper
+// builds on also offers collective buffering, and the layout discussion only
+// makes sense against both modes.  The classic two-phase algorithm:
+//
+//   phase 0  barrier (collective entry)
+//   phase 1  the aggregate byte extent of the batch is partitioned into
+//            file domains, one per aggregator rank (stripe-cycle aligned);
+//            every rank ships its pieces to the owning aggregators over the
+//            compute interconnect (shuffle)
+//   phase 2  each aggregator issues a few large, contiguous file requests
+//            for its domain (merged extents)
+//   exit     all ranks leave at the completion of the slowest aggregator
+//
+// Collective calls address the file directly (no DRT interception): in MPI
+// terms the aggregators see the file after layout optimization the same way
+// independent I/O does, but collective *re*-aggregation across reordered
+// regions is future work, as it is in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "io/mpi_file.hpp"
+#include "io/mpi_sim.hpp"
+#include "pfs/file_system.hpp"
+
+namespace mha::io {
+
+/// One rank's contribution to a collective call.
+struct CollectiveRequest {
+  int rank = 0;
+  common::Offset offset = 0;
+  common::ByteCount size = 0;
+};
+
+struct CollectiveOptions {
+  /// Number of aggregator ranks; 0 = min(world size, server count).
+  int aggregators = 0;
+  /// Compute-interconnect shuffle cost (GigE-class defaults).  An
+  /// aggregator receives its senders' pieces as one overlapped pipeline:
+  /// one wire latency, the payload at line rate, plus a small per-message
+  /// CPU cost.
+  common::Seconds shuffle_per_byte = 1.0 / 117.0e6;
+  common::Seconds shuffle_latency = 30.0e-6;
+  common::Seconds shuffle_per_message = 2.0e-6;
+};
+
+struct CollectiveResult {
+  common::Seconds start = 0.0;       ///< barrier entry time
+  common::Seconds completion = 0.0;  ///< when every rank leaves
+  common::Seconds shuffle_time = 0.0;
+  std::size_t file_requests = 0;     ///< phase-2 requests actually issued
+  std::size_t aggregators_used = 0;
+};
+
+/// Collective write.  `payloads`, when non-null, is index-aligned with
+/// `requests` (byte-accurate mode); otherwise zero payloads are shipped
+/// (timing-only mode).  Requests must not overlap each other.
+common::Result<CollectiveResult> collective_write(
+    pfs::HybridPfs& pfs, MpiSim& mpi, common::FileId file,
+    const std::vector<CollectiveRequest>& requests,
+    const std::vector<std::vector<std::uint8_t>>* payloads = nullptr,
+    const CollectiveOptions& options = {});
+
+/// Collective read.  When `out` is non-null it receives one buffer per
+/// request (index-aligned).
+common::Result<CollectiveResult> collective_read(
+    pfs::HybridPfs& pfs, MpiSim& mpi, common::FileId file,
+    const std::vector<CollectiveRequest>& requests,
+    std::vector<std::vector<std::uint8_t>>* out = nullptr,
+    const CollectiveOptions& options = {});
+
+}  // namespace mha::io

@@ -1,0 +1,75 @@
+#include "io/mpi_file.hpp"
+
+#include <algorithm>
+
+namespace mha::io {
+
+common::Result<MpiFile> MpiFile::open(pfs::HybridPfs& pfs, MpiSim& mpi,
+                                      const std::string& name) {
+  auto id = pfs.open(name);
+  if (!id.is_ok()) return id.status();
+  return MpiFile(pfs, mpi, name, *id);
+}
+
+common::Result<OpResult> MpiFile::do_op(int rank, common::OpType op, common::Offset offset,
+                                        std::uint8_t* read_out, const std::uint8_t* write_data,
+                                        common::ByteCount size) {
+  OpResult result;
+  result.start = mpi_->now(rank);
+  common::Seconds issue = result.start;
+  if (tracer_ != nullptr) issue += tracer_->per_op_overhead();
+
+  // Translate through the interceptor (identity when none is attached).
+  std::vector<RedirectSegment> segments;
+  if (interceptor_ != nullptr) {
+    issue += interceptor_->lookup_overhead();
+    segments = interceptor_->translate(offset, size);
+  } else {
+    segments.push_back(RedirectSegment{file_, offset, size, offset});
+  }
+
+  common::Seconds completion = issue;
+  for (const RedirectSegment& seg : segments) {
+    common::Result<pfs::IoResult> io =
+        op == common::OpType::kRead
+            ? pfs_->read(seg.file, seg.offset, read_out + (seg.logical_offset - offset),
+                         seg.length, issue)
+            : pfs_->write(seg.file, seg.offset, write_data + (seg.logical_offset - offset),
+                          seg.length, issue);
+    if (!io.is_ok()) return io.status();
+    completion = std::max(completion, io->completion);
+  }
+  result.completion = completion;
+  mpi_->advance(rank, completion);
+
+  if (tracer_ != nullptr) {
+    tracer_->record(rank, next_fd_, op, offset, size, result.start,
+                    completion - result.start);
+  }
+  return result;
+}
+
+common::Result<OpResult> MpiFile::read_at(int rank, common::Offset offset, std::uint8_t* out,
+                                          common::ByteCount size) {
+  return do_op(rank, common::OpType::kRead, offset, out, nullptr, size);
+}
+
+common::Result<OpResult> MpiFile::write_at(int rank, common::Offset offset,
+                                           const std::uint8_t* data, common::ByteCount size) {
+  return do_op(rank, common::OpType::kWrite, offset, nullptr, data, size);
+}
+
+common::Result<OpResult> MpiFile::write_at(int rank, common::Offset offset,
+                                           const std::vector<std::uint8_t>& data) {
+  return write_at(rank, offset, data.data(), data.size());
+}
+
+common::Result<std::vector<std::uint8_t>> MpiFile::read_vec(int rank, common::Offset offset,
+                                                            common::ByteCount size) {
+  std::vector<std::uint8_t> out(size);
+  auto r = read_at(rank, offset, out.data(), size);
+  if (!r.is_ok()) return r.status();
+  return out;
+}
+
+}  // namespace mha::io

@@ -1,0 +1,103 @@
+// MPI-IO-like file handle with the two interposition points MHA needs.
+//
+// Mirrors the paper's implementation (§IV-B): the modified MPI library loads
+// the DRT at MPI_Init and consults it inside MPI_File_read/write so requests
+// are "atomically forwarded to the alternative file servers".  Here the DRT
+// consultation is abstracted as an IoInterceptor so the middleware does not
+// depend on the MHA core; the core's Redirector implements it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "io/mpi_sim.hpp"
+#include "io/tracer.hpp"
+#include "pfs/file_system.hpp"
+
+namespace mha::io {
+
+/// One physical piece a logical request was translated into.
+struct RedirectSegment {
+  common::FileId file = common::kInvalidFileId;
+  common::Offset offset = 0;      ///< offset in the target file
+  common::ByteCount length = 0;
+  common::Offset logical_offset = 0;  ///< where this piece sits in the request
+};
+
+/// Translates logical extents of the original file into physical segments.
+/// The default behaviour (no interceptor) is the identity mapping onto the
+/// original file.
+class IoInterceptor {
+ public:
+  virtual ~IoInterceptor() = default;
+
+  /// Splits [offset, offset+size) into target segments covering it exactly,
+  /// in ascending logical order.
+  virtual std::vector<RedirectSegment> translate(common::Offset offset,
+                                                 common::ByteCount size) = 0;
+
+  /// Virtual seconds of lookup cost charged per translated request (the
+  /// paper's "redirection phase" overhead, Fig. 14).
+  virtual common::Seconds lookup_overhead() const { return 0.0; }
+};
+
+/// Per-op result at the middleware layer.
+struct OpResult {
+  common::Seconds start = 0.0;
+  common::Seconds completion = 0.0;
+  common::Seconds duration() const { return completion - start; }
+};
+
+class MpiFile {
+ public:
+  /// Opens `name` on `pfs` (must exist).  The handle is shared by all ranks
+  /// of `mpi`, like a shared file opened with MPI_File_open(MPI_COMM_WORLD).
+  static common::Result<MpiFile> open(pfs::HybridPfs& pfs, MpiSim& mpi,
+                                      const std::string& name);
+
+  common::FileId file_id() const { return file_; }
+  const std::string& name() const { return name_; }
+
+  /// Attaches the tracing-phase collector (borrowed; may be nullptr).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches the redirection-phase interceptor (borrowed; may be nullptr).
+  void set_interceptor(IoInterceptor* interceptor) { interceptor_ = interceptor; }
+
+  /// MPI_File_read_at: issues at the rank's current clock and advances it
+  /// to the completion time.
+  common::Result<OpResult> read_at(int rank, common::Offset offset, std::uint8_t* out,
+                                   common::ByteCount size);
+
+  /// MPI_File_write_at.
+  common::Result<OpResult> write_at(int rank, common::Offset offset,
+                                    const std::uint8_t* data, common::ByteCount size);
+
+  /// Convenience: write a byte vector / read into a fresh vector.
+  common::Result<OpResult> write_at(int rank, common::Offset offset,
+                                    const std::vector<std::uint8_t>& data);
+  common::Result<std::vector<std::uint8_t>> read_vec(int rank, common::Offset offset,
+                                                     common::ByteCount size);
+
+ private:
+  MpiFile(pfs::HybridPfs& pfs, MpiSim& mpi, std::string name, common::FileId file)
+      : pfs_(&pfs), mpi_(&mpi), name_(std::move(name)), file_(file) {}
+
+  common::Result<OpResult> do_op(int rank, common::OpType op, common::Offset offset,
+                                 std::uint8_t* read_out, const std::uint8_t* write_data,
+                                 common::ByteCount size);
+
+  pfs::HybridPfs* pfs_;
+  MpiSim* mpi_;
+  std::string name_;
+  common::FileId file_;
+  Tracer* tracer_ = nullptr;
+  IoInterceptor* interceptor_ = nullptr;
+  int next_fd_ = 3;
+};
+
+}  // namespace mha::io

@@ -1,0 +1,2 @@
+// MpiSim is header-only; this TU anchors the library target.
+#include "io/mpi_sim.hpp"

@@ -1,0 +1,61 @@
+// A miniature MPI execution model for the simulated clients.
+//
+// Real MHA interposes on MPICH2's MPI-IO.  Here, "processes" are ranks with
+// independent virtual clocks; collective barriers synchronise them to the
+// slowest rank, reproducing the synchronous-I/O phase structure of IOR,
+// BTIO and the traced applications.  All parallelism is explicit, in the
+// message-passing spirit: no shared mutable state between ranks other than
+// the file system they target.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mha::io {
+
+class MpiSim {
+ public:
+  explicit MpiSim(int world_size) : clocks_(static_cast<std::size_t>(world_size), 0.0) {
+    assert(world_size > 0);
+  }
+
+  int world_size() const { return static_cast<int>(clocks_.size()); }
+
+  common::Seconds now(int rank) const { return clocks_[index(rank)]; }
+
+  /// Moves a rank's clock forward to `t` (no-op if already past it).
+  void advance(int rank, common::Seconds t) {
+    auto& clock = clocks_[index(rank)];
+    clock = std::max(clock, t);
+  }
+
+  /// Adds `dt` to a rank's clock (local computation time).
+  void elapse(int rank, common::Seconds dt) { clocks_[index(rank)] += dt; }
+
+  /// MPI_Barrier: every rank leaves at the time the slowest one arrived.
+  void barrier() {
+    const common::Seconds t = max_time();
+    for (auto& clock : clocks_) clock = t;
+  }
+
+  /// Time of the furthest-ahead rank (job makespan so far).
+  common::Seconds max_time() const {
+    return *std::max_element(clocks_.begin(), clocks_.end());
+  }
+
+  /// Resets every rank's clock to zero.
+  void reset() { std::fill(clocks_.begin(), clocks_.end(), 0.0); }
+
+ private:
+  std::size_t index(int rank) const {
+    assert(rank >= 0 && rank < world_size());
+    return static_cast<std::size_t>(rank);
+  }
+
+  std::vector<common::Seconds> clocks_;
+};
+
+}  // namespace mha::io

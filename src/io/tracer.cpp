@@ -1,0 +1,20 @@
+#include "io/tracer.hpp"
+
+namespace mha::io {
+
+void Tracer::record(int rank, int fd, common::OpType op, common::Offset offset,
+                    common::ByteCount size, common::Seconds t_start,
+                    common::Seconds duration) {
+  trace::TraceRecord r;
+  r.pid = static_cast<std::uint32_t>(1000 + rank);  // synthetic pid per rank
+  r.rank = rank;
+  r.fd = fd;
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  r.t_start = t_start;
+  r.duration = duration;
+  trace_.records.push_back(r);
+}
+
+}  // namespace mha::io

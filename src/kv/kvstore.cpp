@@ -1,0 +1,246 @@
+#include "kv/kvstore.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+
+namespace mha::kv {
+
+namespace {
+
+// Log record framing:
+//   u32 crc (over everything after this field)
+//   u8  type (kPut / kErase)
+//   u32 key_len
+//   u32 value_len (0 for erase)
+//   key bytes, value bytes
+constexpr std::uint8_t kPut = 1;
+constexpr std::uint8_t kErase = 2;
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf.append(b, 4);
+}
+
+bool read_exact(std::FILE* f, void* out, std::size_t n) {
+  return std::fread(out, 1, n, f) == n;
+}
+
+}  // namespace
+
+KvStore::~KvStore() { (void)close(); }
+
+KvStore::KvStore(KvStore&& other) noexcept { *this = std::move(other); }
+
+KvStore& KvStore::operator=(KvStore&& other) noexcept {
+  if (this != &other) {
+    (void)close();
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    file_ = other.file_;
+    map_ = std::move(other.map_);
+    dead_records_ = other.dead_records_;
+    other.file_ = nullptr;
+    other.map_.clear();
+    other.dead_records_ = 0;
+  }
+  return *this;
+}
+
+common::Status KvStore::open(const std::string& path, KvOptions options) {
+  if (is_open()) return common::Status::failed_precondition("store already open");
+  path_ = path;
+  options_ = options;
+  map_.clear();
+  dead_records_ = 0;
+
+  // "a+b" creates the file if missing and allows reading for replay.
+  file_ = std::fopen(path.c_str(), "a+b");
+  if (file_ == nullptr) {
+    return common::Status::io_error("cannot open kv log: " + path);
+  }
+  common::Status s = load();
+  if (!s.is_ok()) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return s;
+}
+
+common::Status KvStore::load() {
+  std::rewind(file_);
+  long valid_end = 0;
+  for (;;) {
+    std::uint32_t crc = 0;
+    std::uint8_t type = 0;
+    std::uint32_t key_len = 0;
+    std::uint32_t value_len = 0;
+    if (!read_exact(file_, &crc, 4)) break;
+    if (!read_exact(file_, &type, 1) || !read_exact(file_, &key_len, 4) ||
+        !read_exact(file_, &value_len, 4)) {
+      break;  // truncated header: torn tail
+    }
+    std::string key(key_len, '\0');
+    std::string value(value_len, '\0');
+    if ((key_len != 0 && !read_exact(file_, key.data(), key_len)) ||
+        (value_len != 0 && !read_exact(file_, value.data(), value_len))) {
+      break;  // truncated payload
+    }
+    std::string framed;
+    framed.push_back(static_cast<char>(type));
+    put_u32(framed, key_len);
+    put_u32(framed, value_len);
+    framed += key;
+    framed += value;
+    if (common::crc32(framed) != crc) {
+      MHA_WARN << "kv: corrupt record in " << path_ << "; truncating tail";
+      break;
+    }
+    if (type == kPut) {
+      dead_records_ += map_.count(key);
+      map_[std::move(key)] = std::move(value);
+    } else if (type == kErase) {
+      // The erase record itself is dead weight once applied, and so is the
+      // put it cancels (when one existed).
+      dead_records_ += 1 + map_.erase(key);
+    } else {
+      MHA_WARN << "kv: unknown record type in " << path_ << "; truncating tail";
+      break;
+    }
+    valid_end = std::ftell(file_);
+  }
+  // Drop any torn tail so future appends start from a clean prefix.
+  if (std::ftell(file_) != valid_end) {
+    if (::truncate(path_.c_str(), valid_end) != 0) {
+      return common::Status::io_error("cannot truncate torn tail of " + path_);
+    }
+    // Reopen so the stdio stream agrees with the truncated file.
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "a+b");
+    if (file_ == nullptr) return common::Status::io_error("reopen after truncate failed");
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return common::Status::ok();
+}
+
+common::Status KvStore::close() {
+  if (!is_open()) return common::Status::ok();
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  return common::Status::ok();
+}
+
+common::Status KvStore::append_record(std::uint8_t type, std::string_view key,
+                                      std::string_view value) {
+  std::string framed;
+  framed.reserve(9 + key.size() + value.size());
+  framed.push_back(static_cast<char>(type));
+  put_u32(framed, static_cast<std::uint32_t>(key.size()));
+  put_u32(framed, static_cast<std::uint32_t>(value.size()));
+  framed.append(key);
+  framed.append(value);
+  const std::uint32_t crc = common::crc32(framed);
+  if (std::fwrite(&crc, 1, 4, file_) != 4 ||
+      std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    return common::Status::io_error("kv append failed: " + path_);
+  }
+  return maybe_sync();
+}
+
+common::Status KvStore::maybe_sync() {
+  if (options_.sync == SyncMode::kEveryWrite) {
+    if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+      return common::Status::io_error("kv fsync failed: " + path_);
+    }
+  }
+  return common::Status::ok();
+}
+
+common::Status KvStore::put(std::string_view key, std::string_view value) {
+  if (!is_open()) return common::Status::failed_precondition("store not open");
+  MHA_RETURN_IF_ERROR(append_record(kPut, key, value));
+  auto [it, inserted] = map_.insert_or_assign(std::string(key), std::string(value));
+  (void)it;
+  if (!inserted) ++dead_records_;
+  if (dead_records_ >= options_.auto_compact_dead_records) return compact();
+  return common::Status::ok();
+}
+
+std::optional<std::string> KvStore::get(std::string_view key) const {
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::contains(std::string_view key) const {
+  return map_.find(std::string(key)) != map_.end();
+}
+
+common::Status KvStore::erase(std::string_view key) {
+  if (!is_open()) return common::Status::failed_precondition("store not open");
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return common::Status::ok();
+  MHA_RETURN_IF_ERROR(append_record(kErase, key, {}));
+  map_.erase(it);
+  dead_records_ += 2;  // the cancelled put and the erase marker itself
+  if (dead_records_ >= options_.auto_compact_dead_records) return compact();
+  return common::Status::ok();
+}
+
+void KvStore::for_each(
+    const std::function<bool(std::string_view, std::string_view)>& fn) const {
+  for (const auto& [k, v] : map_) {
+    if (!fn(k, v)) return;
+  }
+}
+
+common::Status KvStore::sync() {
+  if (!is_open()) return common::Status::failed_precondition("store not open");
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return common::Status::io_error("kv sync failed: " + path_);
+  }
+  return common::Status::ok();
+}
+
+common::Status KvStore::compact() {
+  if (!is_open()) return common::Status::failed_precondition("store not open");
+  const std::string tmp_path = path_ + ".compact";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) return common::Status::io_error("cannot create " + tmp_path);
+
+  std::FILE* const live = file_;
+  file_ = tmp;  // reuse append_record against the temp file
+  common::Status status = common::Status::ok();
+  for (const auto& [k, v] : map_) {
+    status = append_record(kPut, k, v);
+    if (!status.is_ok()) break;
+  }
+  if (status.is_ok() && (std::fflush(tmp) != 0 || ::fsync(::fileno(tmp)) != 0)) {
+    status = common::Status::io_error("compact fsync failed");
+  }
+  std::fclose(tmp);
+  file_ = live;
+  if (!status.is_ok()) {
+    std::remove(tmp_path.c_str());
+    return status;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return common::Status::io_error("compact rename failed: " + path_);
+  }
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) return common::Status::io_error("reopen after compact failed");
+  std::fseek(file_, 0, SEEK_END);
+  dead_records_ = 0;
+  return common::Status::ok();
+}
+
+}  // namespace mha::kv

@@ -1,0 +1,96 @@
+// Persistent key-value store — the repo's substitute for Berkeley DB, which
+// the paper uses to hold the Data Reordering Table (DRT) and the Region
+// Stripe Table (RST) (§IV-A).
+//
+// Design: an in-memory hash table over an append-only log file.  Each log
+// record is CRC-framed; `put`/`erase` append a record and (optionally,
+// matching the paper's "synchronously written to the storage in order to
+// survive power failures") fsync it.  `open` replays the log, stopping at
+// the first corrupt/truncated record so a torn tail after a crash is
+// tolerated.  `compact` rewrites the log with only live entries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.hpp"
+
+namespace mha::kv {
+
+/// Durability of individual mutations.
+enum class SyncMode {
+  kNone,       ///< rely on OS write-back (fast; used by tests/benches)
+  kEveryWrite  ///< fsync after every mutation (paper's power-failure story)
+};
+
+struct KvOptions {
+  SyncMode sync = SyncMode::kNone;
+  /// Compact automatically when the log holds this many dead records.
+  std::size_t auto_compact_dead_records = 1 << 16;
+};
+
+/// A durable unordered map<string, string>.
+///
+/// Not internally synchronised: callers serialise access (the MHA pipeline
+/// mutates the tables from a single control thread, like the paper's MDS).
+class KvStore {
+ public:
+  KvStore() = default;
+  ~KvStore();
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+  KvStore(KvStore&&) noexcept;
+  KvStore& operator=(KvStore&&) noexcept;
+
+  /// Opens (creating if absent) the store backed by `path`.
+  common::Status open(const std::string& path, KvOptions options = {});
+
+  /// True between a successful open() and close().
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Flushes and closes the backing file.  Idempotent.
+  common::Status close();
+
+  /// Inserts or overwrites.
+  common::Status put(std::string_view key, std::string_view value);
+
+  /// Returns the value or std::nullopt when the key is absent.
+  std::optional<std::string> get(std::string_view key) const;
+
+  bool contains(std::string_view key) const;
+
+  /// Removes the key; ok (no-op) when absent.
+  common::Status erase(std::string_view key);
+
+  std::size_t size() const { return map_.size(); }
+
+  /// Number of superseded/deleted records still in the log.
+  std::size_t dead_records() const { return dead_records_; }
+
+  /// Visits every live entry; `fn` returning false stops the scan early.
+  void for_each(const std::function<bool(std::string_view key, std::string_view value)>& fn) const;
+
+  /// Rewrites the log with only live entries.
+  common::Status compact();
+
+  /// Flushes and fsyncs the log once (bulk-load durability point: write many
+  /// records with SyncMode::kNone, then sync()).
+  common::Status sync();
+
+ private:
+  common::Status append_record(std::uint8_t type, std::string_view key, std::string_view value);
+  common::Status load();
+  common::Status maybe_sync();
+
+  std::string path_;
+  KvOptions options_;
+  std::FILE* file_ = nullptr;
+  std::unordered_map<std::string, std::string> map_;
+  std::size_t dead_records_ = 0;
+};
+
+}  // namespace mha::kv

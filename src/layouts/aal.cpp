@@ -1,0 +1,46 @@
+// AAL: the application-aware layout of [10]/[14] — picks the file's stripe
+// size from the observed access pattern so a typical request engages all
+// servers, but assigns the *same* stripe to HServers and SServers
+// (heterogeneity-blind, which is exactly the weakness Figs. 7-13 expose).
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "layouts/scheme.hpp"
+#include "trace/analysis.hpp"
+
+namespace mha::layouts {
+
+namespace {
+
+class AalScheme final : public LayoutScheme {
+ public:
+  std::string name() const override { return "AAL"; }
+
+  common::Result<Deployment> prepare(pfs::HybridPfs& pfs,
+                                     const trace::Trace& trace) override {
+    const auto summary = trace::summarize(trace.records);
+    // One stripe for all servers: the mean request divided evenly so the
+    // whole cluster serves a typical request in parallel; 4 KiB granularity.
+    const auto servers = static_cast<common::ByteCount>(pfs.num_servers());
+    common::ByteCount stripe =
+        static_cast<common::ByteCount>(summary.mean_size) / std::max<common::ByteCount>(servers, 1);
+    stripe = std::max<common::ByteCount>((stripe / (4 * common::kKiB)) * (4 * common::kKiB),
+                                         4 * common::kKiB);
+    auto file = pfs.create_file(trace.file_name,
+                                pfs::StripeLayout::uniform(pfs.num_servers(), stripe));
+    if (!file.is_ok()) return file.status();
+    MHA_RETURN_IF_ERROR(populate_file(pfs, *file, trace::extent_end(trace.records)));
+    pfs.reset_stats();
+    pfs.reset_clocks();
+    Deployment d;
+    d.file_name = trace.file_name;
+    d.description = "pattern-derived uniform stripe of " + common::format_bytes(stripe);
+    return d;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LayoutScheme> make_aal() { return std::make_unique<AalScheme>(); }
+
+}  // namespace mha::layouts

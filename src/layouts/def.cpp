@@ -1,0 +1,32 @@
+// DEF: the file system's default layout — fixed 64 KiB stripes round-robin
+// across every server, blind to both access patterns and server speed.
+#include "layouts/scheme.hpp"
+#include "trace/analysis.hpp"
+
+namespace mha::layouts {
+
+namespace {
+
+class DefScheme final : public LayoutScheme {
+ public:
+  std::string name() const override { return "DEF"; }
+
+  common::Result<Deployment> prepare(pfs::HybridPfs& pfs,
+                                     const trace::Trace& trace) override {
+    auto file = pfs.create_file(trace.file_name);  // uniform kDefaultStripe
+    if (!file.is_ok()) return file.status();
+    MHA_RETURN_IF_ERROR(populate_file(pfs, *file, trace::extent_end(trace.records)));
+    pfs.reset_stats();
+    pfs.reset_clocks();
+    Deployment d;
+    d.file_name = trace.file_name;
+    d.description = "fixed 64KiB stripes on all servers";
+    return d;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LayoutScheme> make_def() { return std::make_unique<DefScheme>(); }
+
+}  // namespace mha::layouts

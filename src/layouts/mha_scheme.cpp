@@ -1,0 +1,47 @@
+// MHA as a LayoutScheme: wraps the five-phase pipeline so the evaluation
+// harness drives it exactly like the baselines.
+#include "layouts/scheme.hpp"
+#include "trace/analysis.hpp"
+
+namespace mha::layouts {
+
+namespace {
+
+class MhaScheme final : public LayoutScheme {
+ public:
+  explicit MhaScheme(core::MhaOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "MHA"; }
+
+  common::Result<Deployment> prepare(pfs::HybridPfs& pfs,
+                                     const trace::Trace& trace) override {
+    // The application's first run produced the original file under the
+    // default layout; migration reads from it.
+    auto original = pfs.create_file(trace.file_name);
+    if (!original.is_ok()) return original.status();
+    MHA_RETURN_IF_ERROR(populate_file(pfs, *original, trace::extent_end(trace.records)));
+
+    auto deployment = core::MhaPipeline::deploy(pfs, trace, options_);
+    if (!deployment.is_ok()) return deployment.status();
+    pfs.reset_stats();
+    pfs.reset_clocks();
+
+    Deployment d;
+    d.file_name = trace.file_name;
+    d.interceptor = std::move(deployment->redirector);
+    d.description = std::to_string(deployment->plan.plan.regions.size()) +
+                    " reordered regions, per-region stripe pairs";
+    return d;
+  }
+
+ private:
+  core::MhaOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<LayoutScheme> make_mha(core::MhaOptions options) {
+  return std::make_unique<MhaScheme>(std::move(options));
+}
+
+}  // namespace mha::layouts

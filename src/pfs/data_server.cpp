@@ -1,0 +1,44 @@
+#include "pfs/data_server.hpp"
+
+namespace mha::pfs {
+
+common::Seconds DataServer::write(common::FileId file, common::Offset physical_offset,
+                                  const std::uint8_t* data, common::ByteCount size,
+                                  common::Seconds arrival) {
+  store(file, physical_offset, data, size);
+  return sim_.submit(common::OpType::kWrite, size, arrival);
+}
+
+common::Seconds DataServer::read(common::FileId file, common::Offset physical_offset,
+                                 std::uint8_t* out, common::ByteCount size,
+                                 common::Seconds arrival) {
+  load(file, physical_offset, out, size);
+  return sim_.submit(common::OpType::kRead, size, arrival);
+}
+
+void DataServer::store(common::FileId file, common::Offset physical_offset,
+                       const std::uint8_t* data, common::ByteCount size) {
+  if (store_data_) stores_[file].write(physical_offset, data, size);
+}
+
+void DataServer::load(common::FileId file, common::Offset physical_offset, std::uint8_t* out,
+                      common::ByteCount size) const {
+  auto it = stores_.find(file);
+  if (it != stores_.end()) {
+    it->second.read(physical_offset, out, size);
+  } else if (size > 0) {
+    std::fill(out, out + size, 0);
+  }
+}
+
+common::ByteCount DataServer::stored_bytes(common::FileId file) const {
+  auto it = stores_.find(file);
+  return it == stores_.end() ? 0 : it->second.stored_bytes();
+}
+
+const ExtentStore* DataServer::store(common::FileId file) const {
+  auto it = stores_.find(file);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mha::pfs

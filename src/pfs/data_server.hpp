@@ -1,0 +1,67 @@
+// One PFS data server: byte-accurate storage plus the timing model.
+//
+// Combines an ExtentStore per file (what OrangeFS calls a bstream per
+// handle) with a ServerSim queue.  The file system layer addresses data
+// servers by index and hands them (file, physical offset) sub-requests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pfs/extent_store.hpp"
+#include "sim/server_sim.hpp"
+
+namespace mha::pfs {
+
+class DataServer {
+ public:
+  /// `store_data = false` makes the server timing-only: writes are charged
+  /// but payloads discarded and reads return zeros.  Benches use this to run
+  /// paper-scale file sizes without holding gigabytes in memory; integrity
+  /// tests keep it on.
+  DataServer(common::ServerKind kind, sim::DeviceProfile device, sim::NetworkProfile network,
+             bool store_data = true)
+      : sim_(kind, std::move(device), std::move(network)), store_data_(store_data) {}
+
+  bool stores_data() const { return store_data_; }
+
+  common::ServerKind kind() const { return sim_.kind(); }
+  sim::ServerSim& sim() { return sim_; }
+  const sim::ServerSim& sim() const { return sim_; }
+
+  /// Stores bytes and charges the device; returns completion time.
+  common::Seconds write(common::FileId file, common::Offset physical_offset,
+                        const std::uint8_t* data, common::ByteCount size,
+                        common::Seconds arrival);
+
+  /// Loads bytes (holes read as zero) and charges the device.
+  common::Seconds read(common::FileId file, common::Offset physical_offset,
+                       std::uint8_t* out, common::ByteCount size,
+                       common::Seconds arrival);
+
+  /// Data-only paths (no timing): the file system uses these to move the
+  /// pieces of a striped request and charges the device once per server,
+  /// since the per-server physical image of one request is contiguous and a
+  /// PFS client ships it as a single message.
+  void store(common::FileId file, common::Offset physical_offset, const std::uint8_t* data,
+             common::ByteCount size);
+  void load(common::FileId file, common::Offset physical_offset, std::uint8_t* out,
+            common::ByteCount size) const;
+
+  /// Drops all extents of `file` (file removal).
+  void remove_file(common::FileId file) { stores_.erase(file); }
+
+  /// Bytes currently stored for `file` on this server.
+  common::ByteCount stored_bytes(common::FileId file) const;
+
+  const ExtentStore* store(common::FileId file) const;
+
+ private:
+  sim::ServerSim sim_;
+  std::unordered_map<common::FileId, ExtentStore> stores_;
+  bool store_data_ = true;
+};
+
+}  // namespace mha::pfs

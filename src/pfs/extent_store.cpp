@@ -1,0 +1,123 @@
+#include "pfs/extent_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mha::pfs {
+
+void ExtentStore::write(common::Offset offset, const std::vector<std::uint8_t>& data) {
+  write(offset, data.data(), data.size());
+}
+
+void ExtentStore::write(common::Offset offset, const std::uint8_t* data,
+                        common::ByteCount size) {
+  if (size == 0) return;
+  const common::Offset end = offset + size;
+
+  // Fast path: the write lands entirely inside one existing extent —
+  // overwrite in place.  This keeps repeated updates to a large file O(size)
+  // instead of O(extent) (the slow path rebuilds the merged run).
+  {
+    auto it = extents_.upper_bound(offset);
+    if (it != extents_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first <= offset && prev->first + prev->second.size() >= end) {
+        std::memcpy(prev->second.data() + (offset - prev->first), data, size);
+        return;
+      }
+    }
+  }
+
+  // Collect the new run, absorbing any overlapping or adjacent existing
+  // extents so the map invariant (disjoint, non-adjacent) is preserved.
+  common::Offset new_start = offset;
+  std::vector<std::uint8_t> merged(data, data + size);
+
+  // First candidate: the extent starting at or before `offset`.
+  auto it = extents_.upper_bound(offset);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    const common::Offset prev_end = prev->first + prev->second.size();
+    if (prev_end >= offset) {  // overlaps or touches on the left
+      const common::ByteCount head = offset - prev->first;
+      std::vector<std::uint8_t> combined(prev->second.begin(),
+                                         prev->second.begin() + static_cast<long>(head));
+      combined.insert(combined.end(), merged.begin(), merged.end());
+      if (prev_end > end) {  // old extent sticks out on the right
+        combined.insert(combined.end(),
+                        prev->second.begin() + static_cast<long>(end - prev->first),
+                        prev->second.end());
+      }
+      new_start = prev->first;
+      merged = std::move(combined);
+      it = extents_.erase(prev);
+    }
+  }
+  // Absorb extents that start inside or immediately after the merged run.
+  while (it != extents_.end() && it->first <= new_start + merged.size()) {
+    const common::Offset it_end = it->first + it->second.size();
+    if (it_end > new_start + merged.size()) {
+      const common::ByteCount keep_from = new_start + merged.size() - it->first;
+      merged.insert(merged.end(), it->second.begin() + static_cast<long>(keep_from),
+                    it->second.end());
+    }
+    it = extents_.erase(it);
+  }
+  extents_.emplace(new_start, std::move(merged));
+}
+
+std::vector<std::uint8_t> ExtentStore::read(common::Offset offset,
+                                            common::ByteCount size) const {
+  std::vector<std::uint8_t> out(size, 0);
+  read(offset, out.data(), size);
+  return out;
+}
+
+void ExtentStore::read(common::Offset offset, std::uint8_t* out,
+                       common::ByteCount size) const {
+  if (size == 0) return;
+  std::memset(out, 0, size);
+  const common::Offset end = offset + size;
+
+  auto it = extents_.upper_bound(offset);
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && it->first < end; ++it) {
+    const common::Offset ext_start = it->first;
+    const common::Offset ext_end = ext_start + it->second.size();
+    if (ext_end <= offset) continue;
+    const common::Offset copy_start = std::max(offset, ext_start);
+    const common::Offset copy_end = std::min(end, ext_end);
+    std::memcpy(out + (copy_start - offset),
+                it->second.data() + (copy_start - ext_start), copy_end - copy_start);
+  }
+}
+
+bool ExtentStore::covered(common::Offset offset, common::ByteCount size) const {
+  if (size == 0) return true;
+  common::Offset pos = offset;
+  const common::Offset end = offset + size;
+  auto it = extents_.upper_bound(pos);
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && pos < end; ++it) {
+    const common::Offset ext_start = it->first;
+    const common::Offset ext_end = ext_start + it->second.size();
+    if (ext_start > pos) return false;  // hole before this extent
+    if (ext_end > pos) pos = ext_end;
+  }
+  return pos >= end;
+}
+
+common::Offset ExtentStore::end_offset() const {
+  if (extents_.empty()) return 0;
+  const auto& last = *extents_.rbegin();
+  return last.first + last.second.size();
+}
+
+common::ByteCount ExtentStore::stored_bytes() const {
+  common::ByteCount total = 0;
+  for (const auto& [off, bytes] : extents_) total += bytes.size();
+  return total;
+}
+
+}  // namespace mha::pfs

@@ -1,0 +1,48 @@
+// Sparse in-memory byte store — the per-server, per-file "disk contents".
+//
+// Correctness substrate only: timing is charged by sim::ServerSim.  Supports
+// arbitrary overlapping writes, reads of unwritten ranges (zero-filled, like
+// a POSIX sparse file), and exact equality checks used heavily by the
+// data-integrity property tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mha::pfs {
+
+class ExtentStore {
+ public:
+  /// Writes `data` at `offset`, overwriting any overlap and merging
+  /// adjacent extents.
+  void write(common::Offset offset, const std::vector<std::uint8_t>& data);
+  void write(common::Offset offset, const std::uint8_t* data, common::ByteCount size);
+
+  /// Reads `size` bytes at `offset`; unwritten holes read as zero.
+  std::vector<std::uint8_t> read(common::Offset offset, common::ByteCount size) const;
+  void read(common::Offset offset, std::uint8_t* out, common::ByteCount size) const;
+
+  /// True if every byte of [offset, offset+size) has been written.
+  bool covered(common::Offset offset, common::ByteCount size) const;
+
+  /// One past the highest written byte; 0 when empty.
+  common::Offset end_offset() const;
+
+  /// Total bytes currently stored (excludes holes).
+  common::ByteCount stored_bytes() const;
+
+  /// Number of distinct extents (fragmentation metric, used in tests).
+  std::size_t extent_count() const { return extents_.size(); }
+
+  void clear() { extents_.clear(); }
+
+ private:
+  // offset -> contiguous run of bytes; invariants: runs are non-empty,
+  // non-overlapping and non-adjacent (adjacent runs are merged).
+  std::map<common::Offset, std::vector<std::uint8_t>> extents_;
+};
+
+}  // namespace mha::pfs

@@ -1,0 +1,110 @@
+// The hybrid parallel file system facade (OrangeFS stand-in).
+//
+// Wires the metadata server to a row of data servers — `num_hservers`
+// HDD-backed ones first, then `num_sservers` SSD-backed ones, matching the
+// paper's S0..S5 = HServers / S6..S7 = SServers numbering — and exposes the
+// client view: create/open a striped file, read/write byte extents.  Every
+// operation carries a virtual arrival time and returns its virtual
+// completion time; bytes are stored exactly so data integrity is testable
+// end to end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "pfs/data_server.hpp"
+#include "pfs/metadata_server.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace mha::pfs {
+
+/// Outcome of one file request.
+struct IoResult {
+  common::Seconds completion = 0.0;  ///< when the slowest sub-request finished
+  std::size_t servers_touched = 0;
+  std::size_t sub_requests = 0;
+};
+
+struct PfsOptions {
+  /// Optional KV file persisting per-file layouts (the RST).
+  std::string rst_path;
+  /// When false the data servers are timing-only (see DataServer).
+  bool store_data = true;
+};
+
+class HybridPfs {
+ public:
+  explicit HybridPfs(const sim::ClusterConfig& config, PfsOptions options = {});
+  /// Back-compat convenience: options default except the RST path.
+  HybridPfs(const sim::ClusterConfig& config, std::string rst_path);
+
+  std::size_t num_servers() const { return servers_.size(); }
+  std::size_t num_hservers() const { return num_hservers_; }
+  std::size_t num_sservers() const { return servers_.size() - num_hservers_; }
+  bool is_hserver(std::size_t i) const { return i < num_hservers_; }
+
+  const sim::ClusterConfig& config() const { return config_; }
+
+  MetadataServer& mds() { return mds_; }
+  const MetadataServer& mds() const { return mds_; }
+  DataServer& data_server(std::size_t i) { return *servers_[i]; }
+  const DataServer& data_server(std::size_t i) const { return *servers_[i]; }
+
+  /// Creates a file with the given layout (layout width count must equal the
+  /// server count).
+  common::Result<common::FileId> create_file(const std::string& name,
+                                             StripeLayout layout);
+
+  /// Creates with the default fixed 64 KiB stripes (the DEF scheme).
+  common::Result<common::FileId> create_file(const std::string& name);
+
+  common::Result<common::FileId> open(const std::string& name) const;
+
+  common::Result<IoResult> write(common::FileId file, common::Offset offset,
+                                 const std::uint8_t* data, common::ByteCount size,
+                                 common::Seconds arrival);
+
+  common::Result<IoResult> read(common::FileId file, common::Offset offset,
+                                std::uint8_t* out, common::ByteCount size,
+                                common::Seconds arrival) const;
+
+  /// Convenience byte-vector overloads.
+  common::Result<IoResult> write(common::FileId file, common::Offset offset,
+                                 const std::vector<std::uint8_t>& data,
+                                 common::Seconds arrival);
+  common::Result<std::vector<std::uint8_t>> read_bytes(common::FileId file,
+                                                       common::Offset offset,
+                                                       common::ByteCount size,
+                                                       common::Seconds arrival) const;
+
+  common::Status remove(const std::string& name);
+
+  common::ByteCount file_size(common::FileId file) const { return mds_.info(file).size; }
+
+  /// Total bytes of `file` stored across all servers.
+  common::ByteCount stored_bytes(common::FileId file) const;
+
+  /// Per-server timing statistics (the measurement window for every bench).
+  void reset_stats();
+  /// Rewinds every server queue to empty at t=0.
+  void reset_clocks();
+  const sim::ServerStats& server_stats(std::size_t i) const {
+    return servers_[i]->sim().stats();
+  }
+  std::string stats_table() const;
+
+ private:
+  sim::ClusterConfig config_;
+  MetadataServer mds_;
+  std::vector<std::unique_ptr<DataServer>> servers_;
+  std::size_t num_hservers_ = 0;
+};
+
+/// The file-system default stripe size (OrangeFS ships 64 KiB).
+inline constexpr common::ByteCount kDefaultStripe = 64 * 1024;
+
+}  // namespace mha::pfs

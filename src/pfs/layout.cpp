@@ -1,0 +1,133 @@
+#include "pfs/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/units.hpp"
+
+namespace mha::pfs {
+
+StripeLayout::StripeLayout(std::vector<common::ByteCount> widths)
+    : widths_(std::move(widths)) {
+  slot_start_.reserve(widths_.size());
+  common::ByteCount acc = 0;
+  for (common::ByteCount w : widths_) {
+    slot_start_.push_back(acc);
+    acc += w;
+  }
+  cycle_ = acc;
+}
+
+common::Result<StripeLayout> StripeLayout::create(std::vector<common::ByteCount> widths) {
+  if (widths.empty()) {
+    return common::Status::invalid_argument("layout needs at least one server");
+  }
+  if (std::all_of(widths.begin(), widths.end(), [](auto w) { return w == 0; })) {
+    return common::Status::invalid_argument("layout needs at least one non-zero stripe");
+  }
+  return StripeLayout(std::move(widths));
+}
+
+StripeLayout StripeLayout::uniform(std::size_t num_servers, common::ByteCount stripe) {
+  auto result = create(std::vector<common::ByteCount>(num_servers, stripe));
+  assert(result.is_ok());
+  return std::move(result).take();
+}
+
+common::Result<StripeLayout> StripeLayout::stripe_pair(std::size_t num_h, std::size_t num_s,
+                                                       common::ByteCount h,
+                                                       common::ByteCount s) {
+  if (num_s == 0 && num_h == 0) {
+    return common::Status::invalid_argument("stripe_pair: no servers");
+  }
+  if (num_s > 0 && s == 0 && (num_h == 0 || h == 0)) {
+    return common::Status::invalid_argument("stripe_pair: all stripe widths are zero");
+  }
+  std::vector<common::ByteCount> widths(num_h, h);
+  widths.insert(widths.end(), num_s, s);
+  return create(std::move(widths));
+}
+
+std::vector<SubExtent> StripeLayout::map_extent(common::Offset offset,
+                                                common::ByteCount length) const {
+  std::vector<SubExtent> out;
+  common::Offset pos = offset;
+  common::ByteCount remaining = length;
+  while (remaining > 0) {
+    const SubExtent at = map_offset(pos);
+    // Bytes left in the current slot from `pos` to the slot's end.
+    const common::ByteCount cycle_index = pos / cycle_;
+    const common::ByteCount in_cycle = pos % cycle_;
+    const common::ByteCount slot_end_in_cycle = slot_start_[at.server] + widths_[at.server];
+    (void)cycle_index;
+    const common::ByteCount slot_remaining = slot_end_in_cycle - in_cycle;
+    const common::ByteCount take = std::min<common::ByteCount>(remaining, slot_remaining);
+
+    if (!out.empty() && out.back().server == at.server &&
+        out.back().physical_offset + out.back().length == at.physical_offset) {
+      out.back().length += take;  // coalesce contiguous physical pieces
+    } else {
+      out.push_back(SubExtent{at.server, at.physical_offset, take, pos});
+    }
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+SubExtent StripeLayout::map_offset(common::Offset offset) const {
+  assert(cycle_ > 0);
+  const common::ByteCount cycle_index = offset / cycle_;
+  const common::ByteCount in_cycle = offset % cycle_;
+  // Find the slot containing in_cycle: last slot_start_ <= in_cycle.
+  // Zero-width slots never contain a byte (slot_start_[i] == slot_start_[i+1]),
+  // and upper_bound naturally skips them.
+  auto it = std::upper_bound(slot_start_.begin(), slot_start_.end(), in_cycle);
+  const std::size_t server = static_cast<std::size_t>(it - slot_start_.begin()) - 1;
+  const common::ByteCount in_slot = in_cycle - slot_start_[server];
+  SubExtent sub;
+  sub.server = server;
+  sub.physical_offset = cycle_index * widths_[server] + in_slot;
+  sub.length = 0;
+  sub.logical_offset = offset;
+  return sub;
+}
+
+common::Result<common::Offset> StripeLayout::logical_offset(
+    std::size_t server, common::Offset physical_offset) const {
+  if (server >= widths_.size()) {
+    return common::Status::out_of_range("server index out of range");
+  }
+  const common::ByteCount w = widths_[server];
+  if (w == 0) {
+    return common::Status::invalid_argument("server has zero stripe width");
+  }
+  const common::ByteCount cycle_index = physical_offset / w;
+  const common::ByteCount in_slot = physical_offset % w;
+  return cycle_index * cycle_ + slot_start_[server] + in_slot;
+}
+
+std::size_t StripeLayout::servers_touched(common::Offset offset,
+                                          common::ByteCount length) const {
+  std::vector<bool> seen(widths_.size(), false);
+  std::size_t count = 0;
+  for (const SubExtent& sub : map_extent(offset, length)) {
+    if (!seen[sub.server]) {
+      seen[sub.server] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string StripeLayout::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < widths_.size(); ++i) {
+    if (i) out += ",";
+    out += common::format_bytes(widths_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mha::pfs

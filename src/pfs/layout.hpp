@@ -1,0 +1,92 @@
+// Variable-stripe round-robin file layout.
+//
+// OrangeFS-style striping generalised to a per-server stripe width: the file
+// is cut into "cycles"; cycle c places bytes [c*W, (c+1)*W) where W is the
+// sum of all per-server widths, and inside a cycle each server i receives a
+// contiguous slice of its width w_i.  The classic fixed-64KiB layout is the
+// special case w_i = 64KiB for all i; MHA's <h, s> stripe pairs set
+// w_i = h on HServers and w_i = s on SServers, including the h = 0
+// "SServer-only" extreme that Algorithm 2 allows.
+//
+// The mapping is closed-form in both directions:
+//   logical offset  ->  (server, server-local physical offset)
+//   (server, physical offset)  ->  logical offset
+// Physical placement on a server is itself dense: cycle c occupies
+// [c*w_i, (c+1)*w_i) on server i, so no space is wasted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace mha::pfs {
+
+/// One contiguous piece of a logical extent on one server.
+struct SubExtent {
+  std::size_t server = 0;
+  common::Offset physical_offset = 0;
+  common::ByteCount length = 0;
+  /// Logical offset this piece starts at (for data copying).
+  common::Offset logical_offset = 0;
+
+  friend bool operator==(const SubExtent&, const SubExtent&) = default;
+};
+
+class StripeLayout {
+ public:
+  StripeLayout() = default;
+
+  /// Builds a layout from explicit per-server widths (index == server id).
+  /// At least one width must be non-zero.
+  static common::Result<StripeLayout> create(std::vector<common::ByteCount> widths);
+
+  /// Uniform layout: every one of `num_servers` servers gets `stripe`.
+  static StripeLayout uniform(std::size_t num_servers, common::ByteCount stripe);
+
+  /// The paper's stripe-pair form: the first `num_h` servers (HServers) get
+  /// width `h`, the remaining `num_s` (SServers) get width `s`.  `h` may be
+  /// zero (SServer-only data); `s` must be positive.
+  static common::Result<StripeLayout> stripe_pair(std::size_t num_h, std::size_t num_s,
+                                                  common::ByteCount h, common::ByteCount s);
+
+  std::size_t num_servers() const { return widths_.size(); }
+  common::ByteCount width(std::size_t server) const { return widths_[server]; }
+  const std::vector<common::ByteCount>& widths() const { return widths_; }
+
+  /// Bytes per full round-robin cycle (sum of widths).
+  common::ByteCount cycle_width() const { return cycle_; }
+
+  /// Splits logical extent [offset, offset+length) into per-server pieces in
+  /// ascending logical order.  Adjacent pieces on the same server are
+  /// coalesced.  length == 0 yields an empty vector.
+  std::vector<SubExtent> map_extent(common::Offset offset, common::ByteCount length) const;
+
+  /// Maps a single logical offset to its server and physical offset.
+  SubExtent map_offset(common::Offset offset) const;
+
+  /// Inverse mapping; returns error if `physical_offset` cannot exist on
+  /// `server` (e.g. the server has zero width).
+  common::Result<common::Offset> logical_offset(std::size_t server,
+                                                common::Offset physical_offset) const;
+
+  /// Number of distinct servers that hold at least one byte of the extent.
+  std::size_t servers_touched(common::Offset offset, common::ByteCount length) const;
+
+  /// "h=64KiB,s=192KiB"-style description.
+  std::string to_string() const;
+
+  friend bool operator==(const StripeLayout&, const StripeLayout&) = default;
+
+ private:
+  explicit StripeLayout(std::vector<common::ByteCount> widths);
+
+  std::vector<common::ByteCount> widths_;
+  /// Exclusive prefix sums of widths (slot start offsets inside a cycle).
+  std::vector<common::ByteCount> slot_start_;
+  common::ByteCount cycle_ = 0;
+};
+
+}  // namespace mha::pfs

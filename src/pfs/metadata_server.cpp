@@ -1,0 +1,140 @@
+#include "pfs/metadata_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+
+#include "common/log.hpp"
+
+namespace mha::pfs {
+
+MetadataServer::MetadataServer(std::string rst_path) : rst_path_(std::move(rst_path)) {
+  if (!rst_path_.empty()) {
+    kv::KvOptions options;
+    options.sync = kv::SyncMode::kNone;
+    common::Status s = rst_.open(rst_path_, options);
+    if (s.is_ok()) {
+      persistent_ = true;
+    } else {
+      MHA_WARN << "MDS: RST persistence disabled: " << s.to_string();
+    }
+  }
+}
+
+common::Result<common::FileId> MetadataServer::create_file(const std::string& name,
+                                                           StripeLayout layout) {
+  if (by_name_.contains(name)) {
+    return common::Status::already_exists("file exists: " + name);
+  }
+  FileInfo info;
+  info.id = static_cast<common::FileId>(files_.size());
+  info.name = name;
+  info.layout = std::move(layout);
+  const common::FileId id = info.id;
+  by_name_.emplace(name, id);
+  files_.push_back(std::move(info));
+  MHA_RETURN_IF_ERROR(persist(files_.back()));
+  return id;
+}
+
+common::Result<common::FileId> MetadataServer::lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return common::Status::not_found("no such file: " + name);
+  return it->second;
+}
+
+bool MetadataServer::exists(const std::string& name) const { return by_name_.contains(name); }
+
+const FileInfo& MetadataServer::info(common::FileId id) const {
+  assert(id < files_.size());
+  return files_[id];
+}
+
+FileInfo& MetadataServer::info(common::FileId id) {
+  assert(id < files_.size());
+  return files_[id];
+}
+
+common::Status MetadataServer::set_layout(common::FileId id, StripeLayout layout) {
+  if (id >= files_.size()) return common::Status::out_of_range("bad file id");
+  files_[id].layout = std::move(layout);
+  return persist(files_[id]);
+}
+
+void MetadataServer::extend(common::FileId id, common::ByteCount end) {
+  assert(id < files_.size());
+  files_[id].size = std::max(files_[id].size, end);
+}
+
+common::Status MetadataServer::remove(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return common::Status::not_found("no such file: " + name);
+  // Keep the FileInfo slot (ids are stable) but drop it from the namespace.
+  files_[it->second].name.clear();
+  if (persistent_) MHA_RETURN_IF_ERROR(rst_.erase(name));
+  by_name_.erase(it);
+  return common::Status::ok();
+}
+
+std::vector<std::string> MetadataServer::list_files() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, id] : by_name_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetadataServer::encode_layout(const StripeLayout& layout) {
+  std::string out;
+  for (std::size_t i = 0; i < layout.num_servers(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(layout.width(i));
+  }
+  return out;
+}
+
+common::Result<StripeLayout> MetadataServer::decode_layout(const std::string& text) {
+  std::vector<common::ByteCount> widths;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    common::ByteCount w = 0;
+    auto [next, ec] = std::from_chars(p, end, w);
+    if (ec != std::errc{}) return common::Status::corruption("bad RST row: " + text);
+    widths.push_back(w);
+    p = next;
+    if (p < end) {
+      if (*p != ',') return common::Status::corruption("bad RST row: " + text);
+      ++p;
+    }
+  }
+  return StripeLayout::create(std::move(widths));
+}
+
+common::Status MetadataServer::persist(const FileInfo& info) {
+  if (!persistent_) return common::Status::ok();
+  return rst_.put(info.name, encode_layout(info.layout));
+}
+
+common::Status MetadataServer::restore_from_rst() {
+  if (!persistent_) return common::Status::failed_precondition("no RST backing file");
+  common::Status status = common::Status::ok();
+  rst_.for_each([&](std::string_view name, std::string_view row) {
+    if (by_name_.contains(std::string(name))) return true;
+    auto layout = decode_layout(std::string(row));
+    if (!layout.is_ok()) {
+      status = layout.status();
+      return false;
+    }
+    FileInfo info;
+    info.id = static_cast<common::FileId>(files_.size());
+    info.name = std::string(name);
+    info.layout = std::move(layout).take();
+    by_name_.emplace(info.name, info.id);
+    files_.push_back(std::move(info));
+    return true;
+  });
+  return status;
+}
+
+}  // namespace mha::pfs

@@ -1,0 +1,78 @@
+// The metadata server (MDS).
+//
+// Owns the file namespace (name -> file id), each file's StripeLayout and
+// logical size, and the Region Stripe Table (RST).  In the paper "the MDS
+// looks up the RST according to the request's offset and length, and then
+// returns this information to the client" — here regions are realised as
+// separate files, so the RST rows are exactly the per-region-file stripe
+// pairs, optionally persisted through the KV store.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "kv/kvstore.hpp"
+#include "pfs/layout.hpp"
+
+namespace mha::pfs {
+
+struct FileInfo {
+  common::FileId id = common::kInvalidFileId;
+  std::string name;
+  StripeLayout layout;
+  /// Logical size: one past the highest byte ever written.
+  common::ByteCount size = 0;
+};
+
+class MetadataServer {
+ public:
+  /// If `rst_path` is non-empty, file layouts are persisted there and
+  /// reloaded by `restore_from_rst`.
+  explicit MetadataServer(std::string rst_path = {});
+
+  /// Creates a file; fails with kAlreadyExists on a duplicate name.
+  common::Result<common::FileId> create_file(const std::string& name,
+                                             StripeLayout layout);
+
+  /// Looks a file up by name.
+  common::Result<common::FileId> lookup(const std::string& name) const;
+
+  bool exists(const std::string& name) const;
+
+  /// Info accessors; id must be valid.
+  const FileInfo& info(common::FileId id) const;
+  FileInfo& info(common::FileId id);
+
+  /// Replaces a file's layout (used by the Placer when re-striping).
+  common::Status set_layout(common::FileId id, StripeLayout layout);
+
+  /// Grows the recorded size if `end` exceeds it.
+  void extend(common::FileId id, common::ByteCount end);
+
+  common::Status remove(const std::string& name);
+
+  std::vector<std::string> list_files() const;
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Serialises a layout as a comma-separated width list (RST row format).
+  static std::string encode_layout(const StripeLayout& layout);
+  static common::Result<StripeLayout> decode_layout(const std::string& text);
+
+  /// Re-creates the namespace from a persisted RST (after "power failure").
+  common::Status restore_from_rst();
+
+ private:
+  common::Status persist(const FileInfo& info);
+
+  std::unordered_map<std::string, common::FileId> by_name_;
+  std::vector<FileInfo> files_;  // index == FileId
+  std::string rst_path_;
+  kv::KvStore rst_;
+  bool persistent_ = false;
+};
+
+}  // namespace mha::pfs

@@ -1,0 +1,63 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/units.hpp"
+
+namespace mha::sim {
+
+ClusterSim::ClusterSim(const ClusterConfig& config) : num_hservers_(config.num_hservers) {
+  servers_.reserve(config.num_hservers + config.num_sservers);
+  for (std::size_t i = 0; i < config.num_hservers; ++i) {
+    servers_.emplace_back(common::ServerKind::kHdd, config.hdd, config.network);
+  }
+  for (std::size_t i = 0; i < config.num_sservers; ++i) {
+    servers_.emplace_back(common::ServerKind::kSsd, config.ssd, config.network);
+  }
+}
+
+common::Seconds ClusterSim::submit(const std::vector<SubRequest>& subs,
+                                   common::Seconds arrival) {
+  common::Seconds completion = arrival;
+  for (const SubRequest& sub : subs) {
+    completion = std::max(completion, servers_[sub.server].submit(sub.op, sub.bytes, arrival));
+  }
+  return completion;
+}
+
+void ClusterSim::reset_stats() {
+  for (auto& s : servers_) s.reset_stats();
+}
+
+void ClusterSim::reset_clocks() {
+  for (auto& s : servers_) s.reset_clock();
+}
+
+common::Seconds ClusterSim::max_busy_time() const {
+  common::Seconds t = 0.0;
+  for (const auto& s : servers_) t = std::max(t, s.stats().busy_time);
+  return t;
+}
+
+common::ByteCount ClusterSim::total_bytes() const {
+  common::ByteCount b = 0;
+  for (const auto& s : servers_) b += s.stats().bytes_total();
+  return b;
+}
+
+std::string ClusterSim::stats_table() const {
+  std::string out = "server  kind     bytes        busy(s)   wait(s)\n";
+  char line[160];
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const auto& st = servers_[i].stats();
+    std::snprintf(line, sizeof(line), "S%-6zu %-8s %-12s %-9.4f %-9.4f\n", i,
+                  common::to_string(servers_[i].kind()),
+                  common::format_bytes(st.bytes_total()).c_str(), st.busy_time,
+                  st.queue_wait);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mha::sim

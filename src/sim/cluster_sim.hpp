@@ -1,0 +1,66 @@
+// A hybrid cluster of HServers and SServers under one virtual clock.
+//
+// This is the timing substrate the PFS layer plugs into: the PFS maps a file
+// request onto per-server sub-requests; the cluster charges each server and
+// reports the request's completion (the max across involved servers — "the
+// I/O time of a file request depends on the slowest sub-requests", §II-A).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/server_sim.hpp"
+
+namespace mha::sim {
+
+/// Shape of a hybrid cluster.
+struct ClusterConfig {
+  std::size_t num_hservers = 6;  // the paper's default 6h:2s
+  std::size_t num_sservers = 2;
+  DeviceProfile hdd = hdd_sata();
+  DeviceProfile ssd = ssd_pcie();
+  NetworkProfile network = gigabit_ethernet();
+};
+
+/// One sub-request targeted at a specific server.
+struct SubRequest {
+  std::size_t server = 0;
+  common::OpType op = common::OpType::kRead;
+  common::ByteCount bytes = 0;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(const ClusterConfig& config);
+
+  std::size_t num_servers() const { return servers_.size(); }
+  std::size_t num_hservers() const { return num_hservers_; }
+  std::size_t num_sservers() const { return servers_.size() - num_hservers_; }
+
+  /// Servers are ordered HServers first then SServers, matching the paper's
+  /// S0..S5 = HServers, S6..S7 = SServers numbering.
+  ServerSim& server(std::size_t i) { return servers_[i]; }
+  const ServerSim& server(std::size_t i) const { return servers_[i]; }
+  bool is_hserver(std::size_t i) const { return i < num_hservers_; }
+
+  /// Submits all sub-requests of one file request at `arrival`; returns the
+  /// completion time of the slowest sub-request (== arrival if all empty).
+  common::Seconds submit(const std::vector<SubRequest>& subs, common::Seconds arrival);
+
+  /// Aggregate statistics helpers.
+  void reset_stats();
+  void reset_clocks();
+  common::Seconds max_busy_time() const;
+  common::ByteCount total_bytes() const;
+
+  /// One formatted row per server: kind, bytes, busy time.
+  std::string stats_table() const;
+
+ private:
+  std::vector<ServerSim> servers_;
+  std::size_t num_hservers_ = 0;
+};
+
+}  // namespace mha::sim

@@ -1,0 +1,37 @@
+#include "sim/server_sim.hpp"
+
+#include <algorithm>
+
+namespace mha::sim {
+
+common::Seconds ServerSim::service_time(common::OpType op, common::ByteCount bytes) const {
+  if (bytes == 0) return 0.0;
+  return device_.service_time(op, bytes) + network_.transfer_time(bytes);
+}
+
+common::Seconds ServerSim::submit(common::OpType op, common::ByteCount bytes,
+                                  common::Seconds arrival) {
+  if (bytes == 0) return arrival;
+  const common::Seconds start = std::max(arrival, next_free_);
+  // A sub-request that found the device busy pays only the discounted
+  // (short-seek) share of the startup cost.
+  const bool queued = next_free_ > arrival;
+  common::Seconds service = service_time(op, bytes);
+  if (queued) {
+    service -= device_.startup(op) * (1.0 - device_.queued_startup_factor);
+  }
+  const common::Seconds completion = start + service;
+  next_free_ = completion;
+
+  ++stats_.sub_requests;
+  if (op == common::OpType::kRead) {
+    stats_.bytes_read += bytes;
+  } else {
+    stats_.bytes_written += bytes;
+  }
+  stats_.busy_time += service;
+  stats_.queue_wait += start - arrival;
+  return completion;
+}
+
+}  // namespace mha::sim

@@ -1,0 +1,66 @@
+// Virtual-time FCFS queue model of one file server.
+//
+// Each server services sub-requests one at a time in arrival order (a single
+// disk/SSD behind a request queue, as in OrangeFS's Trove layer).  A
+// sub-request arriving at `arrival` begins at max(arrival, queue drain time)
+// and occupies the device for `startup + bytes*(net + per_byte)` — exactly
+// the per-server term of the paper's Eq. 2, while queuing across *distinct*
+// requests adds the contention the analytic model omits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/device.hpp"
+
+namespace mha::sim {
+
+/// Cumulative per-server counters, reset between measurement windows.
+struct ServerStats {
+  std::uint64_t sub_requests = 0;
+  common::ByteCount bytes_read = 0;
+  common::ByteCount bytes_written = 0;
+  /// Total device-occupied time (the paper's Fig. 8 "I/O time of each
+  /// server").
+  common::Seconds busy_time = 0.0;
+  /// Total time sub-requests spent waiting behind earlier work.
+  common::Seconds queue_wait = 0.0;
+
+  common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
+};
+
+class ServerSim {
+ public:
+  ServerSim(common::ServerKind kind, DeviceProfile device, NetworkProfile network)
+      : kind_(kind), device_(std::move(device)), network_(std::move(network)) {}
+
+  common::ServerKind kind() const { return kind_; }
+  const DeviceProfile& device() const { return device_; }
+  const NetworkProfile& network() const { return network_; }
+
+  /// Admits one sub-request of `bytes` arriving at virtual time `arrival`;
+  /// returns its completion time and advances the queue.  `bytes == 0`
+  /// completes immediately at `arrival`.
+  common::Seconds submit(common::OpType op, common::ByteCount bytes, common::Seconds arrival);
+
+  /// Pure service time (no queuing) the server would charge for `bytes`.
+  common::Seconds service_time(common::OpType op, common::ByteCount bytes) const;
+
+  /// Time at which the queue drains completely.
+  common::Seconds next_free() const { return next_free_; }
+
+  const ServerStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ServerStats{}; }
+
+  /// Rewinds the queue to empty at time 0 (stats untouched).
+  void reset_clock() { next_free_ = 0.0; }
+
+ private:
+  common::ServerKind kind_;
+  DeviceProfile device_;
+  NetworkProfile network_;
+  common::Seconds next_free_ = 0.0;
+  ServerStats stats_;
+};
+
+}  // namespace mha::sim

@@ -1,0 +1,101 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/units.hpp"
+
+namespace mha::trace {
+
+std::vector<std::uint32_t> request_concurrency(const std::vector<TraceRecord>& records,
+                                               const AnalysisOptions& options) {
+  const std::size_t n = records.size();
+  std::vector<std::uint32_t> concurrency(n, 1);
+  if (n == 0) return concurrency;
+
+  // Effective activity interval of record i: [start_i, end_i] where end is
+  // t_start + max(duration, window).  Two records are simultaneous when the
+  // intervals intersect.  Sweep in start order with a running active set.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return records[a].t_start < records[b].t_start;
+  });
+
+  auto end_of = [&](std::size_t i) {
+    return records[i].t_start + std::max(records[i].duration, options.window);
+  };
+
+  // Active records sorted by end time; head = soonest to expire.
+  std::vector<std::size_t> active;  // indices into `records`
+  for (std::size_t oi = 0; oi < n; ++oi) {
+    const std::size_t i = order[oi];
+    const common::Seconds start = records[i].t_start;
+    // Expire intervals ending strictly before this start.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](std::size_t j) { return end_of(j) < start; }),
+                 active.end());
+    // Everything still active overlaps record i.
+    for (std::size_t j : active) {
+      ++concurrency[j];
+      ++concurrency[i];
+    }
+    active.push_back(i);
+  }
+  return concurrency;
+}
+
+TraceSummary summarize(const std::vector<TraceRecord>& records) {
+  TraceSummary s;
+  s.num_requests = records.size();
+  if (records.empty()) return s;
+  s.min_size = std::numeric_limits<common::ByteCount>::max();
+  std::unordered_set<common::ByteCount> sizes;
+  double total = 0.0;
+  for (const TraceRecord& r : records) {
+    if (r.op == common::OpType::kRead) {
+      ++s.num_reads;
+      s.bytes_read += r.size;
+    } else {
+      ++s.num_writes;
+      s.bytes_written += r.size;
+    }
+    s.min_size = std::min(s.min_size, r.size);
+    s.max_size = std::max(s.max_size, r.size);
+    total += static_cast<double>(r.size);
+    sizes.insert(r.size);
+    s.extent_end = std::max(s.extent_end, r.offset + r.size);
+    s.size_histogram.add(r.size);
+  }
+  s.mean_size = total / static_cast<double>(records.size());
+  s.distinct_sizes = sizes.size();
+  return s;
+}
+
+std::string TraceSummary::to_string() const {
+  std::string out;
+  out += "requests: " + std::to_string(num_requests) + " (" + std::to_string(num_reads) +
+         " reads, " + std::to_string(num_writes) + " writes)\n";
+  out += "bytes: " + common::format_bytes(bytes_read) + " read, " +
+         common::format_bytes(bytes_written) + " written\n";
+  out += "request size: min " + common::format_bytes(min_size) + ", mean " +
+         common::format_bytes(static_cast<common::ByteCount>(mean_size)) + ", max " +
+         common::format_bytes(max_size) + ", " + std::to_string(distinct_sizes) +
+         " distinct\n";
+  out += "extent end: " + common::format_bytes(extent_end) + "\n";
+  return out;
+}
+
+bool is_uniform(const std::vector<TraceRecord>& records) {
+  if (records.empty()) return true;
+  const common::ByteCount size = records.front().size;
+  const common::OpType op = records.front().op;
+  for (const TraceRecord& r : records) {
+    if (r.size != size || r.op != op) return false;
+  }
+  return true;
+}
+
+}  // namespace mha::trace

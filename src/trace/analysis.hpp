@@ -1,0 +1,53 @@
+// Off-line trace analysis feeding the MHA reordering phase.
+//
+// The similarity features of §III-D are request size and request
+// concurrency, where "request concurrency refers to the number of requests
+// that are simultaneously issued to the file".  Traces captured by the
+// middleware carry issue times (and durations when available); concurrency
+// is recovered per record by counting temporally overlapping requests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "trace/record.hpp"
+
+namespace mha::trace {
+
+struct AnalysisOptions {
+  /// Two records are considered simultaneous when their issue times are
+  /// within this window (used when durations were not captured).
+  common::Seconds window = 1.0e-3;
+};
+
+/// Per-record concurrency values, index-aligned with `records`.
+/// A record is always concurrent with itself, so values are >= 1.
+std::vector<std::uint32_t> request_concurrency(const std::vector<TraceRecord>& records,
+                                               const AnalysisOptions& options = {});
+
+/// Aggregate facts about a trace used by the optimiser and the reports.
+struct TraceSummary {
+  std::size_t num_requests = 0;
+  std::size_t num_reads = 0;
+  std::size_t num_writes = 0;
+  common::ByteCount bytes_read = 0;
+  common::ByteCount bytes_written = 0;
+  common::ByteCount min_size = 0;
+  common::ByteCount max_size = 0;
+  double mean_size = 0.0;
+  std::size_t distinct_sizes = 0;
+  common::ByteCount extent_end = 0;
+  common::SizeHistogram size_histogram;
+
+  std::string to_string() const;
+};
+
+TraceSummary summarize(const std::vector<TraceRecord>& records);
+
+/// True when every request has the same size and op mix is one-sided —
+/// the "uniform access pattern" case where MHA degrades to HARL.
+bool is_uniform(const std::vector<TraceRecord>& records);
+
+}  // namespace mha::trace

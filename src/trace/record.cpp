@@ -1,0 +1,35 @@
+#include "trace/record.hpp"
+
+#include <algorithm>
+
+namespace mha::trace {
+
+void sort_by_offset(std::vector<TraceRecord>& records) {
+  std::sort(records.begin(), records.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    if (a.offset != b.offset) return a.offset < b.offset;
+    if (a.t_start != b.t_start) return a.t_start < b.t_start;
+    return a.rank < b.rank;
+  });
+}
+
+void sort_by_time(std::vector<TraceRecord>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                     return a.rank < b.rank;
+                   });
+}
+
+common::ByteCount extent_end(const std::vector<TraceRecord>& records) {
+  common::ByteCount end = 0;
+  for (const TraceRecord& r : records) end = std::max(end, r.offset + r.size);
+  return end;
+}
+
+common::ByteCount max_request_size(const std::vector<TraceRecord>& records) {
+  common::ByteCount m = 0;
+  for (const TraceRecord& r : records) m = std::max(m, r.size);
+  return m;
+}
+
+}  // namespace mha::trace

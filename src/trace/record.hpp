@@ -1,0 +1,54 @@
+// IOSIG-style trace records.
+//
+// The paper's collector records "process ID, MPI rank, file descriptor,
+// request type, file offset, request size, and time stamp information"
+// (§III-C) and sorts records by ascending offset before layout analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mha::trace {
+
+struct TraceRecord {
+  std::uint32_t pid = 0;
+  std::int32_t rank = 0;
+  std::int32_t fd = 0;
+  common::OpType op = common::OpType::kRead;
+  common::Offset offset = 0;
+  common::ByteCount size = 0;
+  /// Virtual issue time of the request.
+  common::Seconds t_start = 0.0;
+  /// Virtual completion - issue (0 when only issue times were captured).
+  common::Seconds duration = 0.0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// A full application trace plus the identity of the traced file.
+struct Trace {
+  std::string file_name;
+  std::vector<TraceRecord> records;
+
+  bool empty() const { return records.empty(); }
+  std::size_t size() const { return records.size(); }
+};
+
+/// Sorts records by (offset, t_start, rank) — the collector's postprocessing
+/// order ("file operation records are sorted in an ascending order in terms
+/// of their offsets").
+void sort_by_offset(std::vector<TraceRecord>& records);
+
+/// Sorts records by issue time (replay order).
+void sort_by_time(std::vector<TraceRecord>& records);
+
+/// One past the highest byte any record touches.
+common::ByteCount extent_end(const std::vector<TraceRecord>& records);
+
+/// Largest request size in the trace (the cost model's r_max); 0 if empty.
+common::ByteCount max_request_size(const std::vector<TraceRecord>& records);
+
+}  // namespace mha::trace

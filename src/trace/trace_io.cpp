@@ -1,0 +1,93 @@
+#include "trace/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace mha::trace {
+
+namespace {
+constexpr const char* kHeaderPrefix = "# mha-trace v1 file=";
+}
+
+std::string to_csv(const Trace& trace) {
+  std::string out = kHeaderPrefix + trace.file_name + "\n";
+  out += "pid,rank,fd,op,offset,size,t_start,duration\n";
+  char line[256];
+  for (const TraceRecord& r : trace.records) {
+    std::snprintf(line, sizeof(line), "%u,%d,%d,%c,%" PRIu64 ",%" PRIu64 ",%.9f,%.9f\n",
+                  r.pid, r.rank, r.fd, r.op == common::OpType::kRead ? 'R' : 'W',
+                  r.offset, r.size, r.t_start, r.duration);
+    out += line;
+  }
+  return out;
+}
+
+common::Result<Trace> from_csv(const std::string& text) {
+  Trace trace;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.rfind(kHeaderPrefix, 0) == 0) {
+      trace.file_name = line.substr(std::strlen(kHeaderPrefix));
+      saw_header = true;
+      continue;
+    }
+    if (line[0] == '#' || line.rfind("pid,", 0) == 0) continue;
+
+    TraceRecord r;
+    char op_char = 0;
+    const int matched = std::sscanf(line.c_str(), "%u,%d,%d,%c,%" SCNu64 ",%" SCNu64 ",%lf,%lf",
+                                    &r.pid, &r.rank, &r.fd, &op_char, &r.offset, &r.size,
+                                    &r.t_start, &r.duration);
+    if (matched != 8 || (op_char != 'R' && op_char != 'W')) {
+      return common::Status::corruption("bad trace row at line " + std::to_string(line_no) +
+                                        ": " + line);
+    }
+    r.op = op_char == 'R' ? common::OpType::kRead : common::OpType::kWrite;
+    trace.records.push_back(r);
+  }
+  if (!saw_header) return common::Status::corruption("missing mha-trace header");
+  return trace;
+}
+
+common::Status write_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return common::Status::io_error("cannot open for write: " + path);
+  out << to_csv(trace);
+  out.flush();
+  if (!out) return common::Status::io_error("short write: " + path);
+  return common::Status::ok();
+}
+
+common::Result<Trace> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::io_error("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv(buffer.str());
+}
+
+common::Result<Trace> merge(const std::vector<Trace>& parts) {
+  if (parts.empty()) return common::Status::invalid_argument("nothing to merge");
+  Trace merged;
+  merged.file_name = parts.front().file_name;
+  for (const Trace& part : parts) {
+    if (part.file_name != merged.file_name) {
+      return common::Status::invalid_argument("cannot merge traces of different files: '" +
+                                              part.file_name + "' vs '" + merged.file_name +
+                                              "'");
+    }
+    merged.records.insert(merged.records.end(), part.records.begin(), part.records.end());
+  }
+  sort_by_time(merged.records);
+  return merged;
+}
+
+}  // namespace mha::trace

@@ -1,0 +1,33 @@
+// Trace persistence: a CSV text form (inspectable, diffable) and the routines
+// the pipeline uses to exchange traces between the profiling run and the
+// off-line optimiser.
+//
+// CSV columns: pid,rank,fd,op,offset,size,t_start,duration
+// with a leading "# mha-trace v1 file=<name>" header line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "trace/record.hpp"
+
+namespace mha::trace {
+
+/// Serialises a trace to CSV text.
+std::string to_csv(const Trace& trace);
+
+/// Parses CSV text; rejects malformed rows with kCorruption.
+common::Result<Trace> from_csv(const std::string& text);
+
+/// Writes the CSV form to `path`.
+common::Status write_csv_file(const Trace& trace, const std::string& path);
+
+/// Reads a CSV trace file.
+common::Result<Trace> read_csv_file(const std::string& path);
+
+/// Merges several per-rank traces into one (records concatenated; all inputs
+/// must name the same file).
+common::Result<Trace> merge(const std::vector<Trace>& parts);
+
+}  // namespace mha::trace

@@ -1,0 +1,154 @@
+#include "workloads/apps.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "workloads/ior.hpp"  // kIterationSpacing
+
+namespace mha::workloads {
+
+namespace {
+
+trace::TraceRecord make_record(int rank, common::OpType op, common::Offset offset,
+                               common::ByteCount size, std::size_t step) {
+  trace::TraceRecord r;
+  r.pid = 1000 + static_cast<std::uint32_t>(rank);
+  r.rank = rank;
+  r.fd = 3;
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  r.t_start = static_cast<double>(step) * kIterationSpacing;
+  return r;
+}
+
+}  // namespace
+
+trace::Trace lanl_app2(const LanlConfig& config) {
+  assert(config.num_procs > 0 && config.loops > 0);
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+
+  // Fig. 3's loop body: 16 B, 128 KiB - 16 B, 128 KiB.
+  constexpr common::ByteCount kSmall = 16;
+  constexpr common::ByteCount kMid = 128 * 1024 - 16;
+  constexpr common::ByteCount kLarge = 128 * 1024;
+  constexpr common::ByteCount kLoopBytes = kSmall + kMid + kLarge;
+
+  const common::ByteCount per_proc =
+      static_cast<common::ByteCount>(config.loops) * kLoopBytes;
+  std::size_t step = 0;
+  for (int loop = 0; loop < config.loops; ++loop) {
+    for (const common::ByteCount size : {kSmall, kMid, kLarge}) {
+      for (int rank = 0; rank < config.num_procs; ++rank) {
+        const common::Offset base = static_cast<common::Offset>(rank) * per_proc +
+                                    static_cast<common::Offset>(loop) * kLoopBytes;
+        common::Offset offset = base;
+        if (size == kMid) offset += kSmall;
+        if (size == kLarge) offset += kSmall + kMid;
+        trace.records.push_back(make_record(rank, common::OpType::kWrite, offset, size, step));
+      }
+      ++step;
+    }
+  }
+  return trace;
+}
+
+trace::Trace lu_decomposition(const LuConfig& config) {
+  assert(config.num_procs > 0 && config.slabs > 0);
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+
+  constexpr common::ByteCount kWriteSize = 524544;        // fixed slab write
+  constexpr common::ByteCount kReadMin = 6272;
+  constexpr common::ByteCount kReadMax = 524544;
+
+  const common::ByteCount per_proc =
+      static_cast<common::ByteCount>(config.slabs) * (kReadMax + kWriteSize);
+  std::size_t step = 0;
+  for (int slab = 0; slab < config.slabs; ++slab) {
+    // The panel read grows with the elimination front, sweeping the
+    // documented 6272..524544 range across the run.
+    const auto frac = static_cast<double>(slab) / std::max(config.slabs - 1, 1);
+    auto read_size = static_cast<common::ByteCount>(
+        static_cast<double>(kReadMin) +
+        frac * static_cast<double>(kReadMax - kReadMin));
+    read_size = std::max<common::ByteCount>(read_size / 16 * 16, kReadMin);
+
+    for (int rank = 0; rank < config.num_procs; ++rank) {
+      const common::Offset base = static_cast<common::Offset>(rank) * per_proc +
+                                  static_cast<common::Offset>(slab) * (kReadMax + kWriteSize);
+      trace.records.push_back(make_record(rank, common::OpType::kRead, base, read_size, step));
+    }
+    ++step;
+    for (int rank = 0; rank < config.num_procs; ++rank) {
+      const common::Offset base = static_cast<common::Offset>(rank) * per_proc +
+                                  static_cast<common::Offset>(slab) * (kReadMax + kWriteSize);
+      trace.records.push_back(
+          make_record(rank, common::OpType::kWrite, base + kReadMax, kWriteSize, step));
+    }
+    ++step;
+  }
+  return trace;
+}
+
+trace::Trace sparse_cholesky(const CholeskyConfig& config) {
+  assert(config.num_procs > 0 && config.panels > 0);
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+  common::Rng rng(config.seed);
+
+  constexpr common::ByteCount kReadMin = 2;
+  constexpr common::ByteCount kReadMax = 4206976;
+  constexpr common::ByteCount kWriteMin = 131556;
+  constexpr common::ByteCount kWriteMax = 4206976;
+
+  // Log-uniform sampling gives many small requests and a thin tail of large
+  // ones, matching "the request size of Cholesky varies more considerably
+  // and only has a small number of large requests".
+  auto log_uniform = [&](common::ByteCount lo, common::ByteCount hi) {
+    const double llo = std::log(static_cast<double>(lo));
+    const double lhi = std::log(static_cast<double>(hi));
+    const double v = std::exp(llo + rng.next_double() * (lhi - llo));
+    return std::clamp<common::ByteCount>(static_cast<common::ByteCount>(v), lo, hi);
+  };
+
+  // Panels are stored densely per process; reserve the max footprint so
+  // offsets never collide across panels.
+  const common::ByteCount panel_slot = kReadMax + kReadMax / 4 + kWriteMax;
+  const common::ByteCount per_proc =
+      static_cast<common::ByteCount>(config.panels) * panel_slot;
+
+  // "Same I/O requests for each client": draw the per-panel sizes once and
+  // replay them from every rank.
+  std::size_t step = 0;
+  for (int panel = 0; panel < config.panels; ++panel) {
+    const common::ByteCount supernode_read = log_uniform(kReadMin, kReadMax);
+    const common::ByteCount update_read = log_uniform(kReadMin, kReadMax / 4);
+    const common::ByteCount panel_write = log_uniform(kWriteMin, kWriteMax);
+
+    struct PanelOp {
+      common::OpType op;
+      common::ByteCount size;
+      common::Offset local_offset;
+    };
+    const PanelOp ops[] = {
+        {common::OpType::kRead, supernode_read, 0},
+        {common::OpType::kRead, update_read, kReadMax},
+        {common::OpType::kWrite, panel_write, kReadMax + kReadMax / 4},
+    };
+    for (const PanelOp& op : ops) {
+      for (int rank = 0; rank < config.num_procs; ++rank) {
+        const common::Offset base = static_cast<common::Offset>(rank) * per_proc +
+                                    static_cast<common::Offset>(panel) * panel_slot;
+        trace.records.push_back(make_record(rank, op.op, base + op.local_offset, op.size, step));
+      }
+      ++step;
+    }
+  }
+  return trace;
+}
+
+}  // namespace mha::workloads

@@ -1,0 +1,53 @@
+// Synthetic traces of the paper's three real applications (§V-D), rebuilt
+// from the published per-loop patterns.  The originals are LANL/UMD traces
+// that are no longer distributable, so these generators reproduce the
+// request-size/op/concurrency distributions the paper documents — the only
+// properties the layout schemes consume (substitution recorded in
+// DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace mha::workloads {
+
+struct LanlConfig {
+  int num_procs = 8;  ///< the paper replays with 8 computing nodes
+  int loops = 256;
+  std::string file_name = "lanl.app2";
+};
+
+/// LANL anonymous App2 (Fig. 3): each loop issues three writes per process —
+/// 16 B, then 128 KiB - 16 B, then 128 KiB — so identical sizes recur across
+/// the file but never adjacently, the motivating pattern for reordering.
+trace::Trace lanl_app2(const LanlConfig& config);
+
+struct LuConfig {
+  int num_procs = 8;    ///< "8 files, one per process"
+  int slabs = 128;      ///< 8192x8192 doubles at 64-column slabs = 128
+  std::string file_name = "lu.matrix";
+};
+
+/// Out-of-core dense LU decomposition: synchronous I/O, fixed 524544 B
+/// writes, reads ranging 6272..524544 B (panel updates growing with the
+/// elimination front).  File-per-process is folded into per-process sections
+/// of one shared file (substitution: the layout scheme sees the same
+/// size/offset/concurrency stream).
+trace::Trace lu_decomposition(const LuConfig& config);
+
+struct CholeskyConfig {
+  int num_procs = 8;  ///< "8 clients, same I/O requests for each client"
+  int panels = 192;
+  std::uint64_t seed = 7;
+  std::string file_name = "cholesky.matrix";
+};
+
+/// Sparse Cholesky factorisation: panel-structured synchronous I/O; read
+/// sizes span 2 B .. 4206976 B and writes 131556 B .. 4206976 B, with only a
+/// small share of large requests (the paper notes the wide size variance).
+trace::Trace sparse_cholesky(const CholeskyConfig& config);
+
+}  // namespace mha::workloads

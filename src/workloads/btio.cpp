@@ -1,0 +1,73 @@
+#include "workloads/btio.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "workloads/ior.hpp"  // kIterationSpacing
+
+namespace mha::workloads {
+
+namespace {
+// The paper's modified BTIO file: class B (1.69 GB) + class C (6.8 GB).
+constexpr double kClassBBytes = 1.69e9;
+constexpr double kClassCBytes = 6.8e9;
+}  // namespace
+
+bool btio_procs_valid(int num_procs) {
+  if (num_procs <= 0) return false;
+  const int root = static_cast<int>(std::lround(std::sqrt(static_cast<double>(num_procs))));
+  return root * root == num_procs;
+}
+
+trace::Trace btio(const BtioConfig& config) {
+  assert(btio_procs_valid(config.num_procs));
+  assert(config.scale > 0 && config.time_steps > 0);
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+
+  // Per-step, per-process request sizes for the two interleaved classes,
+  // 4 KiB aligned like the solver's slice buffers.
+  const double denom = static_cast<double>(config.num_procs) *
+                       static_cast<double>(config.time_steps) *
+                       static_cast<double>(config.scale);
+  auto align = [](double bytes) {
+    const auto v = static_cast<common::ByteCount>(bytes);
+    return std::max<common::ByteCount>(v / 4096 * 4096, 4096);
+  };
+  const common::ByteCount size_b = align(kClassBBytes / denom);
+  const common::ByteCount size_c = align(kClassCBytes / denom);
+
+  common::Offset cursor = 0;
+  std::size_t step_index = 0;
+  auto emit_phase = [&](common::OpType op, common::Offset& pos) {
+    for (int step = 0; step < config.time_steps; ++step, ++step_index) {
+      // Interleaved classes: even steps write class-B-sized slices, odd
+      // steps class-C-sized ones.
+      const common::ByteCount size = (step % 2 == 0) ? size_b : size_c;
+      const common::Seconds t = static_cast<double>(step_index) * kIterationSpacing;
+      for (int rank = 0; rank < config.num_procs; ++rank) {
+        trace::TraceRecord r;
+        r.pid = 1000 + static_cast<std::uint32_t>(rank);
+        r.rank = rank;
+        r.fd = 3;
+        r.op = op;
+        r.size = size;
+        // Each step appends a contiguous stripe of per-process slices, the
+        // BTIO "simple" subtype ordering.
+        r.offset = pos + static_cast<common::ByteCount>(rank) * size;
+        r.t_start = t;
+        trace.records.push_back(r);
+      }
+      pos += static_cast<common::ByteCount>(config.num_procs) * size;
+    }
+  };
+
+  emit_phase(common::OpType::kWrite, cursor);
+  if (config.include_read_phase) {
+    common::Offset read_cursor = 0;
+    emit_phase(common::OpType::kRead, read_cursor);
+  }
+  return trace;
+}
+
+}  // namespace mha::workloads

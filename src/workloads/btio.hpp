@@ -1,0 +1,39 @@
+// BTIO-like workload generation (§V-C).
+//
+// NAS BTIO solves block-tridiagonal systems on a square process grid and
+// appends each process's solution slices to a shared file every few time
+// steps, then reads the file back for verification.  The paper modifies it
+// to emulate heterogeneous patterns: the output file carries both the
+// class B and the class C footprints (1.69 GB + 6.8 GB) and "each process
+// issues file requests at the sizes of those in Class B and C in an
+// interleaved fashion".  `scale` shrinks the footprints for simulation
+// (shape is preserved: the C requests are ~4x the B requests, the process
+// count must be a square, and a read-back phase follows the writes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace mha::workloads {
+
+struct BtioConfig {
+  /// Must be a perfect square (9, 16, 25 in the paper).
+  int num_procs = 16;
+  /// Number of write phases (NAS BTIO: 40 with collective buffering off).
+  int time_steps = 40;
+  /// Footprint divisor: 1 reproduces the full 1.69+6.8 GB file.
+  common::ByteCount scale = 32;
+  /// Generate the verification read-back phase too.
+  bool include_read_phase = true;
+  std::string file_name = "btio.out";
+};
+
+/// Returns false when num_procs is not a perfect square (BTIO requirement).
+bool btio_procs_valid(int num_procs);
+
+trace::Trace btio(const BtioConfig& config);
+
+}  // namespace mha::workloads

@@ -1,0 +1,40 @@
+#include "workloads/hpio.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "workloads/ior.hpp"  // kIterationSpacing
+
+namespace mha::workloads {
+
+trace::Trace hpio(const HpioConfig& config) {
+  assert(!config.region_sizes.empty() && config.num_procs > 0);
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+
+  // With mixed sizes the file positions still interleave per record index:
+  // stride i is P * (size_i + space); offsets accumulate record by record so
+  // each process's slots stay disjoint (HPIO's contiguous-region mode).
+  const auto procs = static_cast<common::ByteCount>(config.num_procs);
+  common::Offset record_base = 0;
+  for (std::size_t i = 0; i < config.region_count; ++i) {
+    const common::ByteCount size = config.region_sizes[i % config.region_sizes.size()];
+    const common::ByteCount slot = size + config.region_spacing;
+    const common::Seconds t = static_cast<double>(i) * kIterationSpacing;
+    for (int rank = 0; rank < config.num_procs; ++rank) {
+      trace::TraceRecord r;
+      r.pid = 1000 + static_cast<std::uint32_t>(rank);
+      r.rank = rank;
+      r.fd = 3;
+      r.op = config.op;
+      r.size = size;
+      r.offset = record_base + static_cast<common::ByteCount>(rank) * slot;
+      r.t_start = t;
+      trace.records.push_back(r);
+    }
+    record_base += procs * slot;
+  }
+  return trace;
+}
+
+}  // namespace mha::workloads

@@ -1,0 +1,32 @@
+// HPIO-like workload generation (§V-B).
+//
+// HPIO (Northwestern/Sandia) parameterises access by region count, region
+// spacing and region size; process p's i-th record sits at
+//   offset = i * P * (size + space) + p * (size + space)
+// i.e. a strided, interleaved pattern.  The paper modifies it to issue mixed
+// region sizes to create heterogeneous patterns: region count 4096, spacing
+// 0, sizes {16, 32, 64} KiB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace mha::workloads {
+
+struct HpioConfig {
+  int num_procs = 16;
+  std::size_t region_count = 4096;
+  common::ByteCount region_spacing = 0;
+  /// Mixed region sizes; record i uses sizes[i % sizes.size()].
+  std::vector<common::ByteCount> region_sizes = {16 * 1024, 32 * 1024, 64 * 1024};
+  common::OpType op = common::OpType::kWrite;
+  std::string file_name = "hpio.dat";
+};
+
+trace::Trace hpio(const HpioConfig& config);
+
+}  // namespace mha::workloads

@@ -1,0 +1,95 @@
+#include "workloads/ior.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace mha::workloads {
+
+trace::Trace ior_mixed_sizes(const IorMixedSizesConfig& config) {
+  assert(!config.request_sizes.empty() && config.num_procs > 0);
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+  common::Rng rng(config.seed);
+
+  const double mean_size =
+      std::accumulate(config.request_sizes.begin(), config.request_sizes.end(), 0.0) /
+      static_cast<double>(config.request_sizes.size());
+  const auto per_iteration =
+      static_cast<common::ByteCount>(mean_size) * static_cast<unsigned>(config.num_procs);
+  const std::size_t iterations = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.file_size / std::max<common::ByteCount>(per_iteration, 1)));
+
+  common::Offset sequential_cursor = 0;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const common::Seconds t = static_cast<double>(iter) * kIterationSpacing;
+    // The size cycles with the iteration so each process sees the full mix
+    // interleaved across the run, like the modified IOR of §V-B.
+    const common::ByteCount size = config.request_sizes[iter % config.request_sizes.size()];
+    for (int rank = 0; rank < config.num_procs; ++rank) {
+      trace::TraceRecord r;
+      r.pid = 1000 + static_cast<std::uint32_t>(rank);
+      r.rank = rank;
+      r.fd = 3;
+      r.op = config.op;
+      r.size = size;
+      if (config.random_offsets) {
+        const common::ByteCount slots = std::max<common::ByteCount>(config.file_size / size, 1);
+        r.offset = rng.next_below(slots) * size;
+      } else {
+        r.offset = sequential_cursor;
+        sequential_cursor += size;
+      }
+      r.t_start = t;
+      trace.records.push_back(r);
+    }
+  }
+  return trace;
+}
+
+trace::Trace ior_mixed_procs(const IorMixedProcsConfig& config) {
+  assert(!config.process_counts.empty());
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+  common::Rng rng(config.seed);
+
+  const std::size_t sections = config.process_counts.size();
+  const common::ByteCount section_size = config.file_size / sections;
+  const int max_procs = *std::max_element(config.process_counts.begin(),
+                                          config.process_counts.end());
+  // Keep total volume comparable across configurations: the iteration budget
+  // is set by the largest section population.
+  const std::size_t iterations = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             section_size / std::max<common::ByteCount>(
+                                config.request_size * static_cast<unsigned>(max_procs), 1)));
+
+  std::size_t step = 0;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    // Sections take turns, so iterations with few processes interleave with
+    // iterations with many — the heterogeneous-concurrency pattern.
+    for (std::size_t sec = 0; sec < sections; ++sec, ++step) {
+      const common::Seconds t = static_cast<double>(step) * kIterationSpacing;
+      const int procs = config.process_counts[sec];
+      const common::Offset base = static_cast<common::Offset>(sec) * section_size;
+      const common::ByteCount slots =
+          std::max<common::ByteCount>(section_size / config.request_size, 1);
+      for (int rank = 0; rank < procs; ++rank) {
+        trace::TraceRecord r;
+        r.pid = 1000 + static_cast<std::uint32_t>(rank);
+        r.rank = rank;
+        r.fd = 3;
+        r.op = config.op;
+        r.size = config.request_size;
+        r.offset = base + rng.next_below(slots) * config.request_size;
+        r.t_start = t;
+        trace.records.push_back(r);
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace mha::workloads

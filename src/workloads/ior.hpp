@@ -1,0 +1,59 @@
+// IOR-like workload generation (§V-B).
+//
+// IOR at LLNL issues fixed-size requests from P processes against a shared
+// file.  The paper modifies it two ways: mixed request *sizes* (Fig. 7/10:
+// each process draws from a size mix at random file locations) and mixed
+// process *counts* (Fig. 9: different parts of the file are accessed by
+// different numbers of processes).  Both variants are reproduced here as
+// trace generators; issue times encode the iteration structure (all requests
+// of an iteration are simultaneous) so concurrency annotation recovers the
+// intended pattern.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace mha::workloads {
+
+/// Virtual gap between iterations: large enough that the analysis window
+/// never fuses consecutive iterations.
+inline constexpr common::Seconds kIterationSpacing = 2.5e-3;
+
+struct IorMixedSizesConfig {
+  int num_procs = 32;
+  /// The size mix, e.g. {128 KiB, 256 KiB} for the paper's "128+256".
+  std::vector<common::ByteCount> request_sizes;
+  common::ByteCount file_size = 256ULL * 1024 * 1024;
+  common::OpType op = common::OpType::kWrite;
+  bool random_offsets = true;
+  std::uint64_t seed = 1;
+  std::string file_name = "ior.shared";
+};
+
+/// Fig. 7 / Fig. 10 pattern: every iteration each process issues one request
+/// whose size cycles deterministically through the mix, at a random
+/// size-aligned location.  Enough iterations are generated to cover
+/// `file_size` bytes in total.
+trace::Trace ior_mixed_sizes(const IorMixedSizesConfig& config);
+
+struct IorMixedProcsConfig {
+  /// The process-count mix, e.g. {8, 32} for the paper's "8+32"; each count
+  /// accesses its own section of the file.
+  std::vector<int> process_counts;
+  common::ByteCount request_size = 256ULL * 1024;
+  common::ByteCount file_size = 256ULL * 1024 * 1024;
+  common::OpType op = common::OpType::kWrite;
+  std::uint64_t seed = 1;
+  std::string file_name = "ior.shared";
+};
+
+/// Fig. 9 pattern: the file is split into one section per process count;
+/// section i is accessed by `process_counts[i]` concurrent processes with a
+/// fixed request size, sections interleaved across iterations.
+trace::Trace ior_mixed_procs(const IorMixedProcsConfig& config);
+
+}  // namespace mha::workloads

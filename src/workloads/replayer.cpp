@@ -1,0 +1,160 @@
+#include "workloads/replayer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "io/mpi_file.hpp"
+#include "io/tracer.hpp"
+#include "trace/analysis.hpp"
+
+namespace mha::workloads {
+
+namespace {
+
+int world_size_of(const trace::Trace& trace) {
+  int max_rank = 0;
+  for (const trace::TraceRecord& r : trace.records) max_rank = std::max(max_rank, r.rank);
+  return max_rank + 1;
+}
+
+/// Shadow flat file for byte-level verification.
+class Shadow {
+ public:
+  Shadow(bool enabled, common::ByteCount extent) : enabled_(enabled) {
+    if (!enabled_) return;
+    std::vector<std::uint8_t> seed(extent);
+    for (common::ByteCount i = 0; i < extent; ++i) seed[i] = layouts::populate_byte(i);
+    store_.write(0, seed);
+  }
+
+  void on_write(common::Offset offset, const std::uint8_t* data, common::ByteCount size) {
+    if (enabled_) store_.write(offset, data, size);
+  }
+
+  common::Status check_read(common::Offset offset, const std::uint8_t* actual,
+                            common::ByteCount size) const {
+    if (!enabled_) return common::Status::ok();
+    const std::vector<std::uint8_t> expected = store_.read(offset, size);
+    for (common::ByteCount i = 0; i < size; ++i) {
+      if (actual[i] != expected[i]) {
+        return common::Status::corruption(
+            "replay verification failed at offset " + std::to_string(offset + i) +
+            ": expected " + std::to_string(expected[i]) + ", got " +
+            std::to_string(actual[i]));
+      }
+    }
+    return common::Status::ok();
+  }
+
+ private:
+  bool enabled_;
+  pfs::ExtentStore store_;
+};
+
+}  // namespace
+
+common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
+                                    const layouts::Deployment& deployment,
+                                    const trace::Trace& trace,
+                                    const ReplayOptions& options) {
+  if (trace.records.empty()) return common::Status::invalid_argument("replay: empty trace");
+  const int world = world_size_of(trace);
+  io::MpiSim mpi(world);
+  auto file = io::MpiFile::open(pfs, mpi, deployment.file_name);
+  if (!file.is_ok()) return file.status();
+  if (deployment.interceptor != nullptr) file->set_interceptor(deployment.interceptor.get());
+
+  io::Tracer tracer(deployment.file_name, options.tracer_overhead);
+  if (options.trace_run) file->set_tracer(&tracer);
+
+  Shadow shadow(options.verify_data, trace::extent_end(trace.records));
+  const bool fill_payload =
+      options.verify_data || (pfs.num_servers() > 0 && pfs.data_server(0).stores_data());
+
+  ReplayResult result;
+  std::vector<std::uint8_t> buffer;
+
+  auto issue = [&](const trace::TraceRecord& r) -> common::Status {
+    buffer.resize(r.size);
+    if (r.op == common::OpType::kWrite) {
+      if (fill_payload) {
+        for (common::ByteCount i = 0; i < r.size; ++i) {
+          buffer[i] = replay_write_byte(r.offset + i);
+        }
+      }
+      auto op = file->write_at(r.rank, r.offset, buffer.data(), r.size);
+      if (!op.is_ok()) return op.status();
+      shadow.on_write(r.offset, buffer.data(), r.size);
+      result.bytes_written += r.size;
+    } else {
+      auto op = file->read_at(r.rank, r.offset, buffer.data(), r.size);
+      if (!op.is_ok()) return op.status();
+      MHA_RETURN_IF_ERROR(shadow.check_read(r.offset, buffer.data(), r.size));
+      result.bytes_read += r.size;
+    }
+    ++result.requests;
+    return common::Status::ok();
+  };
+
+  if (options.mode == ReplayMode::kSynchronous) {
+    // Iterations are groups of records sharing a t_start; a barrier closes
+    // each iteration, so arrivals inside one iteration are simultaneous.
+    std::map<common::Seconds, std::vector<const trace::TraceRecord*>> iterations;
+    for (const trace::TraceRecord& r : trace.records) {
+      iterations[r.t_start].push_back(&r);
+    }
+    for (const auto& [t, group] : iterations) {
+      for (const trace::TraceRecord* r : group) {
+        MHA_RETURN_IF_ERROR(issue(*r));
+      }
+      mpi.barrier();
+    }
+  } else {
+    // Discrete-event free-running replay: per-rank cursors, always dispatch
+    // the rank whose clock is earliest so server queues see time order.
+    std::vector<std::vector<const trace::TraceRecord*>> per_rank(
+        static_cast<std::size_t>(world));
+    for (const trace::TraceRecord& r : trace.records) {
+      per_rank[static_cast<std::size_t>(r.rank)].push_back(&r);
+    }
+    using Entry = std::pair<common::Seconds, int>;  // (clock, rank)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(world), 0);
+    for (int rank = 0; rank < world; ++rank) {
+      if (!per_rank[static_cast<std::size_t>(rank)].empty()) heap.emplace(0.0, rank);
+    }
+    while (!heap.empty()) {
+      const auto [t, rank] = heap.top();
+      heap.pop();
+      auto& queue = per_rank[static_cast<std::size_t>(rank)];
+      auto& pos = cursor[static_cast<std::size_t>(rank)];
+      MHA_RETURN_IF_ERROR(issue(*queue[pos]));
+      if (++pos < queue.size()) heap.emplace(mpi.now(rank), rank);
+    }
+  }
+
+  result.makespan = mpi.max_time();
+  result.aggregate_bandwidth =
+      result.makespan > 0.0 ? static_cast<double>(result.bytes_total()) / result.makespan : 0.0;
+  result.server_stats.reserve(pfs.num_servers());
+  for (std::size_t i = 0; i < pfs.num_servers(); ++i) {
+    result.server_stats.push_back(pfs.server_stats(i));
+  }
+  if (options.trace_run) result.captured = tracer.take_trace();
+  return result;
+}
+
+common::Result<ReplayResult> run_scheme(layouts::LayoutScheme& scheme,
+                                        const sim::ClusterConfig& config,
+                                        const trace::Trace& trace,
+                                        const ReplayOptions& options, bool store_data) {
+  pfs::PfsOptions pfs_options;
+  pfs_options.store_data = store_data || options.verify_data;
+  pfs::HybridPfs pfs(config, pfs_options);
+  auto deployment = scheme.prepare(pfs, trace);
+  if (!deployment.is_ok()) return deployment.status();
+  return replay(pfs, *deployment, trace, options);
+}
+
+}  // namespace mha::workloads

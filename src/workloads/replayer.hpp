@@ -1,0 +1,77 @@
+// Trace replay against a prepared layout scheme — the measurement harness
+// behind every figure.
+//
+// Replay is closed-loop per rank ("It uses synchronous reads/writes"): a
+// rank issues its next request the moment its previous one completes.  Two
+// coordination modes:
+//   kIndependent  - ranks free-run; a discrete-event loop always dispatches
+//                   the globally earliest pending request so server FCFS
+//                   queues see arrivals in true time order.
+//   kSynchronous  - a barrier after every iteration (all records sharing a
+//                   t_start), the collective phase structure of IOR/BTIO.
+//
+// Bandwidth is bytes moved divided by the virtual makespan, the aggregate
+// the paper plots.  Optional byte-level verification replays against a
+// shadow flat file and fails on any mismatch — the end-to-end data-integrity
+// oracle for redirection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "layouts/scheme.hpp"
+#include "pfs/file_system.hpp"
+#include "sim/server_sim.hpp"
+#include "trace/record.hpp"
+
+namespace mha::workloads {
+
+enum class ReplayMode { kIndependent, kSynchronous };
+
+struct ReplayOptions {
+  ReplayMode mode = ReplayMode::kSynchronous;
+  /// Byte-level verification against a shadow copy (needs a data-storing
+  /// PFS; costs memory proportional to the trace's extent).
+  bool verify_data = false;
+  /// Attach a tracing collector with this per-op overhead (profiling runs).
+  bool trace_run = false;
+  common::Seconds tracer_overhead = 0.0;
+};
+
+struct ReplayResult {
+  common::Seconds makespan = 0.0;
+  common::ByteCount bytes_read = 0;
+  common::ByteCount bytes_written = 0;
+  std::size_t requests = 0;
+  /// bytes_total / makespan.
+  double aggregate_bandwidth = 0.0;
+  /// Per-server stats snapshot over the replay window.
+  std::vector<sim::ServerStats> server_stats;
+  /// Captured trace when options.trace_run was set.
+  trace::Trace captured;
+
+  common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
+};
+
+/// Replays `trace` through `deployment` on `pfs`.  The PFS must have been
+/// prepared by the deployment's scheme (stats clean).
+common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
+                                    const layouts::Deployment& deployment,
+                                    const trace::Trace& trace,
+                                    const ReplayOptions& options = {});
+
+/// Convenience: prepare `scheme` on a fresh PFS with `config` and replay.
+/// `store_data` toggles byte-accurate mode (see pfs::PfsOptions).
+common::Result<ReplayResult> run_scheme(layouts::LayoutScheme& scheme,
+                                        const sim::ClusterConfig& config,
+                                        const trace::Trace& trace,
+                                        const ReplayOptions& options = {},
+                                        bool store_data = false);
+
+/// Deterministic payload byte for a write at `offset` during replay.
+inline std::uint8_t replay_write_byte(common::Offset offset) {
+  return static_cast<std::uint8_t>(layouts::populate_byte(offset) ^ 0xA5);
+}
+
+}  // namespace mha::workloads

@@ -1,0 +1,168 @@
+// Two-phase collective I/O: correctness, synchronisation, and the
+// aggregation benefit over independent I/O.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "io/collective.hpp"
+
+namespace mha::io {
+namespace {
+
+using common::OpType;
+using namespace mha::common::literals;
+
+sim::ClusterConfig small_cluster() {
+  sim::ClusterConfig c;
+  c.num_hservers = 2;
+  c.num_sservers = 2;
+  return c;
+}
+
+std::vector<std::uint8_t> pattern(std::size_t n, int seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed * 31 + i);
+  return v;
+}
+
+TEST(Collective, ValidatesInputs) {
+  pfs::HybridPfs pfs(small_cluster());
+  auto file = *pfs.create_file("c");
+  MpiSim mpi(4);
+  EXPECT_FALSE(collective_write(pfs, mpi, file, {}).is_ok());
+  EXPECT_FALSE(collective_write(pfs, mpi, 999, {CollectiveRequest{0, 0, 16}}).is_ok());
+  EXPECT_FALSE(collective_write(pfs, mpi, file, {CollectiveRequest{9, 0, 16}}).is_ok());
+  std::vector<std::vector<std::uint8_t>> short_payloads;
+  EXPECT_FALSE(
+      collective_write(pfs, mpi, file, {CollectiveRequest{0, 0, 16}}, &short_payloads)
+          .is_ok());
+}
+
+TEST(Collective, WriteThenIndependentReadRoundTrips) {
+  pfs::HybridPfs pfs(small_cluster());
+  auto file = *pfs.create_file("c");
+  MpiSim mpi(4);
+  // Interleaved per-rank pieces (the pattern collective buffering exists for).
+  std::vector<CollectiveRequest> requests;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 16; ++i) {
+    requests.push_back(CollectiveRequest{i % 4, static_cast<common::Offset>(i) * 8_KiB, 8_KiB});
+    payloads.push_back(pattern(8_KiB, i));
+  }
+  auto result = collective_write(pfs, mpi, file, requests, &payloads);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GT(result->completion, result->start);
+  EXPECT_GT(result->aggregators_used, 0u);
+
+  for (int i = 0; i < 16; ++i) {
+    auto got = pfs.read_bytes(file, static_cast<common::Offset>(i) * 8_KiB, 8_KiB, 100.0);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(*got, payloads[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(Collective, ReadGathersWrittenBytes) {
+  pfs::HybridPfs pfs(small_cluster());
+  auto file = *pfs.create_file("c");
+  const auto data = pattern(64_KiB, 7);
+  ASSERT_TRUE(pfs.write(file, 0, data, 0.0).is_ok());
+  pfs.reset_clocks();
+
+  MpiSim mpi(4);
+  std::vector<CollectiveRequest> requests;
+  for (int r = 0; r < 4; ++r) {
+    requests.push_back(CollectiveRequest{r, static_cast<common::Offset>(r) * 16_KiB, 16_KiB});
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  auto result = collective_read(pfs, mpi, file, requests, &out);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(out.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    const std::vector<std::uint8_t> expected(
+        data.begin() + r * static_cast<long>(16_KiB),
+        data.begin() + (r + 1) * static_cast<long>(16_KiB));
+    EXPECT_EQ(out[static_cast<std::size_t>(r)], expected) << r;
+  }
+}
+
+TEST(Collective, ExitSynchronisesAllRanks) {
+  pfs::HybridPfs pfs(small_cluster());
+  auto file = *pfs.create_file("c");
+  MpiSim mpi(4);
+  mpi.advance(2, 0.5);  // one rank arrives late
+  auto result = collective_write(pfs, mpi, file, {CollectiveRequest{0, 0, 64_KiB}});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_GE(result->start, 0.5);  // barrier waited for the late rank
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(mpi.now(r), result->completion);
+}
+
+TEST(Collective, AggregationIssuesFewFileRequests) {
+  pfs::HybridPfs pfs(small_cluster());
+  auto file = *pfs.create_file("c");
+  MpiSim mpi(8);
+  // 64 interleaved 4 KiB pieces forming one contiguous 256 KiB extent.
+  std::vector<CollectiveRequest> requests;
+  for (int i = 0; i < 64; ++i) {
+    requests.push_back(CollectiveRequest{i % 8, static_cast<common::Offset>(i) * 4_KiB, 4_KiB});
+  }
+  auto result = collective_write(pfs, mpi, file, requests);
+  ASSERT_TRUE(result.is_ok());
+  // Far fewer phase-2 requests than the 64 independent pieces.
+  EXPECT_LE(result->file_requests, result->aggregators_used);
+  EXPECT_LE(result->aggregators_used, 4u);  // min(world, servers)
+}
+
+TEST(Collective, BeatsIndependentIoOnInterleavedSmallPieces) {
+  const auto cluster = small_cluster();
+  constexpr int kPieces = 128;
+  constexpr common::ByteCount kPiece = 4_KiB;
+
+  // Independent: every piece is its own file request from its own rank.
+  pfs::PfsOptions timing_only;
+  timing_only.store_data = false;
+  double independent;
+  {
+    pfs::HybridPfs pfs(cluster, timing_only);
+    auto file = *pfs.create_file("c");
+    MpiSim mpi(8);
+    std::vector<std::uint8_t> buffer(kPiece);
+    for (int i = 0; i < kPieces; ++i) {
+      auto w = pfs.write(file, static_cast<common::Offset>(i) * kPiece, buffer.data(), kPiece,
+                         mpi.now(i % 8));
+      ASSERT_TRUE(w.is_ok());
+      mpi.advance(i % 8, w->completion);
+    }
+    mpi.barrier();
+    independent = mpi.max_time();
+  }
+
+  // Collective: one two-phase call.
+  double collective;
+  {
+    pfs::HybridPfs pfs(cluster, timing_only);
+    auto file = *pfs.create_file("c");
+    MpiSim mpi(8);
+    std::vector<CollectiveRequest> requests;
+    for (int i = 0; i < kPieces; ++i) {
+      requests.push_back(
+          CollectiveRequest{i % 8, static_cast<common::Offset>(i) * kPiece, kPiece});
+    }
+    auto result = collective_write(pfs, mpi, file, requests);
+    ASSERT_TRUE(result.is_ok());
+    collective = result->completion;
+  }
+  EXPECT_LT(collective, independent);
+}
+
+TEST(Collective, ZeroSizeRequestsAreNoOps) {
+  pfs::HybridPfs pfs(small_cluster());
+  auto file = *pfs.create_file("c");
+  MpiSim mpi(2);
+  auto result = collective_write(pfs, mpi, file,
+                                 {CollectiveRequest{0, 0, 0}, CollectiveRequest{1, 100, 0}});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_DOUBLE_EQ(result->completion, result->start);
+  EXPECT_EQ(result->file_requests, 0u);
+}
+
+}  // namespace
+}  // namespace mha::io

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pfs/extent_store.hpp"
+
+namespace mha::pfs {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(ExtentStore, EmptyReadsZero) {
+  ExtentStore store;
+  EXPECT_EQ(store.read(100, 4), bytes({0, 0, 0, 0}));
+  EXPECT_EQ(store.end_offset(), 0u);
+  EXPECT_EQ(store.stored_bytes(), 0u);
+}
+
+TEST(ExtentStore, WriteReadRoundTrip) {
+  ExtentStore store;
+  store.write(10, bytes({1, 2, 3}));
+  EXPECT_EQ(store.read(10, 3), bytes({1, 2, 3}));
+  EXPECT_EQ(store.end_offset(), 13u);
+  EXPECT_EQ(store.stored_bytes(), 3u);
+}
+
+TEST(ExtentStore, ReadSpansHoleAndData) {
+  ExtentStore store;
+  store.write(4, bytes({9, 9}));
+  EXPECT_EQ(store.read(2, 6), bytes({0, 0, 9, 9, 0, 0}));
+}
+
+TEST(ExtentStore, OverwriteMiddle) {
+  ExtentStore store;
+  store.write(0, bytes({1, 1, 1, 1, 1}));
+  store.write(2, bytes({7}));
+  EXPECT_EQ(store.read(0, 5), bytes({1, 1, 7, 1, 1}));
+  EXPECT_EQ(store.extent_count(), 1u);
+}
+
+TEST(ExtentStore, OverwriteAcrossExtents) {
+  ExtentStore store;
+  store.write(0, bytes({1, 1}));
+  store.write(10, bytes({2, 2}));
+  store.write(1, std::vector<std::uint8_t>(10, 5));  // bridges both
+  EXPECT_EQ(store.read(0, 12), bytes({1, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 2}));
+  EXPECT_EQ(store.extent_count(), 1u);
+}
+
+TEST(ExtentStore, AdjacentWritesMerge) {
+  ExtentStore store;
+  store.write(0, bytes({1}));
+  store.write(1, bytes({2}));
+  store.write(2, bytes({3}));
+  EXPECT_EQ(store.extent_count(), 1u);
+  EXPECT_EQ(store.read(0, 3), bytes({1, 2, 3}));
+}
+
+TEST(ExtentStore, DisjointWritesStaySeparate) {
+  ExtentStore store;
+  store.write(0, bytes({1}));
+  store.write(5, bytes({2}));
+  EXPECT_EQ(store.extent_count(), 2u);
+  EXPECT_EQ(store.stored_bytes(), 2u);
+}
+
+TEST(ExtentStore, CoveredDetection) {
+  ExtentStore store;
+  store.write(10, std::vector<std::uint8_t>(10, 1));
+  EXPECT_TRUE(store.covered(10, 10));
+  EXPECT_TRUE(store.covered(12, 5));
+  EXPECT_TRUE(store.covered(0, 0));  // empty range is trivially covered
+  EXPECT_FALSE(store.covered(9, 2));
+  EXPECT_FALSE(store.covered(15, 10));
+  EXPECT_FALSE(store.covered(0, 5));
+}
+
+TEST(ExtentStore, CoveredAcrossMergedExtents) {
+  ExtentStore store;
+  store.write(0, std::vector<std::uint8_t>(5, 1));
+  store.write(5, std::vector<std::uint8_t>(5, 2));
+  EXPECT_TRUE(store.covered(0, 10));
+  store.clear();
+  EXPECT_FALSE(store.covered(0, 1));
+}
+
+TEST(ExtentStore, ZeroLengthWriteIsNoOp) {
+  ExtentStore store;
+  store.write(5, nullptr, 0);
+  EXPECT_EQ(store.extent_count(), 0u);
+}
+
+// Property sweep: random writes against a flat reference buffer.
+class ExtentStoreFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtentStoreFuzz, MatchesFlatReference) {
+  constexpr std::size_t kSpace = 4096;
+  std::vector<std::uint8_t> reference(kSpace, 0);
+  ExtentStore store;
+  common::Rng rng(GetParam());
+
+  for (int op = 0; op < 400; ++op) {
+    const std::size_t offset = rng.next_below(kSpace - 1);
+    const std::size_t length = 1 + rng.next_below(kSpace - offset);
+    std::vector<std::uint8_t> data(length);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    store.write(offset, data);
+    std::memcpy(reference.data() + offset, data.data(), length);
+
+    // Random probe read.
+    const std::size_t roff = rng.next_below(kSpace - 1);
+    const std::size_t rlen = 1 + rng.next_below(kSpace - roff);
+    const auto got = store.read(roff, rlen);
+    ASSERT_EQ(std::memcmp(got.data(), reference.data() + roff, rlen), 0)
+        << "mismatch after op " << op;
+  }
+  // Full-space comparison at the end.
+  EXPECT_EQ(store.read(0, kSpace), reference);
+  // Invariant: extents never overlap, so stored bytes <= space.
+  EXPECT_LE(store.stored_bytes(), kSpace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentStoreFuzz,
+                         ::testing::Values(1u, 2u, 3u, 99u, 12345u));
+
+}  // namespace
+}  // namespace mha::pfs

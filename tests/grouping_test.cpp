@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/grouping.hpp"
+
+namespace mha::core {
+namespace {
+
+std::vector<FeaturePoint> cluster_at(double size, double conc, std::size_t n,
+                                     common::Rng& rng, double jitter = 0.0) {
+  std::vector<FeaturePoint> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(FeaturePoint{size + jitter * (rng.next_double() - 0.5),
+                                  conc + jitter * (rng.next_double() - 0.5)});
+  }
+  return points;
+}
+
+TEST(FeatureDistance, NormalisesPerDimension) {
+  // Raw size gap is huge, but relative to the range it's tiny.
+  const FeaturePoint a{1000.0, 1.0};
+  const FeaturePoint b{2000.0, 2.0};
+  const double d = feature_distance(a, b, /*size_range=*/1000000.0, /*conc_range=*/1.0);
+  EXPECT_NEAR(d, std::sqrt(0.001 * 0.001 + 1.0), 1e-12);
+}
+
+TEST(FeatureDistance, DegenerateRangesDoNotDivideByZero) {
+  const FeaturePoint a{5.0, 5.0};
+  const FeaturePoint b{6.0, 6.0};
+  const double d = feature_distance(a, b, 0.0, 0.0);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_DOUBLE_EQ(feature_distance(a, a, 0.0, 0.0), 0.0);
+}
+
+TEST(ChooseK, CountsPatternBuckets) {
+  GroupingOptions options;
+  // Two well-separated size classes, one concurrency level.
+  std::vector<FeaturePoint> points{{16.0, 8}, {16.0, 8}, {131072.0, 8}, {131072.0, 8}};
+  EXPECT_EQ(choose_k(points, options), 2u);
+  // Same sizes, two concurrency levels -> 2 buckets.
+  std::vector<FeaturePoint> conc{{4096.0, 8}, {4096.0, 32}};
+  EXPECT_EQ(choose_k(conc, options), 2u);
+  EXPECT_EQ(choose_k({}, options), 1u);
+}
+
+TEST(ChooseK, RespectsUpperBound) {
+  GroupingOptions options;
+  options.max_groups = 3;
+  std::vector<FeaturePoint> points;
+  for (int i = 0; i < 12; ++i) points.push_back(FeaturePoint{std::pow(4.0, i), 1.0});
+  EXPECT_EQ(choose_k(points, options), 3u);
+}
+
+TEST(Grouping, FewerPointsThanKGetSingletonGroups) {
+  std::vector<FeaturePoint> points{{16, 1}, {1024, 4}};
+  const auto result = group_requests(points, 5);
+  EXPECT_EQ(result.num_groups, 2u);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(Grouping, EmptyInput) {
+  const auto result = group_requests({}, 3);
+  EXPECT_EQ(result.num_groups, 0u);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(Grouping, SeparatesWellSeparatedClusters) {
+  common::Rng rng(1);
+  auto points = cluster_at(16, 32, 40, rng, 2.0);
+  const auto tail = cluster_at(262144, 8, 40, rng, 1000.0);
+  points.insert(points.end(), tail.begin(), tail.end());
+
+  const auto result = group_requests(points, 2);
+  ASSERT_EQ(result.num_groups, 2u);
+  // All members of each natural cluster share one label.
+  const int label_a = result.assignment[0];
+  const int label_b = result.assignment[40];
+  EXPECT_NE(label_a, label_b);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(result.assignment[i], label_a);
+  for (std::size_t i = 40; i < 80; ++i) EXPECT_EQ(result.assignment[i], label_b);
+}
+
+TEST(Grouping, AtMostThreeIterations) {
+  common::Rng rng(2);
+  auto points = cluster_at(100, 1, 200, rng, 50.0);
+  GroupingOptions options;
+  options.max_iterations = 3;
+  const auto result = group_requests(points, 4, options);
+  EXPECT_LE(result.iterations_run, 3);
+  EXPECT_GE(result.iterations_run, 1);
+}
+
+TEST(Grouping, LabelsAreDense) {
+  common::Rng rng(3);
+  auto points = cluster_at(64, 8, 30, rng, 1.0);
+  const auto result = group_requests(points, 8);  // far more centers than clusters
+  std::set<int> labels(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(labels.size(), result.num_groups);
+  // Dense: labels are exactly 0..num_groups-1.
+  int expect = 0;
+  for (int l : labels) EXPECT_EQ(l, expect++);
+  EXPECT_EQ(result.centers.size(), result.num_groups);
+}
+
+TEST(Grouping, DeterministicForSeed) {
+  common::Rng rng(4);
+  auto points = cluster_at(1000, 4, 50, rng, 400.0);
+  GroupingOptions options;
+  options.seed = 99;
+  const auto a = group_requests(points, 3, options);
+  const auto b = group_requests(points, 3, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  options.seed = 100;
+  // Different seed may differ, but must still produce a valid grouping.
+  const auto c = group_requests(points, 3, options);
+  EXPECT_EQ(c.assignment.size(), points.size());
+}
+
+// Property: every point is assigned to its nearest final center.
+class GroupingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupingProperty, AssignmentIsNearestCenter) {
+  common::Rng rng(GetParam());
+  std::vector<FeaturePoint> points;
+  for (int i = 0; i < 120; ++i) {
+    points.push_back(FeaturePoint{static_cast<double>(rng.next_below(1 << 20)),
+                                  static_cast<double>(1 + rng.next_below(64))});
+  }
+  GroupingOptions options;
+  options.seed = GetParam() * 13 + 7;
+  // Many iterations so the final assignment step ran against the final
+  // centers (with the paper's 3-iteration cap the last centroid update can
+  // legitimately leave a point mid-flight).
+  options.max_iterations = 50;
+  const auto result = group_requests(points, 5, options);
+
+  double size_min = 1e300, size_max = -1e300, conc_min = 1e300, conc_max = -1e300;
+  for (const auto& p : points) {
+    size_min = std::min(size_min, p.size);
+    size_max = std::max(size_max, p.size);
+    conc_min = std::min(conc_min, p.concurrency);
+    conc_max = std::max(conc_max, p.concurrency);
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double assigned = feature_distance(
+        points[i], result.centers[static_cast<std::size_t>(result.assignment[i])],
+        size_max - size_min, conc_max - conc_min);
+    for (const auto& center : result.centers) {
+      const double other =
+          feature_distance(points[i], center, size_max - size_min, conc_max - conc_min);
+      EXPECT_LE(assigned, other + 1e-9) << "point " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingProperty, ::testing::Values(1u, 7u, 21u, 63u));
+
+TEST(GroupingAuto, UniformTraceCollapsesToOneGroup) {
+  std::vector<FeaturePoint> points(50, FeaturePoint{65536.0, 16.0});
+  const auto result = group_requests_auto(points);
+  EXPECT_EQ(result.num_groups, 1u);
+}
+
+TEST(GroupingAuto, LanlStylePatternYieldsThreeGroups) {
+  // The Fig. 3 pattern: 16 B, 128 KiB - 16 B, 128 KiB ... but the two large
+  // sizes share a power-of-two bucket, so the pattern-bucket heuristic sees
+  // two classes; k-means then separates what matters for layout.
+  std::vector<FeaturePoint> points;
+  for (int loop = 0; loop < 30; ++loop) {
+    points.push_back(FeaturePoint{16, 8});
+    points.push_back(FeaturePoint{131056, 8});
+    points.push_back(FeaturePoint{131072, 8});
+  }
+  const auto result = group_requests_auto(points);
+  EXPECT_GE(result.num_groups, 2u);
+  // The tiny and the large requests must never share a group.
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+}  // namespace
+}  // namespace mha::core

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "io/mpi_file.hpp"
+#include "io/mpi_sim.hpp"
+#include "io/tracer.hpp"
+#include "pfs/file_system.hpp"
+
+namespace mha::io {
+namespace {
+
+using common::OpType;
+
+sim::ClusterConfig tiny_cluster() {
+  sim::ClusterConfig c;
+  c.num_hservers = 1;
+  c.num_sservers = 1;
+  return c;
+}
+
+// --------------------------------------------------------------- MpiSim ---
+
+TEST(MpiSim, ClocksStartAtZero) {
+  MpiSim mpi(4);
+  EXPECT_EQ(mpi.world_size(), 4);
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(mpi.now(r), 0.0);
+}
+
+TEST(MpiSim, AdvanceNeverRewinds) {
+  MpiSim mpi(2);
+  mpi.advance(0, 5.0);
+  mpi.advance(0, 3.0);
+  EXPECT_DOUBLE_EQ(mpi.now(0), 5.0);
+  mpi.elapse(0, 1.5);
+  EXPECT_DOUBLE_EQ(mpi.now(0), 6.5);
+}
+
+TEST(MpiSim, BarrierSynchronisesToSlowest) {
+  MpiSim mpi(3);
+  mpi.advance(0, 1.0);
+  mpi.advance(1, 9.0);
+  mpi.barrier();
+  for (int r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(mpi.now(r), 9.0);
+  EXPECT_DOUBLE_EQ(mpi.max_time(), 9.0);
+  mpi.reset();
+  EXPECT_DOUBLE_EQ(mpi.max_time(), 0.0);
+}
+
+// -------------------------------------------------------------- MpiFile ---
+
+TEST(MpiFile, OpenRequiresExistingFile) {
+  pfs::HybridPfs pfs(tiny_cluster());
+  MpiSim mpi(2);
+  EXPECT_FALSE(MpiFile::open(pfs, mpi, "missing").is_ok());
+  (void)pfs.create_file("present");
+  EXPECT_TRUE(MpiFile::open(pfs, mpi, "present").is_ok());
+}
+
+TEST(MpiFile, WriteAdvancesIssuingRankOnly) {
+  pfs::HybridPfs pfs(tiny_cluster());
+  (void)pfs.create_file("f");
+  MpiSim mpi(2);
+  auto file = *MpiFile::open(pfs, mpi, "f");
+  std::vector<std::uint8_t> data(4096, 7);
+  auto op = file.write_at(0, 0, data);
+  ASSERT_TRUE(op.is_ok());
+  EXPECT_GT(op->completion, 0.0);
+  EXPECT_DOUBLE_EQ(mpi.now(0), op->completion);
+  EXPECT_DOUBLE_EQ(mpi.now(1), 0.0);
+}
+
+TEST(MpiFile, ReadBackMatchesWrite) {
+  pfs::HybridPfs pfs(tiny_cluster());
+  (void)pfs.create_file("f");
+  MpiSim mpi(1);
+  auto file = *MpiFile::open(pfs, mpi, "f");
+  std::vector<std::uint8_t> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  ASSERT_TRUE(file.write_at(0, 123, data).is_ok());
+  auto back = file.read_vec(0, 123, data.size());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(MpiFile, TracerCapturesEveryOp) {
+  pfs::HybridPfs pfs(tiny_cluster());
+  (void)pfs.create_file("f");
+  MpiSim mpi(2);
+  auto file = *MpiFile::open(pfs, mpi, "f");
+  Tracer tracer("f");
+  file.set_tracer(&tracer);
+
+  std::vector<std::uint8_t> data(512, 1);
+  ASSERT_TRUE(file.write_at(0, 0, data).is_ok());
+  ASSERT_TRUE(file.write_at(1, 512, data).is_ok());
+  auto read = file.read_vec(0, 0, 256);
+  ASSERT_TRUE(read.is_ok());
+
+  const auto& trace = tracer.trace();
+  ASSERT_EQ(trace.records.size(), 3u);
+  EXPECT_EQ(trace.records[0].op, OpType::kWrite);
+  EXPECT_EQ(trace.records[0].offset, 0u);
+  EXPECT_EQ(trace.records[0].size, 512u);
+  EXPECT_EQ(trace.records[1].rank, 1);
+  EXPECT_EQ(trace.records[2].op, OpType::kRead);
+  EXPECT_GT(trace.records[2].t_start, trace.records[0].t_start);
+  EXPECT_GT(trace.records[0].duration, 0.0);
+}
+
+TEST(MpiFile, TracerOverheadDelaysIo) {
+  pfs::HybridPfs pfs(tiny_cluster());
+  (void)pfs.create_file("f");
+  std::vector<std::uint8_t> data(4096, 1);
+
+  MpiSim mpi_a(1);
+  auto plain = *MpiFile::open(pfs, mpi_a, "f");
+  const double base = plain.write_at(0, 0, data)->completion;
+
+  pfs.reset_clocks();
+  MpiSim mpi_b(1);
+  auto traced = *MpiFile::open(pfs, mpi_b, "f");
+  Tracer tracer("f", /*per_op_overhead=*/0.5);
+  traced.set_tracer(&tracer);
+  const double slowed = traced.write_at(0, 0, data)->completion;
+  EXPECT_NEAR(slowed - base, 0.5, 1e-9);
+}
+
+// A stub interceptor that reverses the two halves of the file.
+class SwapInterceptor : public IoInterceptor {
+ public:
+  SwapInterceptor(common::FileId file, common::ByteCount half) : file_(file), half_(half) {}
+
+  std::vector<RedirectSegment> translate(common::Offset offset,
+                                         common::ByteCount size) override {
+    // Requests are assumed not to straddle the midpoint in this test.
+    const common::Offset target = offset < half_ ? offset + half_ : offset - half_;
+    return {RedirectSegment{file_, target, size, offset}};
+  }
+  common::Seconds lookup_overhead() const override { return 0.25; }
+
+ private:
+  common::FileId file_;
+  common::ByteCount half_;
+};
+
+TEST(MpiFile, InterceptorRedirectsAndCharges) {
+  pfs::HybridPfs pfs(tiny_cluster());
+  auto id = *pfs.create_file("f");
+  MpiSim mpi(1);
+  auto file = *MpiFile::open(pfs, mpi, "f");
+  SwapInterceptor interceptor(id, 1024);
+  file.set_interceptor(&interceptor);
+
+  std::vector<std::uint8_t> data(16, 0xAB);
+  ASSERT_TRUE(file.write_at(0, 0, data).is_ok());  // really lands at 1024
+
+  // Direct (uninterposed) read of the physical location.
+  auto raw = pfs.read_bytes(id, 1024, 16, 100.0);
+  ASSERT_TRUE(raw.is_ok());
+  EXPECT_EQ(*raw, data);
+
+  // Interposed read of the logical location round-trips.
+  auto logical = file.read_vec(0, 0, 16);
+  ASSERT_TRUE(logical.is_ok());
+  EXPECT_EQ(*logical, data);
+
+  // Lookup overhead is charged per op: two ops so far.
+  EXPECT_GT(mpi.now(0), 0.5);
+}
+
+TEST(MpiFile, ZeroByteOpsSucceed) {
+  pfs::HybridPfs pfs(tiny_cluster());
+  (void)pfs.create_file("f");
+  MpiSim mpi(1);
+  auto file = *MpiFile::open(pfs, mpi, "f");
+  EXPECT_TRUE(file.write_at(0, 0, nullptr, 0).is_ok());
+  EXPECT_TRUE(file.read_at(0, 0, nullptr, 0).is_ok());
+}
+
+}  // namespace
+}  // namespace mha::io

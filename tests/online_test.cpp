@@ -1,0 +1,199 @@
+// Online (dynamic) MHA: drift detection, adaptation, rollback consistency.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/online.hpp"
+#include "layouts/scheme.hpp"
+
+namespace mha::core {
+namespace {
+
+using common::OpType;
+using namespace mha::common::literals;
+
+sim::ClusterConfig small_cluster() {
+  sim::ClusterConfig c;
+  c.num_hservers = 2;
+  c.num_sservers = 2;
+  return c;
+}
+
+trace::TraceRecord rec(int rank, OpType op, common::Offset offset, common::ByteCount size,
+                       common::Seconds t) {
+  trace::TraceRecord r;
+  r.rank = rank;
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  r.t_start = t;
+  return r;
+}
+
+/// Phase generator: `count` iterations of 4-rank concurrent requests of
+/// `size` at advancing offsets.
+std::vector<trace::TraceRecord> phase(OpType op, common::ByteCount size, int count,
+                                      common::Offset base, double t0) {
+  std::vector<trace::TraceRecord> out;
+  for (int i = 0; i < count; ++i) {
+    for (int rank = 0; rank < 4; ++rank) {
+      out.push_back(rec(rank, op, base + (static_cast<common::Offset>(i) * 4 + rank) * size,
+                        size, t0 + i * 2.5e-3));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- signatures ---
+
+TEST(PatternSignature, IdenticalWindowsHaveZeroDistance) {
+  const auto a = phase(OpType::kWrite, 64_KiB, 8, 0, 0.0);
+  EXPECT_DOUBLE_EQ(PatternSignature::of(a).distance(PatternSignature::of(a)), 0.0);
+}
+
+TEST(PatternSignature, SizeShiftIsVisible) {
+  const auto small = phase(OpType::kWrite, 4_KiB, 8, 0, 0.0);
+  const auto large = phase(OpType::kWrite, 1_MiB, 8, 0, 0.0);
+  EXPECT_GT(PatternSignature::of(small).distance(PatternSignature::of(large)), 1.5);
+}
+
+TEST(PatternSignature, OpMixShiftIsVisible) {
+  const auto reads = phase(OpType::kRead, 64_KiB, 8, 0, 0.0);
+  const auto writes = phase(OpType::kWrite, 64_KiB, 8, 0, 0.0);
+  const double d = PatternSignature::of(reads).distance(PatternSignature::of(writes));
+  EXPECT_NEAR(d, 1.0, 1e-9);  // only the write fraction differs
+}
+
+TEST(PatternSignature, EmptyWindow) {
+  const PatternSignature empty = PatternSignature::of({});
+  EXPECT_DOUBLE_EQ(empty.write_fraction, 0.0);
+}
+
+// ------------------------------------------------------------- adapter ---
+
+class OnlineMhaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pfs_ = std::make_unique<pfs::HybridPfs>(small_cluster());
+    auto file = pfs_->create_file("online.dat");
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_TRUE(layouts::populate_file(*pfs_, *file, 16_MiB).is_ok());
+  }
+
+  std::unique_ptr<pfs::HybridPfs> pfs_;
+};
+
+TEST_F(OnlineMhaTest, CreateRequiresExistingFile) {
+  EXPECT_FALSE(OnlineMha::create(*pfs_, "missing").is_ok());
+  EXPECT_TRUE(OnlineMha::create(*pfs_, "online.dat").is_ok());
+}
+
+TEST_F(OnlineMhaTest, PassthroughBeforeFirstPlan) {
+  auto online = std::move(OnlineMha::create(*pfs_, "online.dat")).take();
+  const auto segs = online->translate(100, 50);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].offset, 100u);
+  EXPECT_EQ(online->current(), nullptr);
+  EXPECT_DOUBLE_EQ(online->lookup_overhead(), 0.0);
+}
+
+TEST_F(OnlineMhaTest, NoAdaptBelowMinRecords) {
+  OnlineOptions options;
+  options.min_records = 100;
+  auto online = std::move(OnlineMha::create(*pfs_, "online.dat", options)).take();
+  for (const auto& r : phase(OpType::kRead, 64_KiB, 4, 0, 0.0)) online->observe(r);
+  auto adapted = online->maybe_adapt();
+  ASSERT_TRUE(adapted.is_ok());
+  EXPECT_FALSE(*adapted);
+  EXPECT_EQ(online->adaptations(), 0u);
+}
+
+TEST_F(OnlineMhaTest, FirstFullWindowBuildsAPlan) {
+  OnlineOptions options;
+  options.min_records = 32;
+  options.window = 64;
+  auto online = std::move(OnlineMha::create(*pfs_, "online.dat", options)).take();
+  for (const auto& r : phase(OpType::kRead, 64_KiB, 16, 0, 0.0)) online->observe(r);
+  auto adapted = online->maybe_adapt();
+  ASSERT_TRUE(adapted.is_ok()) << adapted.status().to_string();
+  EXPECT_TRUE(*adapted);
+  EXPECT_EQ(online->adaptations(), 1u);
+  EXPECT_NE(online->current(), nullptr);
+}
+
+TEST_F(OnlineMhaTest, StablePatternDoesNotReAdapt) {
+  OnlineOptions options;
+  options.min_records = 32;
+  options.window = 64;
+  auto online = std::move(OnlineMha::create(*pfs_, "online.dat", options)).take();
+  for (const auto& r : phase(OpType::kRead, 64_KiB, 16, 0, 0.0)) online->observe(r);
+  ASSERT_TRUE(online->maybe_adapt().is_ok());
+  // Same pattern again: signature distance ~0, no re-adaptation.
+  for (const auto& r : phase(OpType::kRead, 64_KiB, 16, 8_MiB, 1.0)) online->observe(r);
+  auto again = online->maybe_adapt();
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_FALSE(*again);
+  EXPECT_EQ(online->adaptations(), 1u);
+}
+
+TEST_F(OnlineMhaTest, DriftTriggersReAdaptation) {
+  OnlineOptions options;
+  options.min_records = 32;
+  options.window = 64;
+  auto online = std::move(OnlineMha::create(*pfs_, "online.dat", options)).take();
+  for (const auto& r : phase(OpType::kRead, 64_KiB, 16, 0, 0.0)) online->observe(r);
+  ASSERT_TRUE(online->maybe_adapt().is_ok());
+  // Radically different pattern: small writes instead of large reads.
+  for (const auto& r : phase(OpType::kWrite, 4_KiB, 16, 8_MiB, 1.0)) online->observe(r);
+  auto again = online->maybe_adapt();
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  EXPECT_TRUE(*again);
+  EXPECT_EQ(online->adaptations(), 2u);
+}
+
+TEST_F(OnlineMhaTest, DataSurvivesAdaptationCycles) {
+  // Bytes must be identical through plan -> re-plan -> rollback chains.
+  OnlineOptions options;
+  options.min_records = 16;
+  options.window = 64;
+  options.drift_threshold = 0.0;  // adapt on every full window
+  auto online = std::move(OnlineMha::create(*pfs_, "online.dat", options)).take();
+  io::MpiSim mpi(4);
+  auto file = *io::MpiFile::open(*pfs_, mpi, "online.dat");
+  file.set_interceptor(online.get());
+
+  // Write a recognisable pattern through the adapter, adapting in between.
+  std::vector<std::uint8_t> payload(128_KiB);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  ASSERT_TRUE(file.write_at(0, 1_MiB, payload).is_ok());
+  for (const auto& r : phase(OpType::kRead, 64_KiB, 16, 0, 0.0)) online->observe(r);
+  ASSERT_TRUE(online->maybe_adapt().is_ok());
+  // After adaptation the write landed in region files or the original —
+  // either way it must read back through the adapter.
+  auto back = file.read_vec(0, 1_MiB, payload.size());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, payload);
+
+  for (const auto& r : phase(OpType::kWrite, 4_KiB, 32, 8_MiB, 1.0)) online->observe(r);
+  ASSERT_TRUE(online->maybe_adapt().is_ok());
+  EXPECT_EQ(online->adaptations(), 2u);
+  auto after_second = file.read_vec(1, 1_MiB, payload.size());
+  ASSERT_TRUE(after_second.is_ok());
+  EXPECT_EQ(*after_second, payload);
+
+  // Populated background bytes stay intact too.
+  auto background = file.read_vec(2, 5_MiB, 4096);
+  ASSERT_TRUE(background.is_ok());
+  for (std::size_t i = 0; i < background->size(); ++i) {
+    ASSERT_EQ((*background)[i], layouts::populate_byte(5_MiB + i));
+  }
+}
+
+TEST_F(OnlineMhaTest, AdaptNowWithoutObservationsFails) {
+  auto online = std::move(OnlineMha::create(*pfs_, "online.dat")).take();
+  EXPECT_FALSE(online->adapt_now().is_ok());
+}
+
+}  // namespace
+}  // namespace mha::core

@@ -1,0 +1,172 @@
+// System-level property sweeps: conservation laws and invariants that must
+// hold for EVERY (scheme x workload x cluster shape) combination.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "layouts/scheme.hpp"
+#include "trace/analysis.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/hpio.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/replayer.hpp"
+
+namespace mha {
+namespace {
+
+using common::OpType;
+using namespace mha::common::literals;
+
+struct Combo {
+  const char* scheme;
+  const char* workload;
+  std::size_t hservers;
+  std::size_t sservers;
+};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  return std::string(info.param.scheme) + "_" + info.param.workload + "_" +
+         std::to_string(info.param.hservers) + "h" + std::to_string(info.param.sservers) +
+         "s";
+}
+
+trace::Trace make_workload(const std::string& kind) {
+  if (kind == "lanl") {
+    workloads::LanlConfig config;
+    config.num_procs = 4;
+    config.loops = 24;
+    return workloads::lanl_app2(config);
+  }
+  if (kind == "hpio") {
+    workloads::HpioConfig config;
+    config.num_procs = 4;
+    config.region_count = 96;
+    config.op = OpType::kRead;
+    return workloads::hpio(config);
+  }
+  if (kind == "btio") {
+    workloads::BtioConfig config;
+    config.num_procs = 4;
+    config.time_steps = 12;
+    config.scale = 256;
+    return workloads::btio(config);
+  }
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 8;
+  config.request_sizes = {16_KiB, 96_KiB};
+  config.file_size = 12_MiB;
+  config.op = OpType::kWrite;
+  config.file_name = "prop.ior";
+  return workloads::ior_mixed_sizes(config);
+}
+
+std::unique_ptr<layouts::LayoutScheme> make_scheme(const std::string& name) {
+  if (name == "DEF") return layouts::make_def();
+  if (name == "AAL") return layouts::make_aal();
+  if (name == "HARL") return layouts::make_harl();
+  return layouts::make_mha();
+}
+
+class SystemProperties : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(SystemProperties, ConservationAndTimingInvariants) {
+  const Combo combo = GetParam();
+  const trace::Trace workload = make_workload(combo.workload);
+  sim::ClusterConfig cluster;
+  cluster.num_hservers = combo.hservers;
+  cluster.num_sservers = combo.sservers;
+
+  pfs::PfsOptions pfs_options;
+  pfs_options.store_data = false;
+  pfs::HybridPfs pfs(cluster, pfs_options);
+  auto scheme = make_scheme(combo.scheme);
+  auto deployment = scheme->prepare(pfs, workload);
+  ASSERT_TRUE(deployment.is_ok()) << deployment.status().to_string();
+
+  auto result = workloads::replay(pfs, *deployment, workload, {});
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  // --- Conservation: every requested byte was served exactly once. ---
+  common::ByteCount requested_reads = 0, requested_writes = 0;
+  for (const auto& r : workload.records) {
+    (r.op == OpType::kRead ? requested_reads : requested_writes) += r.size;
+  }
+  EXPECT_EQ(result->bytes_read, requested_reads);
+  EXPECT_EQ(result->bytes_written, requested_writes);
+  EXPECT_EQ(result->requests, workload.records.size());
+
+  common::ByteCount served = 0;
+  for (const auto& st : result->server_stats) served += st.bytes_total();
+  EXPECT_EQ(served, requested_reads + requested_writes);
+
+  // --- Timing sanity. ---
+  EXPECT_GT(result->makespan, 0.0);
+  double max_busy = 0.0;
+  for (const auto& st : result->server_stats) max_busy = std::max(max_busy, st.busy_time);
+  // The slowest server's busy time lower-bounds the makespan; queuing and
+  // synchronisation can only add to it.
+  EXPECT_GE(result->makespan, max_busy - 1e-9);
+  // And the makespan cannot exceed fully-serial service of all requests.
+  double total_busy = 0.0;
+  for (const auto& st : result->server_stats) total_busy += st.busy_time;
+  EXPECT_LE(result->makespan, total_busy + 1.0);
+
+  // --- Replays are deterministic. ---
+  pfs::HybridPfs pfs2(cluster, pfs_options);
+  auto scheme2 = make_scheme(combo.scheme);
+  auto deployment2 = scheme2->prepare(pfs2, workload);
+  ASSERT_TRUE(deployment2.is_ok());
+  auto result2 = workloads::replay(pfs2, *deployment2, workload, {});
+  ASSERT_TRUE(result2.is_ok());
+  EXPECT_DOUBLE_EQ(result->makespan, result2->makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SystemProperties,
+    ::testing::Values(
+        Combo{"DEF", "ior", 6, 2}, Combo{"AAL", "ior", 6, 2}, Combo{"HARL", "ior", 6, 2},
+        Combo{"MHA", "ior", 6, 2}, Combo{"DEF", "lanl", 6, 2}, Combo{"MHA", "lanl", 6, 2},
+        Combo{"HARL", "lanl", 3, 1}, Combo{"MHA", "hpio", 6, 2}, Combo{"MHA", "hpio", 2, 2},
+        Combo{"HARL", "btio", 6, 2}, Combo{"MHA", "btio", 4, 4}, Combo{"MHA", "ior", 7, 1},
+        Combo{"MHA", "ior", 1, 7}, Combo{"AAL", "btio", 2, 6}),
+    combo_name);
+
+// Stripe pairs produced by every scheme must be realisable layouts: the MDS
+// must never hold a layout whose widths are all zero or whose server count
+// mismatches the cluster.
+class LayoutRealisability : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(LayoutRealisability, AllMdsLayoutsAreValid) {
+  const Combo combo = GetParam();
+  const trace::Trace workload = make_workload(combo.workload);
+  sim::ClusterConfig cluster;
+  cluster.num_hservers = combo.hservers;
+  cluster.num_sservers = combo.sservers;
+  pfs::PfsOptions pfs_options;
+  pfs_options.store_data = false;
+  pfs::HybridPfs pfs(cluster, pfs_options);
+  auto scheme = make_scheme(combo.scheme);
+  auto deployment = scheme->prepare(pfs, workload);
+  ASSERT_TRUE(deployment.is_ok());
+
+  for (const std::string& name : pfs.mds().list_files()) {
+    const auto& info = pfs.mds().info(*pfs.mds().lookup(name));
+    EXPECT_EQ(info.layout.num_servers(), pfs.num_servers()) << name;
+    EXPECT_GT(info.layout.cycle_width(), 0u) << name;
+    // SServer widths never below HServer widths (s > h or uniform).
+    const auto h_width = info.layout.width(0);
+    const auto s_width = info.layout.width(pfs.num_servers() - 1);
+    EXPECT_GE(s_width, h_width) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LayoutRealisability,
+                         ::testing::Values(Combo{"MHA", "ior", 6, 2},
+                                           Combo{"HARL", "ior", 6, 2},
+                                           Combo{"MHA", "lanl", 2, 2},
+                                           Combo{"HARL", "btio", 5, 3},
+                                           Combo{"AAL", "hpio", 6, 2}),
+                         combo_name);
+
+}  // namespace
+}  // namespace mha

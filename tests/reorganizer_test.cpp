@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/reorganizer.hpp"
+
+namespace mha::core {
+namespace {
+
+using common::OpType;
+
+trace::TraceRecord rec(int rank, OpType op, common::Offset offset, common::ByteCount size,
+                       common::Seconds t = 0.0) {
+  trace::TraceRecord r;
+  r.rank = rank;
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  r.t_start = t;
+  return r;
+}
+
+trace::Trace make_trace(std::vector<trace::TraceRecord> records) {
+  trace::Trace t;
+  t.file_name = "orig";
+  t.records = std::move(records);
+  return t;
+}
+
+TEST(Reorganizer, ValidatesInputs) {
+  const auto trace = make_trace({rec(0, OpType::kRead, 0, 10)});
+  EXPECT_FALSE(build_plan(trace, {}, {1}, 1).is_ok());       // misaligned assignment
+  EXPECT_FALSE(build_plan(trace, {0}, {}, 1).is_ok());       // misaligned concurrency
+  EXPECT_FALSE(build_plan(trace, {0}, {1}, 0).is_ok());      // no groups
+  EXPECT_FALSE(build_plan(trace, {3}, {1}, 2).is_ok());      // label out of range
+  EXPECT_TRUE(build_plan(trace, {0}, {1}, 1).is_ok());
+}
+
+TEST(Reorganizer, SingleGroupSingleRegion) {
+  const auto trace = make_trace({rec(0, OpType::kWrite, 0, 100), rec(0, OpType::kWrite, 100, 100)});
+  auto plan = build_plan(trace, {0, 0}, {1, 1}, 1);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_EQ(plan->regions.size(), 1u);
+  EXPECT_EQ(plan->regions[0].length, 200u);
+  EXPECT_EQ(plan->regions[0].record_count, 2u);
+  EXPECT_EQ(plan->regions[0].name, "orig.mha.r0");
+  // Contiguous blocks of one group merge into a single DRT entry.
+  EXPECT_EQ(plan->drt.size(), 1u);
+  EXPECT_EQ(plan->drt.covered_bytes(), 200u);
+}
+
+TEST(Reorganizer, InterleavedGroupsReorderByPattern) {
+  // The motivating pattern: small and large requests alternate in the file;
+  // reordering gathers each class contiguously.
+  std::vector<trace::TraceRecord> records;
+  std::vector<int> assignment;
+  common::Offset offset = 0;
+  for (int loop = 0; loop < 4; ++loop) {
+    records.push_back(rec(0, OpType::kWrite, offset, 16));
+    assignment.push_back(0);
+    offset += 16;
+    records.push_back(rec(0, OpType::kWrite, offset, 1024));
+    assignment.push_back(1);
+    offset += 1024;
+  }
+  auto plan = build_plan(make_trace(records), assignment,
+                         std::vector<std::uint32_t>(records.size(), 1), 2);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_EQ(plan->regions.size(), 2u);
+  EXPECT_EQ(plan->regions[0].length, 4 * 16u);
+  EXPECT_EQ(plan->regions[1].length, 4 * 1024u);
+
+  // Every region request is region-relative and inside the region.
+  for (const Region& region : plan->regions) {
+    for (const ModelRequest& r : region.requests) {
+      EXPECT_LT(r.offset, region.length);
+    }
+  }
+  // Region 0's four small blocks are contiguous in the region: their DRT
+  // entries map increasing o_offsets to increasing r_offsets.
+  common::Offset expect_r = 0;
+  for (const DrtEntry& e : plan->drt.entries()) {
+    if (e.r_file == "orig.mha.r0") {
+      EXPECT_EQ(e.r_offset, expect_r);
+      expect_r += e.length;
+    }
+  }
+  EXPECT_EQ(expect_r, 64u);
+}
+
+TEST(Reorganizer, DrtCoversExactlyTouchedBytes) {
+  const auto trace = make_trace({rec(0, OpType::kWrite, 0, 50),
+                                 rec(0, OpType::kWrite, 100, 50),
+                                 rec(1, OpType::kRead, 200, 50)});
+  auto plan = build_plan(trace, {0, 0, 1}, {1, 1, 1}, 2);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan->drt.covered_bytes(), 150u);
+  // The hole [50,100) stays unmapped: lookups there pass through.
+  const auto segs = plan->drt.lookup(50, 50);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_FALSE(segs[0].redirected);
+}
+
+TEST(Reorganizer, FirstToucherClaimsSharedBytes) {
+  // Record 0 (group 0) touches [0,100); record 1 (group 1) touches [50,150).
+  // The overlap [50,100) belongs to group 0; group 1 gets only [100,150).
+  const auto trace =
+      make_trace({rec(0, OpType::kWrite, 0, 100, 0.0), rec(1, OpType::kWrite, 50, 100, 1.0)});
+  auto plan = build_plan(trace, {0, 1}, {1, 1}, 2);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_EQ(plan->regions.size(), 2u);
+  EXPECT_EQ(plan->regions[0].length, 100u);
+  EXPECT_EQ(plan->regions[1].length, 50u);
+  // Record 1's cost anchor is where its first byte actually lives: region 0.
+  EXPECT_EQ(plan->regions[0].requests.size(), 2u);
+  EXPECT_EQ(plan->regions[1].requests.size(), 0u);
+  EXPECT_EQ(plan->regions[1].record_count, 0u);
+}
+
+TEST(Reorganizer, RepeatedAccessClaimsOnce) {
+  const auto trace = make_trace({rec(0, OpType::kRead, 0, 100, 0.0),
+                                 rec(1, OpType::kRead, 0, 100, 1.0),
+                                 rec(2, OpType::kRead, 0, 100, 2.0)});
+  auto plan = build_plan(trace, {0, 0, 0}, {1, 1, 1}, 1);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan->regions[0].length, 100u);  // bytes counted once
+  EXPECT_EQ(plan->regions[0].requests.size(), 3u);
+}
+
+TEST(Reorganizer, EmptyGroupsAreDropped) {
+  const auto trace = make_trace({rec(0, OpType::kRead, 0, 10)});
+  // Declare 3 groups; only group 2 is used.
+  auto plan = build_plan(trace, {2}, {1}, 3);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_EQ(plan->regions.size(), 1u);
+  EXPECT_EQ(plan->regions[0].group, 2);
+}
+
+TEST(Reorganizer, ZeroSizeRecordsIgnored) {
+  const auto trace = make_trace({rec(0, OpType::kRead, 0, 0), rec(0, OpType::kRead, 0, 10)});
+  auto plan = build_plan(trace, {0, 0}, {1, 1}, 1);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan->regions[0].record_count, 1u);
+}
+
+TEST(Reorganizer, ConcurrencyAnnotationsFlowIntoRequests) {
+  const auto trace = make_trace({rec(0, OpType::kWrite, 0, 64), rec(1, OpType::kWrite, 64, 64)});
+  auto plan = build_plan(trace, {0, 0}, {8, 8}, 1);
+  ASSERT_TRUE(plan.is_ok());
+  for (const ModelRequest& r : plan->regions[0].requests) {
+    EXPECT_EQ(r.concurrency, 8u);
+  }
+}
+
+TEST(Reorganizer, CustomRegionSuffix) {
+  ReorganizerOptions options;
+  options.region_suffix = ".zone";
+  const auto trace = make_trace({rec(0, OpType::kRead, 0, 10)});
+  auto plan = build_plan(trace, {0}, {1}, 1, options);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan->regions[0].name, "orig.zone0");
+}
+
+TEST(Reorganizer, ManyInterleavedClaimsRemainDisjoint) {
+  // Stress the interval bookkeeping: overlapping requests from three groups.
+  std::vector<trace::TraceRecord> records;
+  std::vector<int> assignment;
+  for (int i = 0; i < 60; ++i) {
+    records.push_back(rec(i % 4, OpType::kWrite, static_cast<common::Offset>(i) * 37, 64,
+                          0.001 * i));
+    assignment.push_back(i % 3);
+  }
+  auto plan = build_plan(make_trace(records), assignment,
+                         std::vector<std::uint32_t>(records.size(), 4), 3);
+  ASSERT_TRUE(plan.is_ok());
+  // DRT entries must be non-overlapping (insert enforces it) and cover
+  // exactly the union of all touched ranges: [0, 59*37+64).
+  EXPECT_EQ(plan->drt.covered_bytes(), 59u * 37 + 64);
+  // Region lengths sum to the same.
+  common::ByteCount total = 0;
+  for (const Region& region : plan->regions) total += region.length;
+  EXPECT_EQ(total, 59u * 37 + 64);
+}
+
+}  // namespace
+}  // namespace mha::core

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/rssd.hpp"
+
+namespace mha::core {
+namespace {
+
+using common::ByteCount;
+using common::OpType;
+
+CostParams simple_params(std::size_t m, std::size_t n) {
+  CostParams p;
+  p.num_hservers = m;
+  p.num_sservers = n;
+  p.t = 1e-9;
+  p.alpha_h = 2e-3;
+  p.beta_h = 25e-9;
+  p.alpha_sr = 1e-4;
+  p.beta_sr = 2e-9;
+  p.alpha_sw = 2e-4;
+  p.beta_sw = 3e-9;
+  p.gamma_h = 0.1;
+  p.gamma_s = 1.0;
+  return p;
+}
+
+std::vector<ModelRequest> uniform_requests(ByteCount size, std::size_t n,
+                                           std::uint32_t conc = 8) {
+  std::vector<ModelRequest> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ModelRequest{OpType::kRead, i * size, size, conc});
+  }
+  return out;
+}
+
+// Brute force over the same candidate grid RSSD sweeps.
+RssdResult brute_force(const CostModel& model, const std::vector<ModelRequest>& requests,
+                       ByteCount bound_h, ByteCount bound_s, ByteCount step) {
+  const BatchedRegion region = BatchedRegion::build(requests, model.concurrency_aware());
+  RssdResult best;
+  best.best_cost = std::numeric_limits<double>::infinity();
+  for (ByteCount h = 0; h <= bound_h; h += step) {
+    for (ByteCount s = h + step; s <= bound_s; s += step) {
+      const double cost = region.cost(model, h, s);
+      ++best.pairs_evaluated;
+      if (cost < best.best_cost) {
+        best.best_cost = cost;
+        best.best = StripePair{h, s};
+      }
+    }
+  }
+  return best;
+}
+
+TEST(Rssd, RejectsEmptyRegion) {
+  const CostModel model(simple_params(2, 2));
+  EXPECT_FALSE(determine_stripes(model, {}).is_ok());
+}
+
+TEST(Rssd, RejectsAllZeroSizes) {
+  const CostModel model(simple_params(2, 2));
+  std::vector<ModelRequest> requests{{OpType::kRead, 0, 0, 1}};
+  EXPECT_FALSE(determine_stripes(model, requests).is_ok());
+}
+
+TEST(Rssd, RejectsZeroStep) {
+  const CostModel model(simple_params(2, 2));
+  RssdOptions options;
+  options.step = 0;
+  EXPECT_FALSE(determine_stripes(model, uniform_requests(65536, 4), options).is_ok());
+}
+
+TEST(Rssd, RejectsNoSservers) {
+  const CostModel model(simple_params(4, 0));
+  EXPECT_FALSE(determine_stripes(model, uniform_requests(65536, 4)).is_ok());
+}
+
+TEST(Rssd, SStrictlyExceedsH) {
+  const CostModel model(simple_params(6, 2));
+  for (ByteCount size : {ByteCount{16384}, ByteCount{262144}, ByteCount{1048576}}) {
+    auto result = determine_stripes(model, uniform_requests(size, 8));
+    ASSERT_TRUE(result.is_ok()) << size;
+    EXPECT_GT(result->best.s, result->best.h) << size;
+    EXPECT_GT(result->pairs_evaluated, 0u);
+  }
+}
+
+TEST(Rssd, SmallRmaxUsesRmaxBounds) {
+  const CostModel model(simple_params(2, 2));
+  // r_max = 32 KiB < (2+2)*64 KiB -> bounds are r_max (rounded to step).
+  auto result = determine_stripes(model, uniform_requests(32768, 4));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_LE(result->best.s, 32768u);
+}
+
+TEST(Rssd, LargeRmaxDividesByServerCounts) {
+  const CostModel model(simple_params(2, 2));
+  // r_max = 4 MiB >= 4*64 KiB -> B_h = r_max/M = 2 MiB, B_s = r_max/N.
+  auto result = determine_stripes(model, uniform_requests(4 << 20, 4));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_LE(result->best.h, (4u << 20) / 2);
+  EXPECT_LE(result->best.s, (4u << 20) / 2);
+}
+
+TEST(Rssd, TinyRequestsStillYieldACandidate) {
+  const CostModel model(simple_params(6, 2));
+  // r_max = 16 bytes, far below one 4 KiB step: the sweep must still
+  // produce <0, step> at minimum.
+  auto result = determine_stripes(model, uniform_requests(16, 10));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->best.h, 0u);
+  EXPECT_EQ(result->best.s, 4096u);
+}
+
+TEST(Rssd, MatchesBruteForce) {
+  const CostModel model(simple_params(3, 2));
+  RssdOptions options;
+  options.step = 8192;
+  std::vector<ModelRequest> requests;
+  for (std::size_t i = 0; i < 6; ++i) {
+    requests.push_back(ModelRequest{OpType::kRead, i * 100000, 131072, 16});
+    requests.push_back(ModelRequest{OpType::kWrite, i * 200000, 262144, 16});
+  }
+  auto result = determine_stripes(model, requests, options);
+  ASSERT_TRUE(result.is_ok());
+  // Same bounds RSSD derives: r_max = 256 KiB < 5*64 KiB -> bounds r_max.
+  const auto reference = brute_force(model, requests, 262144, 262144, options.step);
+  EXPECT_EQ(result->best, reference.best);
+  EXPECT_DOUBLE_EQ(result->best_cost, reference.best_cost);
+}
+
+TEST(Rssd, ReturnedCostMatchesModelEvaluation) {
+  const CostModel model(simple_params(6, 2));
+  const auto requests = uniform_requests(262144, 12, 32);
+  auto result = determine_stripes(model, requests);
+  ASSERT_TRUE(result.is_ok());
+  const BatchedRegion region = BatchedRegion::build(requests);
+  EXPECT_DOUBLE_EQ(result->best_cost,
+                   region.cost(model, result->best.h, result->best.s));
+}
+
+TEST(Rssd, FinerStepNeverWorse) {
+  const CostModel model(simple_params(6, 2));
+  const auto requests = uniform_requests(262144, 12, 32);
+  RssdOptions coarse;
+  coarse.step = 32768;
+  RssdOptions fine;
+  fine.step = 4096;
+  const auto c = determine_stripes(model, requests, coarse);
+  const auto f = determine_stripes(model, requests, fine);
+  ASSERT_TRUE(c.is_ok());
+  ASSERT_TRUE(f.is_ok());
+  // The fine grid contains every coarse candidate.
+  EXPECT_LE(f->best_cost, c->best_cost + 1e-12);
+  EXPECT_GT(f->pairs_evaluated, c->pairs_evaluated);
+}
+
+TEST(Rssd, HarlBoundsUseAverageSize) {
+  const CostModel model(simple_params(2, 2));
+  RssdOptions harl;
+  harl.adaptive_bounds = false;
+  // Mixed 64 KiB and 4 MiB: average is ~2 MiB, so the HARL-bounded search
+  // cannot return stripes above the average.
+  std::vector<ModelRequest> requests{{OpType::kRead, 0, 65536, 4},
+                                     {OpType::kRead, 1 << 22, 4u << 20, 4}};
+  auto result = determine_stripes(model, requests, harl);
+  ASSERT_TRUE(result.is_ok());
+  const ByteCount avg = (65536u + (4u << 20)) / 2;
+  EXPECT_LE(result->best.s, avg + 4096);
+}
+
+TEST(Rssd, ConcurrencyAwarenessControlsBatching) {
+  // The concurrency-aware model costs whole concurrent batches; the
+  // HARL-era ablation treats every request independently.
+  const auto hot = uniform_requests(1 << 20, 8, 64);  // all at t = 0
+  const BatchedRegion batched = BatchedRegion::build(hot, /*batch_by_time=*/true);
+  const BatchedRegion singles = BatchedRegion::build(hot, /*batch_by_time=*/false);
+  EXPECT_EQ(batched.num_batches(), 1u);
+  EXPECT_EQ(singles.num_batches(), 8u);
+  // A shared batch never costs more than the same requests served one by
+  // one (the sum of individual makespans), and genuinely less when the
+  // batch spreads across servers.
+  const CostModel model(simple_params(6, 2));
+  const double together = batched.cost(model, 65536, 196608);
+  const double alone = singles.cost(model, 65536, 196608);
+  EXPECT_LT(together, alone);
+  // Both variants must still produce valid stripe pairs.
+  const CostModel aware(simple_params(6, 2), true);
+  const CostModel blind(simple_params(6, 2), false);
+  auto a = determine_stripes(aware, hot);
+  auto b = determine_stripes(blind, hot);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_GT(a->best.s, a->best.h);
+  EXPECT_GT(b->best.s, b->best.h);
+}
+
+TEST(StripePairToString, Formats) {
+  EXPECT_EQ((StripePair{32768, 98304}).to_string(), "<32KiB, 96KiB>");
+  EXPECT_EQ((StripePair{0, 4096}).to_string(), "<0B, 4KiB>");
+}
+
+}  // namespace
+}  // namespace mha::core

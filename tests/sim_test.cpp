@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.hpp"
+#include "sim/device.hpp"
+#include "sim/server_sim.hpp"
+
+namespace mha::sim {
+namespace {
+
+using common::OpType;
+using common::ServerKind;
+
+DeviceProfile simple_device() {
+  DeviceProfile d;
+  d.name = "test";
+  d.startup_read = 1.0;
+  d.startup_write = 2.0;
+  d.per_byte_read = 0.001;
+  d.per_byte_write = 0.002;
+  d.queued_startup_factor = 1.0;
+  return d;
+}
+
+// --------------------------------------------------------------- device ---
+
+TEST(Device, ServiceTimeIsLinear) {
+  const DeviceProfile d = simple_device();
+  EXPECT_DOUBLE_EQ(d.service_time(OpType::kRead, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.service_time(OpType::kRead, 100), 1.0 + 0.1);
+  EXPECT_DOUBLE_EQ(d.service_time(OpType::kWrite, 100), 2.0 + 0.2);
+}
+
+TEST(Device, PresetsHaveSaneShapes) {
+  const DeviceProfile hdd = hdd_sata();
+  const DeviceProfile ssd = ssd_pcie();
+  // SSD startup orders of magnitude below HDD positioning.
+  EXPECT_LT(ssd.startup_read * 10, hdd.startup_read);
+  // SSD bandwidth an order of magnitude above the HDD's effective rate.
+  EXPECT_GT(ssd.bandwidth(OpType::kRead), 10 * hdd.bandwidth(OpType::kRead));
+  // SSD reads faster than SSD writes (the asymmetry Table I models).
+  EXPECT_LT(ssd.per_byte_read, ssd.per_byte_write);
+  // The paper's ~3.5x HServer/SServer service gap at the 64 KiB default
+  // holds for the full server path (device + network).
+  ServerSim hserver(ServerKind::kHdd, hdd, gigabit_ethernet());
+  ServerSim sserver(ServerKind::kSsd, ssd, gigabit_ethernet());
+  const double h64 = hserver.service_time(OpType::kRead, 64 * 1024);
+  const double s64 = sserver.service_time(OpType::kRead, 64 * 1024);
+  EXPECT_GT(h64 / s64, 2.5);
+  EXPECT_LT(h64 / s64, 8.0);
+}
+
+TEST(Device, NetworkTransferTime) {
+  const NetworkProfile net = gigabit_ethernet();
+  EXPECT_GT(net.transfer_time(1), net.latency);
+  EXPECT_NEAR(net.transfer_time(117000000), 1.0, 0.01);  // ~1s for ~117MB
+  EXPECT_DOUBLE_EQ(null_network().transfer_time(1 << 20), 0.0);
+}
+
+// --------------------------------------------------------------- server ---
+
+TEST(ServerSim, IdleRequestStartsImmediately) {
+  ServerSim s(ServerKind::kHdd, simple_device(), null_network());
+  const double done = s.submit(OpType::kRead, 100, 5.0);
+  EXPECT_DOUBLE_EQ(done, 5.0 + 1.0 + 0.1);
+  EXPECT_DOUBLE_EQ(s.stats().queue_wait, 0.0);
+}
+
+TEST(ServerSim, FcfsQueueing) {
+  ServerSim s(ServerKind::kHdd, simple_device(), null_network());
+  const double first = s.submit(OpType::kRead, 100, 0.0);   // 0 .. 1.1
+  const double second = s.submit(OpType::kRead, 100, 0.0);  // queued: 1.1 .. 2.2
+  EXPECT_DOUBLE_EQ(first, 1.1);
+  EXPECT_DOUBLE_EQ(second, 2.2);
+  EXPECT_DOUBLE_EQ(s.stats().queue_wait, 1.1);
+  EXPECT_EQ(s.stats().sub_requests, 2u);
+}
+
+TEST(ServerSim, QueuedStartupDiscount) {
+  DeviceProfile d = simple_device();
+  d.queued_startup_factor = 0.25;
+  ServerSim s(ServerKind::kHdd, d, null_network());
+  s.submit(OpType::kRead, 100, 0.0);                        // full startup: 1.1
+  const double second = s.submit(OpType::kRead, 100, 0.0);  // 1.1 + 0.25 + 0.1
+  EXPECT_DOUBLE_EQ(second, 1.1 + 0.35);
+}
+
+TEST(ServerSim, GapResetsDiscount) {
+  DeviceProfile d = simple_device();
+  d.queued_startup_factor = 0.25;
+  ServerSim s(ServerKind::kHdd, d, null_network());
+  s.submit(OpType::kRead, 100, 0.0);  // done at 1.1
+  // Arrives after the queue drained: pays full startup again.
+  const double done = s.submit(OpType::kRead, 100, 10.0);
+  EXPECT_DOUBLE_EQ(done, 10.0 + 1.1);
+}
+
+TEST(ServerSim, ZeroByteRequestIsFree) {
+  ServerSim s(ServerKind::kHdd, simple_device(), null_network());
+  EXPECT_DOUBLE_EQ(s.submit(OpType::kRead, 0, 3.0), 3.0);
+  EXPECT_EQ(s.stats().sub_requests, 0u);
+}
+
+TEST(ServerSim, NetworkCostAdds) {
+  NetworkProfile net;
+  net.per_byte = 0.01;
+  net.latency = 0.5;
+  ServerSim s(ServerKind::kSsd, simple_device(), net);
+  // startup 1 + bytes*(0.001+0.01) + latency 0.5
+  EXPECT_DOUBLE_EQ(s.submit(OpType::kRead, 100, 0.0), 1.0 + 1.1 + 0.5);
+}
+
+TEST(ServerSim, StatsAccumulateByOp) {
+  ServerSim s(ServerKind::kHdd, simple_device(), null_network());
+  s.submit(OpType::kRead, 100, 0.0);
+  s.submit(OpType::kWrite, 200, 0.0);
+  EXPECT_EQ(s.stats().bytes_read, 100u);
+  EXPECT_EQ(s.stats().bytes_written, 200u);
+  EXPECT_EQ(s.stats().bytes_total(), 300u);
+  s.reset_stats();
+  EXPECT_EQ(s.stats().bytes_total(), 0u);
+  // Clock is independent of stats.
+  EXPECT_GT(s.next_free(), 0.0);
+  s.reset_clock();
+  EXPECT_DOUBLE_EQ(s.next_free(), 0.0);
+}
+
+// -------------------------------------------------------------- cluster ---
+
+ClusterConfig test_cluster(std::size_t h, std::size_t s) {
+  ClusterConfig c;
+  c.num_hservers = h;
+  c.num_sservers = s;
+  c.hdd = simple_device();
+  c.ssd = simple_device();
+  c.ssd.startup_read = 0.1;  // make SServers visibly faster
+  c.ssd.per_byte_read = 0.0001;
+  c.network = null_network();
+  return c;
+}
+
+TEST(ClusterSim, OrdersHThenS) {
+  ClusterSim cluster(test_cluster(2, 2));
+  EXPECT_EQ(cluster.num_servers(), 4u);
+  EXPECT_EQ(cluster.num_hservers(), 2u);
+  EXPECT_EQ(cluster.num_sservers(), 2u);
+  EXPECT_EQ(cluster.server(0).kind(), ServerKind::kHdd);
+  EXPECT_EQ(cluster.server(1).kind(), ServerKind::kHdd);
+  EXPECT_EQ(cluster.server(2).kind(), ServerKind::kSsd);
+  EXPECT_EQ(cluster.server(3).kind(), ServerKind::kSsd);
+  EXPECT_TRUE(cluster.is_hserver(1));
+  EXPECT_FALSE(cluster.is_hserver(2));
+}
+
+TEST(ClusterSim, CompletionIsSlowestSubRequest) {
+  ClusterSim cluster(test_cluster(1, 1));
+  // HServer: 1 + 100*0.001 = 1.1; SServer: 0.1 + 100*0.0001 = 0.11.
+  const double done = cluster.submit(
+      {SubRequest{0, OpType::kRead, 100}, SubRequest{1, OpType::kRead, 100}}, 0.0);
+  EXPECT_DOUBLE_EQ(done, 1.1);
+}
+
+TEST(ClusterSim, EmptySubmitCompletesAtArrival) {
+  ClusterSim cluster(test_cluster(1, 1));
+  EXPECT_DOUBLE_EQ(cluster.submit({}, 7.5), 7.5);
+}
+
+TEST(ClusterSim, AggregateStats) {
+  ClusterSim cluster(test_cluster(1, 1));
+  cluster.submit({SubRequest{0, OpType::kWrite, 300}, SubRequest{1, OpType::kRead, 200}}, 0.0);
+  EXPECT_EQ(cluster.total_bytes(), 500u);
+  EXPECT_GT(cluster.max_busy_time(), 0.0);
+  const std::string table = cluster.stats_table();
+  EXPECT_NE(table.find("HServer"), std::string::npos);
+  EXPECT_NE(table.find("SServer"), std::string::npos);
+  cluster.reset_stats();
+  EXPECT_EQ(cluster.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mha::sim

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/units.hpp"
+#include "trace/analysis.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/hpio.hpp"
+#include "workloads/ior.hpp"
+
+namespace mha::workloads {
+namespace {
+
+using common::OpType;
+using namespace mha::common::literals;
+
+// ------------------------------------------------------------------ ior ---
+
+TEST(IorMixedSizes, GeneratesRequestedMix) {
+  IorMixedSizesConfig config;
+  config.num_procs = 8;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = 32_MiB;
+  config.seed = 5;
+  const auto trace = ior_mixed_sizes(config);
+  ASSERT_FALSE(trace.records.empty());
+
+  std::set<common::ByteCount> sizes;
+  std::set<int> ranks;
+  for (const auto& r : trace.records) {
+    sizes.insert(r.size);
+    ranks.insert(r.rank);
+    EXPECT_EQ(r.op, OpType::kWrite);
+    EXPECT_LE(r.offset + r.size, config.file_size);
+    EXPECT_EQ(r.offset % r.size, 0u);  // size-aligned random slots
+  }
+  EXPECT_EQ(sizes, (std::set<common::ByteCount>{128_KiB, 256_KiB}));
+  EXPECT_EQ(ranks.size(), 8u);
+  // Volume is close to the requested file size.
+  common::ByteCount total = 0;
+  for (const auto& r : trace.records) total += r.size;
+  EXPECT_GT(total, config.file_size / 2);
+}
+
+TEST(IorMixedSizes, IterationsShareIssueTime) {
+  IorMixedSizesConfig config;
+  config.num_procs = 4;
+  config.request_sizes = {64_KiB};
+  config.file_size = 4_MiB;
+  const auto trace = ior_mixed_sizes(config);
+  std::map<common::Seconds, int> by_time;
+  for (const auto& r : trace.records) ++by_time[r.t_start];
+  for (const auto& [t, n] : by_time) EXPECT_EQ(n, 4) << t;
+  // Concurrency annotation recovers the process count.
+  const auto conc = trace::request_concurrency(trace.records);
+  for (auto c : conc) EXPECT_EQ(c, 4u);
+}
+
+TEST(IorMixedSizes, DeterministicBySeed) {
+  IorMixedSizesConfig config;
+  config.request_sizes = {64_KiB};
+  config.file_size = 8_MiB;
+  config.seed = 9;
+  const auto a = ior_mixed_sizes(config);
+  const auto b = ior_mixed_sizes(config);
+  EXPECT_EQ(a.records, b.records);
+  config.seed = 10;
+  const auto c = ior_mixed_sizes(config);
+  ASSERT_EQ(c.records.size(), a.records.size());  // structure is seed-independent
+  EXPECT_NE(c.records, a.records);                // offsets are reseeded
+}
+
+TEST(IorMixedSizes, SequentialModeAdvancesCursor) {
+  IorMixedSizesConfig config;
+  config.num_procs = 2;
+  config.request_sizes = {1_KiB};
+  config.file_size = 16_KiB;
+  config.random_offsets = false;
+  const auto trace = ior_mixed_sizes(config);
+  for (std::size_t i = 1; i < trace.records.size(); ++i) {
+    EXPECT_EQ(trace.records[i].offset, trace.records[i - 1].offset + 1_KiB);
+  }
+}
+
+TEST(IorMixedProcs, SectionsSeeDifferentConcurrency) {
+  IorMixedProcsConfig config;
+  config.process_counts = {2, 8};
+  config.request_size = 64_KiB;
+  config.file_size = 16_MiB;
+  const auto trace = ior_mixed_procs(config);
+  ASSERT_FALSE(trace.records.empty());
+
+  const common::ByteCount section = config.file_size / 2;
+  const auto conc = trace::request_concurrency(trace.records);
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const bool low_section = trace.records[i].offset < section;
+    EXPECT_EQ(conc[i], low_section ? 2u : 8u) << "record " << i;
+  }
+}
+
+// ----------------------------------------------------------------- hpio ---
+
+TEST(Hpio, StridedInterleavedOffsets) {
+  HpioConfig config;
+  config.num_procs = 4;
+  config.region_count = 8;
+  config.region_sizes = {16_KiB};
+  config.region_spacing = 0;
+  const auto trace = hpio(config);
+  ASSERT_EQ(trace.records.size(), 32u);
+  // Record i of process p sits at (i*P + p) * size: all offsets distinct,
+  // densely tiling the file.
+  std::set<common::Offset> offsets;
+  for (const auto& r : trace.records) offsets.insert(r.offset);
+  EXPECT_EQ(offsets.size(), 32u);
+  EXPECT_EQ(*offsets.rbegin(), 31u * 16_KiB);
+}
+
+TEST(Hpio, SpacingLeavesGaps) {
+  HpioConfig config;
+  config.num_procs = 2;
+  config.region_count = 2;
+  config.region_sizes = {4_KiB};
+  config.region_spacing = 4_KiB;
+  const auto trace = hpio(config);
+  // Slot is size+space = 8 KiB.
+  EXPECT_EQ(trace.records[1].offset, 8_KiB);
+  EXPECT_EQ(trace.records[2].offset, 16_KiB);
+}
+
+TEST(Hpio, MixedSizesCycle) {
+  HpioConfig config;
+  config.num_procs = 1;
+  config.region_count = 6;
+  config.region_sizes = {16_KiB, 32_KiB, 64_KiB};
+  const auto trace = hpio(config);
+  ASSERT_EQ(trace.records.size(), 6u);
+  EXPECT_EQ(trace.records[0].size, 16_KiB);
+  EXPECT_EQ(trace.records[1].size, 32_KiB);
+  EXPECT_EQ(trace.records[2].size, 64_KiB);
+  EXPECT_EQ(trace.records[3].size, 16_KiB);
+  // No offset collisions even with mixed sizes.
+  std::set<common::Offset> offsets;
+  for (const auto& r : trace.records) {
+    EXPECT_TRUE(offsets.insert(r.offset).second);
+  }
+}
+
+// ----------------------------------------------------------------- btio ---
+
+TEST(Btio, RequiresSquareProcessCounts) {
+  EXPECT_TRUE(btio_procs_valid(9));
+  EXPECT_TRUE(btio_procs_valid(16));
+  EXPECT_TRUE(btio_procs_valid(25));
+  EXPECT_TRUE(btio_procs_valid(1));
+  EXPECT_FALSE(btio_procs_valid(8));
+  EXPECT_FALSE(btio_procs_valid(0));
+  EXPECT_FALSE(btio_procs_valid(-4));
+}
+
+TEST(Btio, InterleavesClassBAndC) {
+  BtioConfig config;
+  config.num_procs = 9;
+  config.time_steps = 8;
+  config.scale = 64;
+  config.include_read_phase = false;
+  const auto trace = btio(config);
+  ASSERT_EQ(trace.records.size(), 8u * 9u);
+  // Two distinct sizes, with the class C slices ~4x the class B slices.
+  std::set<common::ByteCount> sizes;
+  for (const auto& r : trace.records) sizes.insert(r.size);
+  ASSERT_EQ(sizes.size(), 2u);
+  const auto small = *sizes.begin();
+  const auto large = *sizes.rbegin();
+  EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 4.0, 0.5);
+  // Writes append without overlap.
+  std::set<common::Offset> offsets;
+  for (const auto& r : trace.records) EXPECT_TRUE(offsets.insert(r.offset).second);
+}
+
+TEST(Btio, ReadPhaseMirrorsWritePhase) {
+  BtioConfig config;
+  config.num_procs = 4;
+  config.time_steps = 4;
+  config.scale = 64;
+  const auto trace = btio(config);
+  const std::size_t half = trace.records.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(trace.records[i].op, OpType::kWrite);
+    EXPECT_EQ(trace.records[half + i].op, OpType::kRead);
+    EXPECT_EQ(trace.records[half + i].offset, trace.records[i].offset);
+    EXPECT_EQ(trace.records[half + i].size, trace.records[i].size);
+  }
+}
+
+TEST(Btio, ScaleShrinksFootprint) {
+  BtioConfig big;
+  big.scale = 16;
+  big.include_read_phase = false;
+  BtioConfig small = big;
+  small.scale = 64;
+  EXPECT_GT(trace::extent_end(btio(big).records), trace::extent_end(btio(small).records));
+}
+
+// ----------------------------------------------------------------- apps ---
+
+TEST(Lanl, LoopBodyMatchesFig3) {
+  LanlConfig config;
+  config.num_procs = 2;
+  config.loops = 3;
+  const auto trace = lanl_app2(config);
+  ASSERT_EQ(trace.records.size(), 3u * 3u * 2u);
+  // Per loop and process: 16 B, 128K-16 B, 128 KiB — all writes.
+  std::multiset<common::ByteCount> sizes;
+  for (const auto& r : trace.records) {
+    EXPECT_EQ(r.op, OpType::kWrite);
+    sizes.insert(r.size);
+  }
+  EXPECT_EQ(sizes.count(16), 6u);
+  EXPECT_EQ(sizes.count(128_KiB - 16), 6u);
+  EXPECT_EQ(sizes.count(128_KiB), 6u);
+  // Identical sizes are NOT adjacent in file order: sort by offset and check
+  // the motivating interleaving (Fig. 3).
+  auto sorted = trace.records;
+  trace::sort_by_offset(sorted);
+  int runs = 0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].size == sorted[i - 1].size) ++runs;
+  }
+  EXPECT_LT(runs, static_cast<int>(sorted.size()) / 4);
+}
+
+TEST(Lanl, ProcessSectionsDisjoint) {
+  LanlConfig config;
+  config.num_procs = 4;
+  config.loops = 2;
+  const auto trace = lanl_app2(config);
+  // All (offset, size) extents must be pairwise disjoint.
+  auto sorted = trace.records;
+  trace::sort_by_offset(sorted);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].offset + sorted[i - 1].size, sorted[i].offset);
+  }
+}
+
+TEST(Lu, SizesMatchPaper) {
+  LuConfig config;
+  config.num_procs = 2;
+  config.slabs = 16;
+  const auto trace = lu_decomposition(config);
+  common::ByteCount read_min = ~0ULL, read_max = 0;
+  for (const auto& r : trace.records) {
+    if (r.op == OpType::kWrite) {
+      EXPECT_EQ(r.size, 524544u);  // fixed write size
+    } else {
+      read_min = std::min(read_min, r.size);
+      read_max = std::max(read_max, r.size);
+    }
+  }
+  EXPECT_EQ(read_min, 6272u);
+  EXPECT_EQ(read_max, 524544u);
+}
+
+TEST(Lu, AlternatesReadWritePhases) {
+  LuConfig config;
+  config.num_procs = 1;
+  config.slabs = 4;
+  const auto trace = lu_decomposition(config);
+  ASSERT_EQ(trace.records.size(), 8u);
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    EXPECT_EQ(trace.records[i].op, i % 2 == 0 ? OpType::kRead : OpType::kWrite);
+  }
+}
+
+TEST(Cholesky, SizesInPaperRanges) {
+  CholeskyConfig config;
+  config.num_procs = 2;
+  config.panels = 64;
+  const auto trace = sparse_cholesky(config);
+  for (const auto& r : trace.records) {
+    if (r.op == OpType::kRead) {
+      EXPECT_GE(r.size, 2u);
+      EXPECT_LE(r.size, 4206976u);
+    } else {
+      EXPECT_GE(r.size, 131556u);
+      EXPECT_LE(r.size, 4206976u);
+    }
+  }
+}
+
+TEST(Cholesky, WideVarianceFewLargeRequests) {
+  CholeskyConfig config;
+  config.panels = 256;
+  const auto trace = sparse_cholesky(config);
+  std::size_t large = 0, reads = 0;
+  for (const auto& r : trace.records) {
+    if (r.op != OpType::kRead) continue;
+    ++reads;
+    if (r.size > 1u << 21) ++large;
+  }
+  ASSERT_GT(reads, 0u);
+  // "only has a small number of large requests"
+  EXPECT_LT(large, reads / 4);
+  EXPECT_GT(large, 0u);
+}
+
+TEST(Cholesky, SameRequestsForEachClient) {
+  CholeskyConfig config;
+  config.num_procs = 3;
+  config.panels = 8;
+  const auto trace = sparse_cholesky(config);
+  // Group records by step: within one step all ranks issue the same size.
+  std::map<common::Seconds, std::set<common::ByteCount>> by_step;
+  for (const auto& r : trace.records) by_step[r.t_start].insert(r.size);
+  for (const auto& [t, sizes] : by_step) EXPECT_EQ(sizes.size(), 1u) << t;
+}
+
+}  // namespace
+}  // namespace mha::workloads
