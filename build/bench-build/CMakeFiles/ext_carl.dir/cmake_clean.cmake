@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_carl"
+  "../bench/ext_carl.pdb"
+  "CMakeFiles/ext_carl.dir/ext_carl.cpp.o"
+  "CMakeFiles/ext_carl.dir/ext_carl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_carl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

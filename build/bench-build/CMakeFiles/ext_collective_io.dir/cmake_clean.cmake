@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_collective_io"
+  "../bench/ext_collective_io.pdb"
+  "CMakeFiles/ext_collective_io.dir/ext_collective_io.cpp.o"
+  "CMakeFiles/ext_collective_io.dir/ext_collective_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collective_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_online_adaptation"
+  "../bench/ext_online_adaptation.pdb"
+  "CMakeFiles/ext_online_adaptation.dir/ext_online_adaptation.cpp.o"
+  "CMakeFiles/ext_online_adaptation.dir/ext_online_adaptation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_online_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

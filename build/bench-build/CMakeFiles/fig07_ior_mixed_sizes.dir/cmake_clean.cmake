@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_ior_mixed_sizes"
+  "../bench/fig07_ior_mixed_sizes.pdb"
+  "CMakeFiles/fig07_ior_mixed_sizes.dir/fig07_ior_mixed_sizes.cpp.o"
+  "CMakeFiles/fig07_ior_mixed_sizes.dir/fig07_ior_mixed_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ior_mixed_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_server_load"
+  "../bench/fig08_server_load.pdb"
+  "CMakeFiles/fig08_server_load.dir/fig08_server_load.cpp.o"
+  "CMakeFiles/fig08_server_load.dir/fig08_server_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_server_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

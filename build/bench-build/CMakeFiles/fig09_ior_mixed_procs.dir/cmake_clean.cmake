@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_ior_mixed_procs"
+  "../bench/fig09_ior_mixed_procs.pdb"
+  "CMakeFiles/fig09_ior_mixed_procs.dir/fig09_ior_mixed_procs.cpp.o"
+  "CMakeFiles/fig09_ior_mixed_procs.dir/fig09_ior_mixed_procs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ior_mixed_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_ior_mixed_procs.
+# This may be replaced when dependencies are built.

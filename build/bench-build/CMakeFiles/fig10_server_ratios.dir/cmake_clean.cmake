@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_server_ratios"
+  "../bench/fig10_server_ratios.pdb"
+  "CMakeFiles/fig10_server_ratios.dir/fig10_server_ratios.cpp.o"
+  "CMakeFiles/fig10_server_ratios.dir/fig10_server_ratios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_server_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

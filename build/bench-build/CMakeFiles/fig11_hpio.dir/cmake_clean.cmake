@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_hpio"
+  "../bench/fig11_hpio.pdb"
+  "CMakeFiles/fig11_hpio.dir/fig11_hpio.cpp.o"
+  "CMakeFiles/fig11_hpio.dir/fig11_hpio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hpio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_btio_lanl"
+  "../bench/fig12_btio_lanl.pdb"
+  "CMakeFiles/fig12_btio_lanl.dir/fig12_btio_lanl.cpp.o"
+  "CMakeFiles/fig12_btio_lanl.dir/fig12_btio_lanl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_btio_lanl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_btio_lanl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_lu_cholesky"
+  "../bench/fig13_lu_cholesky.pdb"
+  "CMakeFiles/fig13_lu_cholesky.dir/fig13_lu_cholesky.cpp.o"
+  "CMakeFiles/fig13_lu_cholesky.dir/fig13_lu_cholesky.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lu_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

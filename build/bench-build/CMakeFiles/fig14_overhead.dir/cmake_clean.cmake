@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_overhead"
+  "../bench/fig14_overhead.pdb"
+  "CMakeFiles/fig14_overhead.dir/fig14_overhead.cpp.o"
+  "CMakeFiles/fig14_overhead.dir/fig14_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

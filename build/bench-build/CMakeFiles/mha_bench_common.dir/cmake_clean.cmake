@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/mha_bench_common.dir/bench_common.cpp.o.d"
+  "libmha_bench_common.a"
+  "libmha_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_reorder.dir/checkpoint_reorder.cpp.o"
+  "CMakeFiles/checkpoint_reorder.dir/checkpoint_reorder.cpp.o.d"
+  "checkpoint_reorder"
+  "checkpoint_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_optimizer.dir/trace_optimizer.cpp.o"
+  "CMakeFiles/trace_optimizer.dir/trace_optimizer.cpp.o.d"
+  "trace_optimizer"
+  "trace_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

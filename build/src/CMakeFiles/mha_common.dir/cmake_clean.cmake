@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_common.dir/common/crc32.cpp.o"
+  "CMakeFiles/mha_common.dir/common/crc32.cpp.o.d"
+  "CMakeFiles/mha_common.dir/common/log.cpp.o"
+  "CMakeFiles/mha_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/mha_common.dir/common/rng.cpp.o"
+  "CMakeFiles/mha_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/mha_common.dir/common/stats.cpp.o"
+  "CMakeFiles/mha_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/mha_common.dir/common/units.cpp.o"
+  "CMakeFiles/mha_common.dir/common/units.cpp.o.d"
+  "libmha_common.a"
+  "libmha_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/mha_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/drt.cpp" "src/CMakeFiles/mha_core.dir/core/drt.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/drt.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/CMakeFiles/mha_core.dir/core/grouping.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/grouping.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/CMakeFiles/mha_core.dir/core/online.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/online.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/mha_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/placer.cpp" "src/CMakeFiles/mha_core.dir/core/placer.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/placer.cpp.o.d"
+  "/root/repo/src/core/redirector.cpp" "src/CMakeFiles/mha_core.dir/core/redirector.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/redirector.cpp.o.d"
+  "/root/repo/src/core/reorganizer.cpp" "src/CMakeFiles/mha_core.dir/core/reorganizer.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/reorganizer.cpp.o.d"
+  "/root/repo/src/core/rssd.cpp" "src/CMakeFiles/mha_core.dir/core/rssd.cpp.o" "gcc" "src/CMakeFiles/mha_core.dir/core/rssd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/mha_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/drt.cpp.o"
+  "CMakeFiles/mha_core.dir/core/drt.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/grouping.cpp.o"
+  "CMakeFiles/mha_core.dir/core/grouping.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/online.cpp.o"
+  "CMakeFiles/mha_core.dir/core/online.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/mha_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/placer.cpp.o"
+  "CMakeFiles/mha_core.dir/core/placer.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/redirector.cpp.o"
+  "CMakeFiles/mha_core.dir/core/redirector.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/reorganizer.cpp.o"
+  "CMakeFiles/mha_core.dir/core/reorganizer.cpp.o.d"
+  "CMakeFiles/mha_core.dir/core/rssd.cpp.o"
+  "CMakeFiles/mha_core.dir/core/rssd.cpp.o.d"
+  "libmha_core.a"
+  "libmha_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

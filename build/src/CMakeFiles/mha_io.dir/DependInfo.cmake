@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/collective.cpp" "src/CMakeFiles/mha_io.dir/io/collective.cpp.o" "gcc" "src/CMakeFiles/mha_io.dir/io/collective.cpp.o.d"
+  "/root/repo/src/io/mpi_file.cpp" "src/CMakeFiles/mha_io.dir/io/mpi_file.cpp.o" "gcc" "src/CMakeFiles/mha_io.dir/io/mpi_file.cpp.o.d"
+  "/root/repo/src/io/mpi_sim.cpp" "src/CMakeFiles/mha_io.dir/io/mpi_sim.cpp.o" "gcc" "src/CMakeFiles/mha_io.dir/io/mpi_sim.cpp.o.d"
+  "/root/repo/src/io/tracer.cpp" "src/CMakeFiles/mha_io.dir/io/tracer.cpp.o" "gcc" "src/CMakeFiles/mha_io.dir/io/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_io.dir/io/collective.cpp.o"
+  "CMakeFiles/mha_io.dir/io/collective.cpp.o.d"
+  "CMakeFiles/mha_io.dir/io/mpi_file.cpp.o"
+  "CMakeFiles/mha_io.dir/io/mpi_file.cpp.o.d"
+  "CMakeFiles/mha_io.dir/io/mpi_sim.cpp.o"
+  "CMakeFiles/mha_io.dir/io/mpi_sim.cpp.o.d"
+  "CMakeFiles/mha_io.dir/io/tracer.cpp.o"
+  "CMakeFiles/mha_io.dir/io/tracer.cpp.o.d"
+  "libmha_io.a"
+  "libmha_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

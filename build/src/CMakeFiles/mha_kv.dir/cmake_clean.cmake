@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_kv.dir/kv/kvstore.cpp.o"
+  "CMakeFiles/mha_kv.dir/kv/kvstore.cpp.o.d"
+  "libmha_kv.a"
+  "libmha_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layouts/aal.cpp" "src/CMakeFiles/mha_layouts.dir/layouts/aal.cpp.o" "gcc" "src/CMakeFiles/mha_layouts.dir/layouts/aal.cpp.o.d"
+  "/root/repo/src/layouts/carl.cpp" "src/CMakeFiles/mha_layouts.dir/layouts/carl.cpp.o" "gcc" "src/CMakeFiles/mha_layouts.dir/layouts/carl.cpp.o.d"
+  "/root/repo/src/layouts/def.cpp" "src/CMakeFiles/mha_layouts.dir/layouts/def.cpp.o" "gcc" "src/CMakeFiles/mha_layouts.dir/layouts/def.cpp.o.d"
+  "/root/repo/src/layouts/harl.cpp" "src/CMakeFiles/mha_layouts.dir/layouts/harl.cpp.o" "gcc" "src/CMakeFiles/mha_layouts.dir/layouts/harl.cpp.o.d"
+  "/root/repo/src/layouts/mha_scheme.cpp" "src/CMakeFiles/mha_layouts.dir/layouts/mha_scheme.cpp.o" "gcc" "src/CMakeFiles/mha_layouts.dir/layouts/mha_scheme.cpp.o.d"
+  "/root/repo/src/layouts/scheme.cpp" "src/CMakeFiles/mha_layouts.dir/layouts/scheme.cpp.o" "gcc" "src/CMakeFiles/mha_layouts.dir/layouts/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

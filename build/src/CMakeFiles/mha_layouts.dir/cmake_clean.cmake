@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_layouts.dir/layouts/aal.cpp.o"
+  "CMakeFiles/mha_layouts.dir/layouts/aal.cpp.o.d"
+  "CMakeFiles/mha_layouts.dir/layouts/carl.cpp.o"
+  "CMakeFiles/mha_layouts.dir/layouts/carl.cpp.o.d"
+  "CMakeFiles/mha_layouts.dir/layouts/def.cpp.o"
+  "CMakeFiles/mha_layouts.dir/layouts/def.cpp.o.d"
+  "CMakeFiles/mha_layouts.dir/layouts/harl.cpp.o"
+  "CMakeFiles/mha_layouts.dir/layouts/harl.cpp.o.d"
+  "CMakeFiles/mha_layouts.dir/layouts/mha_scheme.cpp.o"
+  "CMakeFiles/mha_layouts.dir/layouts/mha_scheme.cpp.o.d"
+  "CMakeFiles/mha_layouts.dir/layouts/scheme.cpp.o"
+  "CMakeFiles/mha_layouts.dir/layouts/scheme.cpp.o.d"
+  "libmha_layouts.a"
+  "libmha_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

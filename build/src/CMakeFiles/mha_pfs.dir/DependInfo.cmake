@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/data_server.cpp" "src/CMakeFiles/mha_pfs.dir/pfs/data_server.cpp.o" "gcc" "src/CMakeFiles/mha_pfs.dir/pfs/data_server.cpp.o.d"
+  "/root/repo/src/pfs/extent_store.cpp" "src/CMakeFiles/mha_pfs.dir/pfs/extent_store.cpp.o" "gcc" "src/CMakeFiles/mha_pfs.dir/pfs/extent_store.cpp.o.d"
+  "/root/repo/src/pfs/file_system.cpp" "src/CMakeFiles/mha_pfs.dir/pfs/file_system.cpp.o" "gcc" "src/CMakeFiles/mha_pfs.dir/pfs/file_system.cpp.o.d"
+  "/root/repo/src/pfs/layout.cpp" "src/CMakeFiles/mha_pfs.dir/pfs/layout.cpp.o" "gcc" "src/CMakeFiles/mha_pfs.dir/pfs/layout.cpp.o.d"
+  "/root/repo/src/pfs/metadata_server.cpp" "src/CMakeFiles/mha_pfs.dir/pfs/metadata_server.cpp.o" "gcc" "src/CMakeFiles/mha_pfs.dir/pfs/metadata_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_pfs.dir/pfs/data_server.cpp.o"
+  "CMakeFiles/mha_pfs.dir/pfs/data_server.cpp.o.d"
+  "CMakeFiles/mha_pfs.dir/pfs/extent_store.cpp.o"
+  "CMakeFiles/mha_pfs.dir/pfs/extent_store.cpp.o.d"
+  "CMakeFiles/mha_pfs.dir/pfs/file_system.cpp.o"
+  "CMakeFiles/mha_pfs.dir/pfs/file_system.cpp.o.d"
+  "CMakeFiles/mha_pfs.dir/pfs/layout.cpp.o"
+  "CMakeFiles/mha_pfs.dir/pfs/layout.cpp.o.d"
+  "CMakeFiles/mha_pfs.dir/pfs/metadata_server.cpp.o"
+  "CMakeFiles/mha_pfs.dir/pfs/metadata_server.cpp.o.d"
+  "libmha_pfs.a"
+  "libmha_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

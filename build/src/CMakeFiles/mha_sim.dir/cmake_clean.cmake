@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_sim.dir/sim/cluster_sim.cpp.o"
+  "CMakeFiles/mha_sim.dir/sim/cluster_sim.cpp.o.d"
+  "CMakeFiles/mha_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/mha_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/mha_sim.dir/sim/server_sim.cpp.o"
+  "CMakeFiles/mha_sim.dir/sim/server_sim.cpp.o.d"
+  "libmha_sim.a"
+  "libmha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

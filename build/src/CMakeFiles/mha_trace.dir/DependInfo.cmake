@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/mha_trace.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/mha_trace.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/mha_trace.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/mha_trace.dir/trace/record.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/mha_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/mha_trace.dir/trace/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_trace.dir/trace/analysis.cpp.o"
+  "CMakeFiles/mha_trace.dir/trace/analysis.cpp.o.d"
+  "CMakeFiles/mha_trace.dir/trace/record.cpp.o"
+  "CMakeFiles/mha_trace.dir/trace/record.cpp.o.d"
+  "CMakeFiles/mha_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/mha_trace.dir/trace/trace_io.cpp.o.d"
+  "libmha_trace.a"
+  "libmha_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

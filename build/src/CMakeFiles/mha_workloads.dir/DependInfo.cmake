@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps.cpp" "src/CMakeFiles/mha_workloads.dir/workloads/apps.cpp.o" "gcc" "src/CMakeFiles/mha_workloads.dir/workloads/apps.cpp.o.d"
+  "/root/repo/src/workloads/btio.cpp" "src/CMakeFiles/mha_workloads.dir/workloads/btio.cpp.o" "gcc" "src/CMakeFiles/mha_workloads.dir/workloads/btio.cpp.o.d"
+  "/root/repo/src/workloads/hpio.cpp" "src/CMakeFiles/mha_workloads.dir/workloads/hpio.cpp.o" "gcc" "src/CMakeFiles/mha_workloads.dir/workloads/hpio.cpp.o.d"
+  "/root/repo/src/workloads/ior.cpp" "src/CMakeFiles/mha_workloads.dir/workloads/ior.cpp.o" "gcc" "src/CMakeFiles/mha_workloads.dir/workloads/ior.cpp.o.d"
+  "/root/repo/src/workloads/replayer.cpp" "src/CMakeFiles/mha_workloads.dir/workloads/replayer.cpp.o" "gcc" "src/CMakeFiles/mha_workloads.dir/workloads/replayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_layouts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_workloads.dir/workloads/apps.cpp.o"
+  "CMakeFiles/mha_workloads.dir/workloads/apps.cpp.o.d"
+  "CMakeFiles/mha_workloads.dir/workloads/btio.cpp.o"
+  "CMakeFiles/mha_workloads.dir/workloads/btio.cpp.o.d"
+  "CMakeFiles/mha_workloads.dir/workloads/hpio.cpp.o"
+  "CMakeFiles/mha_workloads.dir/workloads/hpio.cpp.o.d"
+  "CMakeFiles/mha_workloads.dir/workloads/ior.cpp.o"
+  "CMakeFiles/mha_workloads.dir/workloads/ior.cpp.o.d"
+  "CMakeFiles/mha_workloads.dir/workloads/replayer.cpp.o"
+  "CMakeFiles/mha_workloads.dir/workloads/replayer.cpp.o.d"
+  "libmha_workloads.a"
+  "libmha_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmha_workloads.a"
+)

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_core_tests.dir/online_test.cpp.o"
+  "CMakeFiles/mha_core_tests.dir/online_test.cpp.o.d"
+  "CMakeFiles/mha_core_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/mha_core_tests.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/mha_core_tests.dir/reorganizer_test.cpp.o"
+  "CMakeFiles/mha_core_tests.dir/reorganizer_test.cpp.o.d"
+  "mha_core_tests"
+  "mha_core_tests.pdb"
+  "mha_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

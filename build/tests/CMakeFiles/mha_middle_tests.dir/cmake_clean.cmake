@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_middle_tests.dir/collective_test.cpp.o"
+  "CMakeFiles/mha_middle_tests.dir/collective_test.cpp.o.d"
+  "CMakeFiles/mha_middle_tests.dir/cost_model_test.cpp.o"
+  "CMakeFiles/mha_middle_tests.dir/cost_model_test.cpp.o.d"
+  "CMakeFiles/mha_middle_tests.dir/drt_test.cpp.o"
+  "CMakeFiles/mha_middle_tests.dir/drt_test.cpp.o.d"
+  "CMakeFiles/mha_middle_tests.dir/grouping_test.cpp.o"
+  "CMakeFiles/mha_middle_tests.dir/grouping_test.cpp.o.d"
+  "CMakeFiles/mha_middle_tests.dir/io_test.cpp.o"
+  "CMakeFiles/mha_middle_tests.dir/io_test.cpp.o.d"
+  "CMakeFiles/mha_middle_tests.dir/rssd_test.cpp.o"
+  "CMakeFiles/mha_middle_tests.dir/rssd_test.cpp.o.d"
+  "CMakeFiles/mha_middle_tests.dir/trace_test.cpp.o"
+  "CMakeFiles/mha_middle_tests.dir/trace_test.cpp.o.d"
+  "mha_middle_tests"
+  "mha_middle_tests.pdb"
+  "mha_middle_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_middle_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/mha_substrate_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/mha_substrate_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/extent_store_test.cpp" "tests/CMakeFiles/mha_substrate_tests.dir/extent_store_test.cpp.o" "gcc" "tests/CMakeFiles/mha_substrate_tests.dir/extent_store_test.cpp.o.d"
+  "/root/repo/tests/kv_test.cpp" "tests/CMakeFiles/mha_substrate_tests.dir/kv_test.cpp.o" "gcc" "tests/CMakeFiles/mha_substrate_tests.dir/kv_test.cpp.o.d"
+  "/root/repo/tests/layout_test.cpp" "tests/CMakeFiles/mha_substrate_tests.dir/layout_test.cpp.o" "gcc" "tests/CMakeFiles/mha_substrate_tests.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/pfs_test.cpp" "tests/CMakeFiles/mha_substrate_tests.dir/pfs_test.cpp.o" "gcc" "tests/CMakeFiles/mha_substrate_tests.dir/pfs_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/mha_substrate_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/mha_substrate_tests.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

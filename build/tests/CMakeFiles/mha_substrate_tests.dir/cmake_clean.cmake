@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_substrate_tests.dir/common_test.cpp.o"
+  "CMakeFiles/mha_substrate_tests.dir/common_test.cpp.o.d"
+  "CMakeFiles/mha_substrate_tests.dir/extent_store_test.cpp.o"
+  "CMakeFiles/mha_substrate_tests.dir/extent_store_test.cpp.o.d"
+  "CMakeFiles/mha_substrate_tests.dir/kv_test.cpp.o"
+  "CMakeFiles/mha_substrate_tests.dir/kv_test.cpp.o.d"
+  "CMakeFiles/mha_substrate_tests.dir/layout_test.cpp.o"
+  "CMakeFiles/mha_substrate_tests.dir/layout_test.cpp.o.d"
+  "CMakeFiles/mha_substrate_tests.dir/pfs_test.cpp.o"
+  "CMakeFiles/mha_substrate_tests.dir/pfs_test.cpp.o.d"
+  "CMakeFiles/mha_substrate_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/mha_substrate_tests.dir/sim_test.cpp.o.d"
+  "mha_substrate_tests"
+  "mha_substrate_tests.pdb"
+  "mha_substrate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_substrate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

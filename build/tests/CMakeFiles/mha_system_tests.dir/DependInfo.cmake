@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/mha_system_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/mha_system_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/mha_system_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/mha_system_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/schemes_test.cpp" "tests/CMakeFiles/mha_system_tests.dir/schemes_test.cpp.o" "gcc" "tests/CMakeFiles/mha_system_tests.dir/schemes_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/mha_system_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/mha_system_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mha_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_layouts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

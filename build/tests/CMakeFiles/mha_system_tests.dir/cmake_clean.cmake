@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_system_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/mha_system_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/mha_system_tests.dir/properties_test.cpp.o"
+  "CMakeFiles/mha_system_tests.dir/properties_test.cpp.o.d"
+  "CMakeFiles/mha_system_tests.dir/schemes_test.cpp.o"
+  "CMakeFiles/mha_system_tests.dir/schemes_test.cpp.o.d"
+  "CMakeFiles/mha_system_tests.dir/workloads_test.cpp.o"
+  "CMakeFiles/mha_system_tests.dir/workloads_test.cpp.o.d"
+  "mha_system_tests"
+  "mha_system_tests.pdb"
+  "mha_system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
