@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate under sanitizers: configure + build + ctest with the `asan`
+# preset (-fsanitize=address,undefined).  Run from anywhere; exits non-zero
+# on the first failing step so it slots into CI as-is.
+#
+# LeakSanitizer is disabled via the preset's ASAN_OPTIONS: it needs ptrace,
+# which sandboxed containers commonly deny, and the suite's processes are
+# short-lived anyway — ASan/UBSan keep memory errors and UB covered.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset asan
+cmake --build --preset asan -j "${jobs}"
+ctest --preset asan -j "${jobs}"

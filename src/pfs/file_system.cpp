@@ -1,8 +1,6 @@
 #include "pfs/file_system.hpp"
 
-#include <cstdio>
-
-#include "common/units.hpp"
+#include <algorithm>
 
 namespace mha::pfs {
 
@@ -16,6 +14,33 @@ HybridPfs::HybridPfs(const sim::ClusterConfig& config, PfsOptions options)
   for (std::size_t i = 0; i < config.num_sservers; ++i) {
     servers_.push_back(std::make_unique<DataServer>(common::ServerKind::kSsd, config.ssd,
                                                     config.network, options.store_data));
+  }
+  std::vector<sim::ServerSim*> sims;
+  sims.reserve(servers_.size());
+  for (auto& server : servers_) sims.push_back(&server->sim());
+  row_ = sched::ServerRow(std::move(sims), num_hservers_);
+}
+
+void HybridPfs::dispatch(common::OpType op, const std::vector<common::ByteCount>& per_server,
+                         common::Seconds arrival, IoResult& result) const {
+  if (scheduler_ != nullptr) {
+    std::vector<sim::SubRequest> subs;
+    for (std::size_t i = 0; i < per_server.size(); ++i) {
+      if (per_server[i] == 0) continue;
+      subs.push_back(sim::SubRequest{i, op, per_server[i]});
+    }
+    const sched::DispatchResult out = scheduler_->dispatch(row_, subs, arrival);
+    result.completion = std::max(result.completion, out.completion);
+    result.sub_requests += out.sub_requests;
+    result.servers_touched += subs.size();
+    return;
+  }
+  for (std::size_t i = 0; i < per_server.size(); ++i) {
+    if (per_server[i] == 0) continue;
+    const common::Seconds done = row_.server(i).submit(op, per_server[i], arrival);
+    result.completion = std::max(result.completion, done);
+    ++result.sub_requests;
+    ++result.servers_touched;
   }
 }
 
@@ -57,14 +82,7 @@ common::Result<IoResult> HybridPfs::write(common::FileId file, common::Offset of
                                 data + (sub.logical_offset - offset), sub.length);
     per_server[sub.server] += sub.length;
   }
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    if (per_server[i] == 0) continue;
-    const common::Seconds done =
-        servers_[i]->sim().submit(common::OpType::kWrite, per_server[i], arrival);
-    result.completion = std::max(result.completion, done);
-    ++result.sub_requests;
-    ++result.servers_touched;
-  }
+  dispatch(common::OpType::kWrite, per_server, arrival, result);
   mds_.extend(file, offset + size);
   return result;
 }
@@ -82,15 +100,7 @@ common::Result<IoResult> HybridPfs::read(common::FileId file, common::Offset off
                                sub.length);
     per_server[sub.server] += sub.length;
   }
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    if (per_server[i] == 0) continue;
-    auto* server = const_cast<DataServer*>(servers_[i].get());
-    const common::Seconds done =
-        server->sim().submit(common::OpType::kRead, per_server[i], arrival);
-    result.completion = std::max(result.completion, done);
-    ++result.sub_requests;
-    ++result.servers_touched;
-  }
+  dispatch(common::OpType::kRead, per_server, arrival, result);
   return result;
 }
 
@@ -132,15 +142,9 @@ void HybridPfs::reset_clocks() {
 }
 
 std::string HybridPfs::stats_table() const {
-  std::string out = "server  kind     bytes        busy(s)   wait(s)\n";
-  char line[160];
+  std::string out = sim::stats_table_header();
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    const auto& st = servers_[i]->sim().stats();
-    std::snprintf(line, sizeof(line), "S%-6zu %-8s %-12s %-9.4f %-9.4f\n", i,
-                  common::to_string(servers_[i]->kind()),
-                  common::format_bytes(st.bytes_total()).c_str(), st.busy_time,
-                  st.queue_wait);
-    out += line;
+    out += sim::stats_table_row(i, servers_[i]->sim());
   }
   return out;
 }

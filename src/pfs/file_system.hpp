@@ -18,6 +18,7 @@
 #include "common/types.hpp"
 #include "pfs/data_server.hpp"
 #include "pfs/metadata_server.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/cluster_sim.hpp"
 
 namespace mha::pfs {
@@ -53,6 +54,15 @@ class HybridPfs {
   const MetadataServer& mds() const { return mds_; }
   DataServer& data_server(std::size_t i) { return *servers_[i]; }
   const DataServer& data_server(std::size_t i) const { return *servers_[i]; }
+
+  /// Attaches a client-side I/O scheduler (borrowed; may be nullptr).  When
+  /// set, every read/write dispatches its sub-requests through the policy;
+  /// null keeps the direct FCFS-at-arrival path.
+  void set_scheduler(sched::Scheduler* scheduler) { scheduler_ = scheduler; }
+  sched::Scheduler* scheduler() const { return scheduler_; }
+
+  /// The scheduler-facing view over this cluster's server queues.
+  const sched::ServerRow& server_row() const { return row_; }
 
   /// Creates a file with the given layout (layout width count must equal the
   /// server count).
@@ -98,10 +108,17 @@ class HybridPfs {
   std::string stats_table() const;
 
  private:
+  /// Charges the per-server sub-requests of one file request, either through
+  /// the attached scheduler or directly (FCFS at arrival).
+  void dispatch(common::OpType op, const std::vector<common::ByteCount>& per_server,
+                common::Seconds arrival, IoResult& result) const;
+
   sim::ClusterConfig config_;
   MetadataServer mds_;
   std::vector<std::unique_ptr<DataServer>> servers_;
   std::size_t num_hservers_ = 0;
+  sched::Scheduler* scheduler_ = nullptr;
+  sched::ServerRow row_;
 };
 
 /// The file-system default stripe size (OrangeFS ships 64 KiB).

@@ -1,0 +1,26 @@
+#include "sched/fcfs.hpp"
+
+#include <algorithm>
+
+namespace mha::sched {
+
+DispatchResult FcfsScheduler::dispatch(const ServerRow& row,
+                                       const std::vector<sim::SubRequest>& subs,
+                                       common::Seconds arrival) {
+  DispatchResult result;
+  result.completion = arrival;
+  for (const sim::SubRequest& sub : subs) {
+    sim::ServerSim& server = row.server(sub.server);
+    metrics_.observe_backlog(sub.server, server.backlog(arrival));
+    result.completion =
+        std::max(result.completion, server.submit(sub.op, sub.bytes, arrival));
+    ++result.sub_requests;
+  }
+  metrics_.subs += result.sub_requests;
+  metrics_.observe_request(result.completion - arrival);
+  return result;
+}
+
+std::unique_ptr<Scheduler> make_fcfs() { return std::make_unique<FcfsScheduler>(); }
+
+}  // namespace mha::sched

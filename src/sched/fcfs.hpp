@@ -1,0 +1,23 @@
+// The baseline policy: first-come-first-served, no look-ahead.
+//
+// Every sub-request is submitted at its arrival time in arrival order —
+// bit-for-bit the dispatch the PFS performed before the scheduler layer
+// existed, so FCFS doubles as the regression oracle for the wiring (see
+// tests/sched_test.cpp FcfsMatchesDirectSubmit).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace mha::sched {
+
+class FcfsScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "fcfs"; }
+
+  DispatchResult dispatch(const ServerRow& row, const std::vector<sim::SubRequest>& subs,
+                          common::Seconds arrival) override;
+};
+
+std::unique_ptr<Scheduler> make_fcfs();
+
+}  // namespace mha::sched

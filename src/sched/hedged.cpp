@@ -1,0 +1,86 @@
+#include "sched/hedged.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mha::sched {
+
+HedgedReadScheduler::HedgedReadScheduler(HedgedReadOptions options) : options_(options) {}
+
+double HedgedReadScheduler::straggler_threshold() const {
+  if (samples_ < options_.warmup_subs) return std::numeric_limits<double>::infinity();
+  return srtt_ + options_.straggler_k * rttvar_;
+}
+
+void HedgedReadScheduler::update_ewma(double latency) {
+  if (samples_ == 0) {
+    srtt_ = latency;
+    rttvar_ = latency / 2.0;
+  } else {
+    const double err = latency - srtt_;
+    srtt_ += options_.ewma_alpha * err;
+    rttvar_ += options_.ewma_beta * (std::abs(err) - rttvar_);
+  }
+  ++samples_;
+}
+
+DispatchResult HedgedReadScheduler::dispatch(const ServerRow& row,
+                                             const std::vector<sim::SubRequest>& subs,
+                                             common::Seconds arrival) {
+  DispatchResult result;
+  result.completion = arrival;
+  for (const sim::SubRequest& sub : subs) {
+    sim::ServerSim& primary = row.server(sub.server);
+    metrics_.observe_backlog(sub.server, primary.backlog(arrival));
+
+    const double predicted = primary.predict(sub.op, sub.bytes, arrival) - arrival;
+    const bool hedgeable = sub.op == common::OpType::kRead &&
+                           row.is_hserver(sub.server) && row.num_sservers() > 0 &&
+                           sub.bytes <= options_.max_hedge_bytes;
+
+    common::Seconds done;
+    if (predicted > straggler_threshold() && hedgeable) {
+      ++metrics_.straggler_detections;
+      // Replica target: the SServer predicting the earliest completion.
+      std::size_t replica = row.num_hservers();
+      common::Seconds best = std::numeric_limits<double>::infinity();
+      for (std::size_t s = row.num_hservers(); s < row.size(); ++s) {
+        const common::Seconds t = row.server(s).predict(sub.op, sub.bytes, arrival);
+        if (t < best) {
+          best = t;
+          replica = s;
+        }
+      }
+      const sim::Charge primary_charge = primary.charge(sub.op, sub.bytes, arrival);
+      const sim::Charge replica_charge =
+          row.server(replica).charge(sub.op, sub.bytes, arrival);
+      ++metrics_.hedges_issued;
+      ++result.hedges;
+      if (replica_charge.completion < primary_charge.completion) {
+        ++metrics_.hedges_won;
+        primary.try_cancel(primary_charge);
+        done = replica_charge.completion;
+      } else {
+        ++metrics_.hedges_lost;
+        row.server(replica).try_cancel(replica_charge);
+        done = primary_charge.completion;
+      }
+    } else {
+      done = primary.submit(sub.op, sub.bytes, arrival);
+    }
+
+    update_ewma(done - arrival);
+    result.completion = std::max(result.completion, done);
+    ++result.sub_requests;
+  }
+  metrics_.subs += result.sub_requests;
+  metrics_.observe_request(result.completion - arrival);
+  return result;
+}
+
+std::unique_ptr<Scheduler> make_hedged_read(HedgedReadOptions options) {
+  return std::make_unique<HedgedReadScheduler>(options);
+}
+
+}  // namespace mha::sched

@@ -1,0 +1,60 @@
+// Hedged-read policy: duplicate straggler-bound reads to an SServer replica
+// and cancel the loser's charge.
+//
+// The client keeps a TCP-RTO-style estimate of sub-request latency (srtt
+// smoothed with alpha, mean deviation with beta).  When a read sub-request's
+// predicted completion — queue backlog plus service, exact under virtual
+// time — exceeds srtt + k·rttvar, the primary is a straggler: the read is
+// also charged to the least-loaded SServer, modelling a replica copy held on
+// the SSD tier.  Whichever copy finishes first is the one the request waits
+// on; the loser's charge is cancelled (ServerSim::try_cancel), so a lost
+// hedge costs nothing in virtual time while a won hedge consumes real SSD
+// queue capacity — later arrivals on the replica see its charge.
+//
+// Writes are never hedged (a duplicate write would fork the replica), and
+// requests whose primary already is an SServer are not hedged either — the
+// hedge target pool is the SSD tier.  With no SServers in the row the policy
+// degrades to FCFS.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace mha::sched {
+
+struct HedgedReadOptions {
+  /// EWMA smoothing for the latency estimate (TCP-style alpha/beta).
+  double ewma_alpha = 0.125;
+  double ewma_beta = 0.25;
+  /// Hedge when predicted latency > srtt + k * rttvar.
+  double straggler_k = 3.0;
+  /// Samples required before the threshold is trusted (no hedges earlier).
+  std::size_t warmup_subs = 16;
+  /// Never duplicate sub-requests larger than this (a huge duplicate would
+  /// monopolise the replica tier for a marginal tail win).
+  common::ByteCount max_hedge_bytes = 4 * 1024 * 1024;
+};
+
+class HedgedReadScheduler : public Scheduler {
+ public:
+  explicit HedgedReadScheduler(HedgedReadOptions options = {});
+
+  std::string name() const override { return "hedged-read"; }
+
+  DispatchResult dispatch(const ServerRow& row, const std::vector<sim::SubRequest>& subs,
+                          common::Seconds arrival) override;
+
+  /// Current hedge trigger (infinite during warmup).
+  double straggler_threshold() const;
+
+ private:
+  void update_ewma(double latency);
+
+  HedgedReadOptions options_;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+std::unique_ptr<Scheduler> make_hedged_read(HedgedReadOptions options = {});
+
+}  // namespace mha::sched

@@ -1,0 +1,141 @@
+#include "sched/load_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mha::sched {
+
+LoadAwareScheduler::LoadAwareScheduler(LoadAwareOptions options) : options_(options) {}
+
+void LoadAwareScheduler::drain_ledger(common::Seconds now) {
+  while (!ledger_.empty() && ledger_.front().completion <= now) {
+    std::pop_heap(ledger_.begin(), ledger_.end(), std::greater<>());
+    const InFlight& done = ledger_.back();
+    outstanding_[done.server] -= done.bytes;
+    ledger_.pop_back();
+  }
+}
+
+void LoadAwareScheduler::update_ewma(common::OpType op, double latency,
+                                     common::ByteCount bytes) {
+  const auto o = static_cast<std::size_t>(op);
+  const double rate = latency / static_cast<double>(bytes);
+  if (!rate_init_[o]) {
+    rate_[o] = rate;
+    rate_init_[o] = true;
+    sub_srtt_[o] = latency;
+    sub_rttvar_[o] = latency / 2.0;
+  } else {
+    rate_[o] += options_.ewma_alpha * (rate - rate_[o]);
+    const double err = latency - sub_srtt_[o];
+    sub_srtt_[o] += options_.ewma_alpha * err;
+    sub_rttvar_[o] += options_.ewma_beta * (std::abs(err) - sub_rttvar_[o]);
+  }
+  ++sub_samples_;
+}
+
+double LoadAwareScheduler::predicted_duration(common::OpType op,
+                                              common::ByteCount size) const {
+  const auto o = static_cast<std::size_t>(op);
+  if (!rate_init_[o]) return static_cast<double>(size);
+  return rate_[o] * static_cast<double>(size);
+}
+
+bool LoadAwareScheduler::straggler(std::size_t server) const {
+  return server < flagged_.size() && flagged_[server];
+}
+
+common::ByteCount LoadAwareScheduler::outstanding_bytes(std::size_t server) const {
+  return server < outstanding_.size() ? outstanding_[server] : 0;
+}
+
+DispatchResult LoadAwareScheduler::dispatch(const ServerRow& row,
+                                            const std::vector<sim::SubRequest>& subs,
+                                            common::Seconds arrival) {
+  if (flagged_.size() < row.size()) {
+    flagged_.resize(row.size(), false);
+    outstanding_.resize(row.size(), 0);
+  }
+  drain_ledger(arrival);
+
+  DispatchResult result;
+  result.completion = arrival;
+  for (const sim::SubRequest& sub : subs) {
+    sim::ServerSim& server = row.server(sub.server);
+    metrics_.observe_backlog(sub.server, server.backlog(arrival));
+
+    const auto o = static_cast<std::size_t>(sub.op);
+    const double predicted = server.predict(sub.op, sub.bytes, arrival) - arrival;
+    if (sub_samples_ >= options_.warmup_subs && rate_init_[o]) {
+      const bool breach =
+          predicted > sub_srtt_[o] + options_.straggler_k * sub_rttvar_[o];
+      if (breach) ++metrics_.straggler_detections;
+      flagged_[sub.server] = breach;
+    }
+
+    const common::Seconds done = server.submit(sub.op, sub.bytes, arrival);
+    update_ewma(sub.op, done - arrival, sub.bytes);
+    outstanding_[sub.server] += sub.bytes;
+    ledger_.push_back({done, sub.server, sub.bytes});
+    std::push_heap(ledger_.begin(), ledger_.end(), std::greater<>());
+
+    result.completion = std::max(result.completion, done);
+    ++result.sub_requests;
+  }
+  metrics_.subs += result.sub_requests;
+
+  const double latency = result.completion - arrival;
+  metrics_.observe_request(latency);
+  if (req_samples_ == 0) {
+    req_srtt_ = latency;
+    req_rttvar_ = latency / 2.0;
+  } else {
+    const double err = latency - req_srtt_;
+    req_srtt_ += options_.ewma_alpha * err;
+    req_rttvar_ += options_.ewma_beta * (std::abs(err) - req_rttvar_);
+  }
+  ++req_samples_;
+  return result;
+}
+
+std::vector<std::size_t> LoadAwareScheduler::plan(
+    const std::vector<common::Request>& batch) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const bool threshold_ready = req_samples_ >= options_.warmup_subs;
+  const double threshold = req_srtt_ + options_.straggler_k * req_rttvar_;
+
+  for (std::size_t begin = 0; begin < order.size(); begin += options_.window) {
+    const std::size_t end = std::min(begin + options_.window, order.size());
+    // Deferred (straggler-bound) requests sort behind every healthy one;
+    // inside each class, shortest predicted duration first.
+    std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                     order.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::size_t a, std::size_t b) {
+                       const double da =
+                           predicted_duration(batch[a].op, batch[a].size);
+                       const double db =
+                           predicted_duration(batch[b].op, batch[b].size);
+                       const bool defer_a = threshold_ready && da > threshold;
+                       const bool defer_b = threshold_ready && db > threshold;
+                       if (defer_a != defer_b) return defer_b;
+                       return da < db;
+                     });
+    for (std::size_t i = begin; i < end; ++i) {
+      if (order[i] != i) ++metrics_.reorders;
+      if (threshold_ready &&
+          predicted_duration(batch[order[i]].op, batch[order[i]].size) > threshold) {
+        ++metrics_.deferrals;
+      }
+    }
+  }
+  return order;
+}
+
+std::unique_ptr<Scheduler> make_load_aware(LoadAwareOptions options) {
+  return std::make_unique<LoadAwareScheduler>(options);
+}
+
+}  // namespace mha::sched

@@ -1,0 +1,97 @@
+// Load-aware policy: windowed shortest-predicted-first dispatch with EWMA
+// straggler flagging.
+//
+// The client tracks what it can observe on its own: per-server outstanding
+// bytes (its in-flight ledger), per-server backlog (drain time of its own
+// completions), and EWMA-smoothed per-byte service latency per op.  Two
+// decisions come out of that state:
+//
+//   1. plan(): simultaneous requests (one synchronous iteration = one
+//      congestion window, chunked to `window` requests) are reordered
+//      shortest-predicted-duration-first, and requests whose prediction
+//      breaks the EWMA straggler threshold are deferred to the window tail.
+//      Under per-server FCFS queues this aligns each request's queue
+//      position across servers, so short requests stop waiting behind long
+//      stragglers — the mean/p99 win on mixed-size workloads.
+//   2. dispatch(): each sub-request's predicted latency is checked against
+//      the TCP-RTO-style threshold srtt + k·rttvar; breaches flag the target
+//      server as a straggler (visible via straggler()) and are counted.
+//
+// Deferring an already-assigned sub-request cannot make it finish earlier on
+// an FCFS queue, so unlike HedgedReadScheduler this policy never touches a
+// replica: it only reorders, which keeps it safe for writes.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/scheduler.hpp"
+
+namespace mha::sched {
+
+struct LoadAwareOptions {
+  /// Congestion window: max simultaneous requests reordered as one group.
+  std::size_t window = 64;
+  /// EWMA smoothing for latency estimates (TCP-style: alpha for the mean,
+  /// beta for the mean deviation).
+  double ewma_alpha = 0.125;
+  double ewma_beta = 0.25;
+  /// Straggler threshold multiplier: predicted > srtt + k * rttvar.
+  double straggler_k = 3.0;
+  /// Samples required before the threshold is trusted.
+  std::size_t warmup_subs = 16;
+};
+
+class LoadAwareScheduler : public Scheduler {
+ public:
+  explicit LoadAwareScheduler(LoadAwareOptions options = {});
+
+  std::string name() const override { return "load-aware"; }
+
+  DispatchResult dispatch(const ServerRow& row, const std::vector<sim::SubRequest>& subs,
+                          common::Seconds arrival) override;
+
+  std::vector<std::size_t> plan(const std::vector<common::Request>& batch) override;
+
+  /// Predicted duration of a `size`-byte request under the current EWMA
+  /// per-byte rate (plan()'s sort key; falls back to `size` pre-warmup,
+  /// which preserves the shortest-first order).
+  double predicted_duration(common::OpType op, common::ByteCount size) const;
+
+  /// True while `server` was last seen over the straggler threshold.
+  bool straggler(std::size_t server) const;
+
+  /// Client-side ledger of bytes dispatched to `server` and not yet
+  /// completed as of the most recent dispatch.
+  common::ByteCount outstanding_bytes(std::size_t server) const;
+
+ private:
+  struct InFlight {
+    common::Seconds completion;
+    std::size_t server;
+    common::ByteCount bytes;
+    bool operator>(const InFlight& o) const { return completion > o.completion; }
+  };
+
+  void drain_ledger(common::Seconds now);
+  void update_ewma(common::OpType op, double latency, common::ByteCount bytes);
+
+  LoadAwareOptions options_;
+  /// Per-op EWMA of observed per-byte sub-request latency (seconds/byte).
+  double rate_[2] = {0.0, 0.0};
+  bool rate_init_[2] = {false, false};
+  /// Per-op sub-request latency estimator (srtt/rttvar, TCP-style).
+  double sub_srtt_[2] = {0.0, 0.0};
+  double sub_rttvar_[2] = {0.0, 0.0};
+  std::size_t sub_samples_ = 0;
+  /// Request-level latency estimator (plan()'s deferral threshold).
+  double req_srtt_ = 0.0;
+  double req_rttvar_ = 0.0;
+  std::size_t req_samples_ = 0;
+  std::vector<bool> flagged_;
+  std::vector<common::ByteCount> outstanding_;
+  std::vector<InFlight> ledger_;  // min-heap on completion
+};
+
+std::unique_ptr<Scheduler> make_load_aware(LoadAwareOptions options = {});
+
+}  // namespace mha::sched

@@ -1,0 +1,55 @@
+#include "sched/metrics.hpp"
+
+#include <cstdio>
+
+namespace mha::sched {
+
+void SchedulerMetrics::observe_backlog(std::size_t server, double seconds) {
+  if (server >= server_backlog.size()) {
+    server_backlog.resize(server + 1);
+    server_backlog_pcts.resize(server + 1);
+  }
+  server_backlog[server].add(seconds);
+  server_backlog_pcts[server].add(seconds);
+}
+
+void SchedulerMetrics::observe_request(double latency_seconds) {
+  ++requests;
+  request_latency.add(latency_seconds);
+  request_latency_pcts.add(latency_seconds);
+}
+
+std::string SchedulerMetrics::table() const {
+  char line[200];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "dispatch: requests=%llu subs=%llu reorders=%llu deferrals=%llu "
+                "stragglers=%llu\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(subs),
+                static_cast<unsigned long long>(reorders),
+                static_cast<unsigned long long>(deferrals),
+                static_cast<unsigned long long>(straggler_detections));
+  out += line;
+  std::snprintf(line, sizeof(line), "hedges:   issued=%llu won=%llu lost=%llu\n",
+                static_cast<unsigned long long>(hedges_issued),
+                static_cast<unsigned long long>(hedges_won),
+                static_cast<unsigned long long>(hedges_lost));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency:  mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms\n",
+                request_latency.mean() * 1e3, request_latency_pcts.percentile(50) * 1e3,
+                request_latency_pcts.percentile(99) * 1e3, request_latency.max() * 1e3);
+  out += line;
+  out += "server  dispatches  depth-mean(ms) depth-p50(ms) depth-p99(ms) depth-max(ms)\n";
+  for (std::size_t i = 0; i < server_backlog.size(); ++i) {
+    const auto& s = server_backlog[i];
+    std::snprintf(line, sizeof(line), "S%-6zu %-11zu %-14.3f %-13.3f %-13.3f %-13.3f\n", i,
+                  s.count(), s.mean() * 1e3, server_backlog_pcts[i].percentile(50) * 1e3,
+                  server_backlog_pcts[i].percentile(99) * 1e3, s.max() * 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mha::sched

@@ -1,0 +1,45 @@
+// Per-scheduler observability: every dispatch decision a policy makes is
+// counted here, and the per-server queue-depth distribution is kept as
+// OnlineStats + exact percentiles so straggler pressure shows up in reports
+// (mean backlog hides a p99 straggler; the histogram does not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace mha::sched {
+
+struct SchedulerMetrics {
+  /// Dispatch decisions.
+  std::uint64_t requests = 0;        ///< file requests dispatched
+  std::uint64_t subs = 0;            ///< primary sub-requests charged
+  std::uint64_t reorders = 0;        ///< requests moved off arrival order by plan()
+  std::uint64_t deferrals = 0;       ///< requests deferred to a window tail by plan()
+  std::uint64_t straggler_detections = 0;  ///< subs whose predicted latency broke the EWMA threshold
+
+  /// Hedging outcomes (hedges_issued == hedges_won + hedges_lost).
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;   ///< replica beat the primary; primary charge cancelled
+  std::uint64_t hedges_lost = 0;  ///< primary won; replica charge cancelled
+
+  /// Request latency (dispatch to slowest awaited sub-request), seconds.
+  common::OnlineStats request_latency;
+  common::Percentiles request_latency_pcts;
+
+  /// Per-server queue depth (seconds of backlog found at dispatch).
+  std::vector<common::OnlineStats> server_backlog;
+  std::vector<common::Percentiles> server_backlog_pcts;
+
+  void observe_backlog(std::size_t server, double seconds);
+  void observe_request(double latency_seconds);
+
+  /// stats_table()-style report: decision counters, latency distribution,
+  /// one queue-depth row per server.
+  std::string table() const;
+};
+
+}  // namespace mha::sched

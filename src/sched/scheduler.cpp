@@ -1,0 +1,45 @@
+#include "sched/scheduler.hpp"
+
+#include <numeric>
+
+#include "sched/fcfs.hpp"
+#include "sched/hedged.hpp"
+#include "sched/load_aware.hpp"
+
+namespace mha::sched {
+
+std::vector<std::size_t> Scheduler::plan(const std::vector<common::Request>& batch) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return "fcfs";
+    case SchedulerKind::kLoadAware:
+      return "load-aware";
+    case SchedulerKind::kHedgedRead:
+      return "hedged-read";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return make_fcfs();
+    case SchedulerKind::kLoadAware:
+      return make_load_aware();
+    case SchedulerKind::kHedgedRead:
+      return make_hedged_read();
+  }
+  return make_fcfs();
+}
+
+std::vector<SchedulerKind> all_scheduler_kinds() {
+  return {SchedulerKind::kFcfs, SchedulerKind::kLoadAware, SchedulerKind::kHedgedRead};
+}
+
+}  // namespace mha::sched

@@ -1,0 +1,87 @@
+// Client-side straggler-aware I/O scheduler interface.
+//
+// A file request completes at its *slowest* sub-request (§II-A), so one
+// loaded server stragglers the whole request even under an MHA-optimized
+// layout.  Layout and scheduling are complementary levers (Tavakoli et al.,
+// "Client-side Straggler-Aware I/O Scheduler"): the layout decides *where*
+// bytes live, the scheduler decides *when and against which copy* each
+// sub-request is charged.  This layer sits between the PFS client path
+// (pfs::HybridPfs, io::MpiFile) and the server queues (sim::ServerSim):
+// every read/write dispatch flows through a Scheduler, which may reorder a
+// batch (plan()), defer work behind a congestion window, or duplicate a
+// read to a replica (HedgedReadScheduler) — and records every decision in
+// SchedulerMetrics.
+//
+// Policies:
+//   FcfsScheduler       - submit every sub-request at its arrival time, in
+//                         arrival order: exactly the pre-scheduler behavior,
+//                         the baseline.
+//   LoadAwareScheduler  - windowed shortest-predicted-first ordering of
+//                         simultaneous requests plus EWMA straggler flagging
+//                         (load_aware.hpp).
+//   HedgedReadScheduler - duplicates straggler-bound reads to the fastest
+//                         SServer replica and cancels the loser's charge
+//                         (hedged.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sched/metrics.hpp"
+#include "sched/server_row.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace mha::sched {
+
+/// Outcome of dispatching one file request.
+struct DispatchResult {
+  common::Seconds completion = 0.0;  ///< when the slowest awaited sub finished
+  std::size_t sub_requests = 0;      ///< primary sub-requests charged
+  std::size_t hedges = 0;            ///< duplicate sub-requests charged
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Dispatches all sub-requests of one file request arriving at `arrival`
+  /// against `row`; returns the request's completion time (the max across
+  /// the sub-requests the request must wait on).
+  virtual DispatchResult dispatch(const ServerRow& row,
+                                  const std::vector<sim::SubRequest>& subs,
+                                  common::Seconds arrival) = 0;
+
+  /// Orders a batch of simultaneously-arriving requests before they are
+  /// issued (the replayer consults this once per synchronous iteration — the
+  /// scheduler's congestion window).  Returns a permutation of
+  /// [0, batch.size()); the default is arrival order.
+  virtual std::vector<std::size_t> plan(const std::vector<common::Request>& batch);
+
+  const SchedulerMetrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_ = SchedulerMetrics{}; }
+
+  /// stats_table()-style report of the policy's dispatch decisions.
+  std::string stats_table() const { return metrics_.table(); }
+
+ protected:
+  SchedulerMetrics metrics_;
+};
+
+/// The three shipped policies, in baseline-first order.
+enum class SchedulerKind { kFcfs = 0, kLoadAware = 1, kHedgedRead = 2 };
+
+/// Human-readable policy name ("fcfs"/"load-aware"/"hedged-read").
+const char* to_string(SchedulerKind kind);
+
+/// Factory with per-policy defaults (see load_aware.hpp / hedged.hpp for
+/// tunable construction).
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind);
+
+/// All three policies in presentation order (for scheduler-sweep benches).
+std::vector<SchedulerKind> all_scheduler_kinds();
+
+}  // namespace mha::sched

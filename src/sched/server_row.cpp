@@ -1,0 +1,21 @@
+#include "sched/server_row.hpp"
+
+#include <cassert>
+
+namespace mha::sched {
+
+ServerRow::ServerRow(std::vector<sim::ServerSim*> servers, std::size_t num_hservers)
+    : servers_(std::move(servers)), num_hservers_(num_hservers) {
+  assert(num_hservers_ <= servers_.size());
+}
+
+ServerRow ServerRow::from(sim::ClusterSim& cluster) {
+  std::vector<sim::ServerSim*> servers;
+  servers.reserve(cluster.num_servers());
+  for (std::size_t i = 0; i < cluster.num_servers(); ++i) {
+    servers.push_back(&cluster.server(i));
+  }
+  return ServerRow(std::move(servers), cluster.num_hservers());
+}
+
+}  // namespace mha::sched

@@ -1,0 +1,38 @@
+// Non-owning client-side view over a row of server queues.
+//
+// The scheduler layer works both against a bare sim::ClusterSim (unit tests,
+// examples) and against HybridPfs, where each DataServer owns its ServerSim.
+// ServerRow is the adapter either side hands to a Scheduler: an ordered list
+// of server queues (HServers first, then SServers, matching the paper's
+// S0..S5/S6..S7 numbering) that the policies predict against and charge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cluster_sim.hpp"
+#include "sim/server_sim.hpp"
+
+namespace mha::sched {
+
+class ServerRow {
+ public:
+  ServerRow() = default;
+  ServerRow(std::vector<sim::ServerSim*> servers, std::size_t num_hservers);
+
+  /// Borrows every server of `cluster` (HServers first, as stored).
+  static ServerRow from(sim::ClusterSim& cluster);
+
+  std::size_t size() const { return servers_.size(); }
+  std::size_t num_hservers() const { return num_hservers_; }
+  std::size_t num_sservers() const { return servers_.size() - num_hservers_; }
+  bool is_hserver(std::size_t i) const { return i < num_hservers_; }
+
+  sim::ServerSim& server(std::size_t i) const { return *servers_[i]; }
+
+ private:
+  std::vector<sim::ServerSim*> servers_;
+  std::size_t num_hservers_ = 0;
+};
+
+}  // namespace mha::sched

@@ -1,9 +1,6 @@
 #include "sim/cluster_sim.hpp"
 
 #include <algorithm>
-#include <cstdio>
-
-#include "common/units.hpp"
 
 namespace mha::sim {
 
@@ -47,15 +44,9 @@ common::ByteCount ClusterSim::total_bytes() const {
 }
 
 std::string ClusterSim::stats_table() const {
-  std::string out = "server  kind     bytes        busy(s)   wait(s)\n";
-  char line[160];
+  std::string out = stats_table_header();
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    const auto& st = servers_[i].stats();
-    std::snprintf(line, sizeof(line), "S%-6zu %-8s %-12s %-9.4f %-9.4f\n", i,
-                  common::to_string(servers_[i].kind()),
-                  common::format_bytes(st.bytes_total()).c_str(), st.busy_time,
-                  st.queue_wait);
-    out += line;
+    out += stats_table_row(i, servers_[i]);
   }
   return out;
 }

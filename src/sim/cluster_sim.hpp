@@ -49,13 +49,33 @@ class ClusterSim {
   /// completion time of the slowest sub-request (== arrival if all empty).
   common::Seconds submit(const std::vector<SubRequest>& subs, common::Seconds arrival);
 
+  /// Charges one sub-request without folding it into any request's
+  /// completion — the caller may ignore the returned receipt (fire-and-forget
+  /// duplicates) or try_cancel() it on the target server (hedged reads).
+  Charge submit_detached(const SubRequest& sub, common::Seconds arrival) {
+    return servers_[sub.server].charge(sub.op, sub.bytes, arrival);
+  }
+
+  /// Completion time `sub` would get if submitted at `arrival`, without
+  /// admitting it (the scheduler's straggler look-ahead).
+  common::Seconds predict(const SubRequest& sub, common::Seconds arrival) const {
+    return servers_[sub.server].predict(sub.op, sub.bytes, arrival);
+  }
+
+  /// Seconds of queued work server `i` holds ahead of an arrival at `now`.
+  common::Seconds backlog(std::size_t i, common::Seconds now) const {
+    return servers_[i].backlog(now);
+  }
+
   /// Aggregate statistics helpers.
   void reset_stats();
   void reset_clocks();
   common::Seconds max_busy_time() const;
   common::ByteCount total_bytes() const;
 
-  /// One formatted row per server: kind, bytes, busy time.
+  /// One formatted row per server: kind, sub-request count, bytes, busy
+  /// time, total queue wait and mean wait per sub-request (the straggler
+  /// pressure signal).
   std::string stats_table() const;
 
  private:

@@ -1,6 +1,9 @@
 #include "sim/server_sim.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "common/units.hpp"
 
 namespace mha::sim {
 
@@ -9,19 +12,41 @@ common::Seconds ServerSim::service_time(common::OpType op, common::ByteCount byt
   return device_.service_time(op, bytes) + network_.transfer_time(bytes);
 }
 
-common::Seconds ServerSim::submit(common::OpType op, common::ByteCount bytes,
-                                  common::Seconds arrival) {
+common::Seconds ServerSim::predict(common::OpType op, common::ByteCount bytes,
+                                   common::Seconds arrival) const {
   if (bytes == 0) return arrival;
   const common::Seconds start = std::max(arrival, next_free_);
+  common::Seconds service = service_time(op, bytes);
+  if (next_free_ > arrival) {
+    service -= device_.startup(op) * (1.0 - device_.queued_startup_factor);
+  }
+  return start + service;
+}
+
+Charge ServerSim::charge(common::OpType op, common::ByteCount bytes,
+                         common::Seconds arrival) {
+  Charge c;
+  c.op = op;
+  c.bytes = bytes;
+  if (bytes == 0) {
+    c.start = c.completion = arrival;
+    c.prev_next_free = next_free_;
+    c.seq = seq_;
+    return c;
+  }
+  c.start = std::max(arrival, next_free_);
   // A sub-request that found the device busy pays only the discounted
   // (short-seek) share of the startup cost.
   const bool queued = next_free_ > arrival;
-  common::Seconds service = service_time(op, bytes);
+  c.service = service_time(op, bytes);
   if (queued) {
-    service -= device_.startup(op) * (1.0 - device_.queued_startup_factor);
+    c.service -= device_.startup(op) * (1.0 - device_.queued_startup_factor);
   }
-  const common::Seconds completion = start + service;
-  next_free_ = completion;
+  c.completion = c.start + c.service;
+  c.wait = c.start - arrival;
+  c.prev_next_free = next_free_;
+  c.seq = ++seq_;
+  next_free_ = c.completion;
 
   ++stats_.sub_requests;
   if (op == common::OpType::kRead) {
@@ -29,9 +54,48 @@ common::Seconds ServerSim::submit(common::OpType op, common::ByteCount bytes,
   } else {
     stats_.bytes_written += bytes;
   }
-  stats_.busy_time += service;
-  stats_.queue_wait += start - arrival;
-  return completion;
+  stats_.busy_time += c.service;
+  stats_.queue_wait += c.wait;
+  return c;
+}
+
+common::Seconds ServerSim::submit(common::OpType op, common::ByteCount bytes,
+                                  common::Seconds arrival) {
+  return charge(op, bytes, arrival).completion;
+}
+
+bool ServerSim::try_cancel(const Charge& c) {
+  if (c.bytes == 0) return false;
+  // Only the most recent admission is cancellable: a later charge started
+  // from (and baked in) this one's completion time.
+  if (c.seq != seq_ || next_free_ != c.completion) return false;
+  next_free_ = c.prev_next_free;
+  --stats_.sub_requests;
+  if (c.op == common::OpType::kRead) {
+    stats_.bytes_read -= c.bytes;
+  } else {
+    stats_.bytes_written -= c.bytes;
+  }
+  stats_.busy_time -= c.service;
+  stats_.queue_wait -= c.wait;
+  return true;
+}
+
+std::string stats_table_header() {
+  return "server  kind     subs     bytes        busy(s)   wait(s)   wait/sub(ms)\n";
+}
+
+std::string stats_table_row(std::size_t index, const ServerSim& server) {
+  const ServerStats& st = server.stats();
+  const double wait_per_sub =
+      st.sub_requests > 0 ? st.queue_wait / static_cast<double>(st.sub_requests) : 0.0;
+  char line[160];
+  std::snprintf(line, sizeof(line), "S%-6zu %-8s %-8llu %-12s %-9.4f %-9.4f %-9.3f\n", index,
+                common::to_string(server.kind()),
+                static_cast<unsigned long long>(st.sub_requests),
+                common::format_bytes(st.bytes_total()).c_str(), st.busy_time, st.queue_wait,
+                wait_per_sub * 1e3);
+  return line;
 }
 
 }  // namespace mha::sim

@@ -29,6 +29,22 @@ struct ServerStats {
   common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
 };
 
+/// Receipt for one accepted sub-request, enough to undo it.  A hedged read
+/// holds the receipts of both copies and cancels the loser's.
+struct Charge {
+  common::Seconds start = 0.0;
+  common::Seconds completion = 0.0;
+  common::Seconds service = 0.0;
+  common::Seconds wait = 0.0;  ///< start - arrival (time spent queued)
+  common::OpType op = common::OpType::kRead;
+  common::ByteCount bytes = 0;
+  /// Queue drain time before this charge (restored on cancel).
+  common::Seconds prev_next_free = 0.0;
+  /// Server-local admission sequence number; only the newest charge on a
+  /// server is cancellable.
+  std::uint64_t seq = 0;
+};
+
 class ServerSim {
  public:
   ServerSim(common::ServerKind kind, DeviceProfile device, NetworkProfile network)
@@ -43,11 +59,30 @@ class ServerSim {
   /// completes immediately at `arrival`.
   common::Seconds submit(common::OpType op, common::ByteCount bytes, common::Seconds arrival);
 
+  /// Like submit(), but returns the full receipt so the caller can later
+  /// try_cancel() it (hedged duplicates).
+  Charge charge(common::OpType op, common::ByteCount bytes, common::Seconds arrival);
+
+  /// Undoes `c` — rewinds the queue and the stats — provided no later charge
+  /// was admitted (LIFO cancellation, the only case a hedger needs).
+  /// Returns false (and changes nothing) otherwise or for empty charges.
+  bool try_cancel(const Charge& c);
+
+  /// Completion time a sub-request submitted now would get, without
+  /// admitting it (the scheduler's look-ahead; exact under virtual time).
+  common::Seconds predict(common::OpType op, common::ByteCount bytes,
+                          common::Seconds arrival) const;
+
   /// Pure service time (no queuing) the server would charge for `bytes`.
   common::Seconds service_time(common::OpType op, common::ByteCount bytes) const;
 
   /// Time at which the queue drains completely.
   common::Seconds next_free() const { return next_free_; }
+
+  /// Seconds of queued work an arrival at `now` would wait behind.
+  common::Seconds backlog(common::Seconds now) const {
+    return next_free_ > now ? next_free_ - now : 0.0;
+  }
 
   const ServerStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ServerStats{}; }
@@ -60,7 +95,14 @@ class ServerSim {
   DeviceProfile device_;
   NetworkProfile network_;
   common::Seconds next_free_ = 0.0;
+  std::uint64_t seq_ = 0;
   ServerStats stats_;
 };
+
+/// Shared formatting for the per-server stats tables printed by ClusterSim
+/// and HybridPfs: kind, sub-requests, bytes, busy time, queue wait (total
+/// and per sub-request — the straggler pressure signal).
+std::string stats_table_header();
+std::string stats_table_row(std::size_t index, const ServerSim& server);
 
 }  // namespace mha::sim

@@ -26,9 +26,17 @@ trace::Trace ior_mixed_sizes(const IorMixedSizesConfig& config) {
   for (std::size_t iter = 0; iter < iterations; ++iter) {
     const common::Seconds t = static_cast<double>(iter) * kIterationSpacing;
     // The size cycles with the iteration so each process sees the full mix
-    // interleaved across the run, like the modified IOR of §V-B.
-    const common::ByteCount size = config.request_sizes[iter % config.request_sizes.size()];
+    // interleaved across the run, like the modified IOR of §V-B.  In
+    // per_rank_sizes mode each rank instead cycles independently, putting
+    // the whole mix inside every iteration.
+    const common::ByteCount iter_size =
+        config.request_sizes[iter % config.request_sizes.size()];
     for (int rank = 0; rank < config.num_procs; ++rank) {
+      const common::ByteCount size =
+          config.per_rank_sizes
+              ? config.request_sizes[(iter + static_cast<std::size_t>(rank)) %
+                                     config.request_sizes.size()]
+              : iter_size;
       trace::TraceRecord r;
       r.pid = 1000 + static_cast<std::uint32_t>(rank);
       r.rank = rank;

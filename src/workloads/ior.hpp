@@ -30,6 +30,11 @@ struct IorMixedSizesConfig {
   common::ByteCount file_size = 256ULL * 1024 * 1024;
   common::OpType op = common::OpType::kWrite;
   bool random_offsets = true;
+  /// When true each rank draws its own size from the mix every iteration,
+  /// so sizes are heterogeneous *within* a synchronous iteration rather than
+  /// only across iterations — the within-batch skew a client-side scheduler
+  /// can reorder around.  Default keeps the paper's per-iteration cycling.
+  bool per_rank_sizes = false;
   std::uint64_t seed = 1;
   std::string file_name = "ior.shared";
 };

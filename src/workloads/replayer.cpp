@@ -52,6 +52,19 @@ class Shadow {
   pfs::ExtentStore store_;
 };
 
+/// Attaches the options' scheduler to the PFS for the replay window and
+/// detaches it on every exit path.
+class SchedulerGuard {
+ public:
+  SchedulerGuard(pfs::HybridPfs& pfs, sched::Scheduler* scheduler) : pfs_(pfs) {
+    if (scheduler != nullptr) pfs_.set_scheduler(scheduler);
+  }
+  ~SchedulerGuard() { pfs_.set_scheduler(nullptr); }
+
+ private:
+  pfs::HybridPfs& pfs_;
+};
+
 }  // namespace
 
 common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
@@ -60,6 +73,7 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
                                     const ReplayOptions& options) {
   if (trace.records.empty()) return common::Status::invalid_argument("replay: empty trace");
   const int world = world_size_of(trace);
+  SchedulerGuard scheduler_guard(pfs, options.scheduler);
   io::MpiSim mpi(world);
   auto file = io::MpiFile::open(pfs, mpi, deployment.file_name);
   if (!file.is_ok()) return file.status();
@@ -74,9 +88,11 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
 
   ReplayResult result;
   std::vector<std::uint8_t> buffer;
+  common::Percentiles latency_pcts;
 
   auto issue = [&](const trace::TraceRecord& r) -> common::Status {
     buffer.resize(r.size);
+    common::Seconds duration = 0.0;
     if (r.op == common::OpType::kWrite) {
       if (fill_payload) {
         for (common::ByteCount i = 0; i < r.size; ++i) {
@@ -87,26 +103,42 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
       if (!op.is_ok()) return op.status();
       shadow.on_write(r.offset, buffer.data(), r.size);
       result.bytes_written += r.size;
+      duration = op->duration();
     } else {
       auto op = file->read_at(r.rank, r.offset, buffer.data(), r.size);
       if (!op.is_ok()) return op.status();
       MHA_RETURN_IF_ERROR(shadow.check_read(r.offset, buffer.data(), r.size));
       result.bytes_read += r.size;
+      duration = op->duration();
     }
+    result.request_latency.add(duration);
+    latency_pcts.add(duration);
     ++result.requests;
     return common::Status::ok();
   };
 
   if (options.mode == ReplayMode::kSynchronous) {
     // Iterations are groups of records sharing a t_start; a barrier closes
-    // each iteration, so arrivals inside one iteration are simultaneous.
+    // each iteration, so arrivals inside one iteration are simultaneous —
+    // exactly the congestion window the scheduler's plan() may reorder.
     std::map<common::Seconds, std::vector<const trace::TraceRecord*>> iterations;
     for (const trace::TraceRecord& r : trace.records) {
       iterations[r.t_start].push_back(&r);
     }
     for (const auto& [t, group] : iterations) {
-      for (const trace::TraceRecord* r : group) {
-        MHA_RETURN_IF_ERROR(issue(*r));
+      std::vector<std::size_t> order(group.size());
+      for (std::size_t i = 0; i < group.size(); ++i) order[i] = i;
+      if (options.scheduler != nullptr) {
+        std::vector<common::Request> batch;
+        batch.reserve(group.size());
+        for (const trace::TraceRecord* r : group) {
+          batch.push_back(
+              common::Request{r->rank, r->op, r->offset, r->size, r->t_start});
+        }
+        order = options.scheduler->plan(batch);
+      }
+      for (std::size_t i : order) {
+        MHA_RETURN_IF_ERROR(issue(*group[i]));
       }
       mpi.barrier();
     }
@@ -137,11 +169,14 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
   result.makespan = mpi.max_time();
   result.aggregate_bandwidth =
       result.makespan > 0.0 ? static_cast<double>(result.bytes_total()) / result.makespan : 0.0;
+  result.latency_p50 = latency_pcts.percentile(50);
+  result.latency_p99 = latency_pcts.percentile(99);
   result.server_stats.reserve(pfs.num_servers());
   for (std::size_t i = 0; i < pfs.num_servers(); ++i) {
     result.server_stats.push_back(pfs.server_stats(i));
   }
   if (options.trace_run) result.captured = tracer.take_trace();
+  if (options.scheduler != nullptr) result.scheduler_metrics = options.scheduler->metrics();
   return result;
 }
 

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/stats.hpp"
 #include "layouts/scheme.hpp"
 #include "pfs/file_system.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/server_sim.hpp"
 #include "trace/record.hpp"
 
@@ -37,6 +39,11 @@ struct ReplayOptions {
   /// Attach a tracing collector with this per-op overhead (profiling runs).
   bool trace_run = false;
   common::Seconds tracer_overhead = 0.0;
+  /// Client-side I/O scheduler to dispatch through (borrowed; null keeps
+  /// the direct FCFS path).  In synchronous mode each iteration's requests
+  /// are additionally ordered by the scheduler's plan() — the congestion
+  /// window — so any scheme x scheduler combination is replayable.
+  sched::Scheduler* scheduler = nullptr;
 };
 
 struct ReplayResult {
@@ -50,6 +57,12 @@ struct ReplayResult {
   std::vector<sim::ServerStats> server_stats;
   /// Captured trace when options.trace_run was set.
   trace::Trace captured;
+  /// Per-request latency over the replay (every rank's op duration).
+  common::OnlineStats request_latency;
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  /// Snapshot of the scheduler's decision counters when one was attached.
+  sched::SchedulerMetrics scheduler_metrics;
 
   common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
 };

@@ -184,6 +184,47 @@ TEST(OnlineStats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), whole.max());
 }
 
+TEST(OnlineStats, MergeEmptyEitherSide) {
+  OnlineStats filled;
+  for (double x : {1.0, 3.0, 5.0}) filled.add(x);
+  const double mean = filled.mean();
+  const double variance = filled.variance();
+
+  OnlineStats empty;
+  filled.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(filled.count(), 3u);
+  EXPECT_DOUBLE_EQ(filled.mean(), mean);
+  EXPECT_DOUBLE_EQ(filled.variance(), variance);
+  EXPECT_DOUBLE_EQ(filled.min(), 1.0);
+  EXPECT_DOUBLE_EQ(filled.max(), 5.0);
+
+  OnlineStats target;
+  target.merge(filled);  // merging into empty adopts the other side whole
+  EXPECT_EQ(target.count(), 3u);
+  EXPECT_DOUBLE_EQ(target.mean(), mean);
+  EXPECT_DOUBLE_EQ(target.variance(), variance);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5.0);
+
+  OnlineStats both;
+  both.merge(OnlineStats{});  // empty + empty stays empty, not NaN
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_EQ(both.mean(), 0.0);
+  EXPECT_EQ(both.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeSingleSamples) {
+  OnlineStats a, b;
+  a.add(2.0);
+  b.add(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 18.0, 1e-12);  // ((2-5)^2 + (8-5)^2) / (2-1)
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
 TEST(Percentiles, NearestRank) {
   Percentiles p;
   for (int i = 1; i <= 100; ++i) p.add(i);
@@ -191,6 +232,29 @@ TEST(Percentiles, NearestRank) {
   EXPECT_DOUBLE_EQ(p.percentile(99), 99.0);
   EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
   EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+}
+
+TEST(Percentiles, EdgeRanks) {
+  Percentiles empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+
+  Percentiles single;
+  single.add(42.0);  // one sample answers every rank
+  EXPECT_DOUBLE_EQ(single.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(100), 42.0);
+
+  Percentiles two;
+  two.add(10.0);
+  two.add(20.0);
+  EXPECT_DOUBLE_EQ(two.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(two.percentile(100), 20.0);
+  // Insertion order is irrelevant: ranks come from the sorted samples.
+  Percentiles reversed;
+  reversed.add(20.0);
+  reversed.add(10.0);
+  EXPECT_DOUBLE_EQ(reversed.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(reversed.percentile(100), 20.0);
 }
 
 TEST(SizeHistogram, BucketsByPowerOfTwo) {

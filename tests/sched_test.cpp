@@ -1,0 +1,422 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "layouts/scheme.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/hedged.hpp"
+#include "sched/load_aware.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/server_row.hpp"
+#include "sim/cluster_sim.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/replayer.hpp"
+
+namespace mha::sched {
+namespace {
+
+using common::OpType;
+using common::ServerKind;
+using namespace common::literals;
+
+/// Predictable numbers: service = 1.0 + bytes * 0.001 for HServer reads,
+/// 0.1 + bytes * 0.0001 for SServer reads, no network.
+sim::DeviceProfile slow_device() {
+  sim::DeviceProfile d;
+  d.name = "slow";
+  d.startup_read = 1.0;
+  d.startup_write = 2.0;
+  d.per_byte_read = 0.001;
+  d.per_byte_write = 0.002;
+  d.queued_startup_factor = 1.0;
+  return d;
+}
+
+sim::DeviceProfile fast_device() {
+  sim::DeviceProfile d;
+  d.name = "fast";
+  d.startup_read = 0.1;
+  d.startup_write = 0.2;
+  d.per_byte_read = 0.0001;
+  d.per_byte_write = 0.0002;
+  d.queued_startup_factor = 1.0;
+  return d;
+}
+
+sim::ClusterConfig tiny_cluster(std::size_t hservers = 2, std::size_t sservers = 1) {
+  sim::ClusterConfig config;
+  config.num_hservers = hservers;
+  config.num_sservers = sservers;
+  config.hdd = slow_device();
+  config.ssd = fast_device();
+  config.network = sim::null_network();
+  return config;
+}
+
+// ------------------------------------------------------ policy selection ---
+
+TEST(SchedulerFactory, KindsNamesAndFactoryAgree) {
+  EXPECT_STREQ(to_string(SchedulerKind::kFcfs), "fcfs");
+  EXPECT_STREQ(to_string(SchedulerKind::kLoadAware), "load-aware");
+  EXPECT_STREQ(to_string(SchedulerKind::kHedgedRead), "hedged-read");
+
+  const std::vector<SchedulerKind> kinds = all_scheduler_kinds();
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], SchedulerKind::kFcfs);  // baseline first
+  for (SchedulerKind kind : kinds) {
+    auto scheduler = make_scheduler(kind);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), to_string(kind));
+    EXPECT_EQ(scheduler->metrics().requests, 0u);
+  }
+}
+
+// ------------------------------------------------- charge / cancel model ---
+
+TEST(Charge, ChargeAgreesWithPredictAndSubmit) {
+  sim::ServerSim a(ServerKind::kHdd, slow_device(), sim::null_network());
+  sim::ServerSim b(ServerKind::kHdd, slow_device(), sim::null_network());
+
+  const common::Seconds predicted = a.predict(OpType::kRead, 1000, 0.5);
+  const sim::Charge c = a.charge(OpType::kRead, 1000, 0.5);
+  EXPECT_DOUBLE_EQ(c.completion, predicted);
+  EXPECT_DOUBLE_EQ(c.completion, b.submit(OpType::kRead, 1000, 0.5));
+  EXPECT_DOUBLE_EQ(c.start + c.service, c.completion);
+  EXPECT_DOUBLE_EQ(c.wait, 0.0);  // empty queue: starts at arrival
+}
+
+TEST(Charge, TryCancelRestoresQueueAndStats) {
+  sim::ServerSim server(ServerKind::kHdd, slow_device(), sim::null_network());
+  server.submit(OpType::kRead, 1000, 0.0);
+  const common::Seconds drain = server.next_free();
+  const sim::ServerStats before = server.stats();
+
+  const sim::Charge c = server.charge(OpType::kRead, 2000, 0.0);
+  EXPECT_GT(server.next_free(), drain);
+  EXPECT_TRUE(server.try_cancel(c));
+  EXPECT_DOUBLE_EQ(server.next_free(), drain);
+  EXPECT_EQ(server.stats().sub_requests, before.sub_requests);
+  EXPECT_EQ(server.stats().bytes_read, before.bytes_read);
+  EXPECT_DOUBLE_EQ(server.stats().busy_time, before.busy_time);
+  EXPECT_DOUBLE_EQ(server.stats().queue_wait, before.queue_wait);
+
+  // Double-cancel and non-LIFO cancel both refuse.
+  EXPECT_FALSE(server.try_cancel(c));
+  const sim::Charge first = server.charge(OpType::kRead, 100, 0.0);
+  server.charge(OpType::kRead, 100, 0.0);
+  EXPECT_FALSE(server.try_cancel(first));
+}
+
+// -------------------------------------------------------- FCFS baseline ---
+
+TEST(FcfsScheduler, MatchesDirectSubmitBitForBit) {
+  sim::ClusterSim direct(tiny_cluster());
+  sim::ClusterSim scheduled(tiny_cluster());
+  FcfsScheduler fcfs;
+  const ServerRow row = ServerRow::from(scheduled);
+
+  const std::vector<std::vector<sim::SubRequest>> requests = {
+      {{0, OpType::kRead, 4096}, {1, OpType::kRead, 4096}},
+      {{0, OpType::kWrite, 1024}, {2, OpType::kRead, 512}},
+      {{1, OpType::kRead, 8192}},
+  };
+  common::Seconds arrival = 0.0;
+  for (const auto& subs : requests) {
+    const common::Seconds expected = direct.submit(subs, arrival);
+    const DispatchResult got = fcfs.dispatch(row, subs, arrival);
+    EXPECT_DOUBLE_EQ(got.completion, expected);
+    EXPECT_EQ(got.sub_requests, subs.size());
+    EXPECT_EQ(got.hedges, 0u);
+    arrival += 0.25;
+  }
+  for (std::size_t i = 0; i < direct.num_servers(); ++i) {
+    EXPECT_DOUBLE_EQ(scheduled.server(i).next_free(), direct.server(i).next_free());
+    EXPECT_EQ(scheduled.server(i).stats().sub_requests,
+              direct.server(i).stats().sub_requests);
+  }
+  EXPECT_EQ(fcfs.metrics().requests, requests.size());
+  EXPECT_EQ(fcfs.metrics().subs, 5u);
+}
+
+// ------------------------------------------------- EWMA straggler logic ---
+
+TEST(HedgedReadScheduler, ThresholdInfiniteDuringWarmupThenConverges) {
+  HedgedReadOptions options;
+  options.warmup_subs = 4;
+  HedgedReadScheduler hedged(options);
+  sim::ClusterSim cluster(tiny_cluster(1, 0));  // no SServers: plain submits
+  const ServerRow row = ServerRow::from(cluster);
+
+  const double service = slow_device().service_time(OpType::kRead, 1000);
+  common::Seconds arrival = 0.0;
+  for (std::size_t i = 0; i < options.warmup_subs; ++i) {
+    EXPECT_TRUE(std::isinf(hedged.straggler_threshold()));
+    hedged.dispatch(row, {{0, OpType::kRead, 1000}}, arrival);
+    arrival += 10.0;  // spaced out: every sample sees an empty queue
+  }
+  // Constant samples: srtt == service, rttvar decays toward zero, so the
+  // threshold is finite, above the mean, and tightens with more samples.
+  const double t0 = hedged.straggler_threshold();
+  EXPECT_TRUE(std::isfinite(t0));
+  EXPECT_GT(t0, service);
+  hedged.dispatch(row, {{0, OpType::kRead, 1000}}, arrival);
+  EXPECT_LT(hedged.straggler_threshold(), t0);
+}
+
+TEST(LoadAwareScheduler, FlagsServersOverTheThreshold) {
+  LoadAwareOptions options;
+  options.warmup_subs = 2;
+  LoadAwareScheduler load_aware(options);
+  sim::ClusterSim cluster(tiny_cluster(2, 0));
+  const ServerRow row = ServerRow::from(cluster);
+
+  common::Seconds arrival = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    load_aware.dispatch(row, {{0, OpType::kRead, 1000}}, arrival);
+    arrival += 10.0;
+  }
+  EXPECT_FALSE(load_aware.straggler(0));
+  EXPECT_EQ(load_aware.metrics().straggler_detections, 0u);
+
+  // Pile work onto server 1 behind the scheduler's back; its prediction for
+  // the next dispatch breaks srtt + k*rttvar while server 0 stays healthy.
+  row.server(1).submit(OpType::kRead, 1_MiB, arrival);
+  load_aware.dispatch(row, {{1, OpType::kRead, 1000}, {0, OpType::kRead, 1000}},
+                      arrival);
+  EXPECT_TRUE(load_aware.straggler(1));
+  EXPECT_FALSE(load_aware.straggler(0));
+  EXPECT_EQ(load_aware.metrics().straggler_detections, 1u);
+}
+
+TEST(LoadAwareScheduler, LedgerTracksOutstandingBytes) {
+  LoadAwareScheduler load_aware;
+  sim::ClusterSim cluster(tiny_cluster(2, 0));
+  const ServerRow row = ServerRow::from(cluster);
+
+  load_aware.dispatch(row, {{0, OpType::kRead, 4096}}, 0.0);
+  EXPECT_EQ(load_aware.outstanding_bytes(0), 4096u);
+  EXPECT_EQ(load_aware.outstanding_bytes(1), 0u);
+  // Next dispatch far past the completion drains the ledger.
+  load_aware.dispatch(row, {{1, OpType::kRead, 512}}, 1e6);
+  EXPECT_EQ(load_aware.outstanding_bytes(0), 0u);
+}
+
+// ---------------------------------------------- hedge win/loss accounting ---
+
+TEST(HedgedReadScheduler, WonHedgeCancelsPrimaryCharge) {
+  HedgedReadOptions options;
+  options.warmup_subs = 0;  // zero-sample threshold is 0: everything hedges
+  HedgedReadScheduler hedged(options);
+  sim::ClusterSim cluster(tiny_cluster(1, 1));
+  const ServerRow row = ServerRow::from(cluster);
+
+  const DispatchResult result = hedged.dispatch(row, {{0, OpType::kRead, 1000}}, 0.0);
+  EXPECT_EQ(result.hedges, 1u);
+  EXPECT_EQ(hedged.metrics().hedges_issued, 1u);
+  EXPECT_EQ(hedged.metrics().hedges_won, 1u);
+  EXPECT_EQ(hedged.metrics().hedges_lost, 0u);
+  EXPECT_EQ(hedged.metrics().straggler_detections, 1u);
+  // The SSD replica won; the request waits on it and the HServer's charge
+  // was rolled back entirely.
+  EXPECT_DOUBLE_EQ(result.completion, fast_device().service_time(OpType::kRead, 1000));
+  EXPECT_DOUBLE_EQ(row.server(0).next_free(), 0.0);
+  EXPECT_EQ(row.server(0).stats().sub_requests, 0u);
+  EXPECT_EQ(row.server(1).stats().sub_requests, 1u);
+}
+
+TEST(HedgedReadScheduler, LostHedgeCancelsReplicaCharge) {
+  HedgedReadOptions options;
+  options.warmup_subs = 0;
+  HedgedReadScheduler hedged(options);
+  sim::ClusterSim cluster(tiny_cluster(1, 1));
+  const ServerRow row = ServerRow::from(cluster);
+
+  // Bury the SSD tier so the replica predicts later than the primary.
+  row.server(1).submit(OpType::kWrite, 100_MiB, 0.0);
+  const common::Seconds replica_drain = row.server(1).next_free();
+
+  const DispatchResult result = hedged.dispatch(row, {{0, OpType::kRead, 1000}}, 0.0);
+  EXPECT_EQ(hedged.metrics().hedges_issued, 1u);
+  EXPECT_EQ(hedged.metrics().hedges_won, 0u);
+  EXPECT_EQ(hedged.metrics().hedges_lost, 1u);
+  // The primary's charge stands; the replica queue rewound to its backlog.
+  EXPECT_DOUBLE_EQ(result.completion, slow_device().service_time(OpType::kRead, 1000));
+  EXPECT_DOUBLE_EQ(row.server(1).next_free(), replica_drain);
+  EXPECT_EQ(row.server(0).stats().sub_requests, 1u);
+}
+
+TEST(HedgedReadScheduler, OnlySmallHserverReadsAreHedged) {
+  HedgedReadOptions options;
+  options.warmup_subs = 0;
+  options.straggler_k = -1e9;  // threshold pinned below any prediction:
+                               // every *eligible* read hedges, so only the
+                               // eligibility gates are under test
+  options.max_hedge_bytes = 4096;
+  HedgedReadScheduler hedged(options);
+  sim::ClusterSim cluster(tiny_cluster(1, 1));
+  const ServerRow row = ServerRow::from(cluster);
+
+  hedged.dispatch(row, {{0, OpType::kWrite, 1000}}, 0.0);   // write: never
+  hedged.dispatch(row, {{1, OpType::kRead, 1000}}, 100.0);  // SServer primary
+  hedged.dispatch(row, {{0, OpType::kRead, 8192}}, 200.0);  // over size cap
+  EXPECT_EQ(hedged.metrics().hedges_issued, 0u);
+  hedged.dispatch(row, {{0, OpType::kRead, 1000}}, 300.0);  // hedgeable
+  EXPECT_EQ(hedged.metrics().hedges_issued, 1u);
+}
+
+// ------------------------------------------------------ plan() ordering ---
+
+common::Request read_of(common::ByteCount size) {
+  common::Request r;
+  r.op = OpType::kRead;
+  r.size = size;
+  return r;
+}
+
+TEST(LoadAwareScheduler, PlanSortsShortestPredictedFirst) {
+  LoadAwareScheduler load_aware;
+  // Pre-warmup the predictor falls back to the byte count, so the order is
+  // simply ascending size.
+  const std::vector<common::Request> batch = {read_of(300), read_of(100),
+                                              read_of(200)};
+  const std::vector<std::size_t> order = load_aware.plan(batch);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(load_aware.metrics().reorders, 3u);
+
+  // Ties keep arrival order (stable), and identity costs no reorders.
+  LoadAwareScheduler fresh;
+  const std::vector<common::Request> equal = {read_of(64), read_of(64), read_of(64)};
+  EXPECT_EQ(fresh.plan(equal), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(fresh.metrics().reorders, 0u);
+}
+
+TEST(LoadAwareScheduler, PlanSortsEachCongestionWindowIndependently) {
+  LoadAwareOptions options;
+  options.window = 2;
+  LoadAwareScheduler load_aware(options);
+  const std::vector<common::Request> batch = {read_of(400), read_of(300),
+                                              read_of(200), read_of(100)};
+  // Windows [0,1] and [2,3] sort internally; nothing crosses the boundary.
+  EXPECT_EQ(load_aware.plan(batch), (std::vector<std::size_t>{1, 0, 3, 2}));
+}
+
+// ---------------------------------------------------- replay integration ---
+
+trace::Trace skewed_trace(common::OpType op) {
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 8;
+  config.request_sizes = {64_KiB, 256_KiB};
+  config.file_size = 16_MiB;
+  config.op = op;
+  config.per_rank_sizes = true;
+  config.file_name = "sched_test.ior";
+  config.seed = 42;
+  return workloads::ior_mixed_sizes(config);
+}
+
+TEST(SchedulerReplay, DeterministicUnderFixedSeed) {
+  const trace::Trace trace = skewed_trace(OpType::kRead);
+  for (SchedulerKind kind : all_scheduler_kinds()) {
+    workloads::ReplayResult runs[2];
+    for (auto& run : runs) {
+      auto scheme = layouts::make_def();
+      auto scheduler = make_scheduler(kind);
+      workloads::ReplayOptions options;
+      options.scheduler = scheduler.get();
+      auto result =
+          workloads::run_scheme(*scheme, tiny_cluster(4, 2), trace, options);
+      ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+      run = *result;
+    }
+    EXPECT_DOUBLE_EQ(runs[0].makespan, runs[1].makespan) << to_string(kind);
+    EXPECT_DOUBLE_EQ(runs[0].latency_p99, runs[1].latency_p99) << to_string(kind);
+    EXPECT_EQ(runs[0].scheduler_metrics.reorders, runs[1].scheduler_metrics.reorders);
+    EXPECT_EQ(runs[0].scheduler_metrics.hedges_won,
+              runs[1].scheduler_metrics.hedges_won);
+    EXPECT_EQ(runs[0].scheduler_metrics.straggler_detections,
+              runs[1].scheduler_metrics.straggler_detections);
+    EXPECT_EQ(runs[0].requests, runs[1].requests);
+  }
+}
+
+TEST(SchedulerReplay, FcfsSchedulerReproducesSchedulerlessReplay) {
+  const trace::Trace trace = skewed_trace(OpType::kRead);
+  auto baseline_scheme = layouts::make_def();
+  auto baseline = workloads::run_scheme(*baseline_scheme, tiny_cluster(4, 2), trace);
+  ASSERT_TRUE(baseline.is_ok());
+
+  auto scheme = layouts::make_def();
+  FcfsScheduler fcfs;
+  workloads::ReplayOptions options;
+  options.scheduler = &fcfs;
+  auto scheduled = workloads::run_scheme(*scheme, tiny_cluster(4, 2), trace, options);
+  ASSERT_TRUE(scheduled.is_ok());
+
+  EXPECT_DOUBLE_EQ(scheduled->makespan, baseline->makespan);
+  EXPECT_DOUBLE_EQ(scheduled->latency_p99, baseline->latency_p99);
+  EXPECT_EQ(scheduled->requests, baseline->requests);
+  EXPECT_EQ(fcfs.metrics().requests, baseline->requests);
+}
+
+TEST(SchedulerReplay, HedgedReplayPreservesDataIntegrity) {
+  // Write the file then read it back through an aggressive hedger with
+  // byte-level verification on: hedging only duplicates the timing charge,
+  // never the data path, so every read must still verify.
+  trace::Trace trace;
+  trace.file_name = "sched_verify.ior";
+  const common::ByteCount size = 64_KiB;
+  for (int rank = 0; rank < 4; ++rank) {
+    trace::TraceRecord w;
+    w.rank = rank;
+    w.op = OpType::kWrite;
+    w.size = size;
+    w.offset = static_cast<common::Offset>(rank) * size;
+    w.t_start = 0.0;
+    trace.records.push_back(w);
+    trace::TraceRecord r = w;
+    r.op = OpType::kRead;
+    r.offset = static_cast<common::Offset>(3 - rank) * size;
+    r.t_start = workloads::kIterationSpacing;
+    trace.records.push_back(r);
+  }
+
+  HedgedReadOptions hedge_options;
+  hedge_options.warmup_subs = 0;
+  hedge_options.straggler_k = -1e9;  // hedge every eligible read
+  HedgedReadScheduler hedged(hedge_options);
+  workloads::ReplayOptions options;
+  options.scheduler = &hedged;
+  options.verify_data = true;
+  auto scheme = layouts::make_def();
+  auto result = workloads::run_scheme(*scheme, tiny_cluster(2, 1), trace, options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GT(hedged.metrics().hedges_issued, 0u);
+  EXPECT_EQ(hedged.metrics().hedges_issued,
+            hedged.metrics().hedges_won + hedged.metrics().hedges_lost);
+}
+
+// ----------------------------------------------------------- metrics ---
+
+TEST(SchedulerMetrics, TableReportsDecisionsAndPerServerDepth) {
+  HedgedReadOptions options;
+  options.warmup_subs = 0;
+  HedgedReadScheduler hedged(options);
+  sim::ClusterSim cluster(tiny_cluster(1, 1));
+  const ServerRow row = ServerRow::from(cluster);
+  hedged.dispatch(row, {{0, OpType::kRead, 1000}}, 0.0);
+
+  const std::string table = hedged.stats_table();
+  EXPECT_NE(table.find("requests=1"), std::string::npos);
+  EXPECT_NE(table.find("issued=1"), std::string::npos);
+  EXPECT_NE(table.find("S0"), std::string::npos);
+
+  hedged.reset_metrics();
+  EXPECT_EQ(hedged.metrics().requests, 0u);
+  EXPECT_EQ(hedged.metrics().hedges_issued, 0u);
+}
+
+}  // namespace
+}  // namespace mha::sched
