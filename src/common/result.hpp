@@ -21,6 +21,7 @@ enum class ErrorCode {
   kIoError,
   kCorruption,
   kFailedPrecondition,
+  kUnavailable,
 };
 
 /// Human-readable name of an error code.
@@ -34,6 +35,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kCorruption: return "corruption";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -53,6 +55,7 @@ class [[nodiscard]] Status {
   static Status io_error(std::string m) { return {ErrorCode::kIoError, std::move(m)}; }
   static Status corruption(std::string m) { return {ErrorCode::kCorruption, std::move(m)}; }
   static Status failed_precondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
+  static Status unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
 
   bool is_ok() const { return code_ == ErrorCode::kOk; }
   explicit operator bool() const { return is_ok(); }

@@ -91,14 +91,54 @@ common::Status OnlineMha::roll_back() {
   auto original = pfs_->open(file_name_);
   if (!original.is_ok()) return original.status();
 
-  constexpr common::ByteCount kChunk = 4 * 1024 * 1024;
-  std::vector<std::uint8_t> buffer;
-  common::Seconds clock = 0.0;
+  const std::vector<DrtEntry> entries = redirector_->drt().entries();
   std::vector<std::string> regions;
-  for (const DrtEntry& entry : redirector_->drt().entries()) {
+  for (const DrtEntry& entry : entries) {
     if (std::find(regions.begin(), regions.end(), entry.r_file) == regions.end()) {
       regions.push_back(entry.r_file);
     }
+  }
+
+  // When journaling is on, record the fold-back (regions with their layout
+  // widths + every copy) before touching a byte, so a crash mid-fold-back
+  // recovers by re-running the idempotent region -> original copies.
+  fault::MigrationJournal journal;
+  const auto crash_at = [&](std::string_view point) {
+    return options_.mha.crash_at && options_.mha.crash_at(point);
+  };
+  if (!options_.mha.journal_path.empty()) {
+    MHA_RETURN_IF_ERROR(journal.open(options_.mha.journal_path));
+    if (journal.active()) {
+      return common::Status::failed_precondition(
+          "online: journal holds an unresolved migration (phase " +
+          std::string(fault::to_string(journal.phase())) +
+          "); run core::recover_migration first");
+    }
+    std::vector<fault::JournalRegion> journal_regions;
+    journal_regions.reserve(regions.size());
+    for (const std::string& name : regions) {
+      auto id = pfs_->open(name);
+      if (!id.is_ok()) return id.status();
+      journal_regions.push_back(
+          fault::JournalRegion{name, pfs_->mds().info(*id).layout.widths()});
+    }
+    std::vector<fault::JournalEntry> journal_entries;
+    journal_entries.reserve(entries.size());
+    for (const DrtEntry& entry : entries) {
+      journal_entries.push_back(
+          fault::JournalEntry{entry.o_offset, entry.length, entry.r_file, entry.r_offset});
+    }
+    MHA_RETURN_IF_ERROR(journal.begin_foldback(file_name_, std::move(journal_regions),
+                                               std::move(journal_entries)));
+  }
+  if (crash_at("foldback-begun")) {
+    return common::Status::io_error("injected crash at foldback-begun");
+  }
+
+  constexpr common::ByteCount kChunk = 4 * 1024 * 1024;
+  std::vector<std::uint8_t> buffer;
+  common::Seconds clock = 0.0;
+  for (const DrtEntry& entry : entries) {
     auto region = pfs_->open(entry.r_file);
     if (!region.is_ok()) return region.status();
     common::ByteCount moved = 0;
@@ -114,9 +154,16 @@ common::Status OnlineMha::roll_back() {
       moved += piece;
     }
   }
+  if (crash_at("foldback-copied")) {
+    return common::Status::io_error("injected crash at foldback-copied");
+  }
   redirector_.reset();
   for (const std::string& region : regions) {
     MHA_RETURN_IF_ERROR(pfs_->remove(region));
+  }
+  if (journal.is_open()) {
+    MHA_RETURN_IF_ERROR(journal.clear());
+    MHA_RETURN_IF_ERROR(journal.close());
   }
   return common::Status::ok();
 }

@@ -76,8 +76,22 @@ common::Result<MhaDeployment> MhaPipeline::deploy(pfs::HybridPfs& pfs,
   MhaDeployment deployment;
   deployment.plan = std::move(plan).take();
 
-  // Placement phase.
-  auto placement = Placer::apply(pfs, deployment.plan.plan, deployment.plan.stripe_pairs);
+  // Placement phase, optionally journaled for crash safety.
+  fault::MigrationJournal journal;
+  ApplyOptions apply_options;
+  apply_options.crash_at = options.crash_at;
+  if (!options.journal_path.empty()) {
+    MHA_RETURN_IF_ERROR(journal.open(options.journal_path));
+    if (journal.active()) {
+      return common::Status::failed_precondition(
+          "MHA: journal holds an unresolved migration (phase " +
+          std::string(fault::to_string(journal.phase())) +
+          "); run core::recover_migration first");
+    }
+    apply_options.journal = &journal;
+  }
+  auto placement = Placer::apply(pfs, deployment.plan.plan, deployment.plan.stripe_pairs,
+                                 apply_options);
   if (!placement.is_ok()) return placement.status();
   deployment.placement = *placement;
 
@@ -96,6 +110,14 @@ common::Result<MhaDeployment> MhaPipeline::deploy(pfs::HybridPfs& pfs,
                                        options.redirect_lookup_overhead);
   if (!redirector.is_ok()) return redirector.status();
   deployment.redirector = std::make_unique<Redirector>(std::move(redirector).take());
+
+  // The migration is committed and the redirector built: the journal has
+  // served its purpose.  (A crash before this clear recovers as a no-op
+  // roll-forward from kCommitted.)
+  if (journal.is_open()) {
+    MHA_RETURN_IF_ERROR(journal.clear());
+    MHA_RETURN_IF_ERROR(journal.close());
+  }
   return deployment;
 }
 

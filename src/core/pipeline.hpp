@@ -12,8 +12,10 @@
 // matching §IV-A.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.hpp"
@@ -37,6 +39,13 @@ struct MhaOptions {
   common::Seconds redirect_lookup_overhead = 2.0e-6;
   /// When non-empty, the DRT is persisted to this KV file during deploy.
   std::string drt_path;
+  /// When non-empty, placement (and OnlineMha's fold-back) runs through a
+  /// phase-stamped migration journal at this KV file, making a crash at any
+  /// point recoverable via core::recover_migration.  deploy() refuses to
+  /// start while the journal holds an unresolved migration.
+  std::string journal_path;
+  /// Test hook forwarded to the Placer (see core::ApplyOptions::crash_at).
+  std::function<bool(std::string_view)> crash_at;
 };
 
 /// Output of the planning phases (2-3).

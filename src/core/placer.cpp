@@ -7,17 +7,61 @@
 
 namespace mha::core {
 
+namespace {
+
+common::Status injected_crash(std::string_view point) {
+  return common::Status::io_error("injected crash at " + std::string(point));
+}
+
+}  // namespace
+
 common::Result<PlacementReport> Placer::apply(pfs::HybridPfs& pfs,
                                               const ReorganizePlan& plan,
                                               const std::vector<StripePair>& stripe_pairs,
-                                              common::ByteCount chunk) {
+                                              const ApplyOptions& options) {
   if (stripe_pairs.size() != plan.regions.size()) {
     return common::Status::invalid_argument("placer: one stripe pair per region required");
   }
-  if (chunk == 0) return common::Status::invalid_argument("placer: zero chunk");
+  if (options.chunk == 0) return common::Status::invalid_argument("placer: zero chunk");
 
   auto original = pfs.open(plan.drt.o_file());
   if (!original.is_ok()) return original.status();
+
+  fault::MigrationJournal* journal = options.journal;
+  const auto crash_at = [&](std::string_view point) {
+    return options.crash_at && options.crash_at(point);
+  };
+
+  // Pre-compute the region layouts: they are both the RST rows the region
+  // files are created with and (as raw widths) the journal's record of how
+  // to re-create a region lost to a crash.
+  std::vector<pfs::StripeLayout> layouts;
+  layouts.reserve(plan.regions.size());
+  for (std::size_t g = 0; g < plan.regions.size(); ++g) {
+    auto layout = pfs::StripeLayout::stripe_pair(pfs.num_hservers(), pfs.num_sservers(),
+                                                 stripe_pairs[g].h, stripe_pairs[g].s);
+    if (!layout.is_ok()) return layout.status();
+    layouts.push_back(std::move(layout).take());
+  }
+
+  const std::vector<DrtEntry> entries = plan.drt.entries();
+  if (journal != nullptr) {
+    std::vector<fault::JournalRegion> journal_regions;
+    journal_regions.reserve(plan.regions.size());
+    for (std::size_t g = 0; g < plan.regions.size(); ++g) {
+      journal_regions.push_back(
+          fault::JournalRegion{plan.regions[g].name, layouts[g].widths()});
+    }
+    std::vector<fault::JournalEntry> journal_entries;
+    journal_entries.reserve(entries.size());
+    for (const DrtEntry& entry : entries) {
+      journal_entries.push_back(
+          fault::JournalEntry{entry.o_offset, entry.length, entry.r_file, entry.r_offset});
+    }
+    MHA_RETURN_IF_ERROR(journal->begin(plan.drt.o_file(), std::move(journal_regions),
+                                       std::move(journal_entries)));
+  }
+  if (crash_at("planned")) return injected_crash("planned");
 
   PlacementReport report;
   std::unordered_map<std::string, common::FileId> region_ids;
@@ -25,28 +69,36 @@ common::Result<PlacementReport> Placer::apply(pfs::HybridPfs& pfs,
   // Create region files with their optimized layouts (RST rows).
   for (std::size_t g = 0; g < plan.regions.size(); ++g) {
     const Region& region = plan.regions[g];
-    auto layout = pfs::StripeLayout::stripe_pair(pfs.num_hservers(), pfs.num_sservers(),
-                                                 stripe_pairs[g].h, stripe_pairs[g].s);
-    if (!layout.is_ok()) return layout.status();
-    auto id = pfs.create_file(region.name, std::move(layout).take());
+    auto id = pfs.create_file(region.name, layouts[g]);
     if (!id.is_ok()) return id.status();
     region_ids.emplace(region.name, *id);
     ++report.regions_created;
     MHA_DEBUG << "placer: region " << region.name << " layout "
               << stripe_pairs[g].to_string();
   }
+  if (journal != nullptr) {
+    MHA_RETURN_IF_ERROR(journal->set_phase(fault::JournalPhase::kRegionsCreated));
+  }
+  if (crash_at("regions-created")) return injected_crash("regions-created");
+
+  if (journal != nullptr) {
+    MHA_RETURN_IF_ERROR(journal->set_phase(fault::JournalPhase::kCopying));
+  }
+  if (crash_at("copying")) return injected_crash("copying");
 
   // Migrate: copy every DRT entry's bytes original -> region.
   common::Seconds clock = 0.0;
   std::vector<std::uint8_t> buffer;
-  for (const DrtEntry& entry : plan.drt.entries()) {
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const DrtEntry& entry = entries[e];
     auto target = region_ids.find(entry.r_file);
     if (target == region_ids.end()) {
       return common::Status::corruption("placer: DRT names unknown region " + entry.r_file);
     }
     common::ByteCount moved = 0;
     while (moved < entry.length) {
-      const common::ByteCount piece = std::min<common::ByteCount>(chunk, entry.length - moved);
+      const common::ByteCount piece =
+          std::min<common::ByteCount>(options.chunk, entry.length - moved);
       buffer.resize(piece);
       auto read = pfs.read(*original, entry.o_offset + moved, buffer.data(), piece, clock);
       if (!read.is_ok()) return read.status();
@@ -56,10 +108,38 @@ common::Result<PlacementReport> Placer::apply(pfs::HybridPfs& pfs,
       clock = write->completion;
       moved += piece;
     }
+    if (journal != nullptr) {
+      MHA_RETURN_IF_ERROR(journal->set_copy_progress(e, entry.length));
+    }
+    if (crash_at("copied-entry-" + std::to_string(e))) {
+      return injected_crash("copied-entry-" + std::to_string(e));
+    }
     report.bytes_migrated += entry.length;
   }
+  if (journal != nullptr) {
+    MHA_RETURN_IF_ERROR(journal->set_phase(fault::JournalPhase::kCopied));
+  }
+  if (crash_at("copied")) return injected_crash("copied");
+
+  // The atomic switch: after commit() the journaled DRT/RST are the truth
+  // (recovery rebuilds the redirector from them); before it they are
+  // rolled back or forward depending on the copy phase.
+  if (journal != nullptr) {
+    MHA_RETURN_IF_ERROR(journal->commit());
+  }
+  if (crash_at("committed")) return injected_crash("committed");
+
   report.migration_time = clock;
   return report;
+}
+
+common::Result<PlacementReport> Placer::apply(pfs::HybridPfs& pfs,
+                                              const ReorganizePlan& plan,
+                                              const std::vector<StripePair>& stripe_pairs,
+                                              common::ByteCount chunk) {
+  ApplyOptions options;
+  options.chunk = chunk;
+  return apply(pfs, plan, stripe_pairs, options);
 }
 
 }  // namespace mha::core

@@ -10,11 +10,14 @@
 // windows (the caller resets stats afterwards).
 #pragma once
 
+#include <functional>
+#include <string_view>
 #include <vector>
 
 #include "common/result.hpp"
 #include "core/reorganizer.hpp"
 #include "core/rssd.hpp"
+#include "fault/journal.hpp"
 #include "pfs/file_system.hpp"
 
 namespace mha::core {
@@ -25,10 +28,31 @@ struct PlacementReport {
   std::size_t regions_created = 0;
 };
 
+struct ApplyOptions {
+  /// Copies run in `chunk` granularity to bound buffer sizes.
+  common::ByteCount chunk = 4 * 1024 * 1024;
+  /// Borrowed migration journal (may be nullptr).  When set, placement is
+  /// crash-safe: the full plan is journaled before any PFS mutation, each
+  /// phase is stamped as it completes, per-entry copy progress is recorded,
+  /// and the final commit() is the atomic DRT/RST switch.  A crash at any
+  /// point is recoverable via core::recover_migration.
+  fault::MigrationJournal* journal = nullptr;
+  /// Test hook simulating a crash: called with each named crash point
+  /// ("planned", "regions-created", "copying", "copied-entry-<i>", "copied",
+  /// "committed"); returning true aborts placement there, leaving exactly
+  /// the on-disk journal state a real crash would.
+  std::function<bool(std::string_view)> crash_at;
+};
+
 class Placer {
  public:
   /// `stripe_pairs` is index-aligned with `plan.regions`.
-  /// Copies in `chunk` granularity to bound buffer sizes.
+  static common::Result<PlacementReport> apply(pfs::HybridPfs& pfs,
+                                               const ReorganizePlan& plan,
+                                               const std::vector<StripePair>& stripe_pairs,
+                                               const ApplyOptions& options);
+
+  /// Back-compat convenience: default options except the copy chunk.
   static common::Result<PlacementReport> apply(pfs::HybridPfs& pfs,
                                                const ReorganizePlan& plan,
                                                const std::vector<StripePair>& stripe_pairs,

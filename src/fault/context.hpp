@@ -1,0 +1,50 @@
+// Everything the PFS client needs to serve I/O under injected faults.
+//
+// A FaultContext bundles the fault source (borrowed FaultInjector), the
+// retry policy, the client's seeded jitter Rng, the write redo log, and the
+// per-server online/offline state tracking that counts recovery events.
+// pfs::HybridPfs borrows one via set_fault_context(); while attached, every
+// dispatch runs the degraded-mode path (retry with backoff, degraded reads,
+// redo-logged writes) instead of the direct charge path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/redo_log.hpp"
+#include "fault/retry.hpp"
+
+namespace mha::fault {
+
+class FaultContext {
+ public:
+  /// `injector` is borrowed and must outlive the context.
+  explicit FaultContext(FaultInjector& injector, RetryPolicy retry = {},
+                        std::uint64_t jitter_seed = 0xC11E47ULL)
+      : injector_(&injector), retry_(retry), rng_(jitter_seed) {}
+
+  FaultInjector& injector() { return *injector_; }
+  const FaultInjector& injector() const { return *injector_; }
+  const RetryPolicy& retry() const { return retry_; }
+  common::Rng& rng() { return rng_; }
+  RedoLog& redo() { return redo_; }
+  FaultMetrics& metrics() { return injector_->metrics(); }
+
+  /// Observes `server`'s availability at `now`, counting each
+  /// offline -> online transition as a recovery event.
+  void note_server_state(std::size_t server, bool offline_now) {
+    if (server >= was_offline_.size()) was_offline_.resize(server + 1, false);
+    if (was_offline_[server] && !offline_now) ++injector_->metrics().recovery_events;
+    was_offline_[server] = offline_now;
+  }
+
+ private:
+  FaultInjector* injector_;
+  RetryPolicy retry_;
+  common::Rng rng_;
+  RedoLog redo_;
+  std::vector<bool> was_offline_;
+};
+
+}  // namespace mha::fault

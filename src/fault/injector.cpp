@@ -1,0 +1,139 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mha::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kBrownout: return "brownout";
+  }
+  return "unknown";
+}
+
+void FaultInjector::add(FaultWindow window) {
+  if (window.end <= window.start) return;  // empty window: nothing to inject
+  windows_.push_back(window);
+  // Kept sorted by (server, start) so recovery_time can walk forward.
+  std::sort(windows_.begin(), windows_.end(), [](const FaultWindow& a, const FaultWindow& b) {
+    if (a.server != b.server) return a.server < b.server;
+    return a.start < b.start;
+  });
+}
+
+void FaultInjector::add_random(const RandomFaultConfig& config) {
+  auto draw_count = [&](double expected) {
+    // floor(expected) certain windows plus one more with the fractional
+    // probability: cheap, mean-correct, and deterministic under the seed.
+    std::size_t n = static_cast<std::size_t>(expected);
+    if (rng_.next_double() < expected - static_cast<double>(n)) ++n;
+    return n;
+  };
+  auto draw_duration = [&](common::Seconds mean) {
+    // Uniform in [0.5, 1.5) * mean: bounded, mean-correct.
+    return mean * (0.5 + rng_.next_double());
+  };
+  for (std::size_t server = 0; server < config.num_servers; ++server) {
+    for (std::size_t i = draw_count(config.crashes_per_server); i > 0; --i) {
+      FaultWindow w;
+      w.server = server;
+      w.kind = FaultKind::kCrash;
+      w.start = rng_.next_double() * config.horizon;
+      w.end = w.start + draw_duration(config.mean_outage);
+      add(w);
+    }
+    for (std::size_t i = draw_count(config.brownouts_per_server); i > 0; --i) {
+      FaultWindow w;
+      w.server = server;
+      w.kind = FaultKind::kBrownout;
+      w.start = rng_.next_double() * config.horizon;
+      w.end = w.start + draw_duration(config.mean_brownout);
+      w.factor = config.brownout_factor;
+      add(w);
+    }
+    if (config.transient_probability > 0.0) {
+      FaultWindow w;
+      w.server = server;
+      w.kind = FaultKind::kTransient;
+      w.start = 0.0;
+      w.end = config.horizon;
+      w.probability = config.transient_probability;
+      add(w);
+    }
+  }
+}
+
+bool FaultInjector::offline(std::size_t server, common::Seconds t) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.server == server && w.kind == FaultKind::kCrash && w.contains(t)) return true;
+  }
+  return false;
+}
+
+common::Seconds FaultInjector::recovery_time(std::size_t server, common::Seconds t) const {
+  // Iterate to a fixpoint so chained and nested outage windows all push `t`
+  // out, regardless of how they overlap.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const FaultWindow& w : windows_) {
+      if (w.server != server || w.kind != FaultKind::kCrash) continue;
+      if (w.contains(t)) {
+        t = w.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+double FaultInjector::service_factor(std::size_t server, common::Seconds start) const {
+  double factor = 1.0;
+  for (const FaultWindow& w : windows_) {
+    if (w.server == server && w.kind == FaultKind::kBrownout && w.contains(start)) {
+      factor = std::max(factor, w.factor);
+    }
+  }
+  return factor;
+}
+
+bool FaultInjector::draw_transient(std::size_t server, common::Seconds t) {
+  for (const FaultWindow& w : windows_) {
+    if (w.server != server || w.kind != FaultKind::kTransient || !w.contains(t)) continue;
+    if (rng_.next_double() < w.probability) {
+      ++metrics_.transient_errors;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultMetrics::table() const {
+  char line[220];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "faults:   transient=%llu offline-hits=%llu recoveries=%llu\n",
+                static_cast<unsigned long long>(transient_errors),
+                static_cast<unsigned long long>(offline_hits),
+                static_cast<unsigned long long>(recovery_events));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "retries:  count=%llu backoff=%.3fs budget-exhausted=%llu\n",
+                static_cast<unsigned long long>(retries), backoff_seconds,
+                static_cast<unsigned long long>(budget_exhausted));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "degraded: reads=%llu redo-logged=%llu redo-replayed=%llu "
+                "redo-bytes=%llu\n",
+                static_cast<unsigned long long>(degraded_reads),
+                static_cast<unsigned long long>(redo_logged),
+                static_cast<unsigned long long>(redo_replayed),
+                static_cast<unsigned long long>(redo_bytes));
+  out += line;
+  return out;
+}
+
+}  // namespace mha::fault

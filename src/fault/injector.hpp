@@ -1,0 +1,127 @@
+// Deterministic, virtual-time fault injection for the simulated cluster.
+//
+// The paper's durability story stops at "DRT/RST are synchronously written
+// to the storage in order to survive power failures" (§IV-A); a production
+// hybrid PFS must also keep serving when a data server drops requests,
+// browns out, or dies mid-migration.  FaultInjector is the single scriptable
+// source of such conditions: per-server fault *windows* on the virtual
+// timeline —
+//
+//   kCrash     - the server is offline during [start, end); work cannot
+//                begin until the window closes (the sim pushes starts past
+//                it, so a crash looks like an extreme straggler to every
+//                scheduler's look-ahead),
+//   kBrownout  - service time is multiplied by `factor` during the window
+//                (thermal throttling, RAID rebuild, noisy neighbour),
+//   kTransient - each sub-request admitted inside the window fails with
+//                `probability` (dropped request / checksum error); the
+//                client retries with backoff.
+//
+// Everything is seeded through common::Rng and advances only with virtual
+// time, so fault benches are exactly reproducible: same seed, same schedule,
+// same numbers.  All fault/retry/recovery decisions across the stack land in
+// the shared FaultMetrics table, printed stats_table()-style.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/fault_hook.hpp"
+
+namespace mha::fault {
+
+enum class FaultKind : std::uint8_t { kTransient = 0, kCrash = 1, kBrownout = 2 };
+
+const char* to_string(FaultKind kind);
+
+/// One scripted fault on one server over a half-open virtual-time window.
+struct FaultWindow {
+  std::size_t server = 0;
+  FaultKind kind = FaultKind::kCrash;
+  common::Seconds start = 0.0;
+  common::Seconds end = 0.0;
+  /// kTransient: per-sub-request failure probability in [0, 1].
+  double probability = 1.0;
+  /// kBrownout: service-time multiplier (>= 1).
+  double factor = 1.0;
+
+  bool contains(common::Seconds t) const { return t >= start && t < end; }
+};
+
+/// Everything the fault/retry/recovery machinery counted, in one table.
+struct FaultMetrics {
+  std::uint64_t transient_errors = 0;   ///< injected transient sub-request failures
+  std::uint64_t retries = 0;            ///< re-submissions after a transient failure
+  common::Seconds backoff_seconds = 0;  ///< virtual seconds spent backing off
+  std::uint64_t offline_hits = 0;       ///< sub-requests that found their server offline
+  std::uint64_t degraded_reads = 0;     ///< reads re-charged to an SServer replica
+  std::uint64_t redo_logged = 0;        ///< writes parked in the client redo log
+  std::uint64_t redo_replayed = 0;      ///< redo entries replayed after recovery
+  common::ByteCount redo_bytes = 0;     ///< bytes replayed from the redo log
+  std::uint64_t budget_exhausted = 0;   ///< requests that surfaced a Status to the caller
+  std::uint64_t recovery_events = 0;    ///< offline -> online transitions observed
+
+  /// stats_table()-style report of every fault/retry/recovery decision.
+  std::string table() const;
+};
+
+/// Shape of a randomly generated (but seed-deterministic) fault schedule.
+struct RandomFaultConfig {
+  std::size_t num_servers = 8;
+  common::Seconds horizon = 10.0;       ///< windows fall in [0, horizon)
+  double crashes_per_server = 0.0;      ///< expected crash windows per server
+  common::Seconds mean_outage = 0.5;
+  double brownouts_per_server = 0.0;    ///< expected brownout windows per server
+  common::Seconds mean_brownout = 1.0;
+  double brownout_factor = 4.0;
+  /// When > 0, one transient window per server spans the whole horizon with
+  /// this per-sub-request failure probability.
+  double transient_probability = 0.0;
+};
+
+class FaultInjector : public sim::FaultHook {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x5EEDFA17ULL) : rng_(seed) {}
+
+  /// Adds one scripted window (windows may overlap; crash wins over
+  /// brownout where they do).
+  void add(FaultWindow window);
+
+  /// Appends a seed-deterministic random schedule (see RandomFaultConfig).
+  void add_random(const RandomFaultConfig& config);
+
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// True when `server` sits inside a crash window at `t`.
+  bool offline(std::size_t server, common::Seconds t) const;
+
+  /// First instant >= `t` outside every crash window of `server`.
+  common::Seconds recovery_time(std::size_t server, common::Seconds t) const;
+
+  /// Draws a transient failure for a sub-request admitted on `server` at
+  /// `t`; counts it in metrics() when it fires.  Consumes randomness only
+  /// when a transient window covers (server, t), keeping schedules
+  /// reproducible.
+  bool draw_transient(std::size_t server, common::Seconds t);
+
+  // --- sim::FaultHook -----------------------------------------------------
+  common::Seconds earliest_start(std::size_t server,
+                                 common::Seconds arrival) const override {
+    return recovery_time(server, arrival);
+  }
+  double service_factor(std::size_t server, common::Seconds start) const override;
+
+  FaultMetrics& metrics() { return metrics_; }
+  const FaultMetrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_ = FaultMetrics{}; }
+
+ private:
+  std::vector<FaultWindow> windows_;
+  common::Rng rng_;
+  FaultMetrics metrics_;
+};
+
+}  // namespace mha::fault

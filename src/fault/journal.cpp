@@ -1,0 +1,242 @@
+#include "fault/journal.hpp"
+
+#include <charconv>
+
+namespace mha::fault {
+
+namespace {
+
+// Record encodings are line-free text: numbers in decimal, the (possibly
+// arbitrary) file name always last so it needs no escaping.
+std::string encode_region(const JournalRegion& region) {
+  std::string out;
+  for (std::size_t i = 0; i < region.widths.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(region.widths[i]);
+  }
+  out += "|" + region.name;
+  return out;
+}
+
+std::string encode_entry(const JournalEntry& entry) {
+  return std::to_string(entry.o_offset) + "," + std::to_string(entry.length) + "," +
+         std::to_string(entry.r_offset) + "|" + entry.r_file;
+}
+
+common::Result<std::vector<std::uint64_t>> parse_numbers(std::string_view text) {
+  std::vector<std::uint64_t> out;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    std::uint64_t v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{}) {
+      return common::Status::corruption("journal: bad number list: " + std::string(text));
+    }
+    out.push_back(v);
+    p = next;
+    if (p < end) {
+      if (*p != ',') {
+        return common::Status::corruption("journal: bad number list: " + std::string(text));
+      }
+      ++p;
+    }
+  }
+  return out;
+}
+
+common::Result<JournalRegion> decode_region(std::string_view text) {
+  const std::size_t bar = text.find('|');
+  if (bar == std::string_view::npos) {
+    return common::Status::corruption("journal: bad region record");
+  }
+  auto widths = parse_numbers(text.substr(0, bar));
+  if (!widths.is_ok()) return widths.status();
+  JournalRegion region;
+  region.name = std::string(text.substr(bar + 1));
+  region.widths.assign(widths->begin(), widths->end());
+  return region;
+}
+
+common::Result<JournalEntry> decode_entry(std::string_view text) {
+  const std::size_t bar = text.find('|');
+  if (bar == std::string_view::npos) {
+    return common::Status::corruption("journal: bad entry record");
+  }
+  auto numbers = parse_numbers(text.substr(0, bar));
+  if (!numbers.is_ok()) return numbers.status();
+  if (numbers->size() != 3) {
+    return common::Status::corruption("journal: entry record needs 3 numbers");
+  }
+  JournalEntry entry;
+  entry.o_offset = (*numbers)[0];
+  entry.length = (*numbers)[1];
+  entry.r_offset = (*numbers)[2];
+  entry.r_file = std::string(text.substr(bar + 1));
+  return entry;
+}
+
+}  // namespace
+
+const char* to_string(JournalPhase phase) {
+  switch (phase) {
+    case JournalPhase::kNone: return "none";
+    case JournalPhase::kPlanned: return "planned";
+    case JournalPhase::kRegionsCreated: return "regions-created";
+    case JournalPhase::kCopying: return "copying";
+    case JournalPhase::kCopied: return "copied";
+    case JournalPhase::kCommitted: return "committed";
+    case JournalPhase::kFoldback: return "foldback";
+  }
+  return "unknown";
+}
+
+common::Status MigrationJournal::open(const std::string& path) {
+  kv::KvOptions options;
+  options.sync = kv::SyncMode::kEveryWrite;  // the whole point is crash-safety
+  MHA_RETURN_IF_ERROR(store_.open(path, options));
+  return load();
+}
+
+common::Status MigrationJournal::close() {
+  phase_ = JournalPhase::kNone;
+  o_file_.clear();
+  regions_.clear();
+  entries_.clear();
+  progress_.clear();
+  return store_.close();
+}
+
+common::Status MigrationJournal::load() {
+  phase_ = JournalPhase::kNone;
+  o_file_.clear();
+  regions_.clear();
+  entries_.clear();
+  progress_.clear();
+  const auto phase = store_.get("phase");
+  if (!phase.has_value()) return common::Status::ok();  // fresh journal
+  auto numbers = parse_numbers(*phase);
+  if (!numbers.is_ok()) return numbers.status();
+  if (numbers->size() != 1 || (*numbers)[0] > static_cast<std::uint64_t>(JournalPhase::kFoldback)) {
+    return common::Status::corruption("journal: bad phase record");
+  }
+  phase_ = static_cast<JournalPhase>((*numbers)[0]);
+  if (phase_ == JournalPhase::kNone) return common::Status::ok();
+
+  o_file_ = store_.get("o_file").value_or("");
+  if (o_file_.empty()) return common::Status::corruption("journal: missing o_file");
+  for (std::size_t i = 0;; ++i) {
+    const auto record = store_.get("region/" + std::to_string(i));
+    if (!record.has_value()) break;
+    auto region = decode_region(*record);
+    if (!region.is_ok()) return region.status();
+    regions_.push_back(std::move(region).take());
+  }
+  for (std::size_t i = 0;; ++i) {
+    const auto record = store_.get("entry/" + std::to_string(i));
+    if (!record.has_value()) break;
+    auto entry = decode_entry(*record);
+    if (!entry.is_ok()) return entry.status();
+    entries_.push_back(std::move(entry).take());
+  }
+  progress_.assign(entries_.size(), 0);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto record = store_.get("progress/" + std::to_string(i));
+    if (!record.has_value()) continue;
+    auto bytes = parse_numbers(*record);
+    if (!bytes.is_ok()) return bytes.status();
+    if (bytes->size() == 1) progress_[i] = (*bytes)[0];
+  }
+  return common::Status::ok();
+}
+
+common::Status MigrationJournal::persist_plan() {
+  MHA_RETURN_IF_ERROR(store_.put("o_file", o_file_));
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    MHA_RETURN_IF_ERROR(store_.put("region/" + std::to_string(i), encode_region(regions_[i])));
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    MHA_RETURN_IF_ERROR(store_.put("entry/" + std::to_string(i), encode_entry(entries_[i])));
+  }
+  return common::Status::ok();
+}
+
+common::Status MigrationJournal::begin_with_phase(const std::string& o_file,
+                                                  std::vector<JournalRegion> regions,
+                                                  std::vector<JournalEntry> entries,
+                                                  JournalPhase first_phase) {
+  if (!is_open()) return common::Status::failed_precondition("journal not open");
+  if (active()) {
+    return common::Status::failed_precondition(
+        "journal holds an unresolved migration (phase " + std::string(to_string(phase_)) +
+        "); recover it first");
+  }
+  MHA_RETURN_IF_ERROR(clear());
+  o_file_ = o_file;
+  regions_ = std::move(regions);
+  entries_ = std::move(entries);
+  progress_.assign(entries_.size(), 0);
+  MHA_RETURN_IF_ERROR(persist_plan());
+  // The phase stamp is written last, directly at the target phase: a crash
+  // before this line leaves a journal that loads as kNone (plan records
+  // without a phase are inert), and there is never an intermediate stamp a
+  // crash could freeze at with the wrong recovery action.
+  return set_phase(first_phase);
+}
+
+common::Status MigrationJournal::begin(const std::string& o_file,
+                                       std::vector<JournalRegion> regions,
+                                       std::vector<JournalEntry> entries) {
+  return begin_with_phase(o_file, std::move(regions), std::move(entries),
+                          JournalPhase::kPlanned);
+}
+
+common::Status MigrationJournal::begin_foldback(const std::string& o_file,
+                                                std::vector<JournalRegion> regions,
+                                                std::vector<JournalEntry> entries) {
+  return begin_with_phase(o_file, std::move(regions), std::move(entries),
+                          JournalPhase::kFoldback);
+}
+
+common::Status MigrationJournal::set_phase(JournalPhase phase) {
+  if (!is_open()) return common::Status::failed_precondition("journal not open");
+  MHA_RETURN_IF_ERROR(
+      store_.put("phase", std::to_string(static_cast<int>(phase))));
+  phase_ = phase;
+  return common::Status::ok();
+}
+
+common::Status MigrationJournal::set_copy_progress(std::size_t index,
+                                                   common::ByteCount bytes) {
+  if (index >= entries_.size()) {
+    return common::Status::out_of_range("journal: no entry " + std::to_string(index));
+  }
+  MHA_RETURN_IF_ERROR(
+      store_.put("progress/" + std::to_string(index), std::to_string(bytes)));
+  progress_[index] = bytes;
+  return common::Status::ok();
+}
+
+common::ByteCount MigrationJournal::copy_progress(std::size_t index) const {
+  return index < progress_.size() ? progress_[index] : 0;
+}
+
+common::Status MigrationJournal::clear() {
+  if (!is_open()) return common::Status::failed_precondition("journal not open");
+  // The store is dedicated to the journal, so "clear" is "erase everything".
+  std::vector<std::string> keys;
+  keys.reserve(store_.size());
+  store_.for_each([&](std::string_view key, std::string_view) {
+    keys.emplace_back(key);
+    return true;
+  });
+  for (const std::string& key : keys) MHA_RETURN_IF_ERROR(store_.erase(key));
+  phase_ = JournalPhase::kNone;
+  o_file_.clear();
+  regions_.clear();
+  entries_.clear();
+  progress_.clear();
+  return common::Status::ok();
+}
+
+}  // namespace mha::fault

@@ -1,0 +1,21 @@
+#include "fault/redo_log.hpp"
+
+namespace mha::fault {
+
+std::vector<RedoEntry> RedoLog::take_replayable(const FaultInjector& injector,
+                                                common::Seconds now) {
+  std::vector<RedoEntry> ready;
+  std::vector<RedoEntry> keep;
+  keep.reserve(entries_.size());
+  for (const RedoEntry& e : entries_) {
+    if (injector.offline(e.server, now)) {
+      keep.push_back(e);
+    } else {
+      ready.push_back(e);
+    }
+  }
+  entries_ = std::move(keep);
+  return ready;
+}
+
+}  // namespace mha::fault

@@ -1,0 +1,21 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mha::fault {
+
+common::Seconds backoff_delay(const RetryPolicy& policy, std::size_t attempt,
+                              common::Rng& rng) {
+  if (attempt == 0) attempt = 1;
+  const double exponent = static_cast<double>(attempt - 1);
+  common::Seconds delay = policy.base_backoff * std::pow(policy.multiplier, exponent);
+  delay = std::min(delay, policy.max_backoff);
+  if (policy.jitter > 0.0) {
+    const double u = 2.0 * rng.next_double() - 1.0;  // [-1, 1)
+    delay *= 1.0 + policy.jitter * u;
+  }
+  return std::max(delay, 0.0);
+}
+
+}  // namespace mha::fault

@@ -1,0 +1,41 @@
+// Client-side retry policy: capped exponential backoff with jitter, plus a
+// per-request virtual-time budget.
+//
+// A transiently-failed sub-request is re-submitted after
+//
+//   delay(attempt) = min(base * multiplier^(attempt-1), max_backoff)
+//                    * (1 + jitter * u),   u uniform in [-1, 1)
+//
+// — the classic AWS/SRE "capped exponential backoff with jitter" shape.  All
+// delays are virtual seconds drawn from a seeded Rng, so retry schedules are
+// exactly reproducible.  A request whose retries (or whose wait for an
+// offline server) would push it past `arrival + timeout_budget` stops
+// retrying and surfaces a common::Status to the caller instead.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mha::fault {
+
+struct RetryPolicy {
+  /// Maximum submissions per sub-request (first try included).
+  std::size_t max_attempts = 8;
+  common::Seconds base_backoff = 0.5e-3;
+  double multiplier = 2.0;
+  /// Cap applied before jitter.
+  common::Seconds max_backoff = 64e-3;
+  /// Jitter fraction in [0, 1); 0 disables jitter.
+  double jitter = 0.2;
+  /// Per-request virtual-time budget (covers retries and offline waits).
+  common::Seconds timeout_budget = 5.0;
+};
+
+/// Backoff delay before retry number `attempt` (1-based: the delay after the
+/// first failure is attempt 1).  Deterministic given the Rng state.
+common::Seconds backoff_delay(const RetryPolicy& policy, std::size_t attempt,
+                              common::Rng& rng);
+
+}  // namespace mha::fault

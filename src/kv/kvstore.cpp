@@ -60,6 +60,11 @@ common::Status KvStore::open(const std::string& path, KvOptions options) {
   map_.clear();
   dead_records_ = 0;
 
+  // A crash during compact() can strand a "<path>.compact" temp file; the
+  // live log is authoritative until the atomic rename, so the leftover is
+  // garbage and must not survive (a later compact would reuse the name).
+  std::remove((path + ".compact").c_str());
+
   // "a+b" creates the file if missing and allows reading for replay.
   file_ = std::fopen(path.c_str(), "a+b");
   if (file_ == nullptr) {
@@ -234,6 +239,11 @@ common::Status KvStore::compact() {
   std::fclose(file_);
   file_ = nullptr;
   if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    // The live log is still intact on disk; reopen it so the store keeps
+    // working instead of being stranded closed.
+    std::remove(tmp_path.c_str());
+    file_ = std::fopen(path_.c_str(), "a+b");
+    if (file_ != nullptr) std::fseek(file_, 0, SEEK_END);
     return common::Status::io_error("compact rename failed: " + path_);
   }
   file_ = std::fopen(path_.c_str(), "a+b");

@@ -21,8 +21,135 @@ HybridPfs::HybridPfs(const sim::ClusterConfig& config, PfsOptions options)
   row_ = sched::ServerRow(std::move(sims), num_hservers_);
 }
 
-void HybridPfs::dispatch(common::OpType op, const std::vector<common::ByteCount>& per_server,
-                         common::Seconds arrival, IoResult& result) const {
+void HybridPfs::set_fault_context(fault::FaultContext* fault) {
+  fault_ = fault;
+  const sim::FaultHook* hook = fault != nullptr ? &fault->injector() : nullptr;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->sim().set_fault_hook(hook, i);
+  }
+}
+
+void HybridPfs::charge_sub(common::OpType op, std::size_t server, common::ByteCount bytes,
+                           common::Seconds t, IoResult& result) const {
+  if (scheduler_ != nullptr) {
+    const sched::DispatchResult out =
+        scheduler_->dispatch(row_, {sim::SubRequest{server, op, bytes}}, t);
+    result.completion = std::max(result.completion, out.completion);
+    result.sub_requests += out.sub_requests;
+    ++result.servers_touched;
+    return;
+  }
+  const common::Seconds done = row_.server(server).submit(op, bytes, t);
+  result.completion = std::max(result.completion, done);
+  ++result.sub_requests;
+  ++result.servers_touched;
+}
+
+common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType op,
+                                            const std::vector<common::ByteCount>& per_server,
+                                            common::Seconds arrival, IoResult& result) const {
+  fault::FaultInjector& injector = fault_->injector();
+  fault::FaultMetrics& metrics = fault_->metrics();
+  const fault::RetryPolicy& policy = fault_->retry();
+
+  // Recovered servers first pay the traffic they missed: replay every redo
+  // entry whose target is back online.  The replay is catch-up background
+  // work — it loads the server queue (and so delays this request through
+  // contention) but does not gate this request's completion directly.
+  for (const fault::RedoEntry& entry : fault_->redo().take_replayable(injector, arrival)) {
+    row_.server(entry.server).submit(common::OpType::kWrite, entry.bytes, arrival);
+    ++metrics.redo_replayed;
+    metrics.redo_bytes += entry.bytes;
+  }
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    fault_->note_server_state(i, injector.offline(i, arrival));
+  }
+
+  const common::Seconds budget_end = arrival + policy.timeout_budget;
+  for (std::size_t i = 0; i < per_server.size(); ++i) {
+    if (per_server[i] == 0) continue;
+    std::size_t server = i;
+    const common::ByteCount bytes = per_server[i];
+    common::Seconds t = arrival;
+    std::size_t attempt = 1;
+    for (;;) {
+      if (injector.offline(server, t)) {
+        ++metrics.offline_hits;
+        if (op == common::OpType::kWrite) {
+          // The payload is already durable in the client-visible content
+          // plane (store() ran before dispatch), so park the server charge
+          // in the redo log and acknowledge — read-your-writes holds.
+          fault_->redo().append(fault::RedoEntry{server, file, bytes, t});
+          ++metrics.redo_logged;
+          result.completion = std::max(result.completion, t);
+          break;
+        }
+        if (is_hserver(server)) {
+          // Degraded read: HServer data has an SServer replica under the
+          // paper's migration story — re-charge the least-loaded online
+          // SServer.  Bytes were already load()ed from the content plane,
+          // so the answer stays byte-identical.
+          std::size_t best = servers_.size();
+          common::Seconds best_backlog = 0.0;
+          for (std::size_t s = num_hservers_; s < servers_.size(); ++s) {
+            if (injector.offline(s, t)) continue;
+            const common::Seconds b = row_.server(s).backlog(t);
+            if (best == servers_.size() || b < best_backlog) {
+              best = s;
+              best_backlog = b;
+            }
+          }
+          if (best != servers_.size()) {
+            ++metrics.degraded_reads;
+            server = best;
+            continue;
+          }
+        }
+        // No replica to fall back on: wait out the outage if the budget
+        // allows, otherwise surface the failure.
+        const common::Seconds up = injector.recovery_time(server, t);
+        if (up > budget_end) {
+          ++metrics.budget_exhausted;
+          return common::Status::unavailable(
+              "server " + std::to_string(server) + " offline past the " +
+              std::to_string(policy.timeout_budget) + "s request budget");
+        }
+        t = up;
+        continue;
+      }
+      if (injector.draw_transient(server, t)) {
+        if (attempt >= policy.max_attempts) {
+          ++metrics.budget_exhausted;
+          return common::Status::io_error(
+              "sub-request to server " + std::to_string(server) + " failed " +
+              std::to_string(attempt) + " attempts");
+        }
+        const common::Seconds delay = fault::backoff_delay(policy, attempt, fault_->rng());
+        if (t + delay > budget_end) {
+          ++metrics.budget_exhausted;
+          return common::Status::unavailable(
+              "retries on server " + std::to_string(server) +
+              " exhausted the request budget");
+        }
+        ++attempt;
+        ++metrics.retries;
+        metrics.backoff_seconds += delay;
+        t += delay;
+        continue;
+      }
+      charge_sub(op, server, bytes, t, result);
+      break;
+    }
+  }
+  return common::Status::ok();
+}
+
+common::Status HybridPfs::dispatch(common::FileId file, common::OpType op,
+                                   const std::vector<common::ByteCount>& per_server,
+                                   common::Seconds arrival, IoResult& result) const {
+  if (fault_ != nullptr) {
+    return dispatch_degraded(file, op, per_server, arrival, result);
+  }
   if (scheduler_ != nullptr) {
     std::vector<sim::SubRequest> subs;
     for (std::size_t i = 0; i < per_server.size(); ++i) {
@@ -33,7 +160,7 @@ void HybridPfs::dispatch(common::OpType op, const std::vector<common::ByteCount>
     result.completion = std::max(result.completion, out.completion);
     result.sub_requests += out.sub_requests;
     result.servers_touched += subs.size();
-    return;
+    return common::Status::ok();
   }
   for (std::size_t i = 0; i < per_server.size(); ++i) {
     if (per_server[i] == 0) continue;
@@ -42,6 +169,7 @@ void HybridPfs::dispatch(common::OpType op, const std::vector<common::ByteCount>
     ++result.sub_requests;
     ++result.servers_touched;
   }
+  return common::Status::ok();
 }
 
 HybridPfs::HybridPfs(const sim::ClusterConfig& config, std::string rst_path)
@@ -82,7 +210,7 @@ common::Result<IoResult> HybridPfs::write(common::FileId file, common::Offset of
                                 data + (sub.logical_offset - offset), sub.length);
     per_server[sub.server] += sub.length;
   }
-  dispatch(common::OpType::kWrite, per_server, arrival, result);
+  MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kWrite, per_server, arrival, result));
   mds_.extend(file, offset + size);
   return result;
 }
@@ -100,7 +228,7 @@ common::Result<IoResult> HybridPfs::read(common::FileId file, common::Offset off
                                sub.length);
     per_server[sub.server] += sub.length;
   }
-  dispatch(common::OpType::kRead, per_server, arrival, result);
+  MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kRead, per_server, arrival, result));
   return result;
 }
 

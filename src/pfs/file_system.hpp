@@ -16,6 +16,7 @@
 
 #include "common/result.hpp"
 #include "common/types.hpp"
+#include "fault/context.hpp"
 #include "pfs/data_server.hpp"
 #include "pfs/metadata_server.hpp"
 #include "sched/scheduler.hpp"
@@ -64,6 +65,16 @@ class HybridPfs {
   /// The scheduler-facing view over this cluster's server queues.
   const sched::ServerRow& server_row() const { return row_; }
 
+  /// Attaches a fault context (borrowed; may be nullptr).  While set, every
+  /// server queue consults the context's injector (crashes push start times,
+  /// brownouts inflate service — visible to scheduler look-ahead), and
+  /// dispatch runs the degraded-mode client path: transient failures retry
+  /// with capped exponential backoff under a virtual-time budget, reads from
+  /// offline HServers re-charge to the least-loaded online SServer replica,
+  /// writes to offline servers park in the redo log and replay on recovery.
+  void set_fault_context(fault::FaultContext* fault);
+  fault::FaultContext* fault_context() const { return fault_; }
+
   /// Creates a file with the given layout (layout width count must equal the
   /// server count).
   common::Result<common::FileId> create_file(const std::string& name,
@@ -109,15 +120,25 @@ class HybridPfs {
 
  private:
   /// Charges the per-server sub-requests of one file request, either through
-  /// the attached scheduler or directly (FCFS at arrival).
-  void dispatch(common::OpType op, const std::vector<common::ByteCount>& per_server,
-                common::Seconds arrival, IoResult& result) const;
+  /// the attached scheduler or directly (FCFS at arrival).  With a fault
+  /// context attached, runs the degraded-mode path instead; a sub-request
+  /// that exhausts its retry/timeout budget surfaces a non-ok Status.
+  common::Status dispatch(common::FileId file, common::OpType op,
+                          const std::vector<common::ByteCount>& per_server,
+                          common::Seconds arrival, IoResult& result) const;
+  common::Status dispatch_degraded(common::FileId file, common::OpType op,
+                                   const std::vector<common::ByteCount>& per_server,
+                                   common::Seconds arrival, IoResult& result) const;
+  /// Charges one resolved sub-request at `t` (scheduler or direct path).
+  void charge_sub(common::OpType op, std::size_t server, common::ByteCount bytes,
+                  common::Seconds t, IoResult& result) const;
 
   sim::ClusterConfig config_;
   MetadataServer mds_;
   std::vector<std::unique_ptr<DataServer>> servers_;
   std::size_t num_hservers_ = 0;
   sched::Scheduler* scheduler_ = nullptr;
+  fault::FaultContext* fault_ = nullptr;
   sched::ServerRow row_;
 };
 

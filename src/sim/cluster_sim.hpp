@@ -67,6 +67,12 @@ class ClusterSim {
     return servers_[i].backlog(now);
   }
 
+  /// Attaches one fault model to every server (borrowed; nullptr detaches).
+  /// Server `i` reports itself to the hook as index `i`.
+  void set_fault_hook(const FaultHook* hook) {
+    for (std::size_t i = 0; i < servers_.size(); ++i) servers_[i].set_fault_hook(hook, i);
+  }
+
   /// Aggregate statistics helpers.
   void reset_stats();
   void reset_clocks();

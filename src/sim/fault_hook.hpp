@@ -1,0 +1,35 @@
+// Injection point the timing substrate exposes to the fault subsystem.
+//
+// The simulator stays fault-agnostic: ServerSim only asks two questions when
+// admitting work — "when can this server actually start?" (an offline server
+// pushes starts past its outage window, making a crash look like an extreme
+// straggler to every scheduler's look-ahead) and "how slow is it right now?"
+// (a brownout multiplies service time).  Who answers is up to the caller;
+// fault::FaultInjector is the shipped implementation.  The hook is consulted
+// identically by charge() and predict(), so scheduler predictions remain
+// exact under injected faults — the property the hedging machinery relies
+// on.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace mha::sim {
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Earliest instant >= `arrival` at which server `server` can begin
+  /// service (pushes work past crash/offline windows; identity when
+  /// healthy).
+  virtual common::Seconds earliest_start(std::size_t server,
+                                         common::Seconds arrival) const = 0;
+
+  /// Service-time multiplier (>= 1.0) for work starting at `start`
+  /// (brownout windows; 1.0 when healthy).
+  virtual double service_factor(std::size_t server, common::Seconds start) const = 0;
+};
+
+}  // namespace mha::sim

@@ -15,10 +15,14 @@ common::Seconds ServerSim::service_time(common::OpType op, common::ByteCount byt
 common::Seconds ServerSim::predict(common::OpType op, common::ByteCount bytes,
                                    common::Seconds arrival) const {
   if (bytes == 0) return arrival;
-  const common::Seconds start = std::max(arrival, next_free_);
+  common::Seconds start = std::max(arrival, next_free_);
   common::Seconds service = service_time(op, bytes);
   if (next_free_ > arrival) {
     service -= device_.startup(op) * (1.0 - device_.queued_startup_factor);
+  }
+  if (fault_hook_ != nullptr) {
+    start = std::max(start, fault_hook_->earliest_start(fault_index_, start));
+    service *= fault_hook_->service_factor(fault_index_, start);
   }
   return start + service;
 }
@@ -41,6 +45,12 @@ Charge ServerSim::charge(common::OpType op, common::ByteCount bytes,
   c.service = service_time(op, bytes);
   if (queued) {
     c.service -= device_.startup(op) * (1.0 - device_.queued_startup_factor);
+  }
+  if (fault_hook_ != nullptr) {
+    // An offline server cannot start until its outage ends; a browned-out
+    // one serves slower.  Same math as predict(), so look-ahead is exact.
+    c.start = std::max(c.start, fault_hook_->earliest_start(fault_index_, c.start));
+    c.service *= fault_hook_->service_factor(fault_index_, c.start);
   }
   c.completion = c.start + c.service;
   c.wait = c.start - arrival;

@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "sim/device.hpp"
+#include "sim/fault_hook.hpp"
 
 namespace mha::sim {
 
@@ -90,6 +91,17 @@ class ServerSim {
   /// Rewinds the queue to empty at time 0 (stats untouched).
   void reset_clock() { next_free_ = 0.0; }
 
+  /// Attaches a fault model (borrowed; may be nullptr).  `index` is the
+  /// identity this server reports to the hook.  When set, charge() and
+  /// predict() both push starts past offline windows and inflate service by
+  /// the hook's brownout factor, so scheduler look-ahead stays exact under
+  /// injected faults.
+  void set_fault_hook(const FaultHook* hook, std::size_t index) {
+    fault_hook_ = hook;
+    fault_index_ = index;
+  }
+  const FaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   common::ServerKind kind_;
   DeviceProfile device_;
@@ -97,6 +109,8 @@ class ServerSim {
   common::Seconds next_free_ = 0.0;
   std::uint64_t seq_ = 0;
   ServerStats stats_;
+  const FaultHook* fault_hook_ = nullptr;
+  std::size_t fault_index_ = 0;
 };
 
 /// Shared formatting for the per-server stats tables printed by ClusterSim

@@ -65,6 +65,18 @@ class SchedulerGuard {
   pfs::HybridPfs& pfs_;
 };
 
+/// Same idiom for the fault context.
+class FaultGuard {
+ public:
+  FaultGuard(pfs::HybridPfs& pfs, fault::FaultContext* fault) : pfs_(pfs) {
+    if (fault != nullptr) pfs_.set_fault_context(fault);
+  }
+  ~FaultGuard() { pfs_.set_fault_context(nullptr); }
+
+ private:
+  pfs::HybridPfs& pfs_;
+};
+
 }  // namespace
 
 common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
@@ -74,6 +86,7 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
   if (trace.records.empty()) return common::Status::invalid_argument("replay: empty trace");
   const int world = world_size_of(trace);
   SchedulerGuard scheduler_guard(pfs, options.scheduler);
+  FaultGuard fault_guard(pfs, options.fault_context);
   io::MpiSim mpi(world);
   auto file = io::MpiFile::open(pfs, mpi, deployment.file_name);
   if (!file.is_ok()) return file.status();

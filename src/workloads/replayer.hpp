@@ -44,6 +44,11 @@ struct ReplayOptions {
   /// are additionally ordered by the scheduler's plan() — the congestion
   /// window — so any scheme x scheduler combination is replayable.
   sched::Scheduler* scheduler = nullptr;
+  /// Fault context to replay under (borrowed; null replays fault-free).
+  /// While attached the PFS runs its degraded-mode dispatch path: injected
+  /// crashes/brownouts/transients hit this replay's requests and every
+  /// retry/degraded-read/redo decision lands in the context's FaultMetrics.
+  fault::FaultContext* fault_context = nullptr;
 };
 
 struct ReplayResult {

@@ -156,6 +156,35 @@ TEST_F(KvTest, CompactShrinksLog) {
   EXPECT_LT(std::filesystem::file_size(path_), before / 10);
 }
 
+TEST_F(KvTest, StaleCompactTempIsDiscardedOnOpen) {
+  {
+    KvStore store;
+    ASSERT_TRUE(store.open(path_).is_ok());
+    ASSERT_TRUE(store.put("live", "data").is_ok());
+    ASSERT_TRUE(store.close().is_ok());
+  }
+  // Simulate a crash mid-compaction: a half-written temp file beside the
+  // live log.  The live log is authoritative until the atomic rename, so
+  // reopening must ignore (and remove) the leftover.
+  const std::string tmp = path_ + ".compact";
+  {
+    std::ofstream f(tmp, std::ios::binary);
+    f.write("partial compaction garbage", 26);
+  }
+  KvStore reopened;
+  ASSERT_TRUE(reopened.open(path_).is_ok());
+  EXPECT_EQ(reopened.get("live"), "data");
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  // A fresh compaction over the cleaned-up name still works end to end.
+  ASSERT_TRUE(reopened.put("live", "newer").is_ok());
+  ASSERT_TRUE(reopened.compact().is_ok());
+  ASSERT_TRUE(reopened.close().is_ok());
+  KvStore third;
+  ASSERT_TRUE(third.open(path_).is_ok());
+  EXPECT_EQ(third.get("live"), "newer");
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+}
+
 TEST_F(KvTest, AutoCompactTriggers) {
   KvStore store;
   KvOptions options;
