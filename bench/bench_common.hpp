@@ -6,18 +6,66 @@
 // trace, and prints the same rows/series the paper plots.  Absolute numbers
 // are simulator numbers; the shapes (who wins, by what factor, where
 // crossovers fall) are the reproduction target — see EXPERIMENTS.md.
+//
+// Execution model: benches call bench::init(name, argc, argv) first, which
+// parses the shared flags —
+//
+//   --threads=N   total concurrency for the grid (default MHA_THREADS env
+//                 or hardware_concurrency); every (case, scheme) cell runs
+//                 on a fresh ClusterSim, results land by grid index, and
+//                 all printing happens after the join, so stdout is
+//                 byte-identical at any N.
+//   --json=PATH   write a timed machine-readable report (per-cell wall
+//                 time, replay virtual time, bandwidth) to PATH.
+//   --scale=F     shrink workloads by factor F (0 < F <= 1) for smoke runs;
+//                 benches route their size knobs through scaled_bytes /
+//                 scaled_procs / scaled_count.
+//
+// and return through bench::finish(code), which writes the JSON report.
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
+#include "exec/thread_pool.hpp"
 #include "layouts/scheme.hpp"
 #include "sim/cluster_sim.hpp"
 #include "trace/record.hpp"
 #include "workloads/replayer.hpp"
 
 namespace mha::bench {
+
+struct BenchOptions {
+  std::size_t threads = 1;  ///< resolved total concurrency
+  double scale = 1.0;       ///< workload scale factor (--scale)
+  std::string json_path;    ///< empty => no JSON report
+};
+
+/// Parses the shared flags, sizes exec::default_pool(), and names the run's
+/// report.  Unknown flags abort with a usage message.  Call first in main.
+void init(const std::string& bench_name, int argc, char** argv);
+
+/// Options resolved by init() (defaults when init was never called).
+const BenchOptions& options();
+
+/// The process-wide report init() named; cells recorded here land in the
+/// --json output.  run_figure records automatically; hand-rolled grids call
+/// report().add(sequence, cell) themselves.
+BenchReport& report();
+
+/// Writes the JSON report when --json was given; returns `code` (so mains
+/// can `return bench::finish(code);`).
+int finish(int code = 0);
+
+/// --scale helpers: multiply a workload knob by options().scale, clamped to
+/// a floor that keeps the workload well-formed.
+common::ByteCount scaled_bytes(common::ByteCount bytes,
+                               common::ByteCount floor = 4u * 1024 * 1024);
+int scaled_procs(int procs, int floor = 2);
+int scaled_count(int count, int floor = 1);
 
 /// The paper's default testbed: 6 HServers + 2 SServers.
 inline sim::ClusterConfig paper_cluster(std::size_t h = 6, std::size_t s = 2) {
@@ -38,6 +86,10 @@ common::Result<workloads::ReplayResult> run_full(
     const trace::Trace& trace,
     workloads::ReplayMode mode = workloads::ReplayMode::kSynchronous);
 
+/// The standard scheme column at `index` of scheme_columns() (fresh
+/// instance; cells construct their own scheme so grid tasks share nothing).
+std::unique_ptr<layouts::LayoutScheme> make_scheme(std::size_t index);
+
 /// One row of a figure table: a label plus one bandwidth per scheme.
 struct Row {
   std::string label;
@@ -51,7 +103,9 @@ void print_table(const std::string& title, const std::vector<std::string>& colum
                  const std::vector<Row>& rows, const char* unit = "MiB/s");
 
 /// Convenience: run all four schemes over a set of labelled traces and
-/// print the table.  Returns the rows for further processing.
+/// print the table.  Each (case, scheme) cell is an independent task on the
+/// exec pool (fresh ClusterSim per cell); rows come back in case order with
+/// per-cell timings recorded in report().  Returns the rows.
 std::vector<Row> run_figure(const std::string& title,
                             const std::vector<std::pair<std::string, trace::Trace>>& cases,
                             const sim::ClusterConfig& cluster,

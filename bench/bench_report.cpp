@@ -1,0 +1,90 @@
+#include "bench_report.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace mha::bench {
+
+BenchReport::BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+void BenchReport::set_name(std::string bench_name) { name_ = std::move(bench_name); }
+
+void BenchReport::add(std::size_t sequence, CellRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_.emplace_back(sequence, std::move(record));
+}
+
+std::size_t BenchReport::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cells_.size();
+}
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Status BenchReport::write_json(const std::string& path, std::size_t threads,
+                                       double scale, double total_wall_seconds) const {
+  std::vector<std::pair<std::size_t, CellRecord>> cells;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells = cells_;
+  }
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::Status::io_error("bench report: cannot open " + path);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", escape_json(name_).c_str());
+  std::fprintf(f, "  \"threads\": %zu,\n", threads);
+  std::fprintf(f, "  \"scale\": %.6g,\n", scale);
+  std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_wall_seconds);
+  std::fprintf(f, "  \"cells\": [");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellRecord& c = cells[i].second;
+    std::fprintf(f, "%s\n    {\"case\": \"%s\", \"variant\": \"%s\", "
+                    "\"wall_seconds\": %.6f, \"virtual_seconds\": %.9f, "
+                    "\"MiB_per_s\": %.3f}",
+                 i == 0 ? "" : ",", escape_json(c.case_label).c_str(),
+                 escape_json(c.variant).c_str(), c.wall_seconds, c.virtual_seconds,
+                 c.mib_per_s);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  if (std::fclose(f) != 0) {
+    return common::Status::io_error("bench report: write failed for " + path);
+  }
+  return common::Status::ok();
+}
+
+double wall_now() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace mha::bench

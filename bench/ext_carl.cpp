@@ -18,31 +18,46 @@
 using namespace mha;
 using namespace mha::common::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ext_carl", argc, argv);
   std::printf("=== Extension: CARL [36] vs DEF/MHA (paper Sec. VI criticism) ===\n");
 
   workloads::IorMixedSizesConfig config;
-  config.num_procs = 32;
+  config.num_procs = bench::scaled_procs(32);
   config.request_sizes = {128_KiB, 256_KiB};
-  config.file_size = 128_MiB;
+  config.file_size = bench::scaled_bytes(128_MiB);
   config.op = common::OpType::kWrite;
   config.file_name = "carl.ior";
   const trace::Trace trace = workloads::ior_mixed_sizes(config);
   const auto cluster = bench::paper_cluster();
 
-  auto def = layouts::make_def();
-  auto mha = layouts::make_mha();
-  const double bw_def = bench::run_bandwidth(*def, cluster, trace);
-  const double bw_mha = bench::run_bandwidth(*mha, cluster, trace);
+  // Grid: DEF, the CARL budget sweep, MHA — one pool cell each, printed in
+  // presentation order after the join.
+  const std::vector<double> shares = {0.1, 0.25, 0.5, 0.75};
+  auto cells = exec::default_pool().parallel_map(
+      shares.size() + 2, [&](std::size_t index) {
+        std::unique_ptr<layouts::LayoutScheme> scheme;
+        if (index == 0) {
+          scheme = layouts::make_def();
+        } else if (index <= shares.size()) {
+          scheme = layouts::make_carl(shares[index - 1]);
+        } else {
+          scheme = layouts::make_mha();
+        }
+        const double start = bench::wall_now();
+        const double bw = bench::run_bandwidth(*scheme, cluster, trace);
+        bench::report().add(index, bench::CellRecord{"carl sweep", scheme->name(),
+                                                     bench::wall_now() - start, 0.0, bw});
+        return bw;
+      });
 
+  const double bw_def = cells.front();
   std::printf("%-26s %8.1f MiB/s\n", "DEF (fixed 64KiB)", bw_def);
-  for (double share : {0.1, 0.25, 0.5, 0.75}) {
-    auto carl = layouts::make_carl(share);
-    const double bw = bench::run_bandwidth(*carl, cluster, trace);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
     std::printf("CARL (SSD share %.0f%%)      %8.1f MiB/s  (%+5.1f%% vs DEF)\n",
-                share * 100, bw, (bw / bw_def - 1) * 100);
+                shares[i] * 100, cells[i + 1], (cells[i + 1] / bw_def - 1) * 100);
   }
   std::printf("%-26s %8.1f MiB/s  (%+5.1f%% vs DEF)\n", "MHA (adaptive distribution)",
-              bw_mha, (bw_mha / bw_def - 1) * 100);
-  return 0;
+              cells.back(), (cells.back() / bw_def - 1) * 100);
+  return bench::finish();
 }

@@ -15,29 +15,43 @@
 using namespace mha;
 using namespace mha::common::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ext_collective_io", argc, argv);
   std::printf("=== Extension: collective (two-phase) vs independent I/O ===\n");
   std::printf("HPIO interleaved pattern, 16 procs, 512 iterations, 6h:2s, DEF layout\n\n");
   std::printf("%-12s %14s %14s %10s\n", "region size", "indep MiB/s", "collec MiB/s", "speedup");  // indep = synchronous per-iteration
 
-  for (common::ByteCount size : {4_KiB, 16_KiB, 64_KiB, 256_KiB}) {
+  const std::vector<common::ByteCount> sizes = {4_KiB, 16_KiB, 64_KiB, 256_KiB};
+  struct Cell {
+    double independent = 0.0;
+    double collective = 0.0;
+    double wall = 0.0;
+    bool ok = false;
+  };
+  // One pool cell per region size; the two replay modes within a cell stay
+  // sequential (each builds and mutates its own PFS).
+  auto cells = exec::default_pool().parallel_map(sizes.size(), [&](std::size_t index) {
+    const common::ByteCount size = sizes[index];
+    Cell cell;
+    const double cell_start = bench::wall_now();
     workloads::HpioConfig config;
-    config.num_procs = 16;
-    config.region_count = 512;
+    config.num_procs = bench::scaled_procs(16);
+    config.region_count = bench::scaled_count(512, 32);
     config.region_sizes = {size};
     config.op = common::OpType::kWrite;
     const trace::Trace trace = workloads::hpio(config);
-    const common::ByteCount total = size * 512 * 16;
+    const common::ByteCount total =
+        size * static_cast<common::ByteCount>(config.region_count) *
+        static_cast<common::ByteCount>(config.num_procs);
 
     pfs::PfsOptions timing_only;
     timing_only.store_data = false;
 
     // Independent: closed-loop per rank, as the replayer does it.
-    double independent;
     {
       pfs::HybridPfs pfs(bench::paper_cluster(), timing_only);
       auto file = pfs.create_file(trace.file_name);
-      if (!file.is_ok()) return 1;
+      if (!file.is_ok()) return cell;
       // Synchronous independent I/O: each iteration's pieces issue together
       // and a barrier closes the iteration (the same synchronisation a
       // collective call implies).
@@ -51,20 +65,19 @@ int main() {
         }
         buffer.resize(r.size);
         auto w = pfs.write(*file, r.offset, buffer.data(), r.size, mpi.now(r.rank));
-        if (!w.is_ok()) return 1;
+        if (!w.is_ok()) return cell;
         mpi.advance(r.rank, w->completion);
       }
       mpi.barrier();
-      independent = static_cast<double>(total) / mpi.max_time() / 1048576.0;
+      cell.independent = static_cast<double>(total) / mpi.max_time() / 1048576.0;
     }
 
     // Collective: one write_at_all per iteration (the records sharing a
     // t_start), the way an MPI application would issue this pattern.
-    double collective;
     {
       pfs::HybridPfs pfs(bench::paper_cluster(), timing_only);
       auto file = pfs.create_file(trace.file_name);
-      if (!file.is_ok()) return 1;
+      if (!file.is_ok()) return cell;
       io::MpiSim mpi(config.num_procs);
       std::vector<io::CollectiveRequest> batch;
       common::Seconds batch_time = trace.records.front().t_start;
@@ -76,17 +89,29 @@ int main() {
       };
       for (const auto& r : trace.records) {
         if (r.t_start != batch_time) {
-          if (!flush()) return 1;
+          if (!flush()) return cell;
           batch_time = r.t_start;
         }
         batch.push_back(io::CollectiveRequest{r.rank, r.offset, r.size});
       }
-      if (!flush()) return 1;
-      collective = static_cast<double>(total) / mpi.max_time() / 1048576.0;
+      if (!flush()) return cell;
+      cell.collective = static_cast<double>(total) / mpi.max_time() / 1048576.0;
     }
+    cell.wall = bench::wall_now() - cell_start;
+    cell.ok = true;
+    return cell;
+  });
 
-    std::printf("%-12s %14.1f %14.1f %9.2fx\n", common::format_bytes(size).c_str(),
-                independent, collective, collective / independent);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (!cell.ok) return bench::finish(1);
+    const std::string label = common::format_bytes(sizes[i]);
+    bench::report().add(2 * i, bench::CellRecord{label, "independent", cell.wall, 0.0,
+                                                 cell.independent});
+    bench::report().add(2 * i + 1,
+                        bench::CellRecord{label, "collective", 0.0, 0.0, cell.collective});
+    std::printf("%-12s %14.1f %14.1f %9.2fx\n", label.c_str(), cell.independent,
+                cell.collective, cell.collective / cell.independent);
   }
   std::printf(
       "\nReading guide: the textbook two-phase crossover — aggregation wins for\n"
@@ -94,5 +119,5 @@ int main() {
       "pieces are large enough that the extra copy through the aggregators\n"
       "costs more than it saves.  ROMIO enables collective buffering under\n"
       "exactly this heuristic.\n");
-  return 0;
+  return bench::finish();
 }

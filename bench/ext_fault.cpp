@@ -43,9 +43,9 @@ constexpr std::uint64_t kFaultSeed = 0xFA17ULL;
 
 trace::Trace read_mix() {
   workloads::IorMixedSizesConfig config;
-  config.num_procs = 16;
+  config.num_procs = bench::scaled_procs(16);
   config.request_sizes = {128_KiB, 256_KiB};
-  config.file_size = 64_MiB;
+  config.file_size = bench::scaled_bytes(64_MiB);
   config.op = common::OpType::kRead;
   config.file_name = "fault.ior";
   config.seed = 7;
@@ -67,7 +67,8 @@ fault::RandomFaultConfig fault_config(const FaultLevel& level, std::size_t num_s
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ext_fault", argc, argv);
   std::printf("=== Extension: fault injection — layout x dispatch under degraded service ===\n");
   std::printf("IOR read mix 128+256 KiB, 16 procs, 64 MiB file; byte-level verification on.\n");
   std::printf("levels: healthy | mild (2%% transient, 0.5 crash+brownout/server) | "
@@ -76,17 +77,35 @@ int main() {
   const auto cluster = bench::paper_cluster();
   const std::size_t num_servers = cluster.num_hservers + cluster.num_sservers;
   const trace::Trace trace = read_mix();
-  std::size_t integrity_failures = 0;
-  std::string harsh_mha_hedged_table;
 
-  for (const FaultLevel& level : kLevels) {
-    std::printf("\n--- fault level: %s ---\n", level.label);
-    std::printf("%-8s %-12s %9s %10s %10s  %s\n", "scheme", "scheduler", "MiB/s",
-                "p50(ms)", "p99(ms)", "fault decisions");
-    double def_fcfs_bandwidth = 0.0;
-    for (const char* scheme_name : {"DEF", "MHA"}) {
-      for (const sched::SchedulerKind kind :
-           {sched::SchedulerKind::kFcfs, sched::SchedulerKind::kHedgedRead}) {
+  const std::vector<const char*> scheme_names = {"DEF", "MHA"};
+  const std::vector<sched::SchedulerKind> kinds = {sched::SchedulerKind::kFcfs,
+                                                   sched::SchedulerKind::kHedgedRead};
+  const std::size_t num_levels = std::size(kLevels);
+  const std::size_t cells_per_level = scheme_names.size() * kinds.size();
+
+  struct Cell {
+    double bandwidth = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double wall = 0.0;
+    fault::FaultMetrics metrics;
+    bool ok = false;
+    bool corruption = false;
+  };
+  // Every (level, scheme, policy) cell replays with its own PFS and a fresh
+  // injector seeded identically, so cells are independent and the schedule
+  // each one sees does not depend on the fan-out.  Printing — including the
+  // DEF+fcfs baseline deltas, which read a sibling cell — runs after the
+  // join in presentation order.
+  auto cells = exec::default_pool().parallel_map(
+      num_levels * cells_per_level, [&](std::size_t index) {
+        const FaultLevel& level = kLevels[index / cells_per_level];
+        const char* scheme_name =
+            scheme_names[(index % cells_per_level) / kinds.size()];
+        const sched::SchedulerKind kind = kinds[index % kinds.size()];
+        Cell cell;
+        const double start = bench::wall_now();
         auto scheme = std::string(scheme_name) == "DEF" ? layouts::make_def()
                                                         : layouts::make_mha();
         auto scheduler = sched::make_scheduler(kind);
@@ -101,19 +120,41 @@ int main() {
         options.fault_context = &context;
         auto result = workloads::run_scheme(*scheme, cluster, trace, options);
         if (!result.is_ok()) {
-          if (result.status().code() == common::ErrorCode::kCorruption) {
-            ++integrity_failures;
-          }
+          cell.corruption = result.status().code() == common::ErrorCode::kCorruption;
           std::fprintf(stderr, "[ext_fault] %s/%s/%s failed: %s\n", level.label,
                        scheme_name, to_string(kind),
                        result.status().to_string().c_str());
+          return cell;
+        }
+        cell.bandwidth = result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+        cell.p50 = result->latency_p50;
+        cell.p99 = result->latency_p99;
+        cell.metrics = injector.metrics();
+        cell.wall = bench::wall_now() - start;
+        cell.ok = true;
+        return cell;
+      });
+
+  std::size_t integrity_failures = 0;
+  std::string harsh_mha_hedged_table;
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    const FaultLevel& level = kLevels[l];
+    std::printf("\n--- fault level: %s ---\n", level.label);
+    std::printf("%-8s %-12s %9s %10s %10s  %s\n", "scheme", "scheduler", "MiB/s",
+                "p50(ms)", "p99(ms)", "fault decisions");
+    double def_fcfs_bandwidth = 0.0;
+    for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        const char* scheme_name = scheme_names[s];
+        const sched::SchedulerKind kind = kinds[k];
+        const Cell& cell = cells[l * cells_per_level + s * kinds.size() + k];
+        if (!cell.ok) {
+          if (cell.corruption) ++integrity_failures;
           continue;
         }
-        const fault::FaultMetrics& m = injector.metrics();
-        const double bandwidth =
-            result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+        const fault::FaultMetrics& m = cell.metrics;
         if (std::string(scheme_name) == "DEF" && kind == sched::SchedulerKind::kFcfs) {
-          def_fcfs_bandwidth = bandwidth;
+          def_fcfs_bandwidth = cell.bandwidth;
         }
         char decisions[200];
         std::snprintf(decisions, sizeof(decisions),
@@ -125,14 +166,17 @@ int main() {
                       static_cast<unsigned long long>(m.offline_hits),
                       static_cast<unsigned long long>(m.budget_exhausted));
         std::printf("%-8s %-12s %9.1f %10.3f %10.3f  %s", scheme_name, to_string(kind),
-                    bandwidth, result->latency_p50 * 1e3, result->latency_p99 * 1e3,
-                    decisions);
+                    cell.bandwidth, cell.p50 * 1e3, cell.p99 * 1e3, decisions);
         if (def_fcfs_bandwidth > 0.0 &&
             !(std::string(scheme_name) == "DEF" && kind == sched::SchedulerKind::kFcfs)) {
           std::printf("  [%+.1f%% vs DEF+fcfs]",
-                      (bandwidth / def_fcfs_bandwidth - 1.0) * 100.0);
+                      (cell.bandwidth / def_fcfs_bandwidth - 1.0) * 100.0);
         }
         std::printf("\n");
+        bench::report().add(
+            bench::report().size(),
+            bench::CellRecord{std::string(level.label) + " / " + scheme_name,
+                              to_string(kind), cell.wall, cell.p99, cell.bandwidth});
         if (std::string(level.label) == "harsh" && std::string(scheme_name) == "MHA" &&
             kind == sched::SchedulerKind::kHedgedRead) {
           harsh_mha_hedged_table = m.table();
@@ -148,5 +192,5 @@ int main() {
   std::printf("\nintegrity failures across the sweep: %zu (every degraded read is "
               "byte-checked against the shadow copy)\n",
               integrity_failures);
-  return integrity_failures == 0 ? 0 : 1;
+  return bench::finish(integrity_failures == 0 ? 0 : 1);
 }

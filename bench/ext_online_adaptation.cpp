@@ -71,13 +71,15 @@ void run(pfs::HybridPfs& pfs, io::MpiFile& file, core::OnlineMha* online,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ext_online_adaptation", argc, argv);
   std::printf("=== Extension: online MHA vs static layouts on a pattern shift ===\n");
-  const int procs = 16;
+  const int procs = bench::scaled_procs(16);
+  const int iterations = bench::scaled_count(128, 16);
   const auto phase_a =
-      make_phase(common::OpType::kRead, 512_KiB, 128, procs, 0, 128_MiB, 0.0, 21);
+      make_phase(common::OpType::kRead, 512_KiB, iterations, procs, 0, 128_MiB, 0.0, 21);
   const auto phase_b =
-      make_phase(common::OpType::kWrite, 1_MiB, 128, procs, 128_MiB, 32_MiB, 10.0, 22);
+      make_phase(common::OpType::kWrite, 1_MiB, iterations, procs, 128_MiB, 32_MiB, 10.0, 22);
   const common::ByteCount extent = 160_MiB;
 
   struct Mode {
@@ -85,18 +87,35 @@ int main() {
     bool use_mha_static;
     bool use_online;
   };
-  for (const Mode mode : {Mode{"static DEF", false, false}, Mode{"static MHA (phase-A plan)", true, false},
-                          Mode{"online MHA", false, true}}) {
+  const std::vector<Mode> modes = {Mode{"static DEF", false, false},
+                                   Mode{"static MHA (phase-A plan)", true, false},
+                                   Mode{"online MHA", false, true}};
+  struct ModeResult {
+    double bw_a = 0.0;
+    double bw_b = 0.0;
+    double wall = 0.0;
+    std::size_t adaptations = 0;
+    bool has_online = false;
+    bool ok = false;
+  };
+  // The three modes are independent end-to-end experiments (each owns its
+  // PFS, MPI sim and interceptor), so they fan out on the pool; printing
+  // keeps presentation order after the join.
+  auto mode_results = exec::default_pool().parallel_map(
+      modes.size(), [&](std::size_t index) {
+    const Mode mode = modes[index];
+    ModeResult out;
+    const double start = bench::wall_now();
     pfs::PfsOptions pfs_options;
     pfs_options.store_data = false;
     pfs::HybridPfs pfs(bench::paper_cluster(), pfs_options);
     auto original = pfs.create_file("shift.dat");
-    if (!original.is_ok()) return 1;
+    if (!original.is_ok()) return out;
     pfs.mds().extend(*original, extent);
 
     io::MpiSim mpi(procs);
     auto file = io::MpiFile::open(pfs, mpi, "shift.dat");
-    if (!file.is_ok()) return 1;
+    if (!file.is_ok()) return out;
 
     std::unique_ptr<core::Redirector> static_redirector;
     std::unique_ptr<core::OnlineMha> online;
@@ -105,7 +124,7 @@ int main() {
       profile.file_name = "shift.dat";
       profile.records = phase_a;  // plan from phase A only
       auto deployment = core::MhaPipeline::deploy(pfs, profile, {});
-      if (!deployment.is_ok()) return 1;
+      if (!deployment.is_ok()) return out;
       static_redirector = std::move(deployment->redirector);
       file->set_interceptor(static_redirector.get());
     } else if (mode.use_online) {
@@ -114,7 +133,7 @@ int main() {
       options.min_records = 512;
       options.drift_threshold = 0.25;
       auto created = core::OnlineMha::create(pfs, "shift.dat", options);
-      if (!created.is_ok()) return 1;
+      if (!created.is_ok()) return out;
       online = std::move(created).take();
       file->set_interceptor(online.get());
     }
@@ -130,11 +149,26 @@ int main() {
     common::ByteCount bytes_a = 0, bytes_b = 0;
     for (const auto& r : phase_a) bytes_a += r.size;
     for (const auto& r : phase_b) bytes_b += r.size;
-    std::printf("%-28s phase A %7.1f MiB/s   phase B %7.1f MiB/s", mode.name,
-                static_cast<double>(bytes_a) / t_a / 1048576.0,
-                static_cast<double>(bytes_b) / t_b / 1048576.0);
-    if (online != nullptr) std::printf("   (%zu adaptations)", online->adaptations());
+    out.bw_a = static_cast<double>(bytes_a) / t_a / 1048576.0;
+    out.bw_b = static_cast<double>(bytes_b) / t_b / 1048576.0;
+    out.has_online = online != nullptr;
+    out.adaptations = online != nullptr ? online->adaptations() : 0;
+    out.wall = bench::wall_now() - start;
+    out.ok = true;
+    return out;
+  });
+
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const ModeResult& out = mode_results[m];
+    if (!out.ok) return bench::finish(1);
+    std::printf("%-28s phase A %7.1f MiB/s   phase B %7.1f MiB/s", modes[m].name,
+                out.bw_a, out.bw_b);
+    if (out.has_online) std::printf("   (%zu adaptations)", out.adaptations);
     std::printf("\n");
+    bench::report().add(2 * m, bench::CellRecord{modes[m].name, "phase A", out.wall, 0.0,
+                                                 out.bw_a});
+    bench::report().add(2 * m + 1,
+                        bench::CellRecord{modes[m].name, "phase B", 0.0, 0.0, out.bw_b});
   }
-  return 0;
+  return bench::finish();
 }

@@ -18,29 +18,71 @@
 using namespace mha;
 using namespace mha::common::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ext_scalability", argc, argv);
   std::printf("=== Extension: scaling the testbed (paper Sec. VII future work) ===\n");
-  std::vector<bench::Row> rows;
-  for (int scale : {1, 2, 4, 8}) {
+
+  // Build the per-testbed-scale traces up front (serial, seeded), then fan
+  // the (testbed scale x scheme) grid out on the pool.
+  struct Case {
     sim::ClusterConfig cluster;
-    cluster.num_hservers = 6u * static_cast<std::size_t>(scale);
-    cluster.num_sservers = 2u * static_cast<std::size_t>(scale);
+    std::string label;
+    trace::Trace trace;
+  };
+  std::vector<Case> cases;
+  for (int scale : {1, 2, 4, 8}) {
+    Case c;
+    c.cluster.num_hservers = 6u * static_cast<std::size_t>(scale);
+    c.cluster.num_sservers = 2u * static_cast<std::size_t>(scale);
 
     workloads::IorMixedSizesConfig config;
-    config.num_procs = 32 * scale;
+    config.num_procs = bench::scaled_procs(32 * scale);
     config.request_sizes = {128_KiB, 256_KiB};
-    config.file_size = 128_MiB * static_cast<common::ByteCount>(scale);
+    config.file_size = bench::scaled_bytes(128_MiB * static_cast<common::ByteCount>(scale));
     config.op = common::OpType::kWrite;
     config.file_name = "scale.ior";
     config.seed = 40 + static_cast<std::uint64_t>(scale);
-    const trace::Trace trace = workloads::ior_mixed_sizes(config);
+    c.trace = workloads::ior_mixed_sizes(config);
+    c.label = std::to_string(c.cluster.num_hservers) + "h:" +
+              std::to_string(c.cluster.num_sservers) + "s/" +
+              std::to_string(config.num_procs) + "p";
+    cases.push_back(std::move(c));
+  }
 
+  const std::size_t num_schemes = bench::scheme_columns().size();
+  struct Cell {
+    double bandwidth = 0.0;
+    double makespan = 0.0;
+    double wall = 0.0;
+  };
+  auto cells = exec::default_pool().parallel_map(
+      cases.size() * num_schemes, [&](std::size_t index) {
+        const Case& c = cases[index / num_schemes];
+        auto scheme = bench::make_scheme(index % num_schemes);
+        Cell cell;
+        const double start = bench::wall_now();
+        auto result = bench::run_full(*scheme, c.cluster, c.trace);
+        cell.wall = bench::wall_now() - start;
+        if (result.is_ok()) {
+          cell.bandwidth = result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+          cell.makespan = result->makespan;
+        } else {
+          std::fprintf(stderr, "[bench] %s failed: %s\n", scheme->name().c_str(),
+                       result.status().to_string().c_str());
+        }
+        return cell;
+      });
+
+  std::vector<bench::Row> rows;
+  for (std::size_t c = 0; c < cases.size(); ++c) {
     bench::Row row;
-    row.label = std::to_string(cluster.num_hservers) + "h:" +
-                std::to_string(cluster.num_sservers) + "s/" +
-                std::to_string(config.num_procs) + "p";
-    for (auto& scheme : layouts::all_schemes()) {
-      row.values.push_back(bench::run_bandwidth(*scheme, cluster, trace));
+    row.label = cases[c].label;
+    for (std::size_t s = 0; s < num_schemes; ++s) {
+      const Cell& cell = cells[c * num_schemes + s];
+      row.values.push_back(cell.bandwidth);
+      bench::report().add(bench::report().size(),
+                          bench::CellRecord{row.label, bench::scheme_columns()[s],
+                                            cell.wall, cell.makespan, cell.bandwidth});
     }
     rows.push_back(std::move(row));
   }
@@ -54,5 +96,5 @@ int main() {
     std::printf("  %-14s %.2f\n", rows[i].label.c_str(),
                 rows[i].values[3] / servers / base);
   }
-  return 0;
+  return bench::finish();
 }

@@ -28,11 +28,6 @@ using namespace mha::common::literals;
 
 namespace {
 
-struct CaseResult {
-  double bandwidth = 0.0;  // MiB/s
-  workloads::ReplayResult replay;
-};
-
 void run_case(const std::string& workload_label, const trace::Trace& trace,
               common::OpType op) {
   std::printf("\n--- %s (%s) ---\n", workload_label.c_str(), common::to_string(op));
@@ -40,26 +35,60 @@ void run_case(const std::string& workload_label, const trace::Trace& trace,
               "mean(ms)", "p50(ms)", "p99(ms)", "decisions");
 
   const auto cluster = bench::paper_cluster();
-  for (const char* scheme_name : {"DEF", "MHA"}) {
+  const std::vector<const char*> scheme_names = {"DEF", "MHA"};
+  const std::vector<sched::SchedulerKind> kinds = sched::all_scheduler_kinds();
+
+  struct Cell {
+    double bandwidth = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double wall = 0.0;
+    sched::SchedulerMetrics metrics;
+    bool ok = false;
+  };
+  // Each (scheme, policy) cell replays on its own PFS — independent work,
+  // fanned out on the pool.  Printing (and the FCFS-baseline deltas, which
+  // read a sibling cell) happens after the join in presentation order.
+  auto cells = exec::default_pool().parallel_map(
+      scheme_names.size() * kinds.size(), [&](std::size_t index) {
+        const char* scheme_name = scheme_names[index / kinds.size()];
+        const sched::SchedulerKind kind = kinds[index % kinds.size()];
+        Cell cell;
+        const double start = bench::wall_now();
+        auto scheme = std::string(scheme_name) == "DEF" ? layouts::make_def()
+                                                        : layouts::make_mha();
+        auto scheduler = sched::make_scheduler(kind);
+        workloads::ReplayOptions options;
+        options.scheduler = scheduler.get();
+        auto result = workloads::run_scheme(*scheme, cluster, trace, options);
+        if (!result.is_ok()) {
+          std::fprintf(stderr, "[ext_scheduler] %s/%s failed: %s\n", scheme_name,
+                       to_string(kind), result.status().to_string().c_str());
+          return cell;
+        }
+        cell.bandwidth = result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+        cell.mean = result->request_latency.mean();
+        cell.p50 = result->latency_p50;
+        cell.p99 = result->latency_p99;
+        cell.metrics = result->scheduler_metrics;
+        cell.wall = bench::wall_now() - start;
+        cell.ok = true;
+        return cell;
+      });
+
+  for (std::size_t s = 0; s < scheme_names.size(); ++s) {
     double fcfs_p99 = 0.0;
     double fcfs_mean = 0.0;
-    for (sched::SchedulerKind kind : sched::all_scheduler_kinds()) {
-      auto scheme = std::string(scheme_name) == "DEF" ? layouts::make_def()
-                                                      : layouts::make_mha();
-      auto scheduler = sched::make_scheduler(kind);
-      workloads::ReplayOptions options;
-      options.scheduler = scheduler.get();
-      auto result = workloads::run_scheme(*scheme, cluster, trace, options);
-      if (!result.is_ok()) {
-        std::fprintf(stderr, "[ext_scheduler] %s/%s failed: %s\n", scheme_name,
-                     to_string(kind), result.status().to_string().c_str());
-        continue;
-      }
-      const auto& m = result->scheduler_metrics;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const sched::SchedulerKind kind = kinds[k];
+      const Cell& cell = cells[s * kinds.size() + k];
+      if (!cell.ok) continue;
       if (kind == sched::SchedulerKind::kFcfs) {
-        fcfs_p99 = result->latency_p99;
-        fcfs_mean = result->request_latency.mean();
+        fcfs_p99 = cell.p99;
+        fcfs_mean = cell.mean;
       }
+      const auto& m = cell.metrics;
       char decisions[160];
       std::snprintf(decisions, sizeof(decisions),
                     "stragglers=%llu hedges=%llu/%llu won/lost, reorders=%llu "
@@ -69,29 +98,29 @@ void run_case(const std::string& workload_label, const trace::Trace& trace,
                     static_cast<unsigned long long>(m.hedges_lost),
                     static_cast<unsigned long long>(m.reorders),
                     static_cast<unsigned long long>(m.deferrals));
-      const double p99_delta =
-          fcfs_p99 > 0.0 ? (result->latency_p99 / fcfs_p99 - 1.0) * 100.0 : 0.0;
+      const double p99_delta = fcfs_p99 > 0.0 ? (cell.p99 / fcfs_p99 - 1.0) * 100.0 : 0.0;
       const double mean_delta =
-          fcfs_mean > 0.0 ? (result->request_latency.mean() / fcfs_mean - 1.0) * 100.0
-                          : 0.0;
-      std::printf("%-8s %-12s %9.1f %10.3f %10.3f %10.3f  %s", scheme_name,
-                  to_string(kind),
-                  result->aggregate_bandwidth / static_cast<double>(common::kMiB),
-                  result->request_latency.mean() * 1e3, result->latency_p50 * 1e3,
-                  result->latency_p99 * 1e3, decisions);
+          fcfs_mean > 0.0 ? (cell.mean / fcfs_mean - 1.0) * 100.0 : 0.0;
+      std::printf("%-8s %-12s %9.1f %10.3f %10.3f %10.3f  %s", scheme_names[s],
+                  to_string(kind), cell.bandwidth, cell.mean * 1e3, cell.p50 * 1e3,
+                  cell.p99 * 1e3, decisions);
       if (kind != sched::SchedulerKind::kFcfs && fcfs_p99 > 0.0) {
         std::printf("  [mean %+.1f%% p99 %+.1f%% vs fcfs]", mean_delta, p99_delta);
       }
       std::printf("\n");
+      bench::report().add(
+          bench::report().size(),
+          bench::CellRecord{workload_label + " / " + scheme_names[s], to_string(kind),
+                            cell.wall, cell.p99, cell.bandwidth});
     }
   }
 }
 
 trace::Trace mixed_sizes_case(common::OpType op) {
   workloads::IorMixedSizesConfig config;
-  config.num_procs = 32;
+  config.num_procs = bench::scaled_procs(32);
   config.request_sizes = {128_KiB, 256_KiB};
-  config.file_size = 256_MiB;
+  config.file_size = bench::scaled_bytes(256_MiB);
   config.op = op;
   config.file_name = "sched.ior";
   config.seed = 7;
@@ -103,9 +132,9 @@ trace::Trace mixed_sizes_case(common::OpType op) {
 // heterogeneous — the case where windowed SJF has something to sort.
 trace::Trace skewed_batch_case(common::OpType op) {
   workloads::IorMixedSizesConfig config;
-  config.num_procs = 32;
+  config.num_procs = bench::scaled_procs(32);
   config.request_sizes = {64_KiB, 1_MiB};
-  config.file_size = 512_MiB;
+  config.file_size = bench::scaled_bytes(512_MiB);
   config.op = op;
   config.per_rank_sizes = true;
   config.file_name = "sched_skew.ior";
@@ -115,7 +144,8 @@ trace::Trace skewed_batch_case(common::OpType op) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ext_scheduler", argc, argv);
   std::printf("=== Extension: client-side I/O schedulers under DEF vs MHA ===\n");
   std::printf("policies: fcfs (baseline) | load-aware (windowed SJF + straggler "
               "deferral) | hedged-read (SSD replica duplicates)\n");
@@ -133,9 +163,9 @@ int main() {
   // Fig. 9 shape: mixed process counts, 256 KiB requests.
   {
     workloads::IorMixedProcsConfig config;
-    config.process_counts = {16, 64};
+    config.process_counts = {bench::scaled_procs(16), bench::scaled_procs(64)};
     config.request_size = 256_KiB;
-    config.file_size = 256_MiB;
+    config.file_size = bench::scaled_bytes(256_MiB);
     config.op = common::OpType::kRead;
     config.file_name = "sched9.ior";
     config.seed = 9;
@@ -157,5 +187,5 @@ int main() {
                   scheduler->stats_table().c_str());
     }
   }
-  return 0;
+  return bench::finish();
 }

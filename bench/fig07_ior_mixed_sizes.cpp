@@ -21,9 +21,9 @@ namespace {
 
 trace::Trace make_case(const std::vector<common::ByteCount>& sizes, common::OpType op) {
   workloads::IorMixedSizesConfig config;
-  config.num_procs = 32;
+  config.num_procs = bench::scaled_procs(32);
   config.request_sizes = sizes;
-  config.file_size = 256_MiB;
+  config.file_size = bench::scaled_bytes(256_MiB);
   config.op = op;
   config.file_name = "fig7.ior";
   config.seed = 7;
@@ -42,7 +42,8 @@ void print_cost_params() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig07_ior_mixed_sizes", argc, argv);
   std::printf("=== Fig. 7: IOR with mixed request sizes (32 procs, 6h:2s) ===\n");
   print_cost_params();
 
@@ -61,5 +62,5 @@ int main() {
     bench::run_figure(std::string("Fig. 7 ") + (op == common::OpType::kRead ? "(a) read" : "(b) write"),
                       cases, bench::paper_cluster());
   }
-  return 0;
+  return bench::finish();
 }

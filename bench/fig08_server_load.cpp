@@ -14,33 +14,54 @@
 using namespace mha;
 using namespace mha::common::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig08_server_load", argc, argv);
   std::printf("=== Fig. 8: per-server I/O time, IOR 128+256 KiB writes (32 procs, 6h:2s) ===\n");
 
   workloads::IorMixedSizesConfig config;
-  config.num_procs = 32;
+  config.num_procs = bench::scaled_procs(32);
   config.request_sizes = {128_KiB, 256_KiB};
-  config.file_size = 256_MiB;
+  config.file_size = bench::scaled_bytes(256_MiB);
   config.op = common::OpType::kWrite;
   config.file_name = "fig8.ior";
   config.seed = 8;
   const trace::Trace trace = workloads::ior_mixed_sizes(config);
   const auto cluster = bench::paper_cluster();
 
-  // Gather per-server busy time for each scheme.
+  // Gather per-server busy time for each scheme: one pool task per scheme,
+  // each on a fresh ClusterSim, results landing in scheme order.
+  struct SchemeLoad {
+    std::string name;
+    std::vector<double> busy;  // per server
+    bool ok = false;
+  };
+  const std::size_t num_schemes = bench::scheme_columns().size();
+  auto loads = exec::default_pool().parallel_map(num_schemes, [&](std::size_t s) {
+    SchemeLoad load;
+    auto scheme = bench::make_scheme(s);
+    load.name = scheme->name();
+    const double start = bench::wall_now();
+    auto result = bench::run_full(*scheme, cluster, trace);
+    const double wall = bench::wall_now() - start;
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", load.name.c_str(),
+                   result.status().to_string().c_str());
+      return load;
+    }
+    for (const auto& st : result->server_stats) load.busy.push_back(st.busy_time);
+    bench::report().add(s, bench::CellRecord{
+        "Fig. 8", load.name, wall, result->makespan,
+        result->aggregate_bandwidth / static_cast<double>(common::kMiB)});
+    load.ok = true;
+    return load;
+  });
+
   std::vector<std::vector<double>> busy;  // [scheme][server]
   std::vector<std::string> names;
-  for (auto& scheme : layouts::all_schemes()) {
-    auto result = bench::run_full(*scheme, cluster, trace);
-    if (!result.is_ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", scheme->name().c_str(),
-                   result.status().to_string().c_str());
-      return 1;
-    }
-    std::vector<double> row;
-    for (const auto& st : result->server_stats) row.push_back(st.busy_time);
-    busy.push_back(std::move(row));
-    names.push_back(scheme->name());
+  for (auto& load : loads) {
+    if (!load.ok) return bench::finish(1);
+    busy.push_back(std::move(load.busy));
+    names.push_back(std::move(load.name));
   }
 
   // Normalize to the minimum server time under MHA (paper's normalization).
@@ -71,5 +92,5 @@ int main() {
     }
     std::printf("  %-5s %.2fx\n", names[k].c_str(), hi / lo);
   }
-  return 0;
+  return bench::finish();
 }

@@ -20,8 +20,9 @@ namespace {
 trace::Trace make_case(const std::vector<int>& counts, common::OpType op) {
   workloads::IorMixedProcsConfig config;
   config.process_counts = counts;
+  for (int& procs : config.process_counts) procs = bench::scaled_procs(procs);
   config.request_size = 256_KiB;
-  config.file_size = 256_MiB;
+  config.file_size = bench::scaled_bytes(256_MiB);
   config.op = op;
   config.file_name = "fig9.ior";
   config.seed = 9;
@@ -30,7 +31,8 @@ trace::Trace make_case(const std::vector<int>& counts, common::OpType op) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig09_ior_mixed_procs", argc, argv);
   std::printf("=== Fig. 9: IOR with mixed process numbers (256 KiB requests, 6h:2s) ===\n");
   const std::vector<std::pair<std::string, std::vector<int>>> mixes = {
       {"8", {8}},
@@ -47,5 +49,5 @@ int main() {
                           (op == common::OpType::kRead ? "(a) read" : "(b) write"),
                       cases, bench::paper_cluster());
   }
-  return 0;
+  return bench::finish();
 }

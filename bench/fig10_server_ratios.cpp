@@ -14,35 +14,69 @@
 using namespace mha;
 using namespace mha::common::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig10_server_ratios", argc, argv);
   std::printf("=== Fig. 10: IOR with various server ratios (32 procs, 128+256 KiB) ===\n");
 
   workloads::IorMixedSizesConfig config;
-  config.num_procs = 32;
+  config.num_procs = bench::scaled_procs(32);
   config.request_sizes = {128_KiB, 256_KiB};
-  config.file_size = 256_MiB;
+  config.file_size = bench::scaled_bytes(256_MiB);
   config.file_name = "fig10.ior";
   config.seed = 10;
 
   const std::vector<std::pair<std::size_t, std::size_t>> ratios = {
       {7, 1}, {6, 2}, {5, 3}, {4, 4}};
+  const std::size_t num_schemes = bench::scheme_columns().size();
 
   for (common::OpType op : {common::OpType::kRead, common::OpType::kWrite}) {
     config.op = op;
     const trace::Trace trace = workloads::ior_mixed_sizes(config);
+    const std::string title = std::string("Fig. 10 ") +
+                              (op == common::OpType::kRead ? "(a) read" : "(b) write");
+
+    // One pool task per (ratio, scheme) cell; the trace is shared read-only
+    // and every cell runs a fresh ClusterSim of its own shape.
+    struct Cell {
+      double bandwidth = 0.0;
+      double makespan = 0.0;
+      double wall = 0.0;
+    };
+    auto cells = exec::default_pool().parallel_map(
+        ratios.size() * num_schemes, [&](std::size_t index) {
+          const auto& [h, s] = ratios[index / num_schemes];
+          const auto cluster = bench::paper_cluster(h, s);
+          auto scheme = bench::make_scheme(index % num_schemes);
+          Cell cell;
+          const double start = bench::wall_now();
+          auto result = bench::run_full(*scheme, cluster, trace);
+          cell.wall = bench::wall_now() - start;
+          if (result.is_ok()) {
+            cell.bandwidth = result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+            cell.makespan = result->makespan;
+          } else {
+            std::fprintf(stderr, "[bench] %s failed: %s\n", scheme->name().c_str(),
+                         result.status().to_string().c_str());
+          }
+          return cell;
+        });
+
     std::vector<bench::Row> rows;
-    for (const auto& [h, s] : ratios) {
+    for (std::size_t r = 0; r < ratios.size(); ++r) {
       bench::Row row;
-      row.label = std::to_string(h) + "h:" + std::to_string(s) + "s";
-      const auto cluster = bench::paper_cluster(h, s);
-      for (auto& scheme : layouts::all_schemes()) {
-        row.values.push_back(bench::run_bandwidth(*scheme, cluster, trace));
+      row.label = std::to_string(ratios[r].first) + "h:" +
+                  std::to_string(ratios[r].second) + "s";
+      for (std::size_t s = 0; s < num_schemes; ++s) {
+        const Cell& cell = cells[r * num_schemes + s];
+        row.values.push_back(cell.bandwidth);
+        bench::report().add(bench::report().size(),
+                            bench::CellRecord{title + " / " + row.label,
+                                              bench::scheme_columns()[s], cell.wall,
+                                              cell.makespan, cell.bandwidth});
       }
       rows.push_back(std::move(row));
     }
-    bench::print_table(std::string("Fig. 10 ") +
-                           (op == common::OpType::kRead ? "(a) read" : "(b) write"),
-                       bench::scheme_columns(), rows);
+    bench::print_table(title, bench::scheme_columns(), rows);
   }
-  return 0;
+  return bench::finish();
 }

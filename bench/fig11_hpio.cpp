@@ -14,14 +14,15 @@
 using namespace mha;
 using namespace mha::common::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig11_hpio", argc, argv);
   std::printf("=== Fig. 11: HPIO (region count 4096, spacing 0, sizes 16/32/64 KiB) ===\n");
   for (common::OpType op : {common::OpType::kRead, common::OpType::kWrite}) {
     std::vector<std::pair<std::string, trace::Trace>> cases;
     for (int procs : {16, 32, 64}) {
       workloads::HpioConfig config;
-      config.num_procs = procs;
-      config.region_count = 4096;
+      config.num_procs = bench::scaled_procs(procs);
+      config.region_count = bench::scaled_count(4096, 64);
       config.region_spacing = 0;
       config.region_sizes = {16_KiB, 32_KiB, 64_KiB};
       config.op = op;
@@ -32,5 +33,5 @@ int main() {
                           (op == common::OpType::kRead ? "(a) read" : "(b) write"),
                       cases, bench::paper_cluster());
   }
-  return 0;
+  return bench::finish();
 }

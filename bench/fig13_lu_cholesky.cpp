@@ -13,14 +13,18 @@
 
 using namespace mha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig13_lu_cholesky", argc, argv);
   std::printf("=== Fig. 13a: LU decomposition (8192x8192 doubles, 64-col slabs, 8 procs) ===\n");
   {
     workloads::LuConfig config;
     config.num_procs = 8;
-    config.slabs = 128;
-    const auto trace = workloads::lu_decomposition(config);
-    bench::run_figure("Fig. 13a: LU", {{"LU", trace}}, bench::paper_cluster(),
+    config.slabs = bench::scaled_count(128, 8);
+    // Build the case list by move: the initializer-list form would
+    // deep-copy the trace.
+    std::vector<std::pair<std::string, trace::Trace>> cases;
+    cases.emplace_back("LU", workloads::lu_decomposition(config));
+    bench::run_figure("Fig. 13a: LU", cases, bench::paper_cluster(),
                       workloads::ReplayMode::kIndependent);
   }
 
@@ -28,10 +32,11 @@ int main() {
   {
     workloads::CholeskyConfig config;
     config.num_procs = 8;
-    config.panels = 192;
-    const auto trace = workloads::sparse_cholesky(config);
-    bench::run_figure("Fig. 13b: Cholesky", {{"Cholesky", trace}}, bench::paper_cluster(),
+    config.panels = bench::scaled_count(192, 8);
+    std::vector<std::pair<std::string, trace::Trace>> cases;
+    cases.emplace_back("Cholesky", workloads::sparse_cholesky(config));
+    bench::run_figure("Fig. 13b: Cholesky", cases, bench::paper_cluster(),
                       workloads::ReplayMode::kIndependent);
   }
-  return 0;
+  return bench::finish();
 }

@@ -24,9 +24,9 @@ namespace {
 
 trace::Trace make_case(int procs, common::OpType op) {
   workloads::IorMixedSizesConfig config;
-  config.num_procs = procs;
+  config.num_procs = bench::scaled_procs(procs);
   config.request_sizes = {4_KiB, 64_KiB};
-  config.file_size = 64_MiB;
+  config.file_size = bench::scaled_bytes(64_MiB);
   config.op = op;
   config.file_name = "fig14.ior";
   config.seed = 14;
@@ -43,46 +43,61 @@ double replay_bw(pfs::HybridPfs& pfs, const layouts::Deployment& d,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fig14_overhead", argc, argv);
   std::printf("=== Fig. 14: MHA performance overhead (IOR 4K+64K writes) ===\n");
 
+  // One pool task per process count; the three replay variants within a
+  // cell share its PFS and must stay sequential.
+  const std::vector<int> proc_counts = {8, 32, 128};
+  auto results = exec::default_pool().parallel_map(
+      proc_counts.size(), [&](std::size_t index) -> std::optional<bench::Row> {
+        const int procs = proc_counts[index];
+        const trace::Trace trace = make_case(procs, common::OpType::kWrite);
+        pfs::PfsOptions options;
+        options.store_data = false;
+        pfs::HybridPfs pfs(bench::paper_cluster(), options);
+        auto file = pfs.create_file(trace.file_name);
+        if (!file.is_ok()) return std::nullopt;
+        pfs.mds().extend(*file, trace::extent_end(trace.records));
+
+        const double start = bench::wall_now();
+
+        // Plain replay.
+        layouts::Deployment plain;
+        plain.file_name = trace.file_name;
+        const double base = replay_bw(pfs, plain, trace);
+
+        // Identity-redirected replay: every request goes through the DRT but
+        // lands at its original location.
+        core::Drt identity = core::Redirector::identity_table(
+            trace.file_name, trace::extent_end(trace.records), 1_MiB);
+        auto redirector = core::Redirector::create(pfs, std::move(identity));
+        if (!redirector.is_ok()) return std::nullopt;
+        layouts::Deployment redirected;
+        redirected.file_name = trace.file_name;
+        redirected.interceptor =
+            std::make_unique<core::Redirector>(std::move(redirector).take());
+        const double with_redirect = replay_bw(pfs, redirected, trace);
+
+        // Tracing run (collector attached).
+        workloads::ReplayOptions tracing;
+        tracing.trace_run = true;
+        tracing.tracer_overhead = 20e-6;  // IOSIG-style per-op instrumentation
+        const double with_tracing = replay_bw(pfs, plain, trace, tracing);
+
+        bench::Row row;
+        row.label = std::to_string(procs) + " procs";
+        row.values = {base, with_redirect, with_tracing};
+        bench::report().add(index, bench::CellRecord{row.label, "plain/redirect/traced",
+                                                     bench::wall_now() - start, 0.0, base});
+        return row;
+      });
+
   std::vector<bench::Row> rows;
-  for (int procs : {8, 32, 128}) {
-    const trace::Trace trace = make_case(procs, common::OpType::kWrite);
-    pfs::PfsOptions options;
-    options.store_data = false;
-    pfs::HybridPfs pfs(bench::paper_cluster(), options);
-    auto file = pfs.create_file(trace.file_name);
-    if (!file.is_ok()) return 1;
-    pfs.mds().extend(*file, trace::extent_end(trace.records));
-
-    // Plain replay.
-    layouts::Deployment plain;
-    plain.file_name = trace.file_name;
-    const double base = replay_bw(pfs, plain, trace);
-
-    // Identity-redirected replay: every request goes through the DRT but
-    // lands at its original location.
-    core::Drt identity = core::Redirector::identity_table(
-        trace.file_name, trace::extent_end(trace.records), 1_MiB);
-    auto redirector = core::Redirector::create(pfs, std::move(identity));
-    if (!redirector.is_ok()) return 1;
-    layouts::Deployment redirected;
-    redirected.file_name = trace.file_name;
-    redirected.interceptor =
-        std::make_unique<core::Redirector>(std::move(redirector).take());
-    const double with_redirect = replay_bw(pfs, redirected, trace);
-
-    // Tracing run (collector attached).
-    workloads::ReplayOptions tracing;
-    tracing.trace_run = true;
-    tracing.tracer_overhead = 20e-6;  // IOSIG-style per-op instrumentation
-    const double with_tracing = replay_bw(pfs, plain, trace, tracing);
-
-    bench::Row row;
-    row.label = std::to_string(procs) + " procs";
-    row.values = {base, with_redirect, with_tracing};
-    rows.push_back(std::move(row));
+  for (auto& result : results) {
+    if (!result.has_value()) return bench::finish(1);
+    rows.push_back(std::move(*result));
   }
   bench::print_table("Fig. 14: redirection & tracing overhead",
                      {"plain", "redirected", "traced"}, rows);
@@ -115,5 +130,5 @@ int main() {
     std::printf("paper bound (24 B/entry): %.2f%%   this impl: %.2f%% of data bytes\n",
                 paper_bound * 100.0, measured * 100.0);
   }
-  return 0;
+  return bench::finish();
 }

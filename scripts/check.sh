@@ -16,3 +16,11 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan -j "${jobs}"
+
+# ThreadSanitizer pass over the concurrency surface: the exec pool's own
+# tests plus the sched/fault suites that exercise replay on the pool.  The
+# rest of the suite is single-threaded and already covered above, so only
+# the two affected binaries are built to keep single-core runtimes sane.
+cmake --preset tsan
+cmake --build --preset tsan -j "${jobs}" --target mha_exec_tests mha_system_tests
+ctest --preset tsan -j "${jobs}" -R 'Exec|Sched|Scheduler|Fault|Retry|TryCancel|Degraded|Migration|Journal'

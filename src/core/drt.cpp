@@ -28,6 +28,7 @@ common::Status Drt::insert(DrtEntry entry) {
                                             std::to_string(prev->first));
     }
   }
+  covered_bytes_ += entry.length;
   entries_.emplace(start, std::move(entry));
   return common::Status::ok();
 }
@@ -35,11 +36,44 @@ common::Status Drt::insert(DrtEntry entry) {
 std::vector<DrtSegment> Drt::lookup(common::Offset offset, common::ByteCount size) const {
   std::vector<DrtSegment> out;
   if (size == 0) return out;
+  // Entry-count heuristic: a request spanning `size` bytes over entries
+  // averaging covered/size() bytes splits into about size/avg redirected
+  // pieces plus edge gaps.  Capped so a huge request cannot pre-claim an
+  // unbounded buffer.
+  if (!entries_.empty()) {
+    const common::ByteCount avg =
+        std::max<common::ByteCount>(covered_bytes_ / entries_.size(), 1);
+    out.reserve(std::min<std::size_t>(static_cast<std::size_t>(size / avg) + 2, 64));
+  }
   common::Offset pos = offset;
   const common::Offset end = offset + size;
 
-  auto it = entries_.upper_bound(pos);
-  if (it != entries_.begin()) --it;
+  // Resolve the start entry from the cached hint when the previous lookup
+  // ended at (or one entry before) `pos` — the sequential replay pattern —
+  // falling back to the O(log n) tree search otherwise.  The starting
+  // position is "the last entry with o_offset <= pos" either way.
+  auto it = entries_.end();
+  bool have_start = false;
+  if (hint_valid_) {
+    auto candidate = hint_;
+    for (int steps = 0; steps < 2 && candidate != entries_.end(); ++steps) {
+      if (candidate->first <= pos) {
+        auto next = std::next(candidate);
+        if (next == entries_.end() || next->first > pos) {
+          it = candidate;
+          have_start = true;
+          break;
+        }
+        candidate = next;
+      } else {
+        break;
+      }
+    }
+  }
+  if (!have_start) {
+    it = entries_.upper_bound(pos);
+    if (it != entries_.begin()) --it;
+  }
   while (pos < end) {
     // Skip entries entirely before `pos`.
     while (it != entries_.end() && it->second.o_offset + it->second.length <= pos) ++it;
@@ -63,15 +97,11 @@ std::vector<DrtSegment> Drt::lookup(common::Offset offset, common::ByteCount siz
     seg.logical_offset = pos;
     out.push_back(std::move(seg));
     pos = piece_end;
+    hint_ = it;  // last consumed entry: the next sequential lookup starts here
+    hint_valid_ = true;
     ++it;
   }
   return out;
-}
-
-common::ByteCount Drt::covered_bytes() const {
-  common::ByteCount total = 0;
-  for (const auto& [off, e] : entries_) total += e.length;
-  return total;
 }
 
 std::size_t Drt::metadata_bytes() const {

@@ -48,6 +48,32 @@ class Drt {
   Drt() = default;
   explicit Drt(std::string o_file) : o_file_(std::move(o_file)) {}
 
+  // The lookup hint below is an iterator into entries_; copies and moves
+  // must not inherit it, so the special members drop it explicitly.
+  Drt(const Drt& other)
+      : o_file_(other.o_file_), entries_(other.entries_),
+        covered_bytes_(other.covered_bytes_) {}
+  Drt& operator=(const Drt& other) {
+    o_file_ = other.o_file_;
+    entries_ = other.entries_;
+    covered_bytes_ = other.covered_bytes_;
+    hint_valid_ = false;
+    return *this;
+  }
+  Drt(Drt&& other) noexcept
+      : o_file_(std::move(other.o_file_)), entries_(std::move(other.entries_)),
+        covered_bytes_(other.covered_bytes_) {
+    other.hint_valid_ = false;
+  }
+  Drt& operator=(Drt&& other) noexcept {
+    o_file_ = std::move(other.o_file_);
+    entries_ = std::move(other.entries_);
+    covered_bytes_ = other.covered_bytes_;
+    hint_valid_ = false;
+    other.hint_valid_ = false;
+    return *this;
+  }
+
   const std::string& o_file() const { return o_file_; }
 
   /// Inserts an entry; rejects zero-length and ranges overlapping an
@@ -59,13 +85,19 @@ class Drt {
   /// exactly, in ascending logical order.  Redirected pieces point into
   /// region files; gaps come back as passthrough (target_offset == logical
   /// offset in the original file).
+  ///
+  /// Caches the last-hit entry so sequential access patterns (the common
+  /// replay case) resolve their start point in O(1) instead of O(log n).
+  /// The cache makes lookup non-thread-safe despite being const: concurrent
+  /// lookups must use distinct Drt instances (as the parallel bench cells
+  /// do — each cell owns its deployment).
   std::vector<DrtSegment> lookup(common::Offset offset, common::ByteCount size) const;
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  /// Total bytes covered by entries.
-  common::ByteCount covered_bytes() const;
+  /// Total bytes covered by entries (tracked incrementally; O(1)).
+  common::ByteCount covered_bytes() const { return covered_bytes_; }
 
   /// Approximate in-memory/metadata footprint (for §V-E.2's space analysis):
   /// the paper charges 6*4 bytes per entry; ours stores the region name too.
@@ -84,6 +116,11 @@ class Drt {
   std::string o_file_;
   // o_offset -> entry; invariant: non-overlapping.
   std::map<common::Offset, DrtEntry> entries_;
+  common::ByteCount covered_bytes_ = 0;
+  // Sequential-lookup cache: the last entry the previous lookup consumed.
+  // Mutated under const (see lookup docs); never inherited by copies.
+  mutable std::map<common::Offset, DrtEntry>::const_iterator hint_;
+  mutable bool hint_valid_ = false;
 };
 
 }  // namespace mha::core

@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace mha::core {
 
@@ -73,9 +74,16 @@ GroupingResult group_requests(const std::vector<FeaturePoint>& points, std::size
 
   // Lines 8-12: assign to the closest center, recompute centers; stop when
   // centers are unchanged or after max_iterations rounds.
-  for (int iter = 0; iter < std::max(options.max_iterations, 1); ++iter) {
-    ++result.iterations_run;
-    for (std::size_t i = 0; i < n; ++i) {
+  // The assignment step is a pure per-point nearest-center search, so it
+  // parallelizes over fixed point chunks; each point's label depends only on
+  // the (shared, read-only) centers, never on other points, so the result is
+  // identical at any thread count.
+  exec::ThreadPool& pool = exec::default_pool();
+  const bool parallel_assign =
+      pool.thread_count() > 1 && n >= std::max<std::size_t>(options.min_parallel_points, 1);
+  constexpr std::size_t kAssignChunk = 4096;
+  const auto assign_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
       double best = std::numeric_limits<double>::infinity();
       int best_g = 0;
       for (std::size_t g = 0; g < k; ++g) {
@@ -86,6 +94,18 @@ GroupingResult group_requests(const std::vector<FeaturePoint>& points, std::size
         }
       }
       result.assignment[i] = best_g;
+    }
+  };
+
+  for (int iter = 0; iter < std::max(options.max_iterations, 1); ++iter) {
+    ++result.iterations_run;
+    if (parallel_assign) {
+      const std::size_t chunks = (n + kAssignChunk - 1) / kAssignChunk;
+      pool.parallel_for(chunks, [&](std::size_t c) {
+        assign_range(c * kAssignChunk, std::min(n, (c + 1) * kAssignChunk));
+      });
+    } else {
+      assign_range(0, n);
     }
     std::vector<FeaturePoint> sums(k);
     std::vector<std::size_t> counts(k, 0);

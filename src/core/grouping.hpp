@@ -35,6 +35,11 @@ struct GroupingOptions {
   /// most".
   int max_iterations = 3;
   std::uint64_t seed = 0x4D48'41ULL;  // deterministic runs
+  /// Traces at least this large run the assignment step (nearest-center
+  /// search, pure per point) on exec::default_pool().  Center recomputation
+  /// stays serial in input order, so sums — and therefore the clustering —
+  /// are identical at any thread count.
+  std::size_t min_parallel_points = 8192;
 };
 
 struct GroupingResult {

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace mha::core {
 
@@ -53,15 +54,24 @@ common::Result<MhaPlan> MhaPipeline::analyze(const sim::ClusterConfig& cluster,
   if (!plan.is_ok()) return plan.status();
   result.plan = std::move(plan).take();
 
-  // Determination phase: RSSD per region.
+  // Determination phase: RSSD per region.  Regions are independent pure
+  // cost-model optimisations, so they fan out on the exec pool; results are
+  // collected (and errors reported) in region order, making the plan — and
+  // the debug log — identical at any thread count.
   const CostModel model(CostParams::from_cluster(cluster), options.concurrency_aware);
-  result.stripe_pairs.reserve(result.plan.regions.size());
-  for (const Region& region : result.plan.regions) {
-    auto rssd = determine_stripes(model, region.requests, options.rssd);
+  const std::vector<Region>& regions = result.plan.regions;
+  auto rssd_results = exec::default_pool().parallel_map(
+      regions.size(), [&](std::size_t g) -> common::Result<RssdResult> {
+        return determine_stripes(model, regions[g].requests, options.rssd);
+      });
+  result.stripe_pairs.reserve(regions.size());
+  result.region_costs.reserve(regions.size());
+  for (std::size_t g = 0; g < regions.size(); ++g) {
+    common::Result<RssdResult>& rssd = rssd_results[g];
     if (!rssd.is_ok()) return rssd.status();
     result.stripe_pairs.push_back(rssd->best);
     result.region_costs.push_back(rssd->best_cost);
-    MHA_DEBUG << "MHA: " << region.name << " -> " << rssd->best.to_string() << " ("
+    MHA_DEBUG << "MHA: " << regions[g].name << " -> " << rssd->best.to_string() << " ("
               << rssd->pairs_evaluated << " candidates)";
   }
   return result;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/units.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace mha::core {
 
@@ -70,20 +71,55 @@ common::Result<RssdResult> determine_stripes(const CostModel& model,
   const BatchedRegion region =
       BatchedRegion::build(requests, /*batch_by_time=*/model.concurrency_aware());
 
-  RssdResult result;
-  result.best_cost = std::numeric_limits<double>::infinity();
+  // One task per h column: the column's inner s loop is pure (const model,
+  // const region), so columns can run concurrently.  Reducing the column
+  // results in ascending h order with strict < reproduces the serial
+  // (h outer, s inner) argmin bit for bit.
+  struct Column {
+    double best_cost = std::numeric_limits<double>::infinity();
+    StripePair best;
+    std::size_t pairs_evaluated = 0;
+  };
+  std::vector<common::ByteCount> h_values;
   for (common::ByteCount h = 0; h <= bound_h; h += options.step) {
-    for (common::ByteCount s = h + options.step; s <= bound_s; s += options.step) {
-      const double cost = region.cost(model, h, s);
-      ++result.pairs_evaluated;
-      if (cost < result.best_cost) {
-        result.best_cost = cost;
-        result.best = StripePair{h, s};
-      }
-    }
+    h_values.push_back(h);
     // When bound_h >= bound_s the inner loop dries up for large h; the
     // remaining iterations cannot produce candidates.
     if (h + options.step > bound_s) break;
+  }
+  const auto sweep_column = [&](std::size_t index) {
+    Column column;
+    const common::ByteCount h = h_values[index];
+    for (common::ByteCount s = h + options.step; s <= bound_s; s += options.step) {
+      const double cost = region.cost(model, h, s);
+      ++column.pairs_evaluated;
+      if (cost < column.best_cost) {
+        column.best_cost = cost;
+        column.best = StripePair{h, s};
+      }
+    }
+    return column;
+  };
+
+  exec::ThreadPool& pool = exec::default_pool();
+  const std::size_t candidate_estimate = h_values.size() * (bound_s / options.step);
+  std::vector<Column> columns;
+  if (options.parallel && pool.thread_count() > 1 && h_values.size() > 1 &&
+      candidate_estimate >= options.min_parallel_candidates) {
+    columns = pool.parallel_map(h_values.size(), sweep_column);
+  } else {
+    columns.reserve(h_values.size());
+    for (std::size_t i = 0; i < h_values.size(); ++i) columns.push_back(sweep_column(i));
+  }
+
+  RssdResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  for (const Column& column : columns) {
+    result.pairs_evaluated += column.pairs_evaluated;
+    if (column.best_cost < result.best_cost) {
+      result.best_cost = column.best_cost;
+      result.best = column.best;
+    }
   }
   if (result.pairs_evaluated == 0) {
     return common::Status::failed_precondition("RSSD: no candidate stripe pair in bounds");

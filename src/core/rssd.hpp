@@ -28,6 +28,14 @@ struct RssdOptions {
   /// Use HARL's fixed bound (mean request size) instead of the adaptive
   /// bounds — ablation of the paper's bound policy.
   bool adaptive_bounds = true;
+  /// Run the <h, s> sweep on exec::default_pool().  Each h column's inner
+  /// s loop is one task; columns are reduced in ascending h order with the
+  /// same strict-< tie-break the serial loop uses, so the winning pair (and
+  /// pairs_evaluated) are identical at any thread count.
+  bool parallel = true;
+  /// Sweeps below this candidate-pair estimate stay serial (fork overhead
+  /// beats the work).
+  std::size_t min_parallel_candidates = 512;
 };
 
 struct StripePair {

@@ -1,0 +1,148 @@
+#include "exec/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace mha::exec {
+
+// One fork-join batch.  Every index in [0, n) is claimed exactly once via
+// `next`; claimed indices count towards `completed` whether they ran or were
+// skipped after an abort, so `completed == n` is an unconditional join
+// condition for the caller.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> aborted{false};
+  std::exception_ptr error;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+};
+
+void ThreadPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    if (!batch.aborted.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        if (!batch.error) batch.error = std::current_exception();
+        batch.aborted.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+
+  // Wake at most one helper per remaining index; the caller is the n-th
+  // runner.  Helpers arriving after the batch drained fall straight through
+  // (next >= n), so stale queue entries are harmless.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (std::size_t i = 0; i < helpers; ++i) {
+        queue_.emplace_back([batch] { run_batch(*batch); });
+      }
+    }
+    queue_cv_.notify_all();
+  }
+
+  run_batch(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done_cv.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+namespace {
+
+std::size_t env_or_hardware_threads() {
+  if (const char* env = std::getenv("MHA_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::mutex g_default_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;
+std::size_t g_default_threads = 0;  // 0 => not resolved yet
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  if (!g_default_pool) {
+    if (g_default_threads == 0) g_default_threads = env_or_hardware_threads();
+    g_default_pool = std::make_unique<ThreadPool>(g_default_threads);
+  }
+  return *g_default_pool;
+}
+
+void set_default_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  g_default_threads = threads == 0 ? 1 : threads;
+  g_default_pool.reset();  // rebuilt lazily at the new size
+}
+
+std::size_t default_threads() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  if (g_default_threads == 0) g_default_threads = env_or_hardware_threads();
+  return g_default_threads;
+}
+
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace mha::exec

@@ -1,0 +1,101 @@
+// Deterministic host-side parallelism for benches and the planning pipeline.
+//
+// A fixed-size pool with fork-join primitives designed around one invariant:
+// a multi-threaded run must produce *byte-identical* results to a
+// single-threaded one.  Three rules make that hold:
+//
+//   1. Results land by index, never by completion order: `parallel_map`
+//      writes task i's result into slot i, and reductions over the results
+//      happen on the calling thread in ascending index order.
+//   2. Tasks must not share mutable state; anything stochastic derives its
+//      own RNG stream from the task index via `stream_seed` so the random
+//      sequence a task sees is a function of (base seed, index) only.
+//   3. The calling thread participates in the batch it forked (help-first
+//      join), so nested parallel_for from inside a worker can never
+//      deadlock and `threads == 1` degenerates to a plain serial loop.
+//
+// The pool is *not* a general task graph: batches are bulk-synchronous
+// (fork, everyone drains one atomic index counter, join).  That is exactly
+// what the bench grids, the per-region RSSD loop, and the k-means
+// assignment step need, and it keeps the determinism argument auditable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace mha::exec {
+
+class ThreadPool {
+ public:
+  /// A pool of total concurrency `threads` (the caller counts as one of
+  /// them: `threads` workers are `threads - 1` std::threads plus the thread
+  /// that joins each batch).  `threads <= 1` spawns nothing and runs every
+  /// batch inline.  0 is normalised to 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (callers + workers), >= 1.
+  std::size_t thread_count() const { return threads_; }
+
+  /// Runs fn(0) .. fn(n-1), blocking until all complete.  Tasks may run on
+  /// any thread in any order; the caller participates.  If one or more
+  /// tasks throw, indices not yet started are skipped and the first
+  /// captured exception is rethrown after the batch drains.  Safe to call
+  /// from inside a task (the nested batch is drained by its own caller).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for that collects fn's return values in index order.
+  template <typename F>
+  auto parallel_map(std::size_t n, F&& fn) -> std::vector<decltype(fn(std::size_t{0}))> {
+    using T = decltype(fn(std::size_t{0}));
+    std::vector<std::optional<T>> slots(n);
+    parallel_for(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(n);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  struct Batch;
+  static void run_batch(Batch& batch);
+  void worker_loop();
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  bool stopping_ = false;
+};
+
+/// The process-wide pool used by the pipeline, RSSD, grouping and the bench
+/// harness.  Sized on first use from MHA_THREADS (when set and positive) or
+/// std::thread::hardware_concurrency().  Thread-safe.
+ThreadPool& default_pool();
+
+/// Rebuilds the default pool at `threads` total concurrency (the --threads
+/// bench flag and the determinism tests).  Must not be called while another
+/// thread is using the default pool.
+void set_default_threads(std::size_t threads);
+
+/// The concurrency default_pool() currently has (or would be created with).
+std::size_t default_threads();
+
+/// Derives the RNG stream for task `index` of a computation seeded with
+/// `base`: a splitmix64-style mix, so neighbouring indices get uncorrelated
+/// streams and the result is independent of which thread runs the task.
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace mha::exec

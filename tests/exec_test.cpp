@@ -1,0 +1,260 @@
+// Tests for the exec thread pool and the determinism contract it must keep:
+// multi-threaded runs produce results bitwise-identical to --threads=1.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/context.hpp"
+#include "fault/injector.hpp"
+#include "layouts/scheme.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/replayer.hpp"
+
+namespace mha {
+namespace {
+
+using namespace common::literals;
+
+// ------------------------------------------------------------ pool basics --
+
+TEST(ExecPoolTest, RunsEveryIndexExactlyOnce) {
+  exec::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  const std::size_t n = 10000;
+  // Each index is claimed exactly once, so the plain writes cannot race.
+  std::vector<int> hits(n, 0);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ExecPoolTest, ParallelMapLandsResultsByIndex) {
+  exec::ThreadPool pool(8);
+  auto squares =
+      pool.parallel_map(257, [](std::size_t i) { return static_cast<long>(i * i); });
+  ASSERT_EQ(squares.size(), 257u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<long>(i * i));
+  }
+}
+
+TEST(ExecPoolTest, MoveOnlyResultsAreSupported) {
+  exec::ThreadPool pool(4);
+  auto ptrs = pool.parallel_map(
+      64, [](std::size_t i) { return std::make_unique<std::size_t>(i); });
+  ASSERT_EQ(ptrs.size(), 64u);
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    ASSERT_NE(ptrs[i], nullptr);
+    EXPECT_EQ(*ptrs[i], i);
+  }
+}
+
+TEST(ExecPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  exec::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The batch drained fully despite the abort; the pool stays usable.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ExecPoolTest, NestedParallelForDoesNotDeadlock) {
+  exec::ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ExecPoolTest, SingleThreadedPoolRunsInline) {
+  exec::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::size_t on_caller = 0;
+  pool.parallel_for(32, [&](std::size_t) {
+    if (std::this_thread::get_id() == caller) ++on_caller;
+  });
+  EXPECT_EQ(on_caller, 32u);
+}
+
+TEST(ExecPoolTest, EmptyAndSingletonBatches) {
+  exec::ThreadPool pool(4);
+  std::size_t calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  auto one = pool.parallel_map(1, [](std::size_t i) { return i + 41; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41u);
+}
+
+TEST(ExecPoolTest, StreamSeedsAreDistinctPerTaskAndBase) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 1000; ++i) seeds.insert(exec::stream_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(exec::stream_seed(42, 0), exec::stream_seed(43, 0));
+}
+
+TEST(ExecPoolTest, DefaultPoolRespectsSetThreads) {
+  const std::size_t before = exec::default_threads();
+  exec::set_default_threads(3);
+  EXPECT_EQ(exec::default_threads(), 3u);
+  EXPECT_EQ(exec::default_pool().thread_count(), 3u);
+  exec::set_default_threads(before);
+}
+
+// --------------------------------------------------------- determinism ----
+
+trace::Trace mixed_trace(std::uint64_t seed,
+                         common::OpType op = common::OpType::kWrite) {
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = 8;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = 16_MiB;
+  config.op = op;
+  config.file_name = "exec_det.ior";
+  config.seed = seed;
+  return workloads::ior_mixed_sizes(config);
+}
+
+sim::ClusterConfig small_cluster() {
+  sim::ClusterConfig cluster;
+  cluster.num_hservers = 6;
+  cluster.num_sservers = 2;
+  return cluster;
+}
+
+/// Runs `body` with the default pool sized to `threads` and restores the
+/// previous size afterwards.
+template <typename Fn>
+auto with_threads(std::size_t threads, Fn&& body) {
+  const std::size_t before = exec::default_threads();
+  exec::set_default_threads(threads);
+  auto result = body();
+  exec::set_default_threads(before);
+  return result;
+}
+
+TEST(ExecDeterminismTest, PipelinePlanIdenticalAcrossThreadCounts) {
+  const trace::Trace trace = mixed_trace(7);
+  const auto cluster = small_cluster();
+  auto plan_at = [&](std::size_t threads) {
+    return with_threads(threads, [&] {
+      auto plan = core::MhaPipeline::analyze(cluster, trace);
+      EXPECT_TRUE(plan.is_ok()) << plan.status().to_string();
+      return plan.is_ok() ? plan->to_string() : std::string();
+    });
+  };
+  const std::string serial = plan_at(1);
+  const std::string threaded = plan_at(8);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
+struct GridCell {
+  double bandwidth = 0.0;
+  double makespan = 0.0;
+};
+
+/// Replays a (trace x scheme) grid on the default pool the way the figure
+/// benches do, returning the raw doubles for bitwise comparison.
+std::vector<GridCell> replay_grid(std::size_t threads) {
+  return with_threads(threads, [&] {
+    const std::vector<trace::Trace> traces = {mixed_trace(7), mixed_trace(11)};
+    const auto cluster = small_cluster();
+    const std::size_t num_schemes = 4;
+    return exec::default_pool().parallel_map(
+        traces.size() * num_schemes, [&](std::size_t index) {
+          std::unique_ptr<layouts::LayoutScheme> scheme;
+          switch (index % num_schemes) {
+            case 0: scheme = layouts::make_def(); break;
+            case 1: scheme = layouts::make_aal(); break;
+            case 2: scheme = layouts::make_harl(); break;
+            default: scheme = layouts::make_mha(); break;
+          }
+          GridCell cell;
+          auto result =
+              workloads::run_scheme(*scheme, cluster, traces[index / num_schemes], {});
+          if (result.is_ok()) {
+            cell.bandwidth = result->aggregate_bandwidth;
+            cell.makespan = result->makespan;
+          }
+          return cell;
+        });
+  });
+}
+
+TEST(ExecDeterminismTest, ReplayGridIdenticalAcrossThreadCounts) {
+  const auto serial = replay_grid(1);
+  const auto threaded = replay_grid(8);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].bandwidth, 0.0) << "cell " << i;
+    // Bitwise equality: the pool must not change a single double.
+    EXPECT_EQ(serial[i].bandwidth, threaded[i].bandwidth) << "cell " << i;
+    EXPECT_EQ(serial[i].makespan, threaded[i].makespan) << "cell " << i;
+  }
+}
+
+/// The ext_fault cell shape: seeded injector + scheduler + verification.
+std::vector<GridCell> faulted_grid(std::size_t threads) {
+  return with_threads(threads, [&] {
+    const trace::Trace trace = mixed_trace(7, common::OpType::kRead);
+    const auto cluster = small_cluster();
+    return exec::default_pool().parallel_map(4, [&](std::size_t index) {
+      auto scheme = index / 2 == 0 ? layouts::make_def() : layouts::make_mha();
+      auto scheduler = sched::make_scheduler(index % 2 == 0
+                                                 ? sched::SchedulerKind::kFcfs
+                                                 : sched::SchedulerKind::kHedgedRead);
+      fault::FaultInjector injector(0xFA17ULL);
+      fault::RandomFaultConfig config;
+      config.num_servers = 8;
+      config.horizon = 5.0;
+      config.transient_probability = 0.08;
+      config.crashes_per_server = 1.0;
+      config.mean_outage = 0.05;
+      config.brownouts_per_server = 1.0;
+      config.mean_brownout = 0.2;
+      config.brownout_factor = 4.0;
+      injector.add_random(config);
+      fault::FaultContext context(injector);
+      workloads::ReplayOptions options;
+      options.verify_data = true;
+      options.scheduler = scheduler.get();
+      options.fault_context = &context;
+      GridCell cell;
+      auto result = workloads::run_scheme(*scheme, cluster, trace, options);
+      if (result.is_ok()) {
+        cell.bandwidth = result->aggregate_bandwidth;
+        cell.makespan = result->makespan;
+      }
+      return cell;
+    });
+  });
+}
+
+TEST(ExecDeterminismTest, FaultedReplayIdenticalAcrossThreadCounts) {
+  const auto serial = faulted_grid(1);
+  const auto threaded = faulted_grid(8);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].bandwidth, 0.0) << "cell " << i;
+    EXPECT_EQ(serial[i].bandwidth, threaded[i].bandwidth) << "cell " << i;
+    EXPECT_EQ(serial[i].makespan, threaded[i].makespan) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mha

@@ -8,6 +8,8 @@
 // truncated RST recovery, replay verification mismatches).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -36,9 +38,11 @@ using common::OpType;
 using namespace common::literals;
 
 std::string temp_path(const std::string& tag) {
+  // The counter alone is not unique across processes: ctest runs each test
+  // case in its own process, so concurrent cases would collide on _0.
   static std::atomic<int> counter{0};
-  return testing::TempDir() + "fault_test_" + tag + "_" +
-         std::to_string(counter.fetch_add(1)) + ".db";
+  return testing::TempDir() + "fault_test_" + tag + "_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter.fetch_add(1)) + ".db";
 }
 
 /// Predictable service math (no network, no queued-startup discount).
