@@ -70,10 +70,15 @@ common::Status BenchReport::write_json(const std::string& path, std::size_t thre
     const CellRecord& c = cells[i].second;
     std::fprintf(f, "%s\n    {\"case\": \"%s\", \"variant\": \"%s\", "
                     "\"wall_seconds\": %.6f, \"virtual_seconds\": %.9f, "
-                    "\"MiB_per_s\": %.3f}",
+                    "\"MiB_per_s\": %.3f",
                  i == 0 ? "" : ",", escape_json(c.case_label).c_str(),
                  escape_json(c.variant).c_str(), c.wall_seconds, c.virtual_seconds,
                  c.mib_per_s);
+    if (c.ops_per_s > 0.0 || c.ns_per_op > 0.0) {
+      std::fprintf(f, ", \"ops_per_s\": %.1f, \"ns_per_op\": %.2f", c.ops_per_s,
+                   c.ns_per_op);
+    }
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  ]\n}\n");
   if (std::fclose(f) != 0) {

@@ -20,6 +20,8 @@ struct CellRecord {
   double wall_seconds = 0.0;    ///< host wall-clock for prepare+replay
   double virtual_seconds = 0.0; ///< simulated makespan of the replay
   double mib_per_s = 0.0;       ///< aggregate bandwidth (0 when n/a)
+  double ops_per_s = 0.0;       ///< throughput of a timed kernel (0 when n/a)
+  double ns_per_op = 0.0;       ///< inverse, in nanoseconds (0 when n/a)
 };
 
 /// Collects cells (thread-safe: parallel grid cells record concurrently)

@@ -1,0 +1,267 @@
+// Request-path microbenchmarks + structural perf guard.
+//
+// Two kinds of output, deliberately separated:
+//
+//   stdout  - STRUCTURAL numbers only: counted heap allocations per request
+//             (this binary links the counting operator new/delete), segment
+//             and coalescing counts, extent-store fragmentation.  These are
+//             deterministic — independent of machine speed, --threads, and
+//             load — so CI diffs stdout byte-for-byte against
+//             bench/golden/microbench.stdout and fails on any structural
+//             regression (an allocation creeping back into the hot path, a
+//             coalescing miss, a fragmentation change).
+//   stderr + BENCH_micro.json (--json) - TIMED numbers: ns/op and ops/s for
+//             each kernel.  Machine-dependent; tracked as a trajectory, never
+//             diffed.
+//
+// Kernels: DRT lookup (sequential hit / random hit / miss), full
+// translate+dispatch through MpiFile -> Redirector -> HybridPfs, extent-store
+// write/read fast paths, and steady-state trace replay.
+#include "bench_common.hpp"
+
+#include <cstring>
+
+#include "common/alloc_counter.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/redirector.hpp"
+#include "io/mpi_file.hpp"
+#include "pfs/extent_store.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+/// Times `op` over `iters` iterations and records one JSON cell.
+template <typename Fn>
+void timed(std::size_t sequence, const char* label, std::size_t iters, Fn&& op) {
+  const double start = bench::wall_now();
+  for (std::size_t i = 0; i < iters; ++i) op(i);
+  const double elapsed = bench::wall_now() - start;
+  bench::CellRecord cell;
+  cell.case_label = label;
+  cell.variant = "timed";
+  cell.wall_seconds = elapsed;
+  cell.ops_per_s = elapsed > 0.0 ? static_cast<double>(iters) / elapsed : 0.0;
+  cell.ns_per_op = static_cast<double>(elapsed) * 1e9 / static_cast<double>(iters);
+  bench::report().add(sequence, cell);
+  std::fprintf(stderr, "%-28s %12.1f ops/s  %10.2f ns/op\n", label, cell.ops_per_s,
+               cell.ns_per_op);
+}
+
+core::Drt dense_table(common::ByteCount file_bytes, common::ByteCount entry) {
+  core::Drt drt("micro.orig");
+  for (common::Offset pos = 0; pos < file_bytes; pos += entry) {
+    (void)drt.insert(core::DrtEntry{pos, entry, "micro.region", pos});
+  }
+  return drt;
+}
+
+/// A world for end-to-end request kernels: PFS + identity redirector + file.
+/// Members are constructed in place (MpiFile keeps pointers to pfs/mpi, so
+/// the world must not relocate them after open).
+struct RequestWorld {
+  pfs::HybridPfs pfs;
+  io::MpiSim mpi{1};
+  std::unique_ptr<core::Redirector> redirector;
+  std::unique_ptr<io::MpiFile> file;
+
+  RequestWorld(common::ByteCount file_bytes, common::ByteCount entry)
+      : pfs(bench::paper_cluster()) {
+    (void)pfs.create_file("micro.f");
+    auto r = core::Redirector::create(
+        pfs, core::Redirector::identity_table("micro.f", file_bytes, entry));
+    redirector = std::make_unique<core::Redirector>(std::move(r).take());
+    auto f = io::MpiFile::open(pfs, mpi, "micro.f");
+    file = std::make_unique<io::MpiFile>(std::move(*f));
+    file->set_interceptor(redirector.get());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init("micro", argc, argv);
+  constexpr common::ByteCount kFile = 16_MiB;
+  constexpr common::ByteCount kEntry = 64_KiB;
+  constexpr common::ByteCount kRequest = 4_KiB;
+
+  // ------------------------------------------------------------ structural
+  std::printf("=== microbench structural guard (deterministic) ===\n");
+  std::printf("allocation hook linked: %s\n",
+              common::allocation_hook_linked() ? "yes" : "NO");
+
+  {
+    // Counted allocations per steady-state request, single-segment shape:
+    // 64 KiB requests against 1 MiB identity entries (the fig14 shape).
+    RequestWorld world(4_MiB, 1_MiB);
+    std::vector<std::uint8_t> buffer(64_KiB, 0x5A);
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {  // warm-up
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+      (void)world.file->read_at(0, pos, buffer.data(), buffer.size());
+    }
+    common::AllocationScope scope;
+    std::size_t requests = 0;
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+      (void)world.file->read_at(0, pos, buffer.data(), buffer.size());
+      requests += 2;
+    }
+    std::printf("steady-state allocs/request (64KiB req, 1MiB entries): %.2f over %zu requests\n",
+                static_cast<double>(scope.allocations()) / static_cast<double>(requests),
+                requests);
+  }
+  {
+    // Multi-segment shape: 8 KiB entries split each 64 KiB request 8 ways.
+    RequestWorld world(1_MiB, 8_KiB);
+    std::vector<std::uint8_t> buffer(64_KiB, 0xC3);
+    for (common::Offset pos = 0; pos < 1_MiB; pos += 64_KiB) {  // warm-up
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+    }
+    common::AllocationScope scope;
+    std::size_t requests = 0;
+    for (common::Offset pos = 0; pos < 1_MiB; pos += 64_KiB) {
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+      (void)world.file->read_at(0, pos, buffer.data(), buffer.size());
+      requests += 2;
+    }
+    std::printf("steady-state allocs/request (64KiB req, 8KiB entries):  %.2f over %zu requests\n",
+                static_cast<double>(scope.allocations()) / static_cast<double>(requests),
+                requests);
+  }
+  {
+    // Coalescing: adjacent same-region segments must merge before dispatch.
+    pfs::HybridPfs pfs(bench::paper_cluster());
+    (void)pfs.create_file("c.orig");
+    (void)pfs.create_file("c.region");
+    core::Drt drt("c.orig");
+    for (common::Offset pos = 0; pos < 1_MiB; pos += 8_KiB) {
+      (void)drt.insert(core::DrtEntry{pos, 8_KiB, "c.region", pos});
+    }
+    auto redirector = core::Redirector::create(pfs, std::move(drt));
+    const auto raw = redirector->drt().lookup(0, 1_MiB);
+    io::SegmentList merged;
+    redirector->translate(0, 1_MiB, merged);
+    std::printf("coalescing (1MiB span, 8KiB entries): %zu DRT segments -> %zu dispatched\n",
+                raw.size(), merged.size());
+  }
+  {
+    // Extent-store append pattern must stay a single extent (no fragmentation).
+    pfs::ExtentStore store;
+    std::vector<std::uint8_t> block(64_KiB, 1);
+    for (common::Offset pos = 0; pos < 8_MiB; pos += 64_KiB) {
+      store.write(pos, block.data(), block.size());
+    }
+    std::printf("extent store after 8MiB sequential append: %zu extent(s), %llu bytes\n",
+                store.extent_count(),
+                static_cast<unsigned long long>(store.stored_bytes()));
+  }
+  {
+    // DRT split shape for a representative straddling request.
+    const core::Drt drt = dense_table(kFile, kEntry);
+    const auto segs = drt.lookup(kEntry - 1_KiB, 2_KiB);  // straddles two entries
+    std::printf("DRT straddle split (2KiB over a 64KiB boundary): %zu segments\n",
+                segs.size());
+  }
+
+  // ----------------------------------------------------------------- timed
+  std::fprintf(stderr, "=== microbench timed kernels (machine-dependent) ===\n");
+  const auto iters = [](std::size_t n) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                        static_cast<double>(n) * bench::options().scale));
+  };
+  {
+    const core::Drt drt = dense_table(kFile, kEntry);
+    core::Drt::SegmentVec scratch;
+    const std::size_t n = iters(2'000'000);
+    timed(0, "drt_lookup_sequential", n, [&](std::size_t i) {
+      drt.lookup((static_cast<common::Offset>(i) * kRequest) % kFile, kRequest, scratch);
+    });
+    std::vector<common::Offset> offsets(8192);
+    common::Rng rng(42);
+    for (auto& o : offsets) o = rng.next_below(kFile - kRequest);
+    timed(1, "drt_lookup_hit_random", n, [&](std::size_t i) {
+      drt.lookup(offsets[i % offsets.size()], kRequest, scratch);
+    });
+  }
+  {
+    // Miss kernel: sparse table (every other 64 KiB covered), lookups in gaps.
+    core::Drt drt("micro.sparse");
+    for (common::Offset pos = 0; pos < kFile; pos += 2 * kEntry) {
+      (void)drt.insert(core::DrtEntry{pos, kEntry, "micro.region", pos / 2});
+    }
+    core::Drt::SegmentVec scratch;
+    timed(2, "drt_lookup_miss", iters(2'000'000), [&](std::size_t i) {
+      const common::Offset gap =
+          kEntry + (static_cast<common::Offset>(i) * 2 * kEntry) % kFile;
+      drt.lookup(gap + 4_KiB, kRequest, scratch);
+    });
+  }
+  {
+    RequestWorld world(4_MiB, 1_MiB);
+    std::vector<std::uint8_t> buffer(64_KiB, 0x5A);
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+    }
+    timed(3, "translate_dispatch_write", iters(200'000), [&](std::size_t i) {
+      (void)world.file->write_at(0, (i * 64_KiB) % 4_MiB, buffer.data(), buffer.size());
+    });
+    timed(4, "translate_dispatch_read", iters(200'000), [&](std::size_t i) {
+      (void)world.file->read_at(0, (i * 64_KiB) % 4_MiB, buffer.data(), buffer.size());
+    });
+  }
+  {
+    pfs::ExtentStore store;
+    std::vector<std::uint8_t> block(64_KiB, 2);
+    for (common::Offset pos = 0; pos < 8_MiB; pos += 64_KiB) {
+      store.write(pos, block.data(), block.size());
+    }
+    timed(5, "extent_store_write_inplace", iters(500'000), [&](std::size_t i) {
+      store.write((i * 64_KiB) % 8_MiB, block.data(), block.size());
+    });
+    timed(6, "extent_store_read_fast", iters(500'000), [&](std::size_t i) {
+      store.read((i * 64_KiB) % 8_MiB, block.data(), block.size());
+    });
+  }
+  {
+    // Steady-state replay: the whole measurement harness end to end.
+    workloads::IorMixedSizesConfig config;
+    config.num_procs = 8;
+    config.request_sizes = {4_KiB, 64_KiB};
+    config.file_size = 16_MiB;
+    config.file_name = "micro.ior";
+    config.seed = 7;
+    const trace::Trace trace = workloads::ior_mixed_sizes(config);
+    pfs::PfsOptions options;
+    options.store_data = false;
+    pfs::HybridPfs pfs(bench::paper_cluster(), options);
+    (void)pfs.create_file(trace.file_name);
+    pfs.mds().extend(*pfs.open(trace.file_name), trace::extent_end(trace.records));
+    layouts::Deployment plain;
+    plain.file_name = trace.file_name;
+    (void)workloads::replay(pfs, plain, trace);  // warm-up
+    const std::size_t reps = iters(40);
+    std::size_t requests = 0;
+    const double start = bench::wall_now();
+    for (std::size_t i = 0; i < reps; ++i) {
+      pfs.reset_stats();
+      pfs.reset_clocks();
+      auto result = workloads::replay(pfs, plain, trace);
+      if (result.is_ok()) requests += result->requests;
+    }
+    const double elapsed = bench::wall_now() - start;
+    bench::CellRecord cell;
+    cell.case_label = "replay_steady_state";
+    cell.variant = "timed";
+    cell.wall_seconds = elapsed;
+    cell.ops_per_s = elapsed > 0.0 ? static_cast<double>(requests) / elapsed : 0.0;
+    cell.ns_per_op =
+        requests > 0 ? elapsed * 1e9 / static_cast<double>(requests) : 0.0;
+    bench::report().add(7, cell);
+    std::fprintf(stderr, "%-28s %12.1f req/s  %10.2f ns/req\n", "replay_steady_state",
+                 cell.ops_per_s, cell.ns_per_op);
+  }
+  return bench::finish();
+}

@@ -17,6 +17,14 @@ cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan -j "${jobs}"
 
+# Structural perf guard: the microbench's stdout (counted allocs/request,
+# coalescing and fragmentation counts) is deterministic — including under
+# sanitizers — so any drift from the committed golden is a regression.
+# --scale only shrinks the timed kernels (stderr/JSON), never stdout.
+cmake --build --preset asan -j "${jobs}" --target microbench
+"${repo_root}/build-asan/bench/microbench" --threads=1 --scale=0.05 \
+  | diff -u "${repo_root}/bench/golden/microbench.stdout" -
+
 # ThreadSanitizer pass over the concurrency surface: the exec pool's own
 # tests plus the sched/fault suites that exercise replay on the pool.  The
 # rest of the suite is single-threaded and already covered above, so only

@@ -1,0 +1,18 @@
+#include "common/alloc_counter.hpp"
+
+namespace mha::common {
+
+namespace {
+bool g_hook_linked = false;
+}  // namespace
+
+std::atomic<std::uint64_t>& allocation_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+bool allocation_hook_linked() { return g_hook_linked; }
+
+void mark_allocation_hook_linked() { g_hook_linked = true; }
+
+}  // namespace mha::common

@@ -1,0 +1,39 @@
+// Heap-allocation counter for the zero-allocation request-path guarantee.
+//
+// The counter itself lives in the common library and always compiles to a
+// relaxed atomic increment site — but it only ever moves when a binary also
+// links the *hook* (src/common/alloc_hook.cpp), which overrides the global
+// operator new/new[] to bump it.  Production binaries skip the hook and pay
+// nothing; tests/alloc and bench/microbench link it and assert/report
+// allocations-per-request as a counted number, not an estimate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mha::common {
+
+/// Global count of operator-new calls since process start.  Stays at zero
+/// unless the allocation hook is linked into the binary.
+std::atomic<std::uint64_t>& allocation_counter();
+
+/// True when the counting hook is linked (the counter is live).
+bool allocation_hook_linked();
+
+/// Called once by the hook's static initializer; not for general use.
+void mark_allocation_hook_linked();
+
+/// Scoped delta reader: allocations() is the number of heap allocations
+/// performed since construction.
+class AllocationScope {
+ public:
+  AllocationScope() : start_(allocation_counter().load(std::memory_order_relaxed)) {}
+  std::uint64_t allocations() const {
+    return allocation_counter().load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace mha::common

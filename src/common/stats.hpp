@@ -41,6 +41,9 @@ class OnlineStats {
 class Percentiles {
  public:
   void add(double x) { samples_.push_back(x); }
+  /// Pre-sizes for `n` samples so a sized workload's add() calls never
+  /// reallocate (request hot path).
+  void reserve(std::size_t n) { samples_.reserve(n); }
   std::size_t count() const { return samples_.size(); }
 
   /// p in [0, 100]; returns 0 when empty.  Uses nearest-rank.

@@ -6,6 +6,28 @@
 
 namespace mha::core {
 
+RegionId Drt::intern(const std::string& name) {
+  auto [it, inserted] = region_ids_.try_emplace(name, static_cast<RegionId>(region_names_.size()));
+  if (inserted) region_names_.push_back(name);
+  return it->second;
+}
+
+std::size_t Drt::first_after(common::Offset pos) const {
+  // Branchless lower bound over the flat vector: both arms of the step are
+  // computed and selected (compiles to cmov), so the search pipeline never
+  // stalls on a mispredicted comparison.
+  std::size_t lo = 0;
+  std::size_t len = entries_.size();
+  const FlatEntry* base = entries_.data();
+  while (len > 0) {
+    const std::size_t half = len >> 1;
+    const bool le = base[lo + half].o_offset <= pos;
+    lo = le ? lo + half + 1 : lo;
+    len = le ? len - half - 1 : half;
+  }
+  return lo;
+}
+
 common::Status Drt::insert(DrtEntry entry) {
   if (entry.length == 0) {
     return common::Status::invalid_argument("DRT: zero-length entry");
@@ -15,99 +37,97 @@ common::Status Drt::insert(DrtEntry entry) {
   }
   const common::Offset start = entry.o_offset;
   const common::Offset end = start + entry.length;
-  // Overlap checks against the neighbour on each side.
-  auto next = entries_.lower_bound(start);
-  if (next != entries_.end() && next->first < end) {
+  // Insertion point: first entry starting after `start`; overlap checks
+  // against the neighbour on each side.
+  const std::size_t pos = first_after(start);
+  if (pos < entries_.size() && entries_[pos].o_offset < end) {
     return common::Status::already_exists("DRT: overlapping entry at offset " +
-                                          std::to_string(next->first));
+                                          std::to_string(entries_[pos].o_offset));
   }
-  if (next != entries_.begin()) {
-    auto prev = std::prev(next);
-    if (prev->second.o_offset + prev->second.length > start) {
-      return common::Status::already_exists("DRT: overlapping entry at offset " +
-                                            std::to_string(prev->first));
-    }
+  if (pos > 0 && entries_[pos - 1].o_end() > start) {
+    return common::Status::already_exists("DRT: overlapping entry at offset " +
+                                          std::to_string(entries_[pos - 1].o_offset));
   }
   covered_bytes_ += entry.length;
-  entries_.emplace(start, std::move(entry));
+  FlatEntry flat;
+  flat.o_offset = start;
+  flat.length = entry.length;
+  flat.r_offset = entry.r_offset;
+  flat.region = intern(entry.r_file);
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos), flat);
   return common::Status::ok();
 }
 
-std::vector<DrtSegment> Drt::lookup(common::Offset offset, common::ByteCount size) const {
-  std::vector<DrtSegment> out;
-  if (size == 0) return out;
-  // Entry-count heuristic: a request spanning `size` bytes over entries
-  // averaging covered/size() bytes splits into about size/avg redirected
-  // pieces plus edge gaps.  Capped so a huge request cannot pre-claim an
-  // unbounded buffer.
-  if (!entries_.empty()) {
-    const common::ByteCount avg =
-        std::max<common::ByteCount>(covered_bytes_ / entries_.size(), 1);
-    out.reserve(std::min<std::size_t>(static_cast<std::size_t>(size / avg) + 2, 64));
-  }
+void Drt::lookup(common::Offset offset, common::ByteCount size, SegmentVec& out) const {
+  out.clear();
+  if (size == 0) return;
   common::Offset pos = offset;
   const common::Offset end = offset + size;
+  const std::size_t n = entries_.size();
+  const FlatEntry* base = entries_.data();
 
-  // Resolve the start entry from the cached hint when the previous lookup
-  // ended at (or one entry before) `pos` — the sequential replay pattern —
-  // falling back to the O(log n) tree search otherwise.  The starting
-  // position is "the last entry with o_offset <= pos" either way.
-  auto it = entries_.end();
+  // Resolve the start index: the last entry with o_offset <= pos.  The
+  // cached hint covers the sequential replay case (previous lookup ended at
+  // or one entry before `pos`) in O(1); it is validated completely — an
+  // entry qualifies only if the *next* entry starts past `pos` — so a stale
+  // hint is just a miss that falls back to the binary search.
+  std::size_t idx = n;
   bool have_start = false;
-  if (hint_valid_) {
-    auto candidate = hint_;
-    for (int steps = 0; steps < 2 && candidate != entries_.end(); ++steps) {
-      if (candidate->first <= pos) {
-        auto next = std::next(candidate);
-        if (next == entries_.end() || next->first > pos) {
-          it = candidate;
-          have_start = true;
-          break;
-        }
-        candidate = next;
-      } else {
+  if (hint_ < n) {
+    std::size_t candidate = hint_;
+    for (int steps = 0; steps < 2 && candidate < n; ++steps) {
+      if (base[candidate].o_offset > pos) break;
+      if (candidate + 1 == n || base[candidate + 1].o_offset > pos) {
+        idx = candidate;
+        have_start = true;
         break;
       }
+      ++candidate;
     }
   }
   if (!have_start) {
-    it = entries_.upper_bound(pos);
-    if (it != entries_.begin()) --it;
+    idx = first_after(pos);
+    if (idx > 0) --idx;
   }
+
   while (pos < end) {
     // Skip entries entirely before `pos`.
-    while (it != entries_.end() && it->second.o_offset + it->second.length <= pos) ++it;
-    if (it == entries_.end() || it->second.o_offset >= end) {
+    while (idx < n && base[idx].o_end() <= pos) ++idx;
+    if (idx == n || base[idx].o_offset >= end) {
       // Tail gap: passthrough to the original file.
-      out.push_back(DrtSegment{false, {}, pos, end - pos, pos});
+      out.emplace_back(DrtSegment{false, kNoRegion, pos, end - pos, pos});
       break;
     }
-    const DrtEntry& e = it->second;
+    const FlatEntry& e = base[idx];
     if (e.o_offset > pos) {
       // Gap before the next entry.
-      out.push_back(DrtSegment{false, {}, pos, e.o_offset - pos, pos});
+      out.emplace_back(DrtSegment{false, kNoRegion, pos, e.o_offset - pos, pos});
       pos = e.o_offset;
     }
-    const common::Offset piece_end = std::min<common::Offset>(end, e.o_offset + e.length);
+    const common::Offset piece_end = std::min<common::Offset>(end, e.o_end());
     DrtSegment seg;
     seg.redirected = true;
-    seg.r_file = e.r_file;
+    seg.region = e.region;
     seg.target_offset = e.r_offset + (pos - e.o_offset);
     seg.length = piece_end - pos;
     seg.logical_offset = pos;
-    out.push_back(std::move(seg));
+    out.emplace_back(seg);
     pos = piece_end;
-    hint_ = it;  // last consumed entry: the next sequential lookup starts here
-    hint_valid_ = true;
-    ++it;
+    hint_ = idx;  // last consumed entry: the next sequential lookup starts here
+    ++idx;
   }
-  return out;
+}
+
+std::vector<DrtSegment> Drt::lookup(common::Offset offset, common::ByteCount size) const {
+  SegmentVec scratch;
+  lookup(offset, size, scratch);
+  return std::vector<DrtSegment>(scratch.begin(), scratch.end());
 }
 
 std::size_t Drt::metadata_bytes() const {
   std::size_t total = 0;
-  for (const auto& [off, e] : entries_) {
-    total += sizeof(DrtEntry) + e.r_file.size();
+  for (const FlatEntry& e : entries_) {
+    total += sizeof(DrtEntry) + region_names_[e.region].size();
   }
   return total;
 }
@@ -115,17 +135,19 @@ std::size_t Drt::metadata_bytes() const {
 std::vector<DrtEntry> Drt::entries() const {
   std::vector<DrtEntry> out;
   out.reserve(entries_.size());
-  for (const auto& [off, e] : entries_) out.push_back(e);
+  for (const FlatEntry& e : entries_) {
+    out.push_back(DrtEntry{e.o_offset, e.length, region_names_[e.region], e.r_offset});
+  }
   return out;
 }
 
 common::Status Drt::save(kv::KvStore& store) const {
   char key[128];
   char value[192];
-  for (const auto& [off, e] : entries_) {
-    std::snprintf(key, sizeof(key), "%s#%020" PRIu64, o_file_.c_str(), off);
+  for (const FlatEntry& e : entries_) {
+    std::snprintf(key, sizeof(key), "%s#%020" PRIu64, o_file_.c_str(), e.o_offset);
     std::snprintf(value, sizeof(value), "%" PRIu64 ",%s,%" PRIu64, e.length,
-                  e.r_file.c_str(), e.r_offset);
+                  region_names_[e.region].c_str(), e.r_offset);
     MHA_RETURN_IF_ERROR(store.put(key, value));
   }
   return common::Status::ok();

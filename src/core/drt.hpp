@@ -8,23 +8,42 @@
 //
 // One Drt instance covers one original file (so O_file is held once).  The
 // entries form a non-overlapping interval map over the original file's
-// offsets; lookups split a request into redirected segments, with uncovered
-// gaps returned as passthrough segments so partially-reordered files keep
-// working.  Persistence goes through the KV store (the Berkeley DB stand-in)
-// with one record per entry.
+// offsets, stored as a *flat sorted vector* of POD entries with region-file
+// names interned into an id table — the request hot path never touches a
+// tree node or copies a string.  Lookups split a request into redirected
+// segments, with uncovered gaps returned as passthrough segments so
+// partially-reordered files keep working.  Persistence goes through the KV
+// store (the Berkeley DB stand-in) with one record per entry.
+//
+// THREAD-SAFETY RULE (the one place it is documented): a Drt instance — and
+// everything layered on it (Redirector, OnlineMha, MpiFile, HybridPfs) — is
+// a single-client object.  lookup() mutates a sequential-access hint under
+// const, so concurrent lookups must use distinct instances; the parallel
+// bench grids satisfy this by giving every cell its own deployment.  The
+// hint is a plain index into the flat vector, so copies and moves inherit it
+// safely (a stale index is only ever a cache miss, never a dangling
+// iterator) and all special members are the defaults.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "kv/kvstore.hpp"
 
 namespace mha::core {
 
+/// Index into a Drt's interned region-file name table.
+using RegionId = std::uint32_t;
+
+/// Region id carried by passthrough (gap) segments.
+inline constexpr RegionId kNoRegion = static_cast<RegionId>(-1);
+
+/// The public exchange form of one table entry (insert/entries/persistence).
 struct DrtEntry {
   common::Offset o_offset = 0;      ///< start in the original file
   common::ByteCount length = 0;
@@ -34,76 +53,64 @@ struct DrtEntry {
   friend bool operator==(const DrtEntry&, const DrtEntry&) = default;
 };
 
-/// One piece of a translated request.
+/// One piece of a translated request.  POD: the region file is named by its
+/// interned id (resolve via Drt::region_name / a Redirector's file-id table).
 struct DrtSegment {
   bool redirected = false;          ///< false => read/write the original file
-  std::string r_file;               ///< empty for passthrough
-  common::Offset target_offset = 0; ///< offset in r_file (or the original)
+  RegionId region = kNoRegion;      ///< kNoRegion for passthrough
+  common::Offset target_offset = 0; ///< offset in the region (or the original)
   common::ByteCount length = 0;
   common::Offset logical_offset = 0;  ///< position within the original file
 };
 
 class Drt {
  public:
+  /// Caller-owned lookup scratch: inline room for the common split widths,
+  /// heap spill (retained across clear) beyond that.
+  using SegmentVec = common::SmallVec<DrtSegment, 8>;
+
   Drt() = default;
   explicit Drt(std::string o_file) : o_file_(std::move(o_file)) {}
-
-  // The lookup hint below is an iterator into entries_; copies and moves
-  // must not inherit it, so the special members drop it explicitly.
-  Drt(const Drt& other)
-      : o_file_(other.o_file_), entries_(other.entries_),
-        covered_bytes_(other.covered_bytes_) {}
-  Drt& operator=(const Drt& other) {
-    o_file_ = other.o_file_;
-    entries_ = other.entries_;
-    covered_bytes_ = other.covered_bytes_;
-    hint_valid_ = false;
-    return *this;
-  }
-  Drt(Drt&& other) noexcept
-      : o_file_(std::move(other.o_file_)), entries_(std::move(other.entries_)),
-        covered_bytes_(other.covered_bytes_) {
-    other.hint_valid_ = false;
-  }
-  Drt& operator=(Drt&& other) noexcept {
-    o_file_ = std::move(other.o_file_);
-    entries_ = std::move(other.entries_);
-    covered_bytes_ = other.covered_bytes_;
-    hint_valid_ = false;
-    other.hint_valid_ = false;
-    return *this;
-  }
 
   const std::string& o_file() const { return o_file_; }
 
   /// Inserts an entry; rejects zero-length and ranges overlapping an
   /// existing entry ("DRT is updated each time a data location has been
-  /// changed" — locations are unique).
+  /// changed" — locations are unique).  Appends are O(1); out-of-order
+  /// inserts shift the flat tail (build-time cost only).
   common::Status insert(DrtEntry entry);
 
   /// Splits [offset, offset+size) into contiguous segments covering it
-  /// exactly, in ascending logical order.  Redirected pieces point into
-  /// region files; gaps come back as passthrough (target_offset == logical
-  /// offset in the original file).
+  /// exactly, in ascending logical order, appending into the caller's
+  /// scratch (cleared first).  Redirected pieces point into region files;
+  /// gaps come back as passthrough (target_offset == logical offset in the
+  /// original file).  Zero heap allocations once `out` has warmed up.
   ///
-  /// Caches the last-hit entry so sequential access patterns (the common
-  /// replay case) resolve their start point in O(1) instead of O(log n).
-  /// The cache makes lookup non-thread-safe despite being const: concurrent
-  /// lookups must use distinct Drt instances (as the parallel bench cells
-  /// do — each cell owns its deployment).
+  /// Caches the index of the last-hit entry so sequential access patterns
+  /// (the common replay case) resolve their start point in O(1) instead of
+  /// O(log n).  See the thread-safety rule in the header comment.
+  void lookup(common::Offset offset, common::ByteCount size, SegmentVec& out) const;
+
+  /// Convenience wrapper for tests and build-time callers.
   std::vector<DrtSegment> lookup(common::Offset offset, common::ByteCount size) const;
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Interned region-file name table.
+  std::size_t region_count() const { return region_names_.size(); }
+  const std::string& region_name(RegionId id) const { return region_names_[id]; }
+
   /// Total bytes covered by entries (tracked incrementally; O(1)).
   common::ByteCount covered_bytes() const { return covered_bytes_; }
 
-  /// Approximate in-memory/metadata footprint (for §V-E.2's space analysis):
-  /// the paper charges 6*4 bytes per entry; ours stores the region name too.
+  /// Approximate metadata footprint (for §V-E.2's space analysis): the paper
+  /// charges 6*4 bytes per entry; ours charges the exchange-entry size plus
+  /// the region name per entry, matching what save() persists.  (The
+  /// in-memory flat entry is smaller — names are stored once.)
   std::size_t metadata_bytes() const;
 
-  /// Entries in ascending o_offset order.
+  /// Entries in ascending o_offset order (exchange form, names resolved).
   std::vector<DrtEntry> entries() const;
 
   /// Persists every entry under keys "<o_file>#<o_offset>".
@@ -113,14 +120,31 @@ class Drt {
   static common::Result<Drt> load(kv::KvStore& store, const std::string& o_file);
 
  private:
+  /// In-memory entry: POD, 32 bytes, names interned.
+  struct FlatEntry {
+    common::Offset o_offset = 0;
+    common::ByteCount length = 0;
+    common::Offset r_offset = 0;
+    RegionId region = 0;
+
+    common::Offset o_end() const { return o_offset + length; }
+  };
+
+  /// First index whose o_offset is > pos (branchless binary search).
+  std::size_t first_after(common::Offset pos) const;
+
+  RegionId intern(const std::string& name);
+
   std::string o_file_;
-  // o_offset -> entry; invariant: non-overlapping.
-  std::map<common::Offset, DrtEntry> entries_;
+  // Ascending o_offset; invariant: non-overlapping.
+  std::vector<FlatEntry> entries_;
+  std::vector<std::string> region_names_;
+  std::unordered_map<std::string, RegionId> region_ids_;  // insert-time only
   common::ByteCount covered_bytes_ = 0;
-  // Sequential-lookup cache: the last entry the previous lookup consumed.
-  // Mutated under const (see lookup docs); never inherited by copies.
-  mutable std::map<common::Offset, DrtEntry>::const_iterator hint_;
-  mutable bool hint_valid_ = false;
+  // Sequential-lookup cache: index of the last entry the previous lookup
+  // consumed.  Mutated under const (see header comment); always validated
+  // against the current vector before use, so stale values are harmless.
+  mutable std::size_t hint_ = 0;
 };
 
 }  // namespace mha::core

@@ -52,10 +52,14 @@ common::Result<std::unique_ptr<OnlineMha>> OnlineMha::create(pfs::HybridPfs& pfs
   return online;
 }
 
-std::vector<io::RedirectSegment> OnlineMha::translate(common::Offset offset,
-                                                      common::ByteCount size) {
-  if (redirector_ != nullptr) return redirector_->translate(offset, size);
-  return {io::RedirectSegment{original_id_, offset, size, offset}};
+void OnlineMha::translate(common::Offset offset, common::ByteCount size,
+                          io::SegmentList& out) {
+  if (redirector_ != nullptr) {
+    redirector_->translate(offset, size, out);
+    return;
+  }
+  out.clear();
+  out.push_back(io::RedirectSegment{original_id_, offset, size, offset});
 }
 
 common::Seconds OnlineMha::lookup_overhead() const {

@@ -64,8 +64,9 @@ class OnlineMha : public io::IoInterceptor {
                                                            OnlineOptions options = {});
 
   // --- io::IoInterceptor -------------------------------------------------
-  std::vector<io::RedirectSegment> translate(common::Offset offset,
-                                             common::ByteCount size) override;
+  using io::IoInterceptor::translate;
+  void translate(common::Offset offset, common::ByteCount size,
+                 io::SegmentList& out) override;
   common::Seconds lookup_overhead() const override;
 
   // --- observation & adaptation ------------------------------------------

@@ -7,34 +7,39 @@ common::Result<Redirector> Redirector::create(pfs::HybridPfs& pfs, Drt drt,
   auto original = pfs.open(drt.o_file());
   if (!original.is_ok()) return original.status();
   Redirector redirector(std::move(drt), *original, lookup_overhead);
-  // Resolve every region name once; all region files must already exist
-  // (the Placer runs before the redirection phase).
-  for (const DrtEntry& entry : redirector.drt_.entries()) {
-    if (redirector.id_cache_.contains(entry.r_file)) continue;
-    auto id = pfs.open(entry.r_file);
-    if (!id.is_ok()) return id.status();
-    redirector.id_cache_.emplace(entry.r_file, *id);
+  // Resolve every interned region name once; all region files must already
+  // exist (the Placer runs before the redirection phase).
+  redirector.region_files_.reserve(redirector.drt_.region_count());
+  for (RegionId id = 0; id < redirector.drt_.region_count(); ++id) {
+    auto file = pfs.open(redirector.drt_.region_name(id));
+    if (!file.is_ok()) return file.status();
+    redirector.region_files_.push_back(*file);
   }
   return redirector;
 }
 
-std::vector<io::RedirectSegment> Redirector::translate(common::Offset offset,
-                                                       common::ByteCount size) {
+void Redirector::translate(common::Offset offset, common::ByteCount size,
+                           io::SegmentList& out) {
   ++translations_;
-  std::vector<io::RedirectSegment> out;
-  for (const DrtSegment& seg : drt_.lookup(offset, size)) {
-    io::RedirectSegment r;
-    r.offset = seg.target_offset;
-    r.length = seg.length;
-    r.logical_offset = seg.logical_offset;
-    if (seg.redirected) {
-      r.file = id_cache_.at(seg.r_file);
-    } else {
-      r.file = original_;
+  out.clear();
+  drt_.lookup(offset, size, scratch_);
+  for (const DrtSegment& seg : scratch_) {
+    const common::FileId file = seg.redirected ? region_files_[seg.region] : original_;
+    const common::Offset target = seg.target_offset;
+    // Coalesce with the previous piece when both spaces are contiguous: the
+    // DRT may split a request across entries that pack adjacently in the
+    // same region file, but the server sees one contiguous extent either
+    // way, so forward it as one sub-request.
+    if (!out.empty()) {
+      io::RedirectSegment& prev = out.back();
+      if (prev.file == file && prev.offset + prev.length == target &&
+          prev.logical_offset + prev.length == seg.logical_offset) {
+        prev.length += seg.length;
+        continue;
+      }
     }
-    out.push_back(std::move(r));
+    out.emplace_back(io::RedirectSegment{file, target, seg.length, seg.logical_offset});
   }
-  return out;
 }
 
 Drt Redirector::identity_table(const std::string& file, common::ByteCount length,

@@ -3,17 +3,20 @@
 // Implements io::IoInterceptor: on every MPI_File_read/write the logical
 // extent is split through the DRT into region-file segments (passthrough for
 // uncovered bytes) and forwarded.  Region names are resolved to file ids
-// once and cached — the paper keeps "a list to maintain frequently accessed
-// reordering entries" in memory for the same reason.  A per-request lookup
-// overhead is charged so Fig. 14's redirection-cost experiment is
-// reproducible; identity_table() builds the DRT that redirects a file onto
-// itself, which is exactly the paper's methodology ("we intentionally do not
-// make data reordering so that I/O requests are redirected to the original
-// I/O system").
+// once at create() into a flat table indexed by the DRT's interned RegionId
+// — the paper keeps "a list to maintain frequently accessed reordering
+// entries" in memory for the same reason — so the per-request path performs
+// no string hashing and no heap allocation.  Adjacent segments that target
+// the same file contiguously are coalesced before forwarding, so one server
+// round trip covers what the table split only for bookkeeping reasons.  A
+// per-request lookup overhead is charged once per translation so Fig. 14's
+// redirection-cost experiment is reproducible; identity_table() builds the
+// DRT that redirects a file onto itself, which is exactly the paper's
+// methodology ("we intentionally do not make data reordering so that I/O
+// requests are redirected to the original I/O system").
 #pragma once
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -30,13 +33,17 @@ class Redirector : public io::IoInterceptor {
   static common::Result<Redirector> create(pfs::HybridPfs& pfs, Drt drt,
                                            common::Seconds lookup_overhead = 2.0e-6);
 
-  std::vector<io::RedirectSegment> translate(common::Offset offset,
-                                             common::ByteCount size) override;
+  using io::IoInterceptor::translate;
+  void translate(common::Offset offset, common::ByteCount size,
+                 io::SegmentList& out) override;
 
   common::Seconds lookup_overhead() const override { return lookup_overhead_; }
 
   const Drt& drt() const { return drt_; }
   std::size_t translations() const { return translations_; }
+
+  /// Resolved file id for an interned region (bench/test introspection).
+  common::FileId region_file(RegionId region) const { return region_files_[region]; }
 
   /// Builds an identity DRT: [0, length) of `file` maps to itself in
   /// `entry_size` pieces (overhead benchmarking).
@@ -50,7 +57,12 @@ class Redirector : public io::IoInterceptor {
   Drt drt_;
   common::FileId original_;
   common::Seconds lookup_overhead_;
-  std::unordered_map<std::string, common::FileId> id_cache_;
+  /// RegionId -> FileId, built once at create(); replaces the old
+  /// string-keyed id cache on the hot path.
+  std::vector<common::FileId> region_files_;
+  /// Per-instance DRT scratch, reused across translations (single-client;
+  /// see the thread-safety rule in core/drt.hpp).
+  Drt::SegmentVec scratch_;
   std::size_t translations_ = 0;
 };
 

@@ -79,7 +79,12 @@ common::Result<ReorganizePlan> build_plan(const trace::Trace& trace,
   }
 
   // --- Region construction: per group, blocks ordered by original offset,
-  // packed densely; DRT entries merged when contiguous in both spaces. ---
+  // packed densely; DRT entries merged when contiguous in both spaces.
+  // Entries from all groups are collected first and inserted in ascending
+  // o_offset order, so every insert into the flat DRT is an append (a
+  // per-group insert order would interleave offsets across groups and turn
+  // each insert into a middle-of-vector shift). ---
+  std::vector<DrtEntry> entries;
   for (std::size_t g = 0; g < num_groups; ++g) {
     auto& blocks = group_blocks[g];
     std::sort(blocks.begin(), blocks.end(),
@@ -92,18 +97,19 @@ common::Result<ReorganizePlan> build_plan(const trace::Trace& trace,
       if (have_pending && pending.o_offset + pending.length == b.o_offset) {
         pending.length += b.length;  // contiguous in origin and region
       } else {
-        if (have_pending) {
-          MHA_RETURN_IF_ERROR(plan.drt.insert(pending));
-        }
+        if (have_pending) entries.push_back(std::move(pending));
         pending = DrtEntry{b.o_offset, b.length, region.name, r_cursor};
         have_pending = true;
       }
       r_cursor += b.length;
     }
-    if (have_pending) {
-      MHA_RETURN_IF_ERROR(plan.drt.insert(pending));
-    }
+    if (have_pending) entries.push_back(std::move(pending));
     region.length = r_cursor;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const DrtEntry& a, const DrtEntry& b) { return a.o_offset < b.o_offset; });
+  for (DrtEntry& entry : entries) {
+    MHA_RETURN_IF_ERROR(plan.drt.insert(std::move(entry)));
   }
 
   // --- Per-region request lists for RSSD: each record anchors in the region
@@ -119,7 +125,7 @@ common::Result<ReorganizePlan> build_plan(const trace::Trace& trace,
     if (segments.empty() || !segments.front().redirected) {
       return common::Status::corruption("reorganizer: traced range not claimed");
     }
-    const auto region_it = region_by_name.find(segments.front().r_file);
+    const auto region_it = region_by_name.find(plan.drt.region_name(segments.front().region));
     if (region_it == region_by_name.end()) {
       return common::Status::corruption("reorganizer: DRT names unknown region");
     }

@@ -19,17 +19,18 @@ common::Result<OpResult> MpiFile::do_op(int rank, common::OpType op, common::Off
   common::Seconds issue = result.start;
   if (tracer_ != nullptr) issue += tracer_->per_op_overhead();
 
-  // Translate through the interceptor (identity when none is attached).
-  std::vector<RedirectSegment> segments;
+  // Translate through the interceptor (identity when none is attached) into
+  // the handle's reused scratch — no per-request allocation.
+  segments_.clear();
   if (interceptor_ != nullptr) {
     issue += interceptor_->lookup_overhead();
-    segments = interceptor_->translate(offset, size);
+    interceptor_->translate(offset, size, segments_);
   } else {
-    segments.push_back(RedirectSegment{file_, offset, size, offset});
+    segments_.push_back(RedirectSegment{file_, offset, size, offset});
   }
 
   common::Seconds completion = issue;
-  for (const RedirectSegment& seg : segments) {
+  for (const RedirectSegment& seg : segments_) {
     common::Result<pfs::IoResult> io =
         op == common::OpType::kRead
             ? pfs_->read(seg.file, seg.offset, read_out + (seg.logical_offset - offset),

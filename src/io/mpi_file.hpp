@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "io/mpi_sim.hpp"
 #include "io/tracer.hpp"
@@ -26,7 +27,14 @@ struct RedirectSegment {
   common::Offset offset = 0;      ///< offset in the target file
   common::ByteCount length = 0;
   common::Offset logical_offset = 0;  ///< where this piece sits in the request
+
+  friend bool operator==(const RedirectSegment&, const RedirectSegment&) = default;
 };
+
+/// Caller-owned translation scratch: inline room for the common request
+/// widths, heap spill (retained across clear) beyond that — a reused buffer
+/// makes translation allocation-free in steady state.
+using SegmentList = common::SmallVec<RedirectSegment, 8>;
 
 /// Translates logical extents of the original file into physical segments.
 /// The default behaviour (no interceptor) is the identity mapping onto the
@@ -36,9 +44,17 @@ class IoInterceptor {
   virtual ~IoInterceptor() = default;
 
   /// Splits [offset, offset+size) into target segments covering it exactly,
-  /// in ascending logical order.
-  virtual std::vector<RedirectSegment> translate(common::Offset offset,
-                                                 common::ByteCount size) = 0;
+  /// in ascending logical order, appending into the caller's scratch
+  /// (cleared first).
+  virtual void translate(common::Offset offset, common::ByteCount size,
+                         SegmentList& out) = 0;
+
+  /// Convenience wrapper (tests / cold paths): translate into a fresh list.
+  SegmentList translate(common::Offset offset, common::ByteCount size) {
+    SegmentList out;
+    translate(offset, size, out);
+    return out;
+  }
 
   /// Virtual seconds of lookup cost charged per translated request (the
   /// paper's "redirection phase" overhead, Fig. 14).
@@ -98,6 +114,9 @@ class MpiFile {
   Tracer* tracer_ = nullptr;
   IoInterceptor* interceptor_ = nullptr;
   int next_fd_ = 3;
+  /// Per-handle translation scratch, reused across requests (the handle is
+  /// single-client; see the thread-safety rule in core/drt.hpp).
+  SegmentList segments_;
 };
 
 }  // namespace mha::io

@@ -118,9 +118,7 @@ class HarlScheme final : public LayoutScheme {
     while (pos < length) {
       const common::ByteCount piece = std::min<common::ByteCount>(kChunk, length - pos);
       buffer.resize(piece);
-      for (common::ByteCount i = 0; i < piece; ++i) {
-        buffer[i] = populate_byte(start + pos + i);
-      }
+      populate_fill(start + pos, buffer.data(), piece);
       auto w = pfs.write(file, pos, buffer.data(), piece, clock);
       if (!w.is_ok()) return w.status();
       clock = w->completion;

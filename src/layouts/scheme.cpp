@@ -20,7 +20,7 @@ common::Status populate_file(pfs::HybridPfs& pfs, common::FileId file,
   while (pos < length) {
     const common::ByteCount piece = std::min<common::ByteCount>(chunk, length - pos);
     buffer.resize(piece);
-    for (common::ByteCount i = 0; i < piece; ++i) buffer[i] = populate_byte(pos + i);
+    populate_fill(pos, buffer.data(), piece);
     auto w = pfs.write(file, pos, buffer.data(), piece, clock);
     if (!w.is_ok()) return w.status();
     clock = w->completion;

@@ -15,6 +15,32 @@ void ExtentStore::write(common::Offset offset, const std::uint8_t* data,
   if (size == 0) return;
   const common::Offset end = offset + size;
 
+  // Append fast paths: sequential writers (the replayer, region placement,
+  // migration copies) land at or past the store's end almost every time, so
+  // resolve against the last extent without the general merge walk.
+  if (!extents_.empty()) {
+    auto& [last_start, last_bytes] = *extents_.rbegin();
+    const common::Offset last_end = last_start + last_bytes.size();
+    if (offset > last_end) {  // disjoint new tail extent
+      extents_.emplace_hint(extents_.end(), offset,
+                            std::vector<std::uint8_t>(data, data + size));
+      return;
+    }
+    if (offset >= last_start && offset <= last_end) {
+      // Overwrite the overlap in place, grow the run with the remainder.
+      const common::ByteCount overlap =
+          std::min<common::ByteCount>(size, last_end - offset);
+      std::memcpy(last_bytes.data() + (offset - last_start), data, overlap);
+      if (overlap < size) {
+        last_bytes.insert(last_bytes.end(), data + overlap, data + size);
+      }
+      return;
+    }
+  } else {
+    extents_.emplace(offset, std::vector<std::uint8_t>(data, data + size));
+    return;
+  }
+
   // Fast path: the write lands entirely inside one existing extent —
   // overwrite in place.  This keeps repeated updates to a large file O(size)
   // instead of O(extent) (the slow path rebuilds the merged run).
@@ -77,11 +103,19 @@ std::vector<std::uint8_t> ExtentStore::read(common::Offset offset,
 void ExtentStore::read(common::Offset offset, std::uint8_t* out,
                        common::ByteCount size) const {
   if (size == 0) return;
-  std::memset(out, 0, size);
   const common::Offset end = offset + size;
 
   auto it = extents_.upper_bound(offset);
-  if (it != extents_.begin()) --it;
+  if (it != extents_.begin()) {
+    --it;
+    // Fast path: the whole range lives inside one extent — a single memcpy,
+    // and no zero-fill pass (there are no holes to clear).
+    if (it->first <= offset && it->first + it->second.size() >= end) {
+      std::memcpy(out, it->second.data() + (offset - it->first), size);
+      return;
+    }
+  }
+  std::memset(out, 0, size);
   for (; it != extents_.end() && it->first < end; ++it) {
     const common::Offset ext_start = it->first;
     const common::Offset ext_end = ext_start + it->second.size();

@@ -19,6 +19,7 @@ HybridPfs::HybridPfs(const sim::ClusterConfig& config, PfsOptions options)
   sims.reserve(servers_.size());
   for (auto& server : servers_) sims.push_back(&server->sim());
   row_ = sched::ServerRow(std::move(sims), num_hservers_);
+  per_server_.resize(servers_.size(), 0);
 }
 
 void HybridPfs::set_fault_context(fault::FaultContext* fault) {
@@ -151,15 +152,16 @@ common::Status HybridPfs::dispatch(common::FileId file, common::OpType op,
     return dispatch_degraded(file, op, per_server, arrival, result);
   }
   if (scheduler_ != nullptr) {
-    std::vector<sim::SubRequest> subs;
+    subs_.clear();
     for (std::size_t i = 0; i < per_server.size(); ++i) {
       if (per_server[i] == 0) continue;
-      subs.push_back(sim::SubRequest{i, op, per_server[i]});
+      subs_.push_back(sim::SubRequest{i, op, per_server[i]});
     }
-    const sched::DispatchResult out = scheduler_->dispatch(row_, subs, arrival);
+    const sched::DispatchResult out = scheduler_->dispatch(
+        row_, std::span<const sim::SubRequest>(subs_.data(), subs_.size()), arrival);
     result.completion = std::max(result.completion, out.completion);
     result.sub_requests += out.sub_requests;
-    result.servers_touched += subs.size();
+    result.servers_touched += subs_.size();
     return common::Status::ok();
   }
   for (std::size_t i = 0; i < per_server.size(); ++i) {
@@ -204,13 +206,14 @@ common::Result<IoResult> HybridPfs::write(common::FileId file, common::Offset of
   // its accumulated bytes: the per-server physical image of one request is
   // contiguous under dense round-robin packing, so a real client ships it
   // as a single server message (the per-server term of Eq. 2).
-  std::vector<common::ByteCount> per_server(servers_.size(), 0);
-  for (const SubExtent& sub : layout.map_extent(offset, size)) {
+  std::fill(per_server_.begin(), per_server_.end(), 0);
+  layout.map_extent(offset, size, extents_);
+  for (const SubExtent& sub : extents_) {
     servers_[sub.server]->store(file, sub.physical_offset,
                                 data + (sub.logical_offset - offset), sub.length);
-    per_server[sub.server] += sub.length;
+    per_server_[sub.server] += sub.length;
   }
-  MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kWrite, per_server, arrival, result));
+  MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kWrite, per_server_, arrival, result));
   mds_.extend(file, offset + size);
   return result;
 }
@@ -222,13 +225,14 @@ common::Result<IoResult> HybridPfs::read(common::FileId file, common::Offset off
   const StripeLayout& layout = mds_.info(file).layout;
   IoResult result;
   result.completion = arrival;
-  std::vector<common::ByteCount> per_server(servers_.size(), 0);
-  for (const SubExtent& sub : layout.map_extent(offset, size)) {
+  std::fill(per_server_.begin(), per_server_.end(), 0);
+  layout.map_extent(offset, size, extents_);
+  for (const SubExtent& sub : extents_) {
     servers_[sub.server]->load(file, sub.physical_offset, out + (sub.logical_offset - offset),
                                sub.length);
-    per_server[sub.server] += sub.length;
+    per_server_[sub.server] += sub.length;
   }
-  MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kRead, per_server, arrival, result));
+  MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kRead, per_server_, arrival, result));
   return result;
 }
 

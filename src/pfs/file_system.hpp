@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "fault/context.hpp"
 #include "pfs/data_server.hpp"
@@ -140,6 +141,14 @@ class HybridPfs {
   sched::Scheduler* scheduler_ = nullptr;
   fault::FaultContext* fault_ = nullptr;
   sched::ServerRow row_;
+  // Request-path scratch, reused across read/write calls so the steady state
+  // performs zero heap allocations per request.  Same single-client rule as
+  // Drt's lookup hint: a HybridPfs may be shared across threads only with
+  // external synchronisation (the bench harness gives each thread its own
+  // world, so this is free there).
+  mutable std::vector<common::ByteCount> per_server_;
+  mutable StripeLayout::SubExtentVec extents_;
+  mutable common::SmallVec<sim::SubRequest, 8> subs_;
 };
 
 /// The file-system default stripe size (OrangeFS ships 64 KiB).

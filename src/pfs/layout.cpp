@@ -48,18 +48,16 @@ common::Result<StripeLayout> StripeLayout::stripe_pair(std::size_t num_h, std::s
   return create(std::move(widths));
 }
 
-std::vector<SubExtent> StripeLayout::map_extent(common::Offset offset,
-                                                common::ByteCount length) const {
-  std::vector<SubExtent> out;
+void StripeLayout::map_extent(common::Offset offset, common::ByteCount length,
+                              SubExtentVec& out) const {
+  out.clear();
   common::Offset pos = offset;
   common::ByteCount remaining = length;
   while (remaining > 0) {
     const SubExtent at = map_offset(pos);
     // Bytes left in the current slot from `pos` to the slot's end.
-    const common::ByteCount cycle_index = pos / cycle_;
     const common::ByteCount in_cycle = pos % cycle_;
     const common::ByteCount slot_end_in_cycle = slot_start_[at.server] + widths_[at.server];
-    (void)cycle_index;
     const common::ByteCount slot_remaining = slot_end_in_cycle - in_cycle;
     const common::ByteCount take = std::min<common::ByteCount>(remaining, slot_remaining);
 
@@ -72,7 +70,13 @@ std::vector<SubExtent> StripeLayout::map_extent(common::Offset offset,
     pos += take;
     remaining -= take;
   }
-  return out;
+}
+
+std::vector<SubExtent> StripeLayout::map_extent(common::Offset offset,
+                                                common::ByteCount length) const {
+  SubExtentVec scratch;
+  map_extent(offset, length, scratch);
+  return std::vector<SubExtent>(scratch.begin(), scratch.end());
 }
 
 SubExtent StripeLayout::map_offset(common::Offset offset) const {

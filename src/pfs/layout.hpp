@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 
 namespace mha::pfs {
@@ -59,9 +60,16 @@ class StripeLayout {
   /// Bytes per full round-robin cycle (sum of widths).
   common::ByteCount cycle_width() const { return cycle_; }
 
+  /// Caller-owned mapping scratch (request hot path; reuse across requests
+  /// for zero steady-state allocations).
+  using SubExtentVec = common::SmallVec<SubExtent, 8>;
+
   /// Splits logical extent [offset, offset+length) into per-server pieces in
-  /// ascending logical order.  Adjacent pieces on the same server are
-  /// coalesced.  length == 0 yields an empty vector.
+  /// ascending logical order, appending into the caller's scratch (cleared
+  /// first).  Adjacent pieces on the same server are coalesced.
+  void map_extent(common::Offset offset, common::ByteCount length, SubExtentVec& out) const;
+
+  /// Convenience wrapper (tests / cold paths).  length == 0 yields empty.
   std::vector<SubExtent> map_extent(common::Offset offset, common::ByteCount length) const;
 
   /// Maps a single logical offset to its server and physical offset.

@@ -5,7 +5,7 @@
 namespace mha::sched {
 
 DispatchResult FcfsScheduler::dispatch(const ServerRow& row,
-                                       const std::vector<sim::SubRequest>& subs,
+                                       std::span<const sim::SubRequest> subs,
                                        common::Seconds arrival) {
   DispatchResult result;
   result.completion = arrival;

@@ -14,7 +14,8 @@ class FcfsScheduler : public Scheduler {
  public:
   std::string name() const override { return "fcfs"; }
 
-  DispatchResult dispatch(const ServerRow& row, const std::vector<sim::SubRequest>& subs,
+  using Scheduler::dispatch;
+  DispatchResult dispatch(const ServerRow& row, std::span<const sim::SubRequest> subs,
                           common::Seconds arrival) override;
 };
 

@@ -26,7 +26,7 @@ void HedgedReadScheduler::update_ewma(double latency) {
 }
 
 DispatchResult HedgedReadScheduler::dispatch(const ServerRow& row,
-                                             const std::vector<sim::SubRequest>& subs,
+                                             std::span<const sim::SubRequest> subs,
                                              common::Seconds arrival) {
   DispatchResult result;
   result.completion = arrival;

@@ -40,7 +40,8 @@ class HedgedReadScheduler : public Scheduler {
 
   std::string name() const override { return "hedged-read"; }
 
-  DispatchResult dispatch(const ServerRow& row, const std::vector<sim::SubRequest>& subs,
+  using Scheduler::dispatch;
+  DispatchResult dispatch(const ServerRow& row, std::span<const sim::SubRequest> subs,
                           common::Seconds arrival) override;
 
   /// Current hedge trigger (infinite during warmup).

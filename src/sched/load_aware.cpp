@@ -51,7 +51,7 @@ common::ByteCount LoadAwareScheduler::outstanding_bytes(std::size_t server) cons
 }
 
 DispatchResult LoadAwareScheduler::dispatch(const ServerRow& row,
-                                            const std::vector<sim::SubRequest>& subs,
+                                            std::span<const sim::SubRequest> subs,
                                             common::Seconds arrival) {
   if (flagged_.size() < row.size()) {
     flagged_.resize(row.size(), false);

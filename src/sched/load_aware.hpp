@@ -47,7 +47,8 @@ class LoadAwareScheduler : public Scheduler {
 
   std::string name() const override { return "load-aware"; }
 
-  DispatchResult dispatch(const ServerRow& row, const std::vector<sim::SubRequest>& subs,
+  using Scheduler::dispatch;
+  DispatchResult dispatch(const ServerRow& row, std::span<const sim::SubRequest> subs,
                           common::Seconds arrival) override;
 
   std::vector<std::size_t> plan(const std::vector<common::Request>& batch) override;

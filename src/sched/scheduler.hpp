@@ -24,7 +24,9 @@
 //                         (hedged.hpp).
 #pragma once
 
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,10 +52,19 @@ class Scheduler {
 
   /// Dispatches all sub-requests of one file request arriving at `arrival`
   /// against `row`; returns the request's completion time (the max across
-  /// the sub-requests the request must wait on).
+  /// the sub-requests the request must wait on).  Takes a span so hot-path
+  /// callers can pass stack arrays / SmallVec scratch without allocating.
   virtual DispatchResult dispatch(const ServerRow& row,
-                                  const std::vector<sim::SubRequest>& subs,
+                                  std::span<const sim::SubRequest> subs,
                                   common::Seconds arrival) = 0;
+
+  /// Brace-list convenience for tests and one-off dispatches.
+  DispatchResult dispatch(const ServerRow& row,
+                          std::initializer_list<sim::SubRequest> subs,
+                          common::Seconds arrival) {
+    return dispatch(row, std::span<const sim::SubRequest>(subs.begin(), subs.size()),
+                    arrival);
+  }
 
   /// Orders a batch of simultaneously-arriving requests before they are
   /// issued (the replayer consults this once per synchronous iteration — the

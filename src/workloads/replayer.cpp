@@ -1,6 +1,7 @@
 #include "workloads/replayer.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <queue>
 
@@ -24,7 +25,7 @@ class Shadow {
   Shadow(bool enabled, common::ByteCount extent) : enabled_(enabled) {
     if (!enabled_) return;
     std::vector<std::uint8_t> seed(extent);
-    for (common::ByteCount i = 0; i < extent; ++i) seed[i] = layouts::populate_byte(i);
+    layouts::populate_fill(0, seed.data(), extent);
     store_.write(0, seed);
   }
 
@@ -33,23 +34,25 @@ class Shadow {
   }
 
   common::Status check_read(common::Offset offset, const std::uint8_t* actual,
-                            common::ByteCount size) const {
+                            common::ByteCount size) {
     if (!enabled_) return common::Status::ok();
-    const std::vector<std::uint8_t> expected = store_.read(offset, size);
-    for (common::ByteCount i = 0; i < size; ++i) {
-      if (actual[i] != expected[i]) {
-        return common::Status::corruption(
-            "replay verification failed at offset " + std::to_string(offset + i) +
-            ": expected " + std::to_string(expected[i]) + ", got " +
-            std::to_string(actual[i]));
-      }
-    }
-    return common::Status::ok();
+    if (expected_.size() < size) expected_.resize(size);
+    store_.read(offset, expected_.data(), size);
+    if (std::memcmp(actual, expected_.data(), size) == 0) return common::Status::ok();
+    // Bulk compare failed: locate the first mismatching byte for the report.
+    const std::uint8_t* bad = std::mismatch(actual, actual + size, expected_.data()).first;
+    const common::ByteCount i = static_cast<common::ByteCount>(bad - actual);
+    return common::Status::corruption(
+        "replay verification failed at offset " + std::to_string(offset + i) +
+        ": expected " + std::to_string(expected_[i]) + ", got " +
+        std::to_string(actual[i]));
   }
 
  private:
   bool enabled_;
   pfs::ExtentStore store_;
+  /// Reused expected-bytes scratch (zero steady-state allocations).
+  std::vector<std::uint8_t> expected_;
 };
 
 /// Attaches the options' scheduler to the PFS for the replay window and
@@ -101,16 +104,16 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
 
   ReplayResult result;
   std::vector<std::uint8_t> buffer;
+  buffer.reserve(trace::max_request_size(trace.records));
   common::Percentiles latency_pcts;
+  latency_pcts.reserve(trace.records.size());
 
   auto issue = [&](const trace::TraceRecord& r) -> common::Status {
     buffer.resize(r.size);
     common::Seconds duration = 0.0;
     if (r.op == common::OpType::kWrite) {
       if (fill_payload) {
-        for (common::ByteCount i = 0; i < r.size; ++i) {
-          buffer[i] = replay_write_byte(r.offset + i);
-        }
+        replay_write_fill(r.offset, buffer.data(), r.size);
       }
       auto op = file->write_at(r.rank, r.offset, buffer.data(), r.size);
       if (!op.is_ok()) return op.status();

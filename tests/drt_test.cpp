@@ -38,7 +38,7 @@ TEST(Drt, LookupFullyCovered) {
   const auto segments = drt.lookup(10, 50);
   ASSERT_EQ(segments.size(), 1u);
   EXPECT_TRUE(segments[0].redirected);
-  EXPECT_EQ(segments[0].r_file, "r0");
+  EXPECT_EQ(drt.region_name(segments[0].region), "r0");
   EXPECT_EQ(segments[0].target_offset, 1010u);
   EXPECT_EQ(segments[0].length, 50u);
   EXPECT_EQ(segments[0].logical_offset, 10u);
@@ -63,12 +63,12 @@ TEST(Drt, LookupSplitsAcrossEntriesAndGaps) {
   EXPECT_FALSE(segments[0].redirected);
   EXPECT_EQ(segments[0].length, 50u);
   EXPECT_TRUE(segments[1].redirected);
-  EXPECT_EQ(segments[1].r_file, "r0");
+  EXPECT_EQ(drt.region_name(segments[1].region), "r0");
   EXPECT_EQ(segments[1].length, 100u);
   EXPECT_FALSE(segments[2].redirected);
   EXPECT_EQ(segments[2].length, 100u);
   EXPECT_TRUE(segments[3].redirected);
-  EXPECT_EQ(segments[3].r_file, "r1");
+  EXPECT_EQ(drt.region_name(segments[3].region), "r1");
   EXPECT_EQ(segments[3].target_offset, 5000u);
   EXPECT_FALSE(segments[4].redirected);
   EXPECT_EQ(segments[4].length, 50u);

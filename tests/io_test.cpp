@@ -129,11 +129,13 @@ class SwapInterceptor : public IoInterceptor {
  public:
   SwapInterceptor(common::FileId file, common::ByteCount half) : file_(file), half_(half) {}
 
-  std::vector<RedirectSegment> translate(common::Offset offset,
-                                         common::ByteCount size) override {
+  using IoInterceptor::translate;
+  void translate(common::Offset offset, common::ByteCount size,
+                 SegmentList& out) override {
     // Requests are assumed not to straddle the midpoint in this test.
     const common::Offset target = offset < half_ ? offset + half_ : offset - half_;
-    return {RedirectSegment{file_, target, size, offset}};
+    out.clear();
+    out.push_back(RedirectSegment{file_, target, size, offset});
   }
   common::Seconds lookup_overhead() const override { return 0.25; }
 

@@ -148,7 +148,7 @@ TEST(Redirector, IdentityTableCoversFile) {
   const auto segs = drt.lookup(0, 1000);
   for (const auto& seg : segs) {
     EXPECT_TRUE(seg.redirected);
-    EXPECT_EQ(seg.r_file, "f");
+    EXPECT_EQ(drt.region_name(seg.region), "f");
     EXPECT_EQ(seg.target_offset, seg.logical_offset);  // identity mapping
   }
 }
