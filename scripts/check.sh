@@ -25,10 +25,20 @@ cmake --build --preset asan -j "${jobs}" --target microbench
 "${repo_root}/build-asan/bench/microbench" --threads=1 --scale=0.05 \
   | diff -u "${repo_root}/bench/golden/microbench.stdout" -
 
+# Integrity gate: re-run the checksum/scrub/crash-recovery suites by name so
+# a filter typo in the binaries can never silently drop them, then run the
+# seeded corruption + scrub sweep (the tail section of ext_fault) under the
+# sanitizers.  The sweep exits non-zero unless every planted fault is
+# detected and every DRT-reachable chunk repairs.
+ctest --preset asan -j "${jobs}" \
+  -R 'Checksums|SilentFault|Scrubber|Integrity|CrashMatrix|FaultMetricsTable|ReplayVerification|RecoveryIdempotence'
+cmake --build --preset asan -j "${jobs}" --target ext_fault
+"${repo_root}/build-asan/bench/ext_fault" --threads=1 --scale=0.05 > /dev/null
+
 # ThreadSanitizer pass over the concurrency surface: the exec pool's own
 # tests plus the sched/fault suites that exercise replay on the pool.  The
 # rest of the suite is single-threaded and already covered above, so only
 # the two affected binaries are built to keep single-core runtimes sane.
 cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}" --target mha_exec_tests mha_system_tests
-ctest --preset tsan -j "${jobs}" -R 'Exec|Sched|Scheduler|Fault|Retry|TryCancel|Degraded|Migration|Journal'
+ctest --preset tsan -j "${jobs}" -R 'Exec|Sched|Scheduler|Fault|Retry|TryCancel|Degraded|Migration|Journal|RecoveryIdempotence'

@@ -54,6 +54,7 @@ common::Status Drt::insert(DrtEntry entry) {
   flat.length = entry.length;
   flat.r_offset = entry.r_offset;
   flat.region = intern(entry.r_file);
+  flat.dirty = entry.dirty ? 1 : 0;
   entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos), flat);
   return common::Status::ok();
 }
@@ -118,6 +119,22 @@ void Drt::lookup(common::Offset offset, common::ByteCount size, SegmentVec& out)
   }
 }
 
+void Drt::mark_dirty(common::Offset offset, common::ByteCount size) {
+  if (size == 0 || entries_.empty()) return;
+  const common::Offset end = offset + size;
+  std::size_t idx = first_after(offset);
+  if (idx > 0) --idx;
+  for (; idx < entries_.size() && entries_[idx].o_offset < end; ++idx) {
+    if (entries_[idx].o_end() > offset) entries_[idx].dirty = 1;
+  }
+}
+
+std::size_t Drt::dirty_entries() const {
+  std::size_t n = 0;
+  for (const FlatEntry& e : entries_) n += e.dirty;
+  return n;
+}
+
 std::vector<DrtSegment> Drt::lookup(common::Offset offset, common::ByteCount size) const {
   SegmentVec scratch;
   lookup(offset, size, scratch);
@@ -136,7 +153,8 @@ std::vector<DrtEntry> Drt::entries() const {
   std::vector<DrtEntry> out;
   out.reserve(entries_.size());
   for (const FlatEntry& e : entries_) {
-    out.push_back(DrtEntry{e.o_offset, e.length, region_names_[e.region], e.r_offset});
+    out.push_back(
+        DrtEntry{e.o_offset, e.length, region_names_[e.region], e.r_offset, e.dirty != 0});
   }
   return out;
 }

@@ -49,6 +49,10 @@ struct DrtEntry {
   common::ByteCount length = 0;
   std::string r_file;               ///< reordered region file name
   common::Offset r_offset = 0;      ///< start in the region file
+  /// Runtime-only flag (not persisted): the region copy has been overwritten
+  /// through the redirector since migration, so the original file's bytes
+  /// for this range are stale and must not be used as a repair source.
+  bool dirty = false;
 
   friend bool operator==(const DrtEntry&, const DrtEntry&) = default;
 };
@@ -104,6 +108,15 @@ class Drt {
   /// Total bytes covered by entries (tracked incrementally; O(1)).
   common::ByteCount covered_bytes() const { return covered_bytes_; }
 
+  /// Marks every entry overlapping [offset, offset+size) dirty: its region
+  /// bytes have diverged from the original file (see DrtEntry::dirty).
+  /// Called by the redirector on every intercepted write; O(entries touched)
+  /// and allocation-free, so the request hot path stays zero-alloc.
+  void mark_dirty(common::Offset offset, common::ByteCount size);
+
+  /// Number of dirty entries (scrub/bench introspection).
+  std::size_t dirty_entries() const;
+
   /// Approximate metadata footprint (for §V-E.2's space analysis): the paper
   /// charges 6*4 bytes per entry; ours charges the exchange-entry size plus
   /// the region name per entry, matching what save() persists.  (The
@@ -126,6 +139,7 @@ class Drt {
     common::ByteCount length = 0;
     common::Offset r_offset = 0;
     RegionId region = 0;
+    std::uint8_t dirty = 0;  ///< fits the existing padding; see DrtEntry::dirty
 
     common::Offset o_end() const { return o_offset + length; }
   };

@@ -68,6 +68,12 @@ class OnlineMha : public io::IoInterceptor {
   void translate(common::Offset offset, common::ByteCount size,
                  io::SegmentList& out) override;
   common::Seconds lookup_overhead() const override;
+  void note_write(common::Offset offset, common::ByteCount size) override {
+    if (redirector_ != nullptr) redirector_->note_write(offset, size);
+  }
+  std::string locate(common::Offset offset) const override {
+    return redirector_ != nullptr ? redirector_->locate(offset) : std::string();
+  }
 
   // --- observation & adaptation ------------------------------------------
   /// Records one observed request (typically wired to the tracer).

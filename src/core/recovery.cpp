@@ -71,6 +71,13 @@ common::Result<RecoveryReport> recover_migration(pfs::HybridPfs& pfs,
     return common::Status::failed_precondition("recovery: journal not open");
   }
   RecoveryReport report;
+  const kv::LoadReport& replay = journal.load_report();
+  report.journal_torn = replay.tail_truncated;
+  if (replay.tail_truncated) {
+    MHA_WARN << "recovery: journal tail was torn (" << replay.torn_bytes
+             << " bytes truncated" << (replay.crc_mismatch ? ", crc mismatch" : "")
+             << "); acting on last durable phase";
+  }
   const fault::JournalPhase phase = journal.phase();
   if (phase == fault::JournalPhase::kNone) return report;
 

@@ -48,6 +48,10 @@ struct RecoveryReport {
   /// migration ended committed and a Redirector should be re-attached).
   Drt drt;
   bool has_drt = false;
+  /// True when the journal's open() replay truncated a torn record off the
+  /// log tail — the crash hit mid-append, so recovery acted on the last
+  /// *durable* phase rather than the one being written.
+  bool journal_torn = false;
 };
 
 /// Resolves whatever migration `journal` recorded against `pfs`, clearing

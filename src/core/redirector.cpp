@@ -42,6 +42,17 @@ void Redirector::translate(common::Offset offset, common::ByteCount size,
   }
 }
 
+std::string Redirector::locate(common::Offset offset) const {
+  Drt::SegmentVec pieces;
+  drt_.lookup(offset, 1, pieces);
+  if (pieces.empty()) return std::string();
+  const DrtSegment& seg = pieces[0];
+  if (!seg.redirected) {
+    return "passthrough @" + std::to_string(seg.target_offset);
+  }
+  return "region " + drt_.region_name(seg.region) + " @" + std::to_string(seg.target_offset);
+}
+
 Drt Redirector::identity_table(const std::string& file, common::ByteCount length,
                                common::ByteCount entry_size) {
   Drt drt(file);

@@ -39,6 +39,17 @@ class Redirector : public io::IoInterceptor {
 
   common::Seconds lookup_overhead() const override { return lookup_overhead_; }
 
+  /// Marks the DRT entries under an intercepted write dirty — their region
+  /// bytes now diverge from the original file, which disqualifies the origin
+  /// as a scrub repair source for them (see core/scrubber.hpp).
+  void note_write(common::Offset offset, common::ByteCount size) override {
+    drt_.mark_dirty(offset, size);
+  }
+
+  /// "region <name> @<offset>" / "passthrough @<offset>" for one logical
+  /// byte (verification-failure diagnostics; cold path).
+  std::string locate(common::Offset offset) const override;
+
   const Drt& drt() const { return drt_; }
   std::size_t translations() const { return translations_; }
 

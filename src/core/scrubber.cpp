@@ -1,0 +1,213 @@
+#include "core/scrubber.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mha::core {
+
+void ScrubReport::merge(const ScrubReport& other) {
+  files_scanned += other.files_scanned;
+  stores_scanned += other.stores_scanned;
+  chunks_faulty += other.chunks_faulty;
+  repaired += other.repaired;
+  unrepairable += other.unrepairable;
+  bytes_rewritten += other.bytes_rewritten;
+  findings.insert(findings.end(), other.findings.begin(), other.findings.end());
+}
+
+void Scrubber::attach_drt(const Drt* drt) {
+  drt_ = drt;
+  inverse_.clear();
+  if (drt_ == nullptr) return;
+  for (const DrtEntry& entry : drt_->entries()) {
+    inverse_[entry.r_file].push_back(
+        InverseRun{entry.r_offset, entry.length, entry.o_offset, entry.dirty});
+  }
+  for (auto& [name, runs] : inverse_) {
+    std::sort(runs.begin(), runs.end(),
+              [](const InverseRun& a, const InverseRun& b) { return a.r_offset < b.r_offset; });
+  }
+}
+
+common::Status Scrubber::read_logical(const pfs::FileInfo& info, common::Offset offset,
+                                      std::uint8_t* out, common::ByteCount size) const {
+  pfs::StripeLayout::SubExtentVec subs;
+  info.layout.map_extent(offset, size, subs);
+  for (const pfs::SubExtent& sub : subs) {
+    common::Status st = pfs_->data_server(sub.server).load_verified(
+        info.id, sub.physical_offset, out + (sub.logical_offset - offset), sub.length);
+    if (!st.is_ok()) {
+      return common::Status::corruption("source " + info.name + " server " +
+                                        std::to_string(sub.server) + ": " + st.message());
+    }
+  }
+  return common::Status::ok();
+}
+
+common::Status Scrubber::fetch_from_source(const pfs::FileInfo& info, common::Offset offset,
+                                           std::uint8_t* out, common::ByteCount size) const {
+  if (size == 0) return common::Status::ok();
+
+  // Original file: every DRT-covered byte has an authoritative copy in a
+  // region file (authoritative even when the entry is dirty — redirected
+  // writes land only in the region, so the region is always newest).
+  if (drt_ != nullptr && info.name == drt_->o_file()) {
+    for (const DrtSegment& seg : drt_->lookup(offset, size)) {
+      std::uint8_t* dst = out + (seg.logical_offset - offset);
+      if (!seg.redirected) {
+        if (seg.logical_offset < info.size) {
+          return common::Status::failed_precondition(
+              "no replica: passthrough range @" + std::to_string(seg.logical_offset) +
+              " exists only in the original file");
+        }
+        std::memset(dst, 0, seg.length);  // beyond EOF: holes are the truth
+        continue;
+      }
+      const std::string& region_name = drt_->region_name(seg.region);
+      auto region_id = pfs_->open(region_name);
+      if (!region_id.is_ok()) return region_id.status();
+      MHA_RETURN_IF_ERROR(read_logical(pfs_->mds().info(*region_id), seg.target_offset, dst,
+                                       seg.length));
+    }
+    return common::Status::ok();
+  }
+
+  // Region file: clean entries re-materialize from the original file via the
+  // inverse mapping; slack between entries was never legitimately written,
+  // so zeros are its truth (and evict any misdirected squatter).
+  auto it = inverse_.find(info.name);
+  if (it == inverse_.end()) {
+    return common::Status::failed_precondition(
+        "no reordering table covers file " + info.name);
+  }
+  auto origin_id = pfs_->open(drt_->o_file());
+  if (!origin_id.is_ok()) return origin_id.status();
+  const pfs::FileInfo& origin = pfs_->mds().info(*origin_id);
+
+  std::memset(out, 0, size);
+  const common::Offset end = offset + size;
+  for (const InverseRun& run : it->second) {
+    const common::Offset lo = std::max(offset, run.r_offset);
+    const common::Offset hi = std::min(end, run.r_offset + run.length);
+    if (lo >= hi) continue;
+    if (run.dirty) {
+      return common::Status::failed_precondition(
+          "entry @r" + std::to_string(run.r_offset) +
+          " overwritten since migration; the origin copy is stale");
+    }
+    MHA_RETURN_IF_ERROR(read_logical(origin, run.o_offset + (lo - run.r_offset),
+                                     out + (lo - offset), hi - lo));
+  }
+  return common::Status::ok();
+}
+
+common::Status Scrubber::scrub_into(const std::string& name, const ScrubOptions& options,
+                                    ScrubReport& report) {
+  auto id = pfs_->open(name);
+  if (!id.is_ok()) return id.status();
+  const pfs::FileInfo& info = pfs_->mds().info(*id);
+  ++report.files_scanned;
+
+  constexpr common::ByteCount kChunk = pfs::ExtentStore::kChecksumChunk;
+  std::vector<std::uint8_t> assembled;
+  for (std::size_t server = 0; server < pfs_->num_servers(); ++server) {
+    const pfs::ExtentStore* store = pfs_->data_server(server).store(*id);
+    if (store == nullptr) continue;
+    ++report.stores_scanned;
+
+    std::vector<pfs::ExtentStore::ChunkFault> faults;
+    store->verify_chunks(
+        [&](const pfs::ExtentStore::ChunkFault& f) { faults.push_back(f); });
+
+    for (const pfs::ExtentStore::ChunkFault& fault : faults) {
+      ++report.chunks_faulty;
+      if (metrics_ != nullptr) ++metrics_->corruption_detected;
+      ScrubFinding finding;
+      finding.file = name;
+      finding.server = server;
+      finding.chunk_offset = fault.offset;
+      finding.length = fault.length;
+      finding.expected_crc = fault.expected_crc;
+      finding.actual_crc = fault.actual_crc;
+      finding.orphan = fault.orphan;
+      if (!options.repair) {
+        finding.detail = "detect-only pass";
+        report.findings.push_back(std::move(finding));
+        continue;
+      }
+
+      // All-or-nothing: assemble the chunk's replacement from verified
+      // sources before writing a single byte, so a partial repair can never
+      // re-checksum (and thereby bless) surviving corruption.
+      assembled.assign(kChunk, 0);
+      common::Status repair = common::Status::ok();
+      common::Offset q = fault.offset;
+      const common::Offset chunk_end = fault.offset + kChunk;
+      while (q < chunk_end && repair.is_ok()) {
+        auto logical = info.layout.logical_offset(server, q);
+        if (!logical.is_ok()) {
+          repair = logical.status();
+          break;
+        }
+        const common::ByteCount width = info.layout.width(server);
+        const common::ByteCount run =
+            std::min<common::ByteCount>(width - (q % width), chunk_end - q);
+        repair = fetch_from_source(info, *logical, assembled.data() + (q - fault.offset), run);
+        q += run;
+      }
+      if (repair.is_ok()) {
+        pfs::ExtentStore* target = pfs_->data_server(server).mutable_store(*id);
+        target->write(fault.offset, assembled.data(), kChunk);
+        repair = target->verify_range(fault.offset, kChunk);
+      }
+      if (repair.is_ok()) {
+        finding.repaired = true;
+        finding.detail = "rebuilt from mapped copy";
+        ++report.repaired;
+        report.bytes_rewritten += kChunk;
+        if (metrics_ != nullptr) ++metrics_->corruption_repaired;
+      } else {
+        finding.detail = repair.message();
+        ++report.unrepairable;
+        if (metrics_ != nullptr) ++metrics_->corruption_unrepairable;
+      }
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  return common::Status::ok();
+}
+
+common::Result<ScrubReport> Scrubber::scrub_file(const std::string& name,
+                                                 const ScrubOptions& options) {
+  ScrubReport report;
+  MHA_RETURN_IF_ERROR(scrub_into(name, options, report));
+  return report;
+}
+
+common::Result<ScrubReport> Scrubber::scrub_all(const ScrubOptions& options) {
+  std::vector<std::string> names = pfs_->mds().list_files();
+  std::sort(names.begin(), names.end());
+  // Heal the original file first: region repairs read the origin, so an
+  // origin healed from its regions maximises what the pass can recover.
+  if (drt_ != nullptr) {
+    auto it = std::find(names.begin(), names.end(), drt_->o_file());
+    if (it != names.end()) std::rotate(names.begin(), it, it + 1);
+  }
+  ScrubReport report;
+  for (const std::string& name : names) {
+    MHA_RETURN_IF_ERROR(scrub_into(name, options, report));
+  }
+  if (metrics_ != nullptr) ++metrics_->scrub_passes;
+  return report;
+}
+
+common::Result<kv::LogVerifyReport> Scrubber::scrub_log(const kv::KvStore& store) {
+  auto report = store.verify_log();
+  if (report.is_ok() && metrics_ != nullptr) {
+    metrics_->corruption_detected += report->crc_failures;
+    if (report->trailing_bytes > 0) ++metrics_->torn_tails_truncated;
+  }
+  return report;
+}
+
+}  // namespace mha::core

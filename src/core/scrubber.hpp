@@ -1,0 +1,134 @@
+// On-demand integrity scrubber with DRT-driven self-healing.
+//
+// The migration that MHA performs for performance doubles as a durability
+// mechanism: after placement, every reordered byte exists twice — at its
+// original stripe location and in a region file — and the DRT is an exact
+// map between the two.  The scrubber surfaces that: it sweeps every
+// (file, server) extent store chunk by chunk against the per-chunk CRCs
+// (pfs::ExtentStore::verify_chunks) and re-materializes corrupted chunks
+// from the surviving copy:
+//
+//   * original-file chunks covered by DRT entries are rebuilt from the
+//     region files (the region is authoritative after the commit point, so
+//     this is correct even for ranges overwritten since migration),
+//   * region-file chunks whose entries are *clean* (not overwritten through
+//     the redirector since migration) are rebuilt from the original file via
+//     the DRT inverse mapping,
+//   * region slack between entries is rebuilt as zeros — nothing legitimate
+//     was ever written there, so a misdirected payload squatting in it is
+//     simply evicted,
+//   * everything else (passthrough original data, dirty region entries, torn
+//     tails whose payload was never durable anywhere) is reported
+//     unrepairable — the honest answer when no intact second copy exists.
+//
+// Repair is all-or-nothing per chunk: the replacement content for the whole
+// chunk is assembled from verified sources first and written only when every
+// byte of it resolved.  Writing a partial repair would re-checksum the chunk
+// and silently bless whatever corruption remained — the masking hazard this
+// design exists to avoid.
+//
+// The scrubber works purely on the content plane (DataServer store/load, no
+// ServerSim charges, no fault-injection draws, no scheduler interaction), so
+// scrubbing never perturbs virtual-time schedules or seeded RNG streams —
+// every timing golden survives a scrub pass bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/drt.hpp"
+#include "fault/injector.hpp"
+#include "kv/kvstore.hpp"
+#include "pfs/file_system.hpp"
+
+namespace mha::core {
+
+struct ScrubOptions {
+  /// When false, detect and report only (a read-only audit pass).
+  bool repair = true;
+};
+
+/// One faulty chunk the sweep found.
+struct ScrubFinding {
+  std::string file;
+  std::size_t server = 0;
+  common::Offset chunk_offset = 0;  ///< physical offset on that server
+  common::ByteCount length = 0;
+  std::uint32_t expected_crc = 0;
+  std::uint32_t actual_crc = 0;
+  bool orphan = false;    ///< data with no checksum (misdirected write)
+  bool repaired = false;
+  std::string detail;     ///< repair source, or why unrepairable
+};
+
+struct ScrubReport {
+  std::size_t files_scanned = 0;
+  std::size_t stores_scanned = 0;  ///< (file, server) stores holding data
+  std::size_t chunks_faulty = 0;
+  std::size_t repaired = 0;
+  std::size_t unrepairable = 0;
+  common::ByteCount bytes_rewritten = 0;
+  std::vector<ScrubFinding> findings;
+
+  bool clean() const { return chunks_faulty == 0; }
+  void merge(const ScrubReport& other);
+};
+
+class Scrubber {
+ public:
+  explicit Scrubber(pfs::HybridPfs& pfs) : pfs_(&pfs) {}
+
+  /// Registers the deployed reordering table (borrowed).  Enables
+  /// repair-from-region for the original file and repair-from-origin for
+  /// clean region entries; without it the scrubber can only detect.
+  void attach_drt(const Drt* drt);
+
+  /// Counts detected/repaired/unrepairable chunks and scrub passes into the
+  /// shared fault ledger (borrowed; may be nullptr).
+  void set_metrics(fault::FaultMetrics* metrics) { metrics_ = metrics; }
+
+  /// Sweeps one file's stores on every server.
+  common::Result<ScrubReport> scrub_file(const std::string& name,
+                                         const ScrubOptions& options = {});
+
+  /// Sweeps every file the MDS knows, original file first so regions repair
+  /// against an already-healed origin.  Counts one scrub pass.
+  common::Result<ScrubReport> scrub_all(const ScrubOptions& options = {});
+
+  /// CRC-audits a KV log (a DRT/RST/journal backing store) front to back
+  /// without mutating it; damaged frames count as detected corruption and a
+  /// torn tail as a truncation event in the fault ledger.
+  common::Result<kv::LogVerifyReport> scrub_log(const kv::KvStore& store);
+
+ private:
+  /// Region-side view of one DRT entry (sorted by r_offset per region).
+  struct InverseRun {
+    common::Offset r_offset = 0;
+    common::ByteCount length = 0;
+    common::Offset o_offset = 0;
+    bool dirty = false;
+  };
+
+  common::Status scrub_into(const std::string& name, const ScrubOptions& options,
+                            ScrubReport& report);
+
+  /// Verified content-plane read of a logical range (no timing charged).
+  common::Status read_logical(const pfs::FileInfo& info, common::Offset offset,
+                              std::uint8_t* out, common::ByteCount size) const;
+
+  /// Resolves the authoritative second copy of [offset, offset+size) of
+  /// `info` into `out`; non-ok when any byte has no intact source.
+  common::Status fetch_from_source(const pfs::FileInfo& info, common::Offset offset,
+                                   std::uint8_t* out, common::ByteCount size) const;
+
+  pfs::HybridPfs* pfs_;
+  const Drt* drt_ = nullptr;
+  fault::FaultMetrics* metrics_ = nullptr;
+  /// Region file name -> runs sorted by r_offset (rebuilt by attach_drt).
+  std::unordered_map<std::string, std::vector<InverseRun>> inverse_;
+};
+
+}  // namespace mha::core

@@ -10,8 +10,16 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kTransient: return "transient";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kBitRot: return "bit-rot";
+    case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kMisdirectedWrite: return "misdirected-write";
   }
   return "unknown";
+}
+
+bool is_silent(FaultKind kind) {
+  return kind == FaultKind::kBitRot || kind == FaultKind::kTornWrite ||
+         kind == FaultKind::kMisdirectedWrite;
 }
 
 void FaultInjector::add(FaultWindow window) {
@@ -63,6 +71,19 @@ void FaultInjector::add_random(const RandomFaultConfig& config) {
       w.probability = config.transient_probability;
       add(w);
     }
+    auto add_silent = [&](FaultKind kind, double probability) {
+      if (probability <= 0.0) return;
+      FaultWindow w;
+      w.server = server;
+      w.kind = kind;
+      w.start = 0.0;
+      w.end = config.horizon;
+      w.probability = probability;
+      add(w);
+    };
+    add_silent(FaultKind::kBitRot, config.bitrot_probability);
+    add_silent(FaultKind::kTornWrite, config.torn_probability);
+    add_silent(FaultKind::kMisdirectedWrite, config.misdirect_probability);
   }
 }
 
@@ -100,6 +121,39 @@ double FaultInjector::service_factor(std::size_t server, common::Seconds start) 
   return factor;
 }
 
+sim::WriteFault FaultInjector::draw_write_fault(std::size_t server, common::Seconds t,
+                                                common::Offset offset,
+                                                common::ByteCount size) {
+  sim::WriteFault fault;
+  if (size == 0) return fault;
+  for (const FaultWindow& w : windows_) {
+    if (w.server != server || !is_silent(w.kind) || !w.contains(t)) continue;
+    if (rng_.next_double() >= w.probability) continue;
+    switch (w.kind) {
+      case FaultKind::kBitRot:
+        fault.kind = sim::WriteFault::Kind::kBitRot;
+        fault.bit_offset = offset + rng_.next_below(size);
+        fault.bit_mask = static_cast<std::uint8_t>(1u << rng_.next_below(8));
+        ++metrics_.bitrot_injected;
+        return fault;
+      case FaultKind::kTornWrite:
+        fault.kind = sim::WriteFault::Kind::kTornWrite;
+        // [0, size): at least the last byte is always lost.
+        fault.torn_prefix = rng_.next_below(size);
+        ++metrics_.torn_injected;
+        return fault;
+      case FaultKind::kMisdirectedWrite:
+        fault.kind = sim::WriteFault::Kind::kMisdirectedWrite;
+        fault.misdirect_to = offset + w.misdirect_delta;
+        ++metrics_.misdirected_injected;
+        return fault;
+      default:
+        break;
+    }
+  }
+  return fault;
+}
+
 bool FaultInjector::draw_transient(std::size_t server, common::Seconds t) {
   for (const FaultWindow& w : windows_) {
     if (w.server != server || w.kind != FaultKind::kTransient || !w.contains(t)) continue;
@@ -132,6 +186,22 @@ std::string FaultMetrics::table() const {
                 static_cast<unsigned long long>(redo_logged),
                 static_cast<unsigned long long>(redo_replayed),
                 static_cast<unsigned long long>(redo_bytes));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "silent:   bit-rot=%llu torn=%llu misdirected=%llu "
+                "torn-tails=%llu\n",
+                static_cast<unsigned long long>(bitrot_injected),
+                static_cast<unsigned long long>(torn_injected),
+                static_cast<unsigned long long>(misdirected_injected),
+                static_cast<unsigned long long>(torn_tails_truncated));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "scrub:    passes=%llu detected=%llu repaired=%llu "
+                "unrepairable=%llu\n",
+                static_cast<unsigned long long>(scrub_passes),
+                static_cast<unsigned long long>(corruption_detected),
+                static_cast<unsigned long long>(corruption_repaired),
+                static_cast<unsigned long long>(corruption_unrepairable));
   out += line;
   return out;
 }

@@ -33,9 +33,23 @@
 
 namespace mha::fault {
 
-enum class FaultKind : std::uint8_t { kTransient = 0, kCrash = 1, kBrownout = 2 };
+enum class FaultKind : std::uint8_t {
+  kTransient = 0,
+  kCrash = 1,
+  kBrownout = 2,
+  // Silent-corruption kinds: the write "succeeds" (normal timing, no error
+  // surfaced) but the content plane is damaged.  Caught only by the
+  // checksummed extent store / scrubber, never by retry machinery.
+  kBitRot = 3,            ///< a stored byte's bits flip after the write
+  kTornWrite = 4,         ///< only a prefix of the payload persists
+  kMisdirectedWrite = 5,  ///< the payload lands at the wrong physical offset
+};
 
 const char* to_string(FaultKind kind);
+
+/// True for the kinds that corrupt data silently instead of affecting
+/// timing/availability.
+bool is_silent(FaultKind kind);
 
 /// One scripted fault on one server over a half-open virtual-time window.
 struct FaultWindow {
@@ -43,10 +57,12 @@ struct FaultWindow {
   FaultKind kind = FaultKind::kCrash;
   common::Seconds start = 0.0;
   common::Seconds end = 0.0;
-  /// kTransient: per-sub-request failure probability in [0, 1].
+  /// kTransient and the silent kinds: per-sub-request probability in [0, 1].
   double probability = 1.0;
   /// kBrownout: service-time multiplier (>= 1).
   double factor = 1.0;
+  /// kMisdirectedWrite: the payload lands this many bytes past its target.
+  common::Offset misdirect_delta = 64 * 1024;
 
   bool contains(common::Seconds t) const { return t >= start && t < end; }
 };
@@ -63,6 +79,16 @@ struct FaultMetrics {
   common::ByteCount redo_bytes = 0;     ///< bytes replayed from the redo log
   std::uint64_t budget_exhausted = 0;   ///< requests that surfaced a Status to the caller
   std::uint64_t recovery_events = 0;    ///< offline -> online transitions observed
+  // Silent-corruption ledger (tentpole 5): what was injected vs. what the
+  // integrity machinery caught and healed.
+  std::uint64_t bitrot_injected = 0;        ///< kBitRot faults applied to stores
+  std::uint64_t torn_injected = 0;          ///< kTornWrite faults applied
+  std::uint64_t misdirected_injected = 0;   ///< kMisdirectedWrite faults applied
+  std::uint64_t corruption_detected = 0;    ///< faulty chunks found (reads + scrubs)
+  std::uint64_t corruption_repaired = 0;    ///< chunks healed from a second copy
+  std::uint64_t corruption_unrepairable = 0;  ///< faulty chunks with no intact source
+  std::uint64_t scrub_passes = 0;           ///< full scrub sweeps completed
+  std::uint64_t torn_tails_truncated = 0;   ///< torn KV/journal records dropped at load
 
   /// stats_table()-style report of every fault/retry/recovery decision.
   std::string table() const;
@@ -80,6 +106,11 @@ struct RandomFaultConfig {
   /// When > 0, one transient window per server spans the whole horizon with
   /// this per-sub-request failure probability.
   double transient_probability = 0.0;
+  /// When > 0, one whole-horizon silent window per server per kind with the
+  /// given per-sub-write probability (the seeded corruption sweep's knobs).
+  double bitrot_probability = 0.0;
+  double torn_probability = 0.0;
+  double misdirect_probability = 0.0;
 };
 
 class FaultInjector : public sim::FaultHook {
@@ -106,6 +137,15 @@ class FaultInjector : public sim::FaultHook {
   /// when a transient window covers (server, t), keeping schedules
   /// reproducible.
   bool draw_transient(std::size_t server, common::Seconds t);
+
+  /// Draws a silent-corruption decision for a write sub-request of `size`
+  /// bytes landing at physical `offset` on `server` at `t`.  The first
+  /// silent window (in (server, start) order) covering the instant that
+  /// fires wins; kNone when no silent window covers it.  Consumes randomness
+  /// only under a covering silent window, so attaching an injector without
+  /// silent windows leaves every existing schedule bit-identical.
+  sim::WriteFault draw_write_fault(std::size_t server, common::Seconds t,
+                                   common::Offset offset, common::ByteCount size);
 
   // --- sim::FaultHook -----------------------------------------------------
   common::Seconds earliest_start(std::size_t server,

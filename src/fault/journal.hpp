@@ -113,6 +113,15 @@ class MigrationJournal {
   const std::vector<JournalRegion>& regions() const { return regions_; }
   const std::vector<JournalEntry>& entries() const { return entries_; }
 
+  /// What open()'s replay found on disk — lets recovery distinguish "journal
+  /// cleanly says phase N" from "phase N, but a torn record was truncated
+  /// away" (the crash hit mid-append; the phase on disk is the last durable
+  /// one, which is exactly the fold-back the format is designed for).
+  const kv::LoadReport& load_report() const { return store_.last_load(); }
+
+  /// Read-only CRC audit of the backing log (the scrubber's KV sweep).
+  common::Result<kv::LogVerifyReport> verify_log() const { return store_.verify_log(); }
+
  private:
   common::Status begin_with_phase(const std::string& o_file,
                                   std::vector<JournalRegion> regions,

@@ -25,6 +25,7 @@ common::Result<OpResult> MpiFile::do_op(int rank, common::OpType op, common::Off
   if (interceptor_ != nullptr) {
     issue += interceptor_->lookup_overhead();
     interceptor_->translate(offset, size, segments_);
+    if (op == common::OpType::kWrite) interceptor_->note_write(offset, size);
   } else {
     segments_.push_back(RedirectSegment{file_, offset, size, offset});
   }

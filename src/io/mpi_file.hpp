@@ -59,6 +59,24 @@ class IoInterceptor {
   /// Virtual seconds of lookup cost charged per translated request (the
   /// paper's "redirection phase" overhead, Fig. 14).
   virtual common::Seconds lookup_overhead() const { return 0.0; }
+
+  /// Notifies the interceptor that [offset, offset+size) of the original
+  /// file was overwritten through this handle.  The MHA redirector uses this
+  /// to mark DRT entries dirty: once a region copy diverges from the
+  /// original, the scrubber must not "repair" the region from the stale
+  /// origin bytes.  Default: no-op (identity mapping has no second copy).
+  virtual void note_write(common::Offset offset, common::ByteCount size) {
+    (void)offset;
+    (void)size;
+  }
+
+  /// Human-readable placement of one logical offset ("region <name> @<off>"
+  /// or "passthrough @<off>"), for verification-failure diagnostics.  Cold
+  /// path only; default: empty (no mapping attached).
+  virtual std::string locate(common::Offset offset) const {
+    (void)offset;
+    return std::string();
+  }
 };
 
 /// Per-op result at the middleware layer.

@@ -80,6 +80,7 @@ common::Status KvStore::open(const std::string& path, KvOptions options) {
 
 common::Status KvStore::load() {
   std::rewind(file_);
+  last_load_ = LoadReport{};
   long valid_end = 0;
   for (;;) {
     std::uint32_t crc = 0;
@@ -105,6 +106,7 @@ common::Status KvStore::load() {
     framed += value;
     if (common::crc32(framed) != crc) {
       MHA_WARN << "kv: corrupt record in " << path_ << "; truncating tail";
+      last_load_.crc_mismatch = true;
       break;
     }
     if (type == kPut) {
@@ -116,12 +118,20 @@ common::Status KvStore::load() {
       dead_records_ += 1 + map_.erase(key);
     } else {
       MHA_WARN << "kv: unknown record type in " << path_ << "; truncating tail";
+      last_load_.crc_mismatch = true;
       break;
     }
+    ++last_load_.records_applied;
     valid_end = std::ftell(file_);
   }
-  // Drop any torn tail so future appends start from a clean prefix.
-  if (std::ftell(file_) != valid_end) {
+  // Drop any torn tail so future appends start from a clean prefix.  The
+  // forensics land in last_load() so the journal/recovery layers can report
+  // "phase N reached, but its successor's record was torn away".
+  std::fseek(file_, 0, SEEK_END);
+  const long file_end = std::ftell(file_);
+  if (file_end != valid_end) {
+    last_load_.tail_truncated = true;
+    last_load_.torn_bytes = static_cast<common::ByteCount>(file_end - valid_end);
     if (::truncate(path_.c_str(), valid_end) != 0) {
       return common::Status::io_error("cannot truncate torn tail of " + path_);
     }
@@ -132,6 +142,50 @@ common::Status KvStore::load() {
   }
   std::fseek(file_, 0, SEEK_END);
   return common::Status::ok();
+}
+
+common::Result<LogVerifyReport> KvStore::verify_log() const {
+  if (!is_open()) return common::Status::failed_precondition("store not open");
+  // Appended records may still sit in the stdio buffer; make the on-disk
+  // image current before auditing it.
+  std::fflush(file_);
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return common::Status::io_error("cannot open kv log: " + path_);
+  LogVerifyReport report;
+  long valid_end = 0;
+  for (;;) {
+    std::uint32_t crc = 0;
+    std::uint8_t type = 0;
+    std::uint32_t key_len = 0;
+    std::uint32_t value_len = 0;
+    if (!read_exact(f, &crc, 4)) break;
+    if (!read_exact(f, &type, 1) || !read_exact(f, &key_len, 4) ||
+        !read_exact(f, &value_len, 4)) {
+      break;
+    }
+    std::string key(key_len, '\0');
+    std::string value(value_len, '\0');
+    if ((key_len != 0 && !read_exact(f, key.data(), key_len)) ||
+        (value_len != 0 && !read_exact(f, value.data(), value_len))) {
+      break;
+    }
+    std::string framed;
+    framed.push_back(static_cast<char>(type));
+    put_u32(framed, key_len);
+    put_u32(framed, value_len);
+    framed += key;
+    framed += value;
+    if (common::crc32(framed) != crc || (type != kPut && type != kErase)) {
+      ++report.crc_failures;
+    } else {
+      ++report.records;
+    }
+    valid_end = std::ftell(f);
+  }
+  std::fseek(f, 0, SEEK_END);
+  report.trailing_bytes = static_cast<common::ByteCount>(std::ftell(f) - valid_end);
+  std::fclose(f);
+  return report;
 }
 
 common::Status KvStore::close() {

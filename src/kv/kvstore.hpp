@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "common/result.hpp"
+#include "common/types.hpp"
 
 namespace mha::kv {
 
@@ -31,6 +32,28 @@ struct KvOptions {
   SyncMode sync = SyncMode::kNone;
   /// Compact automatically when the log holds this many dead records.
   std::size_t auto_compact_dead_records = 1 << 16;
+};
+
+/// What the last open()/load() replay found — the crash-forensics record
+/// that lets callers (the migration journal, recovery) distinguish "clean
+/// log" from "torn record truncated and folded back".
+struct LoadReport {
+  std::size_t records_applied = 0;
+  /// Bytes dropped from the log tail (0 on a clean load).
+  common::ByteCount torn_bytes = 0;
+  /// True when the tail was cut because a record was torn mid-frame.
+  bool tail_truncated = false;
+  /// True when the cut was specifically a CRC mismatch (payload complete in
+  /// length but damaged) rather than a short header/payload.
+  bool crc_mismatch = false;
+};
+
+/// verify_log() summary: a read-only integrity audit of the on-disk log.
+struct LogVerifyReport {
+  std::size_t records = 0;        ///< well-framed records
+  std::size_t crc_failures = 0;   ///< frames whose CRC does not match
+  common::ByteCount trailing_bytes = 0;  ///< unparseable bytes at the tail
+  bool clean() const { return crc_failures == 0 && trailing_bytes == 0; }
 };
 
 /// A durable unordered map<string, string>.
@@ -77,6 +100,14 @@ class KvStore {
   /// Rewrites the log with only live entries.
   common::Status compact();
 
+  /// What the most recent open() replay found (torn-tail forensics).
+  const LoadReport& last_load() const { return last_load_; }
+
+  /// Walks the on-disk log front to back, CRC-checking every frame, without
+  /// touching the in-memory map (the scrubber's KV sweep).  Unlike load()
+  /// this does not truncate anything.
+  common::Result<LogVerifyReport> verify_log() const;
+
   /// Flushes and fsyncs the log once (bulk-load durability point: write many
   /// records with SyncMode::kNone, then sync()).
   common::Status sync();
@@ -91,6 +122,7 @@ class KvStore {
   std::FILE* file_ = nullptr;
   std::unordered_map<std::string, std::string> map_;
   std::size_t dead_records_ = 0;
+  LoadReport last_load_;
 };
 
 }  // namespace mha::kv

@@ -31,12 +31,54 @@ void DataServer::load(common::FileId file, common::Offset physical_offset, std::
   }
 }
 
+void DataServer::store_faulted(common::FileId file, common::Offset physical_offset,
+                               const std::uint8_t* data, common::ByteCount size,
+                               const sim::WriteFault& fault) {
+  if (!store_data_) return;
+  ExtentStore& s = stores_[file];
+  switch (fault.kind) {
+    case sim::WriteFault::Kind::kNone:
+      s.write(physical_offset, data, size);
+      break;
+    case sim::WriteFault::Kind::kBitRot:
+      // The write completes (checksums consistent) and the medium rots a
+      // byte afterwards, leaving the checksum stale.
+      s.write(physical_offset, data, size);
+      s.corrupt_flip(fault.bit_offset, fault.bit_mask);
+      break;
+    case sim::WriteFault::Kind::kTornWrite:
+      s.write_torn(physical_offset, data, size, fault.torn_prefix);
+      break;
+    case sim::WriteFault::Kind::kMisdirectedWrite:
+      // The payload lands at the wrong offset with no checksum update; the
+      // intended range keeps its old (now stale but internally consistent)
+      // bytes — only end-to-end verification can see that.
+      s.write_unchecked(fault.misdirect_to, data, size);
+      break;
+  }
+}
+
+common::Status DataServer::load_verified(common::FileId file, common::Offset physical_offset,
+                                         std::uint8_t* out, common::ByteCount size) const {
+  auto it = stores_.find(file);
+  if (it == stores_.end()) {
+    if (size > 0) std::fill(out, out + size, 0);
+    return common::Status::ok();
+  }
+  return it->second.verified_read(physical_offset, out, size);
+}
+
 common::ByteCount DataServer::stored_bytes(common::FileId file) const {
   auto it = stores_.find(file);
   return it == stores_.end() ? 0 : it->second.stored_bytes();
 }
 
 const ExtentStore* DataServer::store(common::FileId file) const {
+  auto it = stores_.find(file);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+ExtentStore* DataServer::mutable_store(common::FileId file) {
   auto it = stores_.find(file);
   return it == stores_.end() ? nullptr : &it->second;
 }

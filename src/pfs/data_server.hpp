@@ -9,8 +9,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/types.hpp"
 #include "pfs/extent_store.hpp"
+#include "sim/fault_hook.hpp"
 #include "sim/server_sim.hpp"
 
 namespace mha::pfs {
@@ -50,6 +52,18 @@ class DataServer {
   void load(common::FileId file, common::Offset physical_offset, std::uint8_t* out,
             common::ByteCount size) const;
 
+  /// store() with a silent-corruption decision applied to the content plane
+  /// (bit-rot / torn / misdirected; kNone degrades to a plain store).
+  void store_faulted(common::FileId file, common::Offset physical_offset,
+                     const std::uint8_t* data, common::ByteCount size,
+                     const sim::WriteFault& fault);
+
+  /// load() preceded by per-chunk checksum verification; kCorruption names
+  /// the first inconsistent chunk.  Absent files read as zero (trivially
+  /// consistent), matching load().
+  common::Status load_verified(common::FileId file, common::Offset physical_offset,
+                               std::uint8_t* out, common::ByteCount size) const;
+
   /// Drops all extents of `file` (file removal).
   void remove_file(common::FileId file) { stores_.erase(file); }
 
@@ -57,6 +71,10 @@ class DataServer {
   common::ByteCount stored_bytes(common::FileId file) const;
 
   const ExtentStore* store(common::FileId file) const;
+
+  /// Mutable store access for the scrubber / corruption sweeps (nullptr when
+  /// the file holds nothing here or the server is timing-only).
+  ExtentStore* mutable_store(common::FileId file);
 
  private:
   sim::ServerSim sim_;

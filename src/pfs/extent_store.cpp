@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
+
+#include "common/crc32.hpp"
 
 namespace mha::pfs {
 
@@ -12,6 +15,13 @@ void ExtentStore::write(common::Offset offset, const std::vector<std::uint8_t>& 
 
 void ExtentStore::write(common::Offset offset, const std::uint8_t* data,
                         common::ByteCount size) {
+  if (size == 0) return;
+  raw_write(offset, data, size);
+  rechecksum(offset, size);
+}
+
+void ExtentStore::raw_write(common::Offset offset, const std::uint8_t* data,
+                            common::ByteCount size) {
   if (size == 0) return;
   const common::Offset end = offset + size;
 
@@ -152,6 +162,161 @@ common::ByteCount ExtentStore::stored_bytes() const {
   common::ByteCount total = 0;
   for (const auto& [off, bytes] : extents_) total += bytes.size();
   return total;
+}
+
+common::Result<common::Offset> ExtentStore::nth_stored_byte(common::ByteCount n) const {
+  for (const auto& [off, bytes] : extents_) {
+    if (n < bytes.size()) return off + n;
+    n -= bytes.size();
+  }
+  return common::Status::out_of_range("fewer stored bytes than requested index");
+}
+
+// --- integrity layer --------------------------------------------------------
+
+void ExtentStore::ensure_chunks(std::size_t count) {
+  if (chunk_crcs_.size() < count) {
+    chunk_crcs_.resize(count, 0);
+    chunk_valid_.resize(count, 0);
+  }
+  if (scratch_.size() < kChecksumChunk) scratch_.resize(kChecksumChunk);
+}
+
+std::uint32_t ExtentStore::chunk_crc(std::size_t c) const {
+  if (scratch_.size() < kChecksumChunk) scratch_.resize(kChecksumChunk);
+  read(static_cast<common::Offset>(c) * kChecksumChunk, scratch_.data(), kChecksumChunk);
+  return common::crc32(scratch_.data(), kChecksumChunk);
+}
+
+void ExtentStore::rechecksum(common::Offset offset, common::ByteCount size) {
+  if (size == 0) return;
+  const std::size_t first = offset / kChecksumChunk;
+  const std::size_t last = (offset + size - 1) / kChecksumChunk;
+  ensure_chunks(last + 1);
+  for (std::size_t c = first; c <= last; ++c) {
+    chunk_crcs_[c] = chunk_crc(c);
+    chunk_valid_[c] = 1;
+  }
+}
+
+bool ExtentStore::check_chunk(std::size_t c, ChunkFault& fault) const {
+  const bool valid = c < chunk_valid_.size() && chunk_valid_[c] != 0;
+  const common::Offset start = static_cast<common::Offset>(c) * kChecksumChunk;
+  if (!valid) {
+    // No checksum on record: consistent only if the chunk holds no data.
+    auto it = extents_.upper_bound(start);
+    bool has_data = false;
+    if (it != extents_.begin()) {
+      auto prev = std::prev(it);
+      has_data = prev->first + prev->second.size() > start;
+    }
+    if (!has_data && it != extents_.end()) has_data = it->first < start + kChecksumChunk;
+    if (!has_data) return true;
+    fault = ChunkFault{start, kChecksumChunk, 0, chunk_crc(c), /*orphan=*/true};
+    return false;
+  }
+  const std::uint32_t actual = chunk_crc(c);
+  if (actual == chunk_crcs_[c]) return true;
+  fault = ChunkFault{start, kChecksumChunk, chunk_crcs_[c], actual, /*orphan=*/false};
+  return false;
+}
+
+namespace {
+
+common::Status fault_status(const ExtentStore::ChunkFault& fault) {
+  char msg[128];
+  if (fault.orphan) {
+    std::snprintf(msg, sizeof(msg),
+                  "unchecksummed data in chunk @%llu (misdirected write?), crc %08x",
+                  static_cast<unsigned long long>(fault.offset), fault.actual_crc);
+  } else {
+    std::snprintf(msg, sizeof(msg),
+                  "chunk @%llu: stored crc %08x, computed %08x",
+                  static_cast<unsigned long long>(fault.offset), fault.expected_crc,
+                  fault.actual_crc);
+  }
+  return common::Status::corruption(msg);
+}
+
+}  // namespace
+
+common::Status ExtentStore::verify_range(common::Offset offset,
+                                         common::ByteCount size) const {
+  if (size == 0) return common::Status::ok();
+  const std::size_t first = offset / kChecksumChunk;
+  const std::size_t last = (offset + size - 1) / kChecksumChunk;
+  for (std::size_t c = first; c <= last; ++c) {
+    ChunkFault fault;
+    if (!check_chunk(c, fault)) return fault_status(fault);
+  }
+  return common::Status::ok();
+}
+
+common::Status ExtentStore::verified_read(common::Offset offset, std::uint8_t* out,
+                                          common::ByteCount size) const {
+  MHA_RETURN_IF_ERROR(verify_range(offset, size));
+  read(offset, out, size);
+  return common::Status::ok();
+}
+
+std::size_t ExtentStore::verify_chunks(
+    const std::function<void(const ChunkFault&)>& sink) const {
+  // The scan domain is every chunk that could be inconsistent: those holding
+  // extent data and those carrying a checksum (a torn write can checksum
+  // past the data it actually persisted).
+  const common::Offset end = end_offset();
+  std::size_t chunks = end == 0 ? 0 : (end + kChecksumChunk - 1) / kChecksumChunk;
+  chunks = std::max(chunks, chunk_valid_.size());
+  std::size_t faulty = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    ChunkFault fault;
+    if (!check_chunk(c, fault)) {
+      ++faulty;
+      if (sink) sink(fault);
+    }
+  }
+  return faulty;
+}
+
+bool ExtentStore::corrupt_flip(common::Offset offset, std::uint8_t mask) {
+  auto it = extents_.upper_bound(offset);
+  if (it == extents_.begin()) return false;
+  --it;
+  if (offset < it->first || offset >= it->first + it->second.size()) return false;
+  it->second[offset - it->first] ^= mask;
+  return true;
+}
+
+void ExtentStore::write_torn(common::Offset offset, const std::uint8_t* data,
+                             common::ByteCount size, common::ByteCount prefix) {
+  if (size == 0) return;
+  prefix = std::min(prefix, size);
+  // Compute the as-if-complete checksums against the pre-write content
+  // overlaid with the *full* payload — exactly what the server would have
+  // recorded had the write finished — then persist only the prefix.
+  const std::size_t first = offset / kChecksumChunk;
+  const std::size_t last = (offset + size - 1) / kChecksumChunk;
+  std::vector<std::uint32_t> as_if(last - first + 1, 0);
+  if (scratch_.size() < kChecksumChunk) scratch_.resize(kChecksumChunk);
+  for (std::size_t c = first; c <= last; ++c) {
+    const common::Offset chunk_start = static_cast<common::Offset>(c) * kChecksumChunk;
+    read(chunk_start, scratch_.data(), kChecksumChunk);
+    const common::Offset lo = std::max(chunk_start, offset);
+    const common::Offset hi = std::min(chunk_start + kChecksumChunk, offset + size);
+    std::memcpy(scratch_.data() + (lo - chunk_start), data + (lo - offset), hi - lo);
+    as_if[c - first] = common::crc32(scratch_.data(), kChecksumChunk);
+  }
+  if (prefix > 0) raw_write(offset, data, prefix);
+  ensure_chunks(last + 1);
+  for (std::size_t c = first; c <= last; ++c) {
+    chunk_crcs_[c] = as_if[c - first];
+    chunk_valid_[c] = 1;
+  }
+}
+
+void ExtentStore::write_unchecked(common::Offset offset, const std::uint8_t* data,
+                                  common::ByteCount size) {
+  raw_write(offset, data, size);
 }
 
 }  // namespace mha::pfs

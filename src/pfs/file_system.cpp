@@ -209,6 +209,22 @@ common::Result<IoResult> HybridPfs::write(common::FileId file, common::Offset of
   std::fill(per_server_.begin(), per_server_.end(), 0);
   layout.map_extent(offset, size, extents_);
   for (const SubExtent& sub : extents_) {
+    // Silent-fault injection point: with a fault context attached, each
+    // stored sub-extent may be bit-rotted, torn or misdirected on its way to
+    // the content plane.  The draw consumes randomness only under a covering
+    // silent window, and the sim charges normal time either way — silent
+    // faults are invisible to schedulers and to every timing golden.
+    if (fault_ != nullptr) {
+      const sim::WriteFault wf = fault_->injector().draw_write_fault(
+          sub.server, arrival, sub.physical_offset, sub.length);
+      if (wf.kind != sim::WriteFault::Kind::kNone) {
+        servers_[sub.server]->store_faulted(file, sub.physical_offset,
+                                            data + (sub.logical_offset - offset),
+                                            sub.length, wf);
+        per_server_[sub.server] += sub.length;
+        continue;
+      }
+    }
     servers_[sub.server]->store(file, sub.physical_offset,
                                 data + (sub.logical_offset - offset), sub.length);
     per_server_[sub.server] += sub.length;
@@ -228,8 +244,13 @@ common::Result<IoResult> HybridPfs::read(common::FileId file, common::Offset off
   std::fill(per_server_.begin(), per_server_.end(), 0);
   layout.map_extent(offset, size, extents_);
   for (const SubExtent& sub : extents_) {
-    servers_[sub.server]->load(file, sub.physical_offset, out + (sub.logical_offset - offset),
-                               sub.length);
+    common::Status verified = servers_[sub.server]->load_verified(
+        file, sub.physical_offset, out + (sub.logical_offset - offset), sub.length);
+    if (!verified.is_ok()) {
+      if (fault_ != nullptr) ++fault_->metrics().corruption_detected;
+      return common::Status::corruption("server " + std::to_string(sub.server) + " file " +
+                                        std::to_string(file) + ": " + verified.message());
+    }
     per_server_[sub.server] += sub.length;
   }
   MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kRead, per_server_, arrival, result));

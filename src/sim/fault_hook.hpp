@@ -12,10 +12,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/types.hpp"
 
 namespace mha::sim {
+
+/// A silent-corruption decision for one write sub-request — the data-plane
+/// counterpart of the timing hook below.  The sim never sees these: silent
+/// faults by definition complete "successfully" and charge normal time; the
+/// PFS client layer draws one per stored sub-extent (from the attached
+/// fault::FaultInjector) and applies it to the content plane, where the
+/// checksummed extent store can later catch it.
+struct WriteFault {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kBitRot,            ///< one byte's bits flip after a complete write
+    kTornWrite,         ///< only a prefix of the payload persists
+    kMisdirectedWrite,  ///< the payload lands at the wrong physical offset
+  };
+
+  Kind kind = Kind::kNone;
+  common::ByteCount torn_prefix = 0;  ///< kTornWrite: bytes actually persisted
+  common::Offset bit_offset = 0;      ///< kBitRot: absolute physical offset
+  std::uint8_t bit_mask = 0x01;       ///< kBitRot: bits to flip
+  common::Offset misdirect_to = 0;    ///< kMisdirectedWrite: landing offset
+};
 
 class FaultHook {
  public:

@@ -1,10 +1,12 @@
 #include "workloads/replayer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <queue>
 
+#include "common/crc32.hpp"
 #include "io/mpi_file.hpp"
 #include "io/tracer.hpp"
 #include "trace/analysis.hpp"
@@ -22,7 +24,8 @@ int world_size_of(const trace::Trace& trace) {
 /// Shadow flat file for byte-level verification.
 class Shadow {
  public:
-  Shadow(bool enabled, common::ByteCount extent) : enabled_(enabled) {
+  Shadow(bool enabled, common::ByteCount extent, const io::IoInterceptor* interceptor)
+      : enabled_(enabled), interceptor_(interceptor) {
     if (!enabled_) return;
     std::vector<std::uint8_t> seed(extent);
     layouts::populate_fill(0, seed.data(), extent);
@@ -39,17 +42,26 @@ class Shadow {
     if (expected_.size() < size) expected_.resize(size);
     store_.read(offset, expected_.data(), size);
     if (std::memcmp(actual, expected_.data(), size) == 0) return common::Status::ok();
-    // Bulk compare failed: locate the first mismatching byte for the report.
+    // Bulk compare failed.  The report names everything a debugger wants:
+    // the whole-request CRCs (expected vs. actual), the first divergent
+    // origin offset, and — when the run was redirected — which region file
+    // actually served that byte (via the interceptor's locate()).
     const std::uint8_t* bad = std::mismatch(actual, actual + size, expected_.data()).first;
-    const common::ByteCount i = static_cast<common::ByteCount>(bad - actual);
+    const common::Offset at = offset + static_cast<common::ByteCount>(bad - actual);
+    char crcs[64];
+    std::snprintf(crcs, sizeof(crcs), "expected crc %08x, actual crc %08x",
+                  common::crc32(expected_.data(), size), common::crc32(actual, size));
+    const std::string where =
+        interceptor_ != nullptr ? interceptor_->locate(at) : std::string();
     return common::Status::corruption(
-        "replay verification failed at offset " + std::to_string(offset + i) +
-        ": expected " + std::to_string(expected_[i]) + ", got " +
-        std::to_string(actual[i]));
+        "replay verification failed over [" + std::to_string(offset) + ", " +
+        std::to_string(offset + size) + "): " + crcs + "; first mismatch at origin offset " +
+        std::to_string(at) + (where.empty() ? "" : " (served from " + where + ")"));
   }
 
  private:
   bool enabled_;
+  const io::IoInterceptor* interceptor_;
   pfs::ExtentStore store_;
   /// Reused expected-bytes scratch (zero steady-state allocations).
   std::vector<std::uint8_t> expected_;
@@ -98,7 +110,8 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
   io::Tracer tracer(deployment.file_name, options.tracer_overhead);
   if (options.trace_run) file->set_tracer(&tracer);
 
-  Shadow shadow(options.verify_data, trace::extent_end(trace.records));
+  Shadow shadow(options.verify_data, trace::extent_end(trace.records),
+                deployment.interceptor.get());
   const bool fill_payload =
       options.verify_data || (pfs.num_servers() > 0 && pfs.data_server(0).stores_data());
 

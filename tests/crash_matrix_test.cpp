@@ -1,0 +1,407 @@
+// Exhaustive crash-point recovery matrix.
+//
+// Every journal phase x every injected crash site in the Placer and the
+// fold-back path, each with and without a torn final journal record, plus a
+// stranded KV-compaction temp file and the pipeline-driven deploy path.
+// After every crash the recovery contract is the same:
+//
+//   * the file system ends in exactly one of two consistent states — fully
+//     migrated (a DRT to serve from; every region byte matches its origin
+//     range) or fully original (regions gone, original file pristine),
+//   * recovery is idempotent: a second recover_migration is a no-op and the
+//     byte-level state fingerprint is unchanged,
+//   * a torn journal tail is detected (RecoveryReport::journal_torn) and
+//     recovery acts on the last *durable* phase.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "core/recovery.hpp"
+#include "core/redirector.hpp"
+#include "fault/journal.hpp"
+#include "io/mpi_file.hpp"
+#include "layouts/scheme.hpp"
+
+namespace mha {
+namespace {
+
+using common::OpType;
+using namespace common::literals;
+
+std::string temp_path(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return testing::TempDir() + "crash_matrix_" + tag + "_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter.fetch_add(1)) + ".db";
+}
+
+sim::DeviceProfile flat_device(const char* name, double startup, double per_byte) {
+  sim::DeviceProfile d;
+  d.name = name;
+  d.startup_read = startup;
+  d.startup_write = 2 * startup;
+  d.per_byte_read = per_byte;
+  d.per_byte_write = 2 * per_byte;
+  d.queued_startup_factor = 1.0;
+  return d;
+}
+
+sim::ClusterConfig tiny_cluster(std::size_t hservers = 2, std::size_t sservers = 1) {
+  sim::ClusterConfig config;
+  config.num_hservers = hservers;
+  config.num_sservers = sservers;
+  config.hdd = flat_device("hdd", 1.0, 0.001);
+  config.ssd = flat_device("ssd", 0.1, 0.0001);
+  config.network = sim::null_network();
+  return config;
+}
+
+/// Byte-level fingerprint of the whole PFS: every file's logical content, in
+/// name order.  Two identical fingerprints mean bitwise-identical state.
+std::uint32_t state_fingerprint(pfs::HybridPfs& pfs) {
+  std::uint32_t crc = 0;
+  std::vector<std::string> names = pfs.mds().list_files();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    crc = common::crc32(name.data(), name.size(), crc);
+    auto id = pfs.open(name);
+    if (!id.is_ok()) continue;
+    const common::ByteCount size = pfs.mds().info(*id).size;
+    if (size == 0) continue;
+    auto bytes = pfs.read_bytes(*id, 0, size, 0.0);
+    if (bytes.is_ok()) crc = common::crc32(bytes->data(), bytes->size(), crc);
+  }
+  return crc;
+}
+
+/// Cuts `n` bytes off the journal file: a crash mid-append leaves exactly
+/// this — a well-formed prefix ending in a partial record (records are at
+/// least 13 bytes, so 4 always tears the last one without erasing it).
+void tear_tail(const std::string& path, std::uintmax_t n = 4) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec) << path;
+  ASSERT_GT(size, n);
+  std::filesystem::resize_file(path, size - n, ec);
+  ASSERT_FALSE(ec) << path;
+}
+
+std::vector<std::uint8_t> pattern(common::Offset offset, common::ByteCount size) {
+  std::vector<std::uint8_t> out(size);
+  for (common::ByteCount i = 0; i < size; ++i) out[i] = layouts::populate_byte(offset + i);
+  return out;
+}
+
+/// The post-recovery invariant: the PFS is in exactly one of the two
+/// consistent states, whichever way recovery resolved the crash.
+void expect_consistent(pfs::HybridPfs& pfs, const std::string& name,
+                       common::ByteCount extent, const core::RecoveryReport& report) {
+  if (report.has_drt) {
+    // Fully migrated: the DRT covers the file (logical reads through a
+    // rebuilt redirector reproduce every byte) and every region range holds
+    // exactly its origin range's bytes.
+    auto redirector = core::Redirector::create(pfs, report.drt);
+    ASSERT_TRUE(redirector.is_ok()) << redirector.status().to_string();
+    io::MpiSim mpi(1);
+    auto file = io::MpiFile::open(pfs, mpi, name);
+    ASSERT_TRUE(file.is_ok());
+    file->set_interceptor(&*redirector);
+    std::vector<std::uint8_t> buffer(extent);
+    ASSERT_TRUE(file->read_at(0, 0, buffer.data(), buffer.size()).is_ok());
+    EXPECT_EQ(buffer, pattern(0, extent));
+    for (const core::DrtEntry& entry : report.drt.entries()) {
+      auto region = pfs.open(entry.r_file);
+      ASSERT_TRUE(region.is_ok()) << entry.r_file;
+      EXPECT_EQ(*pfs.read_bytes(*region, entry.r_offset, entry.length, 0.0),
+                pattern(entry.o_offset, entry.length))
+          << entry.r_file << " @" << entry.r_offset;
+    }
+  } else {
+    // Fully original: no region file survives and the original is pristine.
+    for (const std::string& file : pfs.mds().list_files()) {
+      EXPECT_EQ(file.find(".mha."), std::string::npos) << file;
+    }
+    auto id = pfs.open(name);
+    ASSERT_TRUE(id.is_ok());
+    EXPECT_EQ(*pfs.read_bytes(*id, 0, extent, 0.0), pattern(0, extent));
+  }
+}
+
+// ------------------------------------------------ placement crash sites ---
+
+struct Combo {
+  const char* site;
+  bool torn;
+};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  std::string name = info.param.site;
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name + (info.param.torn ? "_torn" : "_clean");
+}
+
+class CrashMatrix : public ::testing::TestWithParam<Combo> {
+ protected:
+  void SetUp() override {
+    journal_path_ = temp_path("placer");
+    pfs_ = std::make_unique<pfs::HybridPfs>(tiny_cluster(2, 1));
+    original_ = *pfs_->create_file("orig");
+    ASSERT_TRUE(layouts::populate_file(*pfs_, original_, 512_KiB).is_ok());
+
+    plan_ = core::ReorganizePlan{};
+    plan_.drt = core::Drt("orig");
+    core::Region region;
+    region.name = "orig.mha.r0";
+    region.length = 192_KiB;
+    plan_.regions.push_back(region);
+    // Three entries so the matrix has a per-entry crash site between each.
+    ASSERT_TRUE(plan_.drt.insert(core::DrtEntry{0, 64_KiB, "orig.mha.r0", 128_KiB}).is_ok());
+    ASSERT_TRUE(plan_.drt.insert(core::DrtEntry{256_KiB, 64_KiB, "orig.mha.r0", 0}).is_ok());
+    ASSERT_TRUE(
+        plan_.drt.insert(core::DrtEntry{448_KiB, 64_KiB, "orig.mha.r0", 64_KiB}).is_ok());
+  }
+  void TearDown() override {
+    std::remove(journal_path_.c_str());
+    std::remove((journal_path_ + ".compact").c_str());
+  }
+
+  /// Journaled placement that aborts at `site`, leaving the journal exactly
+  /// as a real crash there would.
+  void crash_at(const char* site) {
+    fault::MigrationJournal journal;
+    ASSERT_TRUE(journal.open(journal_path_).is_ok());
+    core::ApplyOptions options;
+    options.journal = &journal;
+    options.crash_at = [site](std::string_view p) { return p == site; };
+    auto report =
+        core::Placer::apply(*pfs_, plan_, {core::StripePair{16_KiB, 48_KiB}}, options);
+    ASSERT_FALSE(report.is_ok());
+    EXPECT_EQ(report.status().code(), common::ErrorCode::kIoError);
+  }
+
+  core::RecoveryReport recover() {
+    fault::MigrationJournal journal;
+    EXPECT_TRUE(journal.open(journal_path_).is_ok());
+    auto recovery = core::recover_migration(*pfs_, journal);
+    EXPECT_TRUE(recovery.is_ok()) << recovery.status().to_string();
+    return recovery.is_ok() ? std::move(recovery).take() : core::RecoveryReport{};
+  }
+
+  std::string journal_path_;
+  std::unique_ptr<pfs::HybridPfs> pfs_;
+  common::FileId original_ = common::kInvalidFileId;
+  core::ReorganizePlan plan_;
+};
+
+TEST_P(CrashMatrix, RecoversConsistentlyAndIdempotently) {
+  const Combo combo = GetParam();
+  crash_at(combo.site);
+  if (combo.torn) tear_tail(journal_path_);
+
+  const core::RecoveryReport report = recover();
+  EXPECT_EQ(report.journal_torn, combo.torn);
+  expect_consistent(*pfs_, "orig", 512_KiB, report);
+  const std::uint32_t fingerprint = state_fingerprint(*pfs_);
+
+  // Recovery twice from any phase: the second pass finds nothing to do and
+  // the byte-level state is bitwise identical.
+  const core::RecoveryReport again = recover();
+  EXPECT_EQ(again.action, core::RecoveryAction::kNone);
+  EXPECT_FALSE(again.journal_torn);
+  EXPECT_EQ(state_fingerprint(*pfs_), fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, CrashMatrix,
+    ::testing::Values(Combo{"planned", false}, Combo{"planned", true},
+                      Combo{"regions-created", false}, Combo{"regions-created", true},
+                      Combo{"copying", false}, Combo{"copying", true},
+                      Combo{"copied-entry-0", false}, Combo{"copied-entry-0", true},
+                      Combo{"copied-entry-1", false}, Combo{"copied-entry-1", true},
+                      Combo{"copied-entry-2", false}, Combo{"copied-entry-2", true},
+                      Combo{"copied", false}, Combo{"copied", true},
+                      Combo{"committed", false}, Combo{"committed", true}),
+    combo_name);
+
+// A crash during KV compaction strands "<journal>.compact"; the live log is
+// authoritative and the leftover must not confuse recovery (with or without
+// an additionally torn tail).
+TEST_F(CrashMatrix, StrandedCompactionTempIsDiscardedOnRecovery) {
+  crash_at("copying");
+  {
+    std::FILE* tmp = std::fopen((journal_path_ + ".compact").c_str(), "wb");
+    ASSERT_NE(tmp, nullptr);
+    std::fputs("half-written compaction garbage", tmp);
+    std::fclose(tmp);
+  }
+  tear_tail(journal_path_);
+  const core::RecoveryReport report = recover();
+  EXPECT_TRUE(report.journal_torn);
+  expect_consistent(*pfs_, "orig", 512_KiB, report);
+  EXPECT_FALSE(std::filesystem::exists(journal_path_ + ".compact"));
+}
+
+// ------------------------------------------------- fold-back crash sites ---
+
+class FoldbackCrashMatrix : public CrashMatrix {
+ protected:
+  /// Completes the journaled migration (journal left stamped kCommitted,
+  /// exactly as OnlineMha finds it before a fold-back).
+  void migrate() {
+    fault::MigrationJournal journal;
+    ASSERT_TRUE(journal.open(journal_path_).is_ok());
+    core::ApplyOptions options;
+    options.journal = &journal;
+    auto report =
+        core::Placer::apply(*pfs_, plan_, {core::StripePair{16_KiB, 48_KiB}}, options);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  }
+
+  /// Journals a fold-back and "crashes" at `site` (foldback-begun: before
+  /// any copy-back; foldback-copied: all copies done, regions not dropped).
+  void crash_foldback(const std::string& site) {
+    fault::MigrationJournal journal;
+    ASSERT_TRUE(journal.open(journal_path_).is_ok());
+    std::vector<fault::JournalRegion> regions;
+    for (const core::Region& region : plan_.regions) {
+      auto id = pfs_->open(region.name);
+      ASSERT_TRUE(id.is_ok());
+      regions.push_back(fault::JournalRegion{region.name, pfs_->mds().info(*id).layout.widths()});
+    }
+    std::vector<fault::JournalEntry> entries;
+    for (const core::DrtEntry& entry : plan_.drt.entries()) {
+      entries.push_back(
+          fault::JournalEntry{entry.o_offset, entry.length, entry.r_file, entry.r_offset});
+    }
+    ASSERT_TRUE(journal.begin_foldback("orig", std::move(regions), std::move(entries)).is_ok());
+    if (site == "foldback-copied") {
+      common::Seconds clock = 0.0;
+      for (const core::DrtEntry& entry : plan_.drt.entries()) {
+        auto region = pfs_->open(entry.r_file);
+        ASSERT_TRUE(region.is_ok());
+        auto bytes = pfs_->read_bytes(*region, entry.r_offset, entry.length, clock);
+        ASSERT_TRUE(bytes.is_ok());
+        auto w = pfs_->write(original_, entry.o_offset, bytes->data(), entry.length, clock);
+        ASSERT_TRUE(w.is_ok());
+        clock = w->completion;
+      }
+    }
+    // Crash: the journal closes with kFoldback still on disk.
+  }
+};
+
+TEST_P(FoldbackCrashMatrix, RecoversConsistentlyAndIdempotently) {
+  const Combo combo = GetParam();
+  migrate();
+  crash_foldback(combo.site);
+  if (combo.torn) tear_tail(journal_path_);
+
+  const core::RecoveryReport report = recover();
+  EXPECT_EQ(report.journal_torn, combo.torn);
+  if (!combo.torn) {
+    // Clean tail: the fold-back re-runs and the regions are dropped.
+    EXPECT_EQ(report.action, core::RecoveryAction::kFoldedBack);
+    expect_consistent(*pfs_, "orig", 512_KiB, report);
+  } else {
+    // Torn tail: the kFoldback stamp was the record being appended, and
+    // begin_foldback had already durably erased the previous (committed)
+    // records — the journal replays as inert (kNone; plan records without a
+    // phase stamp are dead by design).  Recovery touches nothing.  No byte
+    // is lost: placement never erases origin data, so the original file
+    // still answers every read; the regions merely linger as orphans until
+    // the next migration's clear.
+    EXPECT_EQ(report.action, core::RecoveryAction::kNone);
+    EXPECT_EQ(*pfs_->read_bytes(original_, 0, 512_KiB, 0.0), pattern(0, 512_KiB));
+  }
+  const std::uint32_t fingerprint = state_fingerprint(*pfs_);
+
+  const core::RecoveryReport again = recover();
+  EXPECT_EQ(again.action, core::RecoveryAction::kNone);
+  EXPECT_EQ(state_fingerprint(*pfs_), fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, FoldbackCrashMatrix,
+                         ::testing::Values(Combo{"foldback-begun", false},
+                                           Combo{"foldback-begun", true},
+                                           Combo{"foldback-copied", false},
+                                           Combo{"foldback-copied", true}),
+                         combo_name);
+
+// --------------------------------------------- pipeline-driven crashes ---
+
+trace::TraceRecord rec(int rank, OpType op, common::Offset offset, common::ByteCount size,
+                       common::Seconds t) {
+  trace::TraceRecord r;
+  r.rank = rank;
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  r.t_start = t;
+  return r;
+}
+
+trace::Trace mini_trace(const std::string& name) {
+  trace::Trace t;
+  t.file_name = name;
+  common::Offset offset = 0;
+  double time = 0.0;
+  for (int loop = 0; loop < 8; ++loop) {
+    for (int rank = 0; rank < 4; ++rank) {
+      t.records.push_back(rec(rank, OpType::kRead, offset + rank * 200_KiB, 16, time));
+    }
+    time += 0.01;
+    for (int rank = 0; rank < 4; ++rank) {
+      t.records.push_back(
+          rec(rank, OpType::kRead, offset + rank * 200_KiB + 16, 128_KiB, time));
+    }
+    time += 0.01;
+    offset += 16 + 128_KiB;
+  }
+  return t;
+}
+
+class PipelineCrashMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PipelineCrashMatrix, DeployCrashRecoversConsistently) {
+  const Combo combo = GetParam();
+  const std::string journal_path = temp_path("pipeline");
+  pfs::HybridPfs pfs(tiny_cluster(2, 2));
+  const trace::Trace trace = mini_trace("orig");
+  const common::ByteCount extent = trace::extent_end(trace.records);
+  auto original = *pfs.create_file("orig");
+  ASSERT_TRUE(layouts::populate_file(pfs, original, extent).is_ok());
+
+  core::MhaOptions options;
+  options.journal_path = journal_path;
+  options.crash_at = [&combo](std::string_view p) { return p == combo.site; };
+  auto failed = core::MhaPipeline::deploy(pfs, trace, options);
+  ASSERT_FALSE(failed.is_ok());
+  if (combo.torn) tear_tail(journal_path);
+
+  fault::MigrationJournal journal;
+  ASSERT_TRUE(journal.open(journal_path).is_ok());
+  auto recovery = core::recover_migration(pfs, journal);
+  ASSERT_TRUE(recovery.is_ok()) << recovery.status().to_string();
+  EXPECT_EQ(recovery->journal_torn, combo.torn);
+  expect_consistent(pfs, "orig", extent, *recovery);
+  std::remove(journal_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(DeploySites, PipelineCrashMatrix,
+                         ::testing::Values(Combo{"copying", false},
+                                           Combo{"committed", false},
+                                           Combo{"committed", true}),
+                         combo_name);
+
+}  // namespace
+}  // namespace mha

@@ -2,7 +2,16 @@
 // hold for EVERY (scheme x workload x cluster shape) combination.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/crc32.hpp"
 #include "common/units.hpp"
+#include "core/placer.hpp"
+#include "core/recovery.hpp"
+#include "fault/journal.hpp"
 #include "layouts/scheme.hpp"
 #include "trace/analysis.hpp"
 #include "workloads/apps.hpp"
@@ -167,6 +176,108 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LayoutRealisability,
                                            Combo{"HARL", "btio", 5, 3},
                                            Combo{"AAL", "hpio", 6, 2}),
                          combo_name);
+
+// Recovery is idempotent from EVERY crash point: running recover_migration
+// a second time after a successful recovery must change nothing — same
+// journal phase (kNone), bitwise-identical logical file contents.
+class RecoveryIdempotence : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::string journal_path() {
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + "prop_recovery_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".db";
+  }
+
+  /// CRC over every file's name and full logical contents.
+  static std::uint32_t fingerprint(pfs::HybridPfs& pfs) {
+    std::uint32_t crc = 0;
+    std::vector<std::string> names = pfs.mds().list_files();
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      crc ^= common::crc32(name.data(), name.size());
+      const auto id = pfs.open(name);
+      if (!id.is_ok()) continue;
+      const auto& info = pfs.mds().info(*id);
+      auto bytes = pfs.read_bytes(*id, 0, info.size, 0.0);
+      if (bytes.is_ok()) crc ^= common::crc32(bytes->data(), bytes->size());
+    }
+    return crc;
+  }
+};
+
+TEST_P(RecoveryIdempotence, SecondRecoveryIsANoOp) {
+  const std::string site = GetParam();
+  const std::string path = journal_path();
+
+  sim::ClusterConfig cluster;
+  cluster.num_hservers = 2;
+  cluster.num_sservers = 1;
+  pfs::HybridPfs pfs(cluster);
+  auto file = pfs.create_file("prop.dat");
+  ASSERT_TRUE(file.is_ok());
+  ASSERT_TRUE(layouts::populate_file(pfs, *file, 256_KiB).is_ok());
+
+  core::ReorganizePlan plan;
+  plan.drt = core::Drt("prop.dat");
+  core::Region region;
+  region.name = "prop.dat.mha.r0";
+  region.length = 128_KiB;
+  plan.regions.push_back(region);
+  ASSERT_TRUE(plan.drt.insert(core::DrtEntry{0, 64_KiB, region.name, 64_KiB}).is_ok());
+  ASSERT_TRUE(plan.drt.insert(core::DrtEntry{192_KiB, 64_KiB, region.name, 0}).is_ok());
+
+  {
+    fault::MigrationJournal journal;
+    ASSERT_TRUE(journal.open(path).is_ok());
+    core::ApplyOptions options;
+    options.chunk = 32_KiB;
+    options.journal = &journal;
+    options.crash_at = [&](std::string_view point) { return point == site; };
+    auto report =
+        core::Placer::apply(pfs, plan, {core::StripePair{16_KiB, 48_KiB}}, options);
+    ASSERT_FALSE(report.is_ok());
+    EXPECT_EQ(report.status().code(), common::ErrorCode::kIoError);
+  }
+
+  fault::MigrationJournal journal;
+  ASSERT_TRUE(journal.open(path).is_ok());
+  auto first = core::recover_migration(pfs, journal);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_EQ(journal.phase(), fault::JournalPhase::kNone);
+  const std::uint32_t after_first = fingerprint(pfs);
+
+  auto second = core::recover_migration(pfs, journal);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_EQ(second->action, core::RecoveryAction::kNone);
+  EXPECT_FALSE(second->has_drt);
+  EXPECT_FALSE(second->journal_torn);
+  EXPECT_EQ(journal.phase(), fault::JournalPhase::kNone);
+  EXPECT_EQ(fingerprint(pfs), after_first);
+
+  // Whatever the outcome, the original file's passthrough truth survived:
+  // either everything rolled back (bytes at original locations) or the
+  // migration committed (region holds them, origin retains its copy — the
+  // placer never erases origin bytes).
+  EXPECT_EQ(*pfs.read_bytes(*file, 64_KiB, 128_KiB, 0.0),
+            [] {
+              std::vector<std::uint8_t> p(128_KiB);
+              layouts::populate_fill(64_KiB, p.data(), p.size());
+              return p;
+            }());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCrashSites, RecoveryIdempotence,
+                         ::testing::Values("planned", "regions-created", "copying",
+                                           "copied-entry-0", "copied-entry-1", "copied",
+                                           "committed"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace mha
