@@ -1,0 +1,284 @@
+// Extension bench: multi-tenant QoS — who gets what when hundreds of
+// clients from competing jobs share one cluster?
+//
+// Three tenant mixes (≥500 simulated clients each at full scale) replay
+// against {DEF, MHA} layouts, dispatched {direct FCFS, size-fair, job-fair,
+// weighted token-bucket}.  Every run reports aggregate bandwidth, Jain's
+// fairness index over weight-normalised per-tenant bandwidth, and each
+// tenant's p99 slowdown versus its isolated run (same workload, cluster to
+// itself).
+//
+// Expected shape: under FCFS share tracks client count and request size —
+// the bursty aggressor's 256 writers bury the interactive victim's p99.
+// Size-fair caps the aggressor's *byte* share, job-fair its *request* share
+// (strongest for a many-client tenant), and the token bucket enforces the
+// share by shifting excess admissions later, trading a little aggregate
+// bandwidth for the flattest slowdowns.  MHA under-neath raises everyone's
+// baseline; the policies arbitrate whatever contention the layout leaves.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "qos/driver.hpp"
+#include "qos/policy.hpp"
+#include "qos/token_bucket.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+struct Mix {
+  std::string name;
+  std::string note;
+  std::vector<qos::TenantSpec> tenants;
+  /// Index of the tenant whose isolation the mix is about (-1: none).
+  int victim = -1;
+};
+
+std::vector<Mix> build_mixes() {
+  std::vector<Mix> mixes;
+
+  // 1. Balanced: four identical IOR tenants — the sanity mix.  Every policy
+  //    (including FCFS) should split the cluster almost evenly.
+  {
+    Mix mix;
+    mix.name = "balanced";
+    mix.note = "4 identical IOR-small tenants, equal weight";
+    for (int i = 0; i < 4; ++i) {
+      qos::TenantSpec spec;
+      spec.name = "ten-" + std::string(1, static_cast<char>('a' + i));
+      spec.workload = qos::TenantWorkload::kIorSmall;
+      spec.clients = bench::scaled_procs(128, 8);
+      spec.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+      spec.seed = 100 + static_cast<std::uint64_t>(i);
+      mix.tenants.push_back(spec);
+    }
+    mixes.push_back(std::move(mix));
+  }
+
+  // 2. Bursty aggressor: 256 large-write clients listed first (FCFS's worst
+  //    case) against a 128-client interactive read tenant and a batch
+  //    background app.  The acceptance story: victim p99 slowdown under
+  //    job-fair must come in well under FCFS.
+  {
+    Mix mix;
+    mix.name = "bursty-aggressor";
+    mix.note = "256 large writers vs 128 interactive readers + batch bg";
+    qos::TenantSpec burst;
+    burst.name = "burst";
+    burst.workload = qos::TenantWorkload::kIorLarge;
+    burst.clients = bench::scaled_procs(256, 16);
+    burst.bytes_per_client = bench::scaled_bytes(8_MiB, 1_MiB);
+    burst.seed = 21;
+    mix.tenants.push_back(burst);
+    qos::TenantSpec victim;
+    victim.name = "victim";
+    victim.workload = qos::TenantWorkload::kIorSmall;
+    victim.clients = bench::scaled_procs(128, 8);
+    victim.priority = qos::PriorityClass::kInteractive;
+    victim.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+    victim.seed = 22;
+    mix.tenants.push_back(victim);
+    qos::TenantSpec bg;
+    bg.name = "bg";
+    bg.workload = qos::TenantWorkload::kLanl;
+    bg.clients = bench::scaled_procs(128, 8);
+    bg.priority = qos::PriorityClass::kBatch;
+    bg.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+    bg.seed = 23;
+    mix.tenants.push_back(bg);
+    mix.victim = 1;
+    mixes.push_back(std::move(mix));
+  }
+
+  // 3. Mixed applications: one tenant per workload family, weights skewed
+  //    2:1:1:1 — the "real machine room" mix exercising every generator.
+  {
+    Mix mix;
+    mix.name = "mixed-apps";
+    mix.note = "IOR + HPIO + BTIO + LANL, weights 2:1:1:1";
+    qos::TenantSpec ior;
+    ior.name = "ior";
+    ior.workload = qos::TenantWorkload::kIorSmall;
+    ior.clients = bench::scaled_procs(128, 8);
+    ior.weight = 2.0;
+    ior.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+    ior.seed = 31;
+    mix.tenants.push_back(ior);
+    qos::TenantSpec hp;
+    hp.name = "hpio";
+    hp.workload = qos::TenantWorkload::kHpio;
+    hp.clients = bench::scaled_procs(128, 8);
+    hp.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+    hp.seed = 32;
+    mix.tenants.push_back(hp);
+    qos::TenantSpec bt;
+    bt.name = "btio";
+    bt.workload = qos::TenantWorkload::kBtio;
+    bt.clients = bench::scaled_procs(144, 9);
+    bt.priority = qos::PriorityClass::kBatch;
+    bt.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+    bt.seed = 33;
+    mix.tenants.push_back(bt);
+    qos::TenantSpec la;
+    la.name = "lanl";
+    la.workload = qos::TenantWorkload::kLanl;
+    la.clients = bench::scaled_procs(128, 8);
+    la.priority = qos::PriorityClass::kBatch;
+    la.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+    la.seed = 34;
+    mix.tenants.push_back(la);
+    mixes.push_back(std::move(mix));
+  }
+  return mixes;
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> kNames = {"fcfs", "size-fair", "job-fair",
+                                                  "token-bucket"};
+  return kNames;
+}
+
+/// Policy 0 is direct FCFS (no scheduler attached); the rest are the QoS
+/// family.  The token bucket is sized near the 6H+2S cluster's sequential
+/// capacity so only tenants exceeding their weight share get shaped.
+std::unique_ptr<qos::FairShareScheduler> make_policy(std::size_t policy,
+                                                     const qos::JobTable& jobs) {
+  switch (policy) {
+    case 1:
+      return qos::make_qos_scheduler(qos::QosKind::kSizeFair, jobs);
+    case 2:
+      return qos::make_qos_scheduler(qos::QosKind::kJobFair, jobs);
+    case 3: {
+      qos::TokenBucketOptions options;
+      options.aggregate_bytes_per_s = 1.5e9;
+      options.burst_seconds = 0.02;
+      return qos::make_token_bucket(jobs, options);
+    }
+    default:
+      return nullptr;
+  }
+}
+
+std::unique_ptr<layouts::LayoutScheme> make_mix_scheme(std::size_t scheme) {
+  return scheme == 0 ? layouts::make_def() : layouts::make_mha();
+}
+
+struct PolicyRun {
+  qos::MultiTenantResult result;
+  double wall = 0.0;
+  bool ok = false;
+};
+
+struct CellResult {
+  std::vector<PolicyRun> runs;  ///< one per policy
+  int total_clients = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init("ext_multitenant", argc, argv);
+  std::printf("=== Extension: multi-tenant QoS under DEF vs MHA ===\n");
+  std::printf("policies: fcfs (no QoS) | size-fair (WFQ bytes) | job-fair (WFQ "
+              "slots) | token-bucket (weighted rate shaping)\n");
+
+  const auto mixes = build_mixes();
+  const auto cluster = bench::paper_cluster();
+  const std::vector<std::string> scheme_names = {"DEF", "MHA"};
+  const std::size_t num_policies = policy_names().size();
+
+  // One grid cell per (mix, scheme): the cell owns a driver (so the four
+  // policies share its per-scheme isolated baselines) and runs the policies
+  // serially.  Cells are independent — fresh clusters, fresh schemes — and
+  // land by index, so the grid is thread-count invariant.
+  auto cells = exec::default_pool().parallel_map(
+      mixes.size() * scheme_names.size(), [&](std::size_t index) {
+        const Mix& mix = mixes[index / scheme_names.size()];
+        const std::size_t scheme = index % scheme_names.size();
+        CellResult cell;
+        qos::MultiTenantDriver driver(mix.tenants);
+        cell.total_clients = driver.total_clients();
+        cell.runs.resize(num_policies);
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          const double start = bench::wall_now();
+          auto scheduler = make_policy(p, driver.jobs());
+          auto result = driver.run([&] { return make_mix_scheme(scheme); }, cluster,
+                                   scheduler.get());
+          if (!result.is_ok()) {
+            std::fprintf(stderr, "[ext_multitenant] %s/%s/%s failed: %s\n",
+                         mix.name.c_str(), scheme_names[scheme].c_str(),
+                         policy_names()[p].c_str(), result.status().to_string().c_str());
+            continue;
+          }
+          cell.runs[p].result = std::move(*result);
+          cell.runs[p].wall = bench::wall_now() - start;
+          cell.runs[p].ok = true;
+        }
+        return cell;
+      });
+
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const Mix& mix = mixes[m];
+    const int clients = cells[m * scheme_names.size()].total_clients;
+    std::printf("\n--- mix: %s (%d clients; %s) ---\n", mix.name.c_str(), clients,
+                mix.note.c_str());
+    std::printf("%-6s %-13s %9s %12s %9s  %s\n", "scheme", "policy", "MiB/s",
+                "makespan(s)", "fairness", "per-tenant p99 slowdown");
+    for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+      const CellResult& cell = cells[m * scheme_names.size() + s];
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        const PolicyRun& run = cell.runs[p];
+        if (!run.ok) continue;
+        const qos::MultiTenantResult& r = run.result;
+        std::string slowdowns;
+        for (const qos::TenantReport& t : r.tenants) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%s%s=%.2f", slowdowns.empty() ? "" : " ",
+                        t.spec.name.c_str(), t.slowdown_p99());
+          slowdowns += buf;
+        }
+        std::printf("%-6s %-13s %9.1f %12.4f %9.3f  %s\n", scheme_names[s].c_str(),
+                    policy_names()[p].c_str(),
+                    r.aggregate_bandwidth / static_cast<double>(common::kMiB),
+                    r.makespan, r.fairness, slowdowns.c_str());
+        bench::report().add(
+            (m * scheme_names.size() + s) * num_policies + p,
+            bench::CellRecord{mix.name + " / " + scheme_names[s], policy_names()[p],
+                              run.wall, r.makespan,
+                              r.aggregate_bandwidth / static_cast<double>(common::kMiB)});
+      }
+    }
+    // The isolation headline: how much contention the victim actually felt.
+    if (mix.victim >= 0) {
+      for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+        const CellResult& cell = cells[m * scheme_names.size() + s];
+        std::string line;
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          if (!cell.runs[p].ok) continue;
+          const auto& tenants = cell.runs[p].result.tenants;
+          if (static_cast<std::size_t>(mix.victim) >= tenants.size()) continue;
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%s%s=%.2f", line.empty() ? "" : " ",
+                        policy_names()[p].c_str(),
+                        tenants[static_cast<std::size_t>(mix.victim)].slowdown_p99());
+          line += buf;
+        }
+        std::printf("victim p99 slowdown under %s: %s\n", scheme_names[s].c_str(),
+                    line.c_str());
+      }
+    }
+  }
+
+  // One full per-tenant table as the detailed exhibit: the contention mix
+  // under DEF, FCFS vs job-fair side by side.
+  {
+    const CellResult& def_cell = cells[1 * scheme_names.size() + 0];
+    for (std::size_t p : {std::size_t{0}, std::size_t{2}}) {
+      if (!def_cell.runs[p].ok) continue;
+      std::printf("\nbursty-aggressor under DEF / %s:\n%s", policy_names()[p].c_str(),
+                  qos::tenant_table(def_cell.runs[p].result.tenants).c_str());
+    }
+  }
+  return bench::finish();
+}

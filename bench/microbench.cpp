@@ -27,6 +27,8 @@
 #include "core/redirector.hpp"
 #include "io/mpi_file.hpp"
 #include "pfs/extent_store.hpp"
+#include "qos/job.hpp"
+#include "qos/policy.hpp"
 #include "workloads/ior.hpp"
 
 using namespace mha;
@@ -164,6 +166,37 @@ int main(int argc, char** argv) {
     const auto segs = drt.lookup(kEntry - 1_KiB, 2_KiB);  // straddles two entries
     std::printf("DRT straddle split (2KiB over a 64KiB boundary): %zu segments\n",
                 segs.size());
+  }
+  {
+    // Multi-tenant request path: job stamping + per-job server rows + a
+    // fair-share scheduler's ledgers must all stay allocation-free once the
+    // flat per-job structures are warm.
+    qos::JobTable jobs;
+    (void)jobs.add("a", 1.0, qos::PriorityClass::kInteractive);
+    (void)jobs.add("b", 2.0);
+    auto scheduler = qos::make_qos_scheduler(qos::QosKind::kJobFair, jobs);
+    RequestWorld world(4_MiB, 1_MiB);
+    world.pfs.set_scheduler(scheduler.get());
+    scheduler->reserve_metrics(512, world.pfs.num_servers());
+    std::vector<std::uint8_t> buffer(64_KiB, 0x7E);
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {  // warm-up
+      world.pfs.set_active_job(static_cast<common::JobId>((pos / 64_KiB) % 2));
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+      (void)world.file->read_at(0, pos, buffer.data(), buffer.size());
+    }
+    common::AllocationScope scope;
+    std::size_t requests = 0;
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {
+      world.pfs.set_active_job(static_cast<common::JobId>((pos / 64_KiB) % 2));
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+      (void)world.file->read_at(0, pos, buffer.data(), buffer.size());
+      requests += 2;
+    }
+    std::printf("steady-state allocs/request (job-fair, 2 jobs stamped):  %.2f over %zu requests\n",
+                static_cast<double>(scope.allocations()) / static_cast<double>(requests),
+                requests);
+    world.pfs.set_scheduler(nullptr);
+    world.pfs.set_active_job(common::kDefaultJob);
   }
 
   // ----------------------------------------------------------------- timed

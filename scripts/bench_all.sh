@@ -35,6 +35,7 @@ benches=(
   ext_collective_io
   ext_scheduler
   ext_fault
+  ext_multitenant
 )
 
 for bench in "${benches[@]}"; do

@@ -27,6 +27,14 @@ inline constexpr FileId kInvalidFileId = static_cast<FileId>(-1);
 /// queuing delays advance this clock analytically.
 using Seconds = double;
 
+/// Identifier of a tenant job.  Every request belongs to exactly one job;
+/// single-tenant code paths leave the default and land in job 0, so the
+/// pre-QoS behaviour is "one job owns everything".
+using JobId = std::uint32_t;
+
+/// The implicit job single-tenant callers charge against.
+inline constexpr JobId kDefaultJob = 0;
+
 /// Kind of a file operation.
 enum class OpType : std::uint8_t { kRead = 0, kWrite = 1 };
 
@@ -46,6 +54,8 @@ struct Request {
   Offset offset = 0;
   ByteCount size = 0;
   Seconds issue_time = 0.0;
+  /// Owning tenant job (kDefaultJob when no job table is attached).
+  JobId job = kDefaultJob;
 
   friend bool operator==(const Request&, const Request&) = default;
 };

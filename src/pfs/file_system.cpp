@@ -34,13 +34,13 @@ void HybridPfs::charge_sub(common::OpType op, std::size_t server, common::ByteCo
                            common::Seconds t, IoResult& result) const {
   if (scheduler_ != nullptr) {
     const sched::DispatchResult out =
-        scheduler_->dispatch(row_, {sim::SubRequest{server, op, bytes}}, t);
+        scheduler_->dispatch(row_, {sim::SubRequest{server, op, bytes, active_job_}}, t);
     result.completion = std::max(result.completion, out.completion);
     result.sub_requests += out.sub_requests;
     ++result.servers_touched;
     return;
   }
-  const common::Seconds done = row_.server(server).submit(op, bytes, t);
+  const common::Seconds done = row_.server(server).submit(op, bytes, t, active_job_);
   result.completion = std::max(result.completion, done);
   ++result.sub_requests;
   ++result.servers_touched;
@@ -155,7 +155,7 @@ common::Status HybridPfs::dispatch(common::FileId file, common::OpType op,
     subs_.clear();
     for (std::size_t i = 0; i < per_server.size(); ++i) {
       if (per_server[i] == 0) continue;
-      subs_.push_back(sim::SubRequest{i, op, per_server[i]});
+      subs_.push_back(sim::SubRequest{i, op, per_server[i], active_job_});
     }
     const sched::DispatchResult out = scheduler_->dispatch(
         row_, std::span<const sim::SubRequest>(subs_.data(), subs_.size()), arrival);
@@ -166,7 +166,7 @@ common::Status HybridPfs::dispatch(common::FileId file, common::OpType op,
   }
   for (std::size_t i = 0; i < per_server.size(); ++i) {
     if (per_server[i] == 0) continue;
-    const common::Seconds done = row_.server(i).submit(op, per_server[i], arrival);
+    const common::Seconds done = row_.server(i).submit(op, per_server[i], arrival, active_job_);
     result.completion = std::max(result.completion, done);
     ++result.sub_requests;
     ++result.servers_touched;

@@ -66,6 +66,13 @@ class HybridPfs {
   /// The scheduler-facing view over this cluster's server queues.
   const sched::ServerRow& server_row() const { return row_; }
 
+  /// Tenant job every subsequent read/write is charged against.  The
+  /// replayer stamps this before each request (a store, not an allocation,
+  /// so the zero-alloc request path is untouched); single-tenant callers
+  /// never touch it and stay on job 0.
+  void set_active_job(common::JobId job) { active_job_ = job; }
+  common::JobId active_job() const { return active_job_; }
+
   /// Attaches a fault context (borrowed; may be nullptr).  While set, every
   /// server queue consults the context's injector (crashes push start times,
   /// brownouts inflate service — visible to scheduler look-ahead), and
@@ -140,6 +147,7 @@ class HybridPfs {
   std::size_t num_hservers_ = 0;
   sched::Scheduler* scheduler_ = nullptr;
   fault::FaultContext* fault_ = nullptr;
+  common::JobId active_job_ = common::kDefaultJob;
   sched::ServerRow row_;
   // Request-path scratch, reused across read/write calls so the steady state
   // performs zero heap allocations per request.  Same single-client rule as

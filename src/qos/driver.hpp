@@ -1,0 +1,118 @@
+// MultiTenantDriver: fan hundreds-to-thousands of simulated clients from
+// several tenants onto one shared cluster and measure who got what.
+//
+// The driver turns a list of TenantSpecs into one combined trace: each
+// tenant's workload is generated with its own client count and seed, its
+// ranks are rebased into a contiguous block, its offsets into a disjoint
+// aligned region of one shared file, and the per-tenant streams are merged
+// in issue-time order (stable, so tenant listing order breaks ties inside a
+// synchronous window — list the aggressor first to give FCFS its worst
+// case).  A JobTable maps every rank block to its job, so the replayer
+// stamps requests and the fair-share policies see real tenant identities.
+//
+// run() measures two things per tenant: the contended run (combined trace,
+// chosen scheme + scheduler) and an isolated baseline (the same tenant's
+// trace alone on an identical fresh cluster, direct FCFS).  Baselines are
+// computed on the default exec pool — results land by tenant index, so a
+// --threads=8 run reports byte-identically to --threads=1 — and cached per
+// scheme name, since every policy in a bench sweep shares them.  The ratio
+// of the two is the slowdown the bench and the isolation tests assert on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "layouts/scheme.hpp"
+#include "qos/job.hpp"
+#include "qos/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cluster_sim.hpp"
+#include "trace/record.hpp"
+
+namespace mha::qos {
+
+/// Canned workload shapes a tenant can run (each maps to one of the
+/// generator families with sizes picked for its role in a contention mix).
+enum class TenantWorkload {
+  kIorSmall = 0,  ///< IOR, small mixed reads (16+64 KiB) — latency-sensitive
+  kIorLarge = 1,  ///< IOR, large writes (1+2 MiB) — the bandwidth aggressor
+  kHpio = 2,      ///< HPIO strided writes, 16/32/64 KiB regions
+  kBtio = 3,      ///< BTIO write+readback phases (clients rounded to a square)
+  kLanl = 4,      ///< LANL App2 loop pattern (16 B + ~128 KiB writes)
+};
+
+const char* to_string(TenantWorkload workload);
+
+struct TenantSpec {
+  std::string name;
+  TenantWorkload workload = TenantWorkload::kIorSmall;
+  /// Simulated client processes (BTIO rounds down to a perfect square).
+  int clients = 32;
+  double weight = 1.0;
+  PriorityClass priority = PriorityClass::kNormal;
+  /// Approximate I/O volume per client; iteration counts derive from it.
+  common::ByteCount bytes_per_client = 2ULL * 1024 * 1024;
+  std::uint64_t seed = 1;
+};
+
+/// Fresh-scheme factory: run() needs a new instance per replay (isolated
+/// baselines run in parallel and prepare() is stateful).
+using SchemeFactory = std::function<std::unique_ptr<layouts::LayoutScheme>()>;
+
+struct MultiTenantResult {
+  std::string scheme_name;
+  std::string scheduler_name;  ///< "fcfs-direct" when no scheduler attached
+  common::Seconds makespan = 0.0;
+  /// Combined-run bytes / makespan.
+  double aggregate_bandwidth = 0.0;
+  /// Jain's index over weight-normalised per-tenant bandwidth.
+  double fairness = 1.0;
+  int total_clients = 0;
+  std::size_t requests = 0;
+  std::vector<TenantReport> tenants;
+  sched::SchedulerMetrics scheduler_metrics;
+};
+
+class MultiTenantDriver {
+ public:
+  /// Builds the job table and the combined trace; deterministic in the spec
+  /// list (no global state, no wall clock).
+  explicit MultiTenantDriver(std::vector<TenantSpec> specs);
+
+  const JobTable& jobs() const { return jobs_; }
+  const trace::Trace& combined_trace() const { return combined_; }
+  const trace::Trace& tenant_trace(std::size_t i) const { return tenant_traces_[i]; }
+  int total_clients() const { return total_clients_; }
+
+  /// Contended replay of the combined trace under make_scheme() +
+  /// `scheduler` (borrowed; null dispatches direct FCFS), reported against
+  /// per-tenant isolated baselines.  Baselines are cached by scheme name
+  /// across calls — reuse one driver for a policy sweep, one cluster config
+  /// per driver.
+  common::Result<MultiTenantResult> run(const SchemeFactory& make_scheme,
+                                        const sim::ClusterConfig& config,
+                                        sched::Scheduler* scheduler = nullptr);
+
+ private:
+  struct Baseline {
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+
+  common::Result<std::vector<Baseline>> isolated_baselines(
+      const SchemeFactory& make_scheme, const sim::ClusterConfig& config,
+      const std::string& scheme_name);
+
+  std::vector<TenantSpec> specs_;
+  JobTable jobs_;
+  trace::Trace combined_;
+  std::vector<trace::Trace> tenant_traces_;
+  int total_clients_ = 0;
+  std::map<std::string, std::vector<Baseline>> baseline_cache_;
+};
+
+}  // namespace mha::qos

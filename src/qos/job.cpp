@@ -1,0 +1,38 @@
+#include "qos/job.hpp"
+
+#include <algorithm>
+
+namespace mha::qos {
+
+const char* to_string(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kBatch:
+      return "batch";
+    case PriorityClass::kNormal:
+      return "normal";
+    case PriorityClass::kInteractive:
+      return "interactive";
+  }
+  return "unknown";
+}
+
+common::JobId JobTable::add(std::string name, double weight, PriorityClass priority) {
+  JobSpec spec;
+  spec.id = static_cast<common::JobId>(jobs_.size());
+  spec.name = std::move(name);
+  spec.weight = weight > 0.0 ? weight : 1.0;
+  spec.priority = priority;
+  total_weight_ += spec.weight;
+  jobs_.push_back(std::move(spec));
+  return jobs_.back().id;
+}
+
+void JobTable::assign_ranks(common::JobId job, int first_rank, int count) {
+  if (first_rank < 0 || count <= 0) return;
+  const std::size_t end = static_cast<std::size_t>(first_rank) + static_cast<std::size_t>(count);
+  if (rank_to_job_.size() < end) rank_to_job_.resize(end, common::kDefaultJob);
+  std::fill(rank_to_job_.begin() + first_rank, rank_to_job_.begin() + static_cast<std::ptrdiff_t>(end),
+            job);
+}
+
+}  // namespace mha::qos

@@ -1,0 +1,83 @@
+// Tenant/job model for multi-tenant QoS.
+//
+// A *job* is the unit the fair-share policies arbitrate between: one
+// tenant's application run, owning a set of client ranks, a scheduling
+// weight and a priority class (ThemisIO's interposed fair-share layer
+// arbitrates between jobs the same way; see PAPERS.md).  The JobTable is
+// the authoritative registry: job ids are dense (0..size-1) so every
+// accounting structure downstream — per-job rows in sim::ServerSim, the
+// policies' consumed-service ledgers, the replayer's per-tenant latency
+// collectors — can be a flat vector indexed by JobId with no hashing and no
+// steady-state allocation.
+//
+// Rank ownership: the replayer resolves the issuing rank of each request to
+// its job via job_of_rank(), an O(1) vector lookup.  Unmapped ranks fall
+// into job 0, which keeps every single-tenant caller (all pre-QoS code)
+// behaviourally unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mha::qos {
+
+/// Scheduling tier of a job.  Policies order strictly by tier first
+/// (interactive preempts normal preempts batch within a congestion window)
+/// and apply fair sharing *within* a tier.
+enum class PriorityClass : std::uint8_t { kBatch = 0, kNormal = 1, kInteractive = 2 };
+
+/// Human-readable tier name ("batch"/"normal"/"interactive").
+const char* to_string(PriorityClass priority);
+
+/// Static description of one job.
+struct JobSpec {
+  common::JobId id = common::kDefaultJob;
+  std::string name;
+  /// Fair-share weight (> 0): a job with weight 2 is entitled to twice the
+  /// service of a weight-1 job under every policy.
+  double weight = 1.0;
+  PriorityClass priority = PriorityClass::kNormal;
+};
+
+class JobTable {
+ public:
+  /// Registers a job; ids are handed out densely in registration order.
+  common::JobId add(std::string name, double weight = 1.0,
+                    PriorityClass priority = PriorityClass::kNormal);
+
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  const JobSpec& spec(common::JobId job) const { return jobs_[job]; }
+  double weight(common::JobId job) const {
+    return job < jobs_.size() ? jobs_[job].weight : 1.0;
+  }
+  PriorityClass priority(common::JobId job) const {
+    return job < jobs_.size() ? jobs_[job].priority : PriorityClass::kNormal;
+  }
+  double total_weight() const { return total_weight_; }
+
+  /// Maps `count` ranks starting at `first_rank` to `job` (the driver calls
+  /// this once per tenant with that tenant's contiguous rank block).
+  void assign_ranks(common::JobId job, int first_rank, int count);
+
+  /// Owning job of a client rank; kDefaultJob when the rank was never
+  /// assigned (single-tenant traces).
+  common::JobId job_of_rank(int rank) const {
+    const auto r = static_cast<std::size_t>(rank);
+    return rank >= 0 && r < rank_to_job_.size() ? rank_to_job_[r] : common::kDefaultJob;
+  }
+
+  /// One past the highest mapped rank (the world size the table covers).
+  int num_ranks() const { return static_cast<int>(rank_to_job_.size()); }
+
+ private:
+  std::vector<JobSpec> jobs_;
+  std::vector<common::JobId> rank_to_job_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace mha::qos

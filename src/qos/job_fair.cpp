@@ -1,0 +1,9 @@
+#include "qos/job_fair.hpp"
+
+namespace mha::qos {
+
+std::unique_ptr<FairShareScheduler> make_job_fair(const JobTable& jobs) {
+  return std::make_unique<JobFairScheduler>(jobs);
+}
+
+}  // namespace mha::qos

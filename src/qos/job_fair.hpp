@@ -1,0 +1,34 @@
+// Job-fair policy: weighted fair queuing in request slots.
+//
+// The virtual clock ticks 1/weight per *request*, regardless of its size or
+// of how many client processes the job runs.  This is ThemisIO's job-fair
+// semantics: every job gets the same number of service opportunities, so a
+// tenant cannot grow its share by running more ranks (as under FCFS, where
+// share is proportional to process count) or by batching bigger requests
+// (as under size-fair, where share is proportional to... nothing — sizes
+// cancel — but a job issuing huge requests still occupies proportionally
+// more *server time* per slot).  Job-fair is the strongest isolation of the
+// ordering-only policies and the natural default for the bursty-aggressor
+// contention mix.
+#pragma once
+
+#include "qos/policy.hpp"
+
+namespace mha::qos {
+
+class JobFairScheduler : public FairShareScheduler {
+ public:
+  explicit JobFairScheduler(const JobTable& jobs) : FairShareScheduler(jobs) {}
+
+  std::string name() const override { return "job-fair"; }
+
+ protected:
+  double cost_units(common::ByteCount bytes) const override {
+    (void)bytes;
+    return 1.0;
+  }
+};
+
+std::unique_ptr<FairShareScheduler> make_job_fair(const JobTable& jobs);
+
+}  // namespace mha::qos

@@ -1,0 +1,48 @@
+#include "qos/metrics.hpp"
+
+#include <cstdio>
+
+#include "common/units.hpp"
+
+namespace mha::qos {
+
+double jains_index(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double weighted_fairness(std::span<const TenantReport> tenants) {
+  std::vector<double> shares;
+  shares.reserve(tenants.size());
+  for (const TenantReport& t : tenants) {
+    const double w = t.spec.weight > 0.0 ? t.spec.weight : 1.0;
+    shares.push_back(t.bandwidth_mib_s / w);
+  }
+  return jains_index(shares);
+}
+
+std::string tenant_table(std::span<const TenantReport> tenants) {
+  std::string out =
+      "tenant        class        weight reqs     bytes      p50(ms)  p99(ms)  "
+      "slow50 slow99 MiB/s\n";
+  for (const TenantReport& t : tenants) {
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%-13s %-12s %-6.2f %-8llu %-10s %-8.3f %-8.3f %-6.2f %-6.2f %-9.1f\n",
+                  t.spec.name.c_str(), to_string(t.spec.priority), t.spec.weight,
+                  static_cast<unsigned long long>(t.requests),
+                  common::format_bytes(t.bytes).c_str(), t.p50 * 1e3, t.p99 * 1e3,
+                  t.slowdown_p50(), t.slowdown_p99(), t.bandwidth_mib_s);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mha::qos

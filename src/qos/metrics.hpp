@@ -1,0 +1,79 @@
+// Per-tenant service metrics: latency collectors, slowdown-vs-isolated
+// reports, and Jain's fairness index.
+//
+// The multi-tenant story is told in two numbers per tenant: *slowdown* (how
+// much worse is your p50/p99 latency under contention than when you had the
+// cluster to yourself) and *fairness* (Jain's index over weight-normalised
+// bandwidth — 1.0 when every tenant gets exactly its entitled share, 1/n
+// when one tenant gets everything).  The replayer fills TenantLatency rows
+// while it runs; the driver pairs a contended run with per-tenant isolated
+// baselines and folds both into TenantReport rows that tenant_table()
+// renders stats_table()-style.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "qos/job.hpp"
+
+namespace mha::qos {
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
+/// allocations.  1.0 = perfectly fair, 1/n = maximally unfair (one tenant
+/// takes everything).  Returns 1.0 for an empty or all-zero span (nothing
+/// was allocated, so nothing was unfair).
+double jains_index(std::span<const double> xs);
+
+/// Streaming per-tenant latency collector, filled by the replayer.  The
+/// percentile store is reserve()d up front from the trace's per-job request
+/// counts, so observe() never allocates on the request path.
+struct TenantLatency {
+  common::OnlineStats latency;
+  common::Percentiles percentiles;
+  common::ByteCount bytes = 0;
+  std::uint64_t requests = 0;
+
+  void observe(common::Seconds request_latency, common::ByteCount request_bytes) {
+    latency.add(request_latency);
+    percentiles.add(request_latency);
+    bytes += request_bytes;
+    ++requests;
+  }
+
+  double p50() const { return percentiles.percentile(50.0); }
+  double p99() const { return percentiles.percentile(99.0); }
+};
+
+/// One tenant's line in the contention report: contended latency percentiles
+/// against the tenant's isolated-run baseline, plus achieved bandwidth.
+struct TenantReport {
+  JobSpec spec;
+  std::uint64_t requests = 0;
+  common::ByteCount bytes = 0;
+  /// Contended-run latency percentiles (seconds).
+  double p50 = 0.0;
+  double p99 = 0.0;
+  /// Same tenant, same workload, cluster to itself (seconds).
+  double isolated_p50 = 0.0;
+  double isolated_p99 = 0.0;
+  /// Tenant bytes / contended makespan (MiB/s).
+  double bandwidth_mib_s = 0.0;
+
+  /// Contended / isolated latency ratio; 1.0 = no interference visible.
+  double slowdown_p50() const { return isolated_p50 > 0.0 ? p50 / isolated_p50 : 1.0; }
+  double slowdown_p99() const { return isolated_p99 > 0.0 ? p99 / isolated_p99 : 1.0; }
+};
+
+/// Jain's index over weight-normalised bandwidth (bandwidth_i / weight_i):
+/// with proportional sharing every normalised share is equal and the index
+/// is 1.0 regardless of the weight mix.
+double weighted_fairness(std::span<const TenantReport> tenants);
+
+/// stats_table()-style per-tenant report (header + one row per tenant).
+std::string tenant_table(std::span<const TenantReport> tenants);
+
+}  // namespace mha::qos

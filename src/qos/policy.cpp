@@ -1,0 +1,134 @@
+#include "qos/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qos/job_fair.hpp"
+#include "qos/size_fair.hpp"
+#include "qos/token_bucket.hpp"
+
+namespace mha::qos {
+
+const char* to_string(QosKind kind) {
+  switch (kind) {
+    case QosKind::kSizeFair:
+      return "size-fair";
+    case QosKind::kJobFair:
+      return "job-fair";
+    case QosKind::kTokenBucket:
+      return "token-bucket";
+  }
+  return "unknown";
+}
+
+std::vector<QosKind> all_qos_kinds() {
+  return {QosKind::kSizeFair, QosKind::kJobFair, QosKind::kTokenBucket};
+}
+
+std::unique_ptr<FairShareScheduler> make_qos_scheduler(QosKind kind, const JobTable& jobs) {
+  switch (kind) {
+    case QosKind::kSizeFair:
+      return std::make_unique<SizeFairScheduler>(jobs);
+    case QosKind::kJobFair:
+      return std::make_unique<JobFairScheduler>(jobs);
+    case QosKind::kTokenBucket:
+      return std::make_unique<TokenBucketScheduler>(jobs);
+  }
+  return std::make_unique<SizeFairScheduler>(jobs);
+}
+
+FairShareScheduler::FairShareScheduler(const JobTable& jobs) : jobs_(&jobs) {
+  // Size every per-job structure up front: the request path then never
+  // grows them (ensure_job only fires for jobs outside the table).
+  virtual_clock_.resize(std::max<std::size_t>(jobs.size(), 1), 0.0);
+  ledger_bytes_.resize(virtual_clock_.size(), 0);
+  ledger_requests_.resize(virtual_clock_.size(), 0);
+}
+
+void FairShareScheduler::ensure_job(common::JobId job) {
+  if (job < virtual_clock_.size()) return;
+  virtual_clock_.resize(job + 1, 0.0);
+  ledger_bytes_.resize(job + 1, 0);
+  ledger_requests_.resize(job + 1, 0);
+}
+
+common::ByteCount FairShareScheduler::consumed_bytes(common::JobId job) const {
+  return job < ledger_bytes_.size() ? ledger_bytes_[job] : 0;
+}
+
+std::uint64_t FairShareScheduler::consumed_requests(common::JobId job) const {
+  return job < ledger_requests_.size() ? ledger_requests_[job] : 0;
+}
+
+sched::DispatchResult FairShareScheduler::dispatch(const sched::ServerRow& row,
+                                                   std::span<const sim::SubRequest> subs,
+                                                   common::Seconds arrival) {
+  sched::DispatchResult result;
+  result.completion = arrival;
+  if (subs.empty()) return result;
+
+  // All sub-requests of one file request carry the same job stamp.
+  const common::JobId job = subs.front().job;
+  ensure_job(job);
+  common::ByteCount total = 0;
+  for (const sim::SubRequest& sub : subs) total += sub.bytes;
+
+  // Shaping hook: a token bucket may push the admission past `arrival`.
+  const common::Seconds admit = admission_time(job, total, arrival);
+  if (admit > arrival) ++metrics_.deferrals;
+
+  for (const sim::SubRequest& sub : subs) {
+    sim::ServerSim& server = row.server(sub.server);
+    metrics_.observe_backlog(sub.server, server.backlog(admit));
+    result.completion =
+        std::max(result.completion, server.submit(sub.op, sub.bytes, admit, sub.job));
+    ++result.sub_requests;
+  }
+  metrics_.subs += result.sub_requests;
+  // Latency is measured from the *true* arrival, so shaping delay shows up
+  // in the shaped job's own percentiles — isolation is not free for the
+  // tenant that exceeds its share.
+  metrics_.observe_request(result.completion - arrival);
+
+  virtual_clock_[job] += cost_units(total) / jobs_->weight(job);
+  ledger_bytes_[job] += total;
+  ledger_requests_[job] += 1;
+  return result;
+}
+
+std::vector<std::size_t> FairShareScheduler::plan(
+    const std::vector<common::Request>& batch) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (batch.size() < 2) return order;
+
+  common::JobId max_job = 0;
+  for (const common::Request& r : batch) max_job = std::max(max_job, r.job);
+  ensure_job(max_job);
+
+  // Tag each request with its virtual finish time: a per-job clock seeded
+  // from the persistent ledger and advanced by cost/weight per request in
+  // arrival order.  Sorting by tag interleaves jobs proportionally to their
+  // weights instead of letting a wide tenant occupy a whole prefix of the
+  // window.
+  plan_clock_.assign(virtual_clock_.begin(), virtual_clock_.end());
+  plan_tag_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const common::JobId job = batch[i].job;
+    plan_clock_[job] += cost_units(batch[i].size) / jobs_->weight(job);
+    plan_tag_[i] = plan_clock_[job];
+  }
+
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PriorityClass pa = jobs_->priority(batch[a].job);
+    const PriorityClass pb = jobs_->priority(batch[b].job);
+    if (pa != pb) return pa > pb;  // interactive > normal > batch
+    return plan_tag_[a] < plan_tag_[b];
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) ++metrics_.reorders;
+  }
+  return order;
+}
+
+}  // namespace mha::qos

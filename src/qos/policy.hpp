@@ -1,0 +1,116 @@
+// Fair-share scheduling policies: the QoS layer's sched::Scheduler family.
+//
+// Every policy here is a drop-in sched::Scheduler, so it composes with the
+// replayer, HybridPfs, the fault layer and any layout scheme exactly like
+// FCFS/load-aware/hedged do.  What changes is *whose* request goes first
+// when a congestion window holds work from several tenants, and (for the
+// token bucket) *when* a tenant's work is allowed to start:
+//
+//   SizeFairScheduler        - weighted fair queuing in *bytes*: within a
+//                              window, requests are ordered by a per-job
+//                              virtual byte clock, so every job drains
+//                              bytes/weight at the same rate (ThemisIO's
+//                              "size-fair").
+//   JobFairScheduler         - weighted fair queuing in *request slots*:
+//                              the virtual clock ticks once per request, so
+//                              every job gets the same number of service
+//                              opportunities per window regardless of how
+//                              many clients it runs or how big its requests
+//                              are (ThemisIO's "job-fair").
+//   TokenBucketScheduler     - weighted token buckets (token_bucket.hpp):
+//                              each job owns a bytes/s share of a configured
+//                              aggregate rate; work beyond the share is
+//                              admitted at a later virtual arrival time.
+//
+// All three order strictly by priority class first (interactive > normal >
+// batch) and apply fairness within the tier.  Ordering is deterministic:
+// stable sorts keyed on (tier, virtual tag) with the arrival index as the
+// final tie-break, so a multi-threaded bench grid replays byte-identically.
+//
+// FairShareScheduler is the shared base: it owns the job table reference,
+// the per-job consumed ledgers (bytes and request slots, both weighted),
+// and the virtual-clock plan() machinery; dispatch stays on the zero-alloc
+// path (flat vectors indexed by JobId, grown only when a new job first
+// appears).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "qos/job.hpp"
+#include "sched/scheduler.hpp"
+
+namespace mha::qos {
+
+/// The three shipped fair-share policies, in presentation order.
+enum class QosKind { kSizeFair = 0, kJobFair = 1, kTokenBucket = 2 };
+
+/// Human-readable policy name ("size-fair"/"job-fair"/"token-bucket").
+const char* to_string(QosKind kind);
+
+/// All policies in presentation order (for bench sweeps).
+std::vector<QosKind> all_qos_kinds();
+
+class FairShareScheduler;
+
+/// Factory with per-policy defaults.  `jobs` is borrowed and must outlive
+/// the scheduler (see size_fair.hpp / job_fair.hpp / token_bucket.hpp for
+/// tunable construction).
+std::unique_ptr<FairShareScheduler> make_qos_scheduler(QosKind kind, const JobTable& jobs);
+
+class FairShareScheduler : public sched::Scheduler {
+ public:
+  /// `jobs` is borrowed and must outlive the scheduler.
+  explicit FairShareScheduler(const JobTable& jobs);
+
+  using Scheduler::dispatch;
+  sched::DispatchResult dispatch(const sched::ServerRow& row,
+                                 std::span<const sim::SubRequest> subs,
+                                 common::Seconds arrival) override;
+
+  /// Weighted fair-queuing order: requests are tagged by a per-job virtual
+  /// clock seeded from the persistent consumed ledger and advanced by
+  /// tag_cost() per request, then stably sorted by (priority tier desc,
+  /// tag asc, arrival index asc).
+  std::vector<std::size_t> plan(const std::vector<common::Request>& batch) override;
+
+  const JobTable& jobs() const { return *jobs_; }
+
+  /// Cumulative raw (unweighted) consumption ledgers, for tests and reports.
+  common::ByteCount consumed_bytes(common::JobId job) const;
+  std::uint64_t consumed_requests(common::JobId job) const;
+
+ protected:
+  /// Virtual-clock advance for one request of `bytes`, in the policy's
+  /// fairness unit (bytes for size-fair, 1.0 per request for job-fair),
+  /// *before* weighting.
+  virtual double cost_units(common::ByteCount bytes) const = 0;
+
+  /// Hook for shaping policies: the virtual time the request may start
+  /// (default: `arrival`, i.e. no shaping).  `bytes` is the request total.
+  virtual common::Seconds admission_time(common::JobId job, common::ByteCount bytes,
+                                         common::Seconds arrival) {
+    (void)job;
+    (void)bytes;
+    return arrival;
+  }
+
+  /// Grows the per-job ledgers to cover `job` (amortised; steady state free).
+  void ensure_job(common::JobId job);
+
+  const JobTable* jobs_;
+  /// Per-job weighted virtual clock in tag units (persistent across windows:
+  /// least-attained-service first).
+  std::vector<double> virtual_clock_;
+  /// Raw consumption ledgers (unweighted), for observability.
+  std::vector<common::ByteCount> ledger_bytes_;
+  std::vector<std::uint64_t> ledger_requests_;
+
+ private:
+  /// plan() scratch, reused across windows.
+  std::vector<double> plan_clock_;
+  std::vector<double> plan_tag_;
+};
+
+}  // namespace mha::qos

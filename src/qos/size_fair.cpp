@@ -1,0 +1,9 @@
+#include "qos/size_fair.hpp"
+
+namespace mha::qos {
+
+std::unique_ptr<FairShareScheduler> make_size_fair(const JobTable& jobs) {
+  return std::make_unique<SizeFairScheduler>(jobs);
+}
+
+}  // namespace mha::qos

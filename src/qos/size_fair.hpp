@@ -1,0 +1,30 @@
+// Size-fair policy: weighted fair queuing in bytes.
+//
+// Each job's virtual clock advances by bytes/weight per request, so within
+// any congestion window jobs drain *byte* throughput proportionally to
+// their weights — the right notion of fairness when tenants issue
+// comparably-sized requests and "share" means bandwidth share (ThemisIO's
+// size-fair policy).  A tenant that issues few small requests is tagged far
+// ahead of a tenant pouring megabytes in, so the light tenant's requests
+// are admitted early instead of queuing behind the heavy tenant's bytes.
+#pragma once
+
+#include "qos/policy.hpp"
+
+namespace mha::qos {
+
+class SizeFairScheduler : public FairShareScheduler {
+ public:
+  explicit SizeFairScheduler(const JobTable& jobs) : FairShareScheduler(jobs) {}
+
+  std::string name() const override { return "size-fair"; }
+
+ protected:
+  double cost_units(common::ByteCount bytes) const override {
+    return static_cast<double>(bytes);
+  }
+};
+
+std::unique_ptr<FairShareScheduler> make_size_fair(const JobTable& jobs);
+
+}  // namespace mha::qos

@@ -1,0 +1,103 @@
+#include "qos/token_bucket.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mha::qos {
+
+TokenBucketScheduler::TokenBucketScheduler(const JobTable& jobs, TokenBucketOptions options)
+    : FairShareScheduler(jobs), options_(options) {
+  buckets_.resize(std::max<std::size_t>(jobs.size(), 1));
+}
+
+double TokenBucketScheduler::rate_of(common::JobId job) const {
+  const double total = jobs_->total_weight();
+  if (total <= 0.0) return options_.aggregate_bytes_per_s;
+  return options_.aggregate_bytes_per_s * jobs_->weight(job) / total;
+}
+
+double TokenBucketScheduler::tokens_of(common::JobId job) const {
+  return job < buckets_.size() ? buckets_[job].tokens : 0.0;
+}
+
+void TokenBucketScheduler::ensure_bucket(common::JobId job) {
+  if (job >= buckets_.size()) buckets_.resize(job + 1);
+}
+
+common::Seconds TokenBucketScheduler::draw(Bucket& bucket, double rate,
+                                           common::ByteCount bytes,
+                                           common::Seconds arrival) const {
+  if (rate <= 0.0 || bytes == 0) return arrival;
+  const double burst = rate * options_.burst_seconds;
+  if (!bucket.primed) {
+    bucket.tokens = burst;
+    bucket.last_refill = arrival;
+    bucket.primed = true;
+  }
+  if (arrival > bucket.last_refill) {
+    bucket.tokens = std::min(burst, bucket.tokens + (arrival - bucket.last_refill) * rate);
+    bucket.last_refill = arrival;
+  }
+  const double need = static_cast<double>(bytes);
+  if (bucket.tokens >= need) {
+    bucket.tokens -= need;
+    return arrival;
+  }
+  // Admission waits for the deficit to refill; at that instant the bucket
+  // is exactly empty.
+  const double deficit = need - bucket.tokens;
+  const common::Seconds admit = arrival + deficit / rate;
+  bucket.tokens = 0.0;
+  bucket.last_refill = admit;
+  return admit;
+}
+
+common::Seconds TokenBucketScheduler::admission_time(common::JobId job,
+                                                     common::ByteCount bytes,
+                                                     common::Seconds arrival) {
+  ensure_bucket(job);
+  return draw(buckets_[job], rate_of(job), bytes, arrival);
+}
+
+std::vector<std::size_t> TokenBucketScheduler::plan(
+    const std::vector<common::Request>& batch) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (batch.size() < 2) return order;
+
+  common::JobId max_job = 0;
+  for (const common::Request& r : batch) max_job = std::max(max_job, r.job);
+  ensure_bucket(max_job);
+
+  // Simulate the buckets over the window in arrival order to predict each
+  // request's admission time, then order by it (tier first): requests the
+  // bucket would defer sort behind every request it would admit now, so a
+  // throttled burst cannot head-of-line-block a well-behaved tenant on the
+  // server FCFS queues.  The authoritative bucket state only moves in
+  // dispatch; a plan is a pure look-ahead.
+  plan_buckets_.assign(buckets_.begin(), buckets_.end());
+  plan_admit_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const common::JobId job = batch[i].job;
+    plan_admit_[i] =
+        draw(plan_buckets_[job], rate_of(job), batch[i].size, batch[i].issue_time);
+  }
+
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PriorityClass pa = jobs_->priority(batch[a].job);
+    const PriorityClass pb = jobs_->priority(batch[b].job);
+    if (pa != pb) return pa > pb;
+    return plan_admit_[a] < plan_admit_[b];
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) ++metrics_.reorders;
+  }
+  return order;
+}
+
+std::unique_ptr<FairShareScheduler> make_token_bucket(const JobTable& jobs,
+                                                      TokenBucketOptions options) {
+  return std::make_unique<TokenBucketScheduler>(jobs, options);
+}
+
+}  // namespace mha::qos

@@ -1,0 +1,83 @@
+// Weighted token-bucket policy: rate *shaping*, not just reordering.
+//
+// The ordering-only policies (size-fair, job-fair) decide who goes first
+// inside a congestion window but still admit every byte the moment the
+// window opens — an aggressor past its share is delayed, never denied.  The
+// token bucket enforces the share itself: each job owns a bucket refilled
+// at `aggregate_bytes_per_s * weight / total_weight` and holding at most
+// `burst_seconds` worth of rate.  A request drains its bytes from the
+// bucket; when the bucket runs dry, the request's *virtual arrival* is
+// pushed to the instant the deficit refills, so the excess work hits the
+// server queues later and the well-behaved tenants' requests land in the
+// gap.  Because admission times move, the token bucket trades aggregate
+// utilisation for strict isolation — the classic QoS trade — and the bench
+// reports both sides of it.
+//
+// Within a window, plan() orders by simulated admission time (tier first),
+// so a throttled request never head-of-line-blocks an unthrottled one on
+// the server FCFS queues.  Latency is measured from the true arrival, so
+// shaping delay is charged to the shaped job's own percentiles.
+#pragma once
+
+#include "qos/policy.hpp"
+
+namespace mha::qos {
+
+struct TokenBucketOptions {
+  /// Aggregate shaped rate split between jobs by weight share.  The default
+  /// is roughly the simulated hybrid testbed's sequential capacity; benches
+  /// with bigger clusters should pass their own.
+  double aggregate_bytes_per_s = 512.0 * 1024 * 1024;
+  /// Bucket depth, in seconds of the job's own rate: bursts up to
+  /// rate * burst_seconds are admitted unshaped.
+  double burst_seconds = 0.05;
+};
+
+class TokenBucketScheduler : public FairShareScheduler {
+ public:
+  explicit TokenBucketScheduler(const JobTable& jobs, TokenBucketOptions options = {});
+
+  std::string name() const override { return "token-bucket"; }
+
+  std::vector<std::size_t> plan(const std::vector<common::Request>& batch) override;
+
+  /// The job's refill rate in bytes/s (weight share of the aggregate).
+  double rate_of(common::JobId job) const;
+  /// Tokens currently in the job's bucket (for tests).
+  double tokens_of(common::JobId job) const;
+
+ protected:
+  /// Fairness tag unit is bytes (the bucket is a byte meter); ordering
+  /// within a window is overridden by plan() below anyway.
+  double cost_units(common::ByteCount bytes) const override {
+    return static_cast<double>(bytes);
+  }
+
+  /// Drains `bytes` from the job's bucket; returns the shaped admission
+  /// time (== arrival while the bucket holds enough tokens).
+  common::Seconds admission_time(common::JobId job, common::ByteCount bytes,
+                                 common::Seconds arrival) override;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    common::Seconds last_refill = 0.0;
+    bool primed = false;  ///< first touch fills the bucket to burst depth
+  };
+
+  void ensure_bucket(common::JobId job);
+  /// Refill-and-drain against `bucket` (pure; plan() simulates on copies).
+  common::Seconds draw(Bucket& bucket, double rate, common::ByteCount bytes,
+                       common::Seconds arrival) const;
+
+  TokenBucketOptions options_;
+  std::vector<Bucket> buckets_;
+  /// plan() scratch: simulated bucket states + per-request admission tags.
+  std::vector<Bucket> plan_buckets_;
+  std::vector<double> plan_admit_;
+};
+
+std::unique_ptr<FairShareScheduler> make_token_bucket(const JobTable& jobs,
+                                                      TokenBucketOptions options = {});
+
+}  // namespace mha::qos

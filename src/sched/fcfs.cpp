@@ -13,7 +13,7 @@ DispatchResult FcfsScheduler::dispatch(const ServerRow& row,
     sim::ServerSim& server = row.server(sub.server);
     metrics_.observe_backlog(sub.server, server.backlog(arrival));
     result.completion =
-        std::max(result.completion, server.submit(sub.op, sub.bytes, arrival));
+        std::max(result.completion, server.submit(sub.op, sub.bytes, arrival, sub.job));
     ++result.sub_requests;
   }
   metrics_.subs += result.sub_requests;

@@ -52,9 +52,9 @@ DispatchResult HedgedReadScheduler::dispatch(const ServerRow& row,
           replica = s;
         }
       }
-      const sim::Charge primary_charge = primary.charge(sub.op, sub.bytes, arrival);
+      const sim::Charge primary_charge = primary.charge(sub.op, sub.bytes, arrival, sub.job);
       const sim::Charge replica_charge =
-          row.server(replica).charge(sub.op, sub.bytes, arrival);
+          row.server(replica).charge(sub.op, sub.bytes, arrival, sub.job);
       ++metrics_.hedges_issued;
       ++result.hedges;
       if (replica_charge.completion < primary_charge.completion) {
@@ -67,7 +67,7 @@ DispatchResult HedgedReadScheduler::dispatch(const ServerRow& row,
         done = primary_charge.completion;
       }
     } else {
-      done = primary.submit(sub.op, sub.bytes, arrival);
+      done = primary.submit(sub.op, sub.bytes, arrival, sub.job);
     }
 
     update_ewma(done - arrival);

@@ -74,7 +74,7 @@ DispatchResult LoadAwareScheduler::dispatch(const ServerRow& row,
       flagged_[sub.server] = breach;
     }
 
-    const common::Seconds done = server.submit(sub.op, sub.bytes, arrival);
+    const common::Seconds done = server.submit(sub.op, sub.bytes, arrival, sub.job);
     update_ewma(sub.op, done - arrival, sub.bytes);
     outstanding_[sub.server] += sub.bytes;
     ledger_.push_back({done, sub.server, sub.bytes});

@@ -13,6 +13,17 @@ void SchedulerMetrics::observe_backlog(std::size_t server, double seconds) {
   server_backlog_pcts[server].add(seconds);
 }
 
+void SchedulerMetrics::reserve(std::size_t expected_requests, std::size_t num_servers) {
+  request_latency_pcts.reserve(request_latency_pcts.count() + expected_requests);
+  if (server_backlog.size() < num_servers) {
+    server_backlog.resize(num_servers);
+    server_backlog_pcts.resize(num_servers);
+  }
+  for (auto& pcts : server_backlog_pcts) {
+    pcts.reserve(pcts.count() + expected_requests);
+  }
+}
+
 void SchedulerMetrics::observe_request(double latency_seconds) {
   ++requests;
   request_latency.add(latency_seconds);

@@ -37,6 +37,12 @@ struct SchedulerMetrics {
   void observe_backlog(std::size_t server, double seconds);
   void observe_request(double latency_seconds);
 
+  /// Pre-sizes the percentile stores for `expected_requests` more requests
+  /// against `num_servers` servers, so the observe_* calls on the dispatch
+  /// hot path never reallocate (additive: safe to call before every replay
+  /// that reuses a scheduler).
+  void reserve(std::size_t expected_requests, std::size_t num_servers);
+
   /// stats_table()-style report: decision counters, latency distribution,
   /// one queue-depth row per server.
   std::string table() const;

@@ -75,6 +75,12 @@ class Scheduler {
   const SchedulerMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = SchedulerMetrics{}; }
 
+  /// Pre-sizes the metrics' percentile stores so dispatch never reallocates
+  /// (the replayer calls this with the trace size before each replay).
+  void reserve_metrics(std::size_t expected_requests, std::size_t num_servers) {
+    metrics_.reserve(expected_requests, num_servers);
+  }
+
   /// stats_table()-style report of the policy's dispatch decisions.
   std::string stats_table() const { return metrics_.table(); }
 

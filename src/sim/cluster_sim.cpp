@@ -18,7 +18,7 @@ common::Seconds ClusterSim::submit(const std::vector<SubRequest>& subs,
                                    common::Seconds arrival) {
   common::Seconds completion = arrival;
   for (const SubRequest& sub : subs) {
-    completion = std::max(completion, servers_[sub.server].submit(sub.op, sub.bytes, arrival));
+    completion = std::max(completion, servers_[sub.server].submit(sub.op, sub.bytes, arrival, sub.job));
   }
   return completion;
 }

@@ -29,6 +29,8 @@ struct SubRequest {
   std::size_t server = 0;
   common::OpType op = common::OpType::kRead;
   common::ByteCount bytes = 0;
+  /// Owning tenant job; selects the per-job accounting row on the server.
+  common::JobId job = common::kDefaultJob;
 };
 
 class ClusterSim {
@@ -53,7 +55,7 @@ class ClusterSim {
   /// completion — the caller may ignore the returned receipt (fire-and-forget
   /// duplicates) or try_cancel() it on the target server (hedged reads).
   Charge submit_detached(const SubRequest& sub, common::Seconds arrival) {
-    return servers_[sub.server].charge(sub.op, sub.bytes, arrival);
+    return servers_[sub.server].charge(sub.op, sub.bytes, arrival, sub.job);
   }
 
   /// Completion time `sub` would get if submitted at `arrival`, without

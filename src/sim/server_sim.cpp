@@ -28,10 +28,11 @@ common::Seconds ServerSim::predict(common::OpType op, common::ByteCount bytes,
 }
 
 Charge ServerSim::charge(common::OpType op, common::ByteCount bytes,
-                         common::Seconds arrival) {
+                         common::Seconds arrival, common::JobId job) {
   Charge c;
   c.op = op;
   c.bytes = bytes;
+  c.job = job;
   if (bytes == 0) {
     c.start = c.completion = arrival;
     c.prev_next_free = next_free_;
@@ -66,12 +67,24 @@ Charge ServerSim::charge(common::OpType op, common::ByteCount bytes,
   }
   stats_.busy_time += c.service;
   stats_.queue_wait += c.wait;
+
+  // Per-job accounting row (grown once per new job, never in steady state).
+  if (job >= job_stats_.size()) job_stats_.resize(job + 1);
+  JobServerStats& row = job_stats_[job];
+  ++row.sub_requests;
+  if (op == common::OpType::kRead) {
+    row.bytes_read += bytes;
+  } else {
+    row.bytes_written += bytes;
+  }
+  row.busy_time += c.service;
+  row.queue_wait += c.wait;
   return c;
 }
 
 common::Seconds ServerSim::submit(common::OpType op, common::ByteCount bytes,
-                                  common::Seconds arrival) {
-  return charge(op, bytes, arrival).completion;
+                                  common::Seconds arrival, common::JobId job) {
+  return charge(op, bytes, arrival, job).completion;
 }
 
 bool ServerSim::try_cancel(const Charge& c) {
@@ -88,6 +101,19 @@ bool ServerSim::try_cancel(const Charge& c) {
   }
   stats_.busy_time -= c.service;
   stats_.queue_wait -= c.wait;
+  // The job row must release the cancelled charge too, or a lost hedge would
+  // leave phantom per-tenant usage behind (the accounting twin of the queue
+  // rewind above).
+  if (c.job >= job_stats_.size()) return true;  // rows cleared since (reset_stats)
+  JobServerStats& row = job_stats_[c.job];
+  --row.sub_requests;
+  if (c.op == common::OpType::kRead) {
+    row.bytes_read -= c.bytes;
+  } else {
+    row.bytes_written -= c.bytes;
+  }
+  row.busy_time -= c.service;
+  row.queue_wait -= c.wait;
   return true;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 #include "sim/device.hpp"
@@ -30,6 +31,20 @@ struct ServerStats {
   common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
 };
 
+/// One per-job accounting row of a server queue: the share of this server's
+/// admitted work owned by a single tenant job.  Rows are created on first
+/// touch and reconcile exactly with ServerStats (summing every row's field
+/// equals the aggregate), including across try_cancel().
+struct JobServerStats {
+  std::uint64_t sub_requests = 0;
+  common::ByteCount bytes_read = 0;
+  common::ByteCount bytes_written = 0;
+  common::Seconds busy_time = 0.0;
+  common::Seconds queue_wait = 0.0;
+
+  common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
+};
+
 /// Receipt for one accepted sub-request, enough to undo it.  A hedged read
 /// holds the receipts of both copies and cancels the loser's.
 struct Charge {
@@ -39,6 +54,7 @@ struct Charge {
   common::Seconds wait = 0.0;  ///< start - arrival (time spent queued)
   common::OpType op = common::OpType::kRead;
   common::ByteCount bytes = 0;
+  common::JobId job = common::kDefaultJob;  ///< accounting row the charge landed in
   /// Queue drain time before this charge (restored on cancel).
   common::Seconds prev_next_free = 0.0;
   /// Server-local admission sequence number; only the newest charge on a
@@ -57,12 +73,15 @@ class ServerSim {
 
   /// Admits one sub-request of `bytes` arriving at virtual time `arrival`;
   /// returns its completion time and advances the queue.  `bytes == 0`
-  /// completes immediately at `arrival`.
-  common::Seconds submit(common::OpType op, common::ByteCount bytes, common::Seconds arrival);
+  /// completes immediately at `arrival`.  `job` selects the per-job
+  /// accounting row the charge lands in (default: the single-tenant job 0).
+  common::Seconds submit(common::OpType op, common::ByteCount bytes, common::Seconds arrival,
+                         common::JobId job = common::kDefaultJob);
 
   /// Like submit(), but returns the full receipt so the caller can later
   /// try_cancel() it (hedged duplicates).
-  Charge charge(common::OpType op, common::ByteCount bytes, common::Seconds arrival);
+  Charge charge(common::OpType op, common::ByteCount bytes, common::Seconds arrival,
+                common::JobId job = common::kDefaultJob);
 
   /// Undoes `c` — rewinds the queue and the stats — provided no later charge
   /// was admitted (LIFO cancellation, the only case a hedger needs).
@@ -86,7 +105,19 @@ class ServerSim {
   }
 
   const ServerStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = ServerStats{}; }
+  void reset_stats() {
+    stats_ = ServerStats{};
+    job_stats_.clear();
+  }
+
+  /// Per-job accounting rows, indexed by JobId; rows exist for every job id
+  /// up to the highest this server has ever been charged for.  Jobs never
+  /// seen read as empty rows via job_stats(job).
+  const std::vector<JobServerStats>& job_stats() const { return job_stats_; }
+  const JobServerStats& job_stats(common::JobId job) const {
+    static const JobServerStats kEmpty;
+    return job < job_stats_.size() ? job_stats_[job] : kEmpty;
+  }
 
   /// Rewinds the queue to empty at time 0 (stats untouched).
   void reset_clock() { next_free_ = 0.0; }
@@ -109,6 +140,9 @@ class ServerSim {
   common::Seconds next_free_ = 0.0;
   std::uint64_t seq_ = 0;
   ServerStats stats_;
+  /// Per-job accounting rows (index == JobId); grown on first touch of a new
+  /// job, so the steady-state request path never allocates here.
+  std::vector<JobServerStats> job_stats_;
   const FaultHook* fault_hook_ = nullptr;
   std::size_t fault_index_ = 0;
 };

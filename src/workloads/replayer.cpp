@@ -92,6 +92,17 @@ class FaultGuard {
   pfs::HybridPfs& pfs_;
 };
 
+/// Restores the PFS to the default job on every exit path, so a multi-tenant
+/// replay never leaves its last tenant's stamp on later single-tenant work.
+class JobGuard {
+ public:
+  explicit JobGuard(pfs::HybridPfs& pfs) : pfs_(pfs) {}
+  ~JobGuard() { pfs_.set_active_job(common::kDefaultJob); }
+
+ private:
+  pfs::HybridPfs& pfs_;
+};
+
 }  // namespace
 
 common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
@@ -102,6 +113,10 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
   const int world = world_size_of(trace);
   SchedulerGuard scheduler_guard(pfs, options.scheduler);
   FaultGuard fault_guard(pfs, options.fault_context);
+  JobGuard job_guard(pfs);
+  if (options.scheduler != nullptr) {
+    options.scheduler->reserve_metrics(trace.records.size(), pfs.num_servers());
+  }
   io::MpiSim mpi(world);
   auto file = io::MpiFile::open(pfs, mpi, deployment.file_name);
   if (!file.is_ok()) return file.status();
@@ -121,8 +136,25 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
   common::Percentiles latency_pcts;
   latency_pcts.reserve(trace.records.size());
 
+  if (options.jobs != nullptr) {
+    // Pre-count each tenant's requests so the per-tenant percentile stores
+    // never grow on the request path (same zero-alloc contract as the
+    // aggregate collector above).
+    result.tenants.resize(std::max<std::size_t>(options.jobs->size(), 1));
+    std::vector<std::size_t> per_job(result.tenants.size(), 0);
+    for (const trace::TraceRecord& r : trace.records) {
+      ++per_job[options.jobs->job_of_rank(r.rank)];
+    }
+    for (std::size_t j = 0; j < per_job.size(); ++j) {
+      result.tenants[j].percentiles.reserve(per_job[j]);
+    }
+  }
+
   auto issue = [&](const trace::TraceRecord& r) -> common::Status {
     buffer.resize(r.size);
+    const common::JobId job =
+        options.jobs != nullptr ? options.jobs->job_of_rank(r.rank) : common::kDefaultJob;
+    if (options.jobs != nullptr) pfs.set_active_job(job);
     common::Seconds duration = 0.0;
     if (r.op == common::OpType::kWrite) {
       if (fill_payload) {
@@ -142,6 +174,7 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
     }
     result.request_latency.add(duration);
     latency_pcts.add(duration);
+    if (!result.tenants.empty()) result.tenants[job].observe(duration, r.size);
     ++result.requests;
     return common::Status::ok();
   };
@@ -161,8 +194,10 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
         std::vector<common::Request> batch;
         batch.reserve(group.size());
         for (const trace::TraceRecord* r : group) {
-          batch.push_back(
-              common::Request{r->rank, r->op, r->offset, r->size, r->t_start});
+          batch.push_back(common::Request{
+              r->rank, r->op, r->offset, r->size, r->t_start,
+              options.jobs != nullptr ? options.jobs->job_of_rank(r->rank)
+                                      : common::kDefaultJob});
         }
         order = options.scheduler->plan(batch);
       }

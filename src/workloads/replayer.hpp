@@ -23,6 +23,8 @@
 #include "common/stats.hpp"
 #include "layouts/scheme.hpp"
 #include "pfs/file_system.hpp"
+#include "qos/job.hpp"
+#include "qos/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/server_sim.hpp"
 #include "trace/record.hpp"
@@ -49,6 +51,12 @@ struct ReplayOptions {
   /// crashes/brownouts/transients hit this replay's requests and every
   /// retry/degraded-read/redo decision lands in the context's FaultMetrics.
   fault::FaultContext* fault_context = nullptr;
+  /// Tenant registry (borrowed; null replays single-tenant).  When attached,
+  /// every request is stamped with its issuing rank's job before dispatch —
+  /// so per-job rows accumulate in the ServerSims and fair-share schedulers
+  /// see real job identities — and the result carries per-tenant latency
+  /// collectors alongside the aggregate ones.
+  const qos::JobTable* jobs = nullptr;
 };
 
 struct ReplayResult {
@@ -68,6 +76,9 @@ struct ReplayResult {
   double latency_p99 = 0.0;
   /// Snapshot of the scheduler's decision counters when one was attached.
   sched::SchedulerMetrics scheduler_metrics;
+  /// Per-tenant latency/byte collectors, indexed by JobId; filled only when
+  /// options.jobs was attached (size == jobs->size()).
+  std::vector<qos::TenantLatency> tenants;
 
   common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
 };

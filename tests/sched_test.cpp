@@ -248,6 +248,41 @@ TEST(HedgedReadScheduler, LostHedgeCancelsReplicaCharge) {
   EXPECT_EQ(row.server(0).stats().sub_requests, 1u);
 }
 
+TEST(HedgedReadScheduler, CancelledHedgeReleasesFullServerCharge) {
+  // A cancelled hedge must roll back *all* of the loser's accounting — not
+  // just the queue clock but every ServerStats field and the per-job row —
+  // or per-server/per-tenant reports would show phantom load.
+  HedgedReadOptions options;
+  options.warmup_subs = 0;  // zero-sample threshold is 0: everything hedges
+  HedgedReadScheduler hedged(options);
+  sim::ClusterSim cluster(tiny_cluster(1, 1));
+  const ServerRow row = ServerRow::from(cluster);
+
+  const common::JobId job = 3;
+  const DispatchResult result = hedged.dispatch(row, {{0, OpType::kRead, 1000, job}}, 0.0);
+  ASSERT_EQ(result.hedges, 1u);
+  ASSERT_EQ(hedged.metrics().hedges_won, 1u);  // SSD replica wins on this rig
+
+  // Loser (the HServer primary): aggregate stats fully released...
+  const sim::ServerStats& lost = row.server(0).stats();
+  EXPECT_EQ(lost.sub_requests, 0u);
+  EXPECT_EQ(lost.bytes_read, 0u);
+  EXPECT_DOUBLE_EQ(lost.busy_time, 0.0);
+  EXPECT_DOUBLE_EQ(lost.queue_wait, 0.0);
+  // ...and the job's accounting row with them.
+  const sim::JobServerStats& lost_job = row.server(0).job_stats(job);
+  EXPECT_EQ(lost_job.sub_requests, 0u);
+  EXPECT_EQ(lost_job.bytes_read, 0u);
+  EXPECT_DOUBLE_EQ(lost_job.busy_time, 0.0);
+  EXPECT_DOUBLE_EQ(lost_job.queue_wait, 0.0);
+
+  // Winner: exactly one charge, attributed to the stamped job.
+  EXPECT_EQ(row.server(1).stats().sub_requests, 1u);
+  const sim::JobServerStats& won_job = row.server(1).job_stats(job);
+  EXPECT_EQ(won_job.sub_requests, 1u);
+  EXPECT_EQ(won_job.bytes_read, 1000u);
+}
+
 TEST(HedgedReadScheduler, OnlySmallHserverReadsAreHedged) {
   HedgedReadOptions options;
   options.warmup_subs = 0;
@@ -359,6 +394,32 @@ TEST(SchedulerReplay, FcfsSchedulerReproducesSchedulerlessReplay) {
   EXPECT_DOUBLE_EQ(scheduled->latency_p99, baseline->latency_p99);
   EXPECT_EQ(scheduled->requests, baseline->requests);
   EXPECT_EQ(fcfs.metrics().requests, baseline->requests);
+}
+
+TEST(SchedulerReplay, HedgedReplayConservesChargedBytes) {
+  // End-to-end conservation: with cancelled hedges released, every read
+  // byte of the trace is charged to exactly one server — the summed server
+  // stats match the replay's byte count even though many requests were
+  // double-charged transiently.
+  const trace::Trace trace = skewed_trace(OpType::kRead);
+  common::ByteCount trace_bytes = 0;
+  for (const trace::TraceRecord& r : trace.records) trace_bytes += r.size;
+
+  HedgedReadOptions hedge_options;
+  hedge_options.warmup_subs = 0;
+  hedge_options.straggler_k = -1e9;  // hedge every eligible read
+  HedgedReadScheduler hedged(hedge_options);
+  workloads::ReplayOptions options;
+  options.scheduler = &hedged;
+  auto scheme = layouts::make_def();
+  auto result = workloads::run_scheme(*scheme, tiny_cluster(2, 1), trace, options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_GT(hedged.metrics().hedges_issued, 0u);
+
+  EXPECT_EQ(result->bytes_read, trace_bytes);
+  common::ByteCount charged = 0;
+  for (const sim::ServerStats& st : result->server_stats) charged += st.bytes_total();
+  EXPECT_EQ(charged, trace_bytes);
 }
 
 TEST(SchedulerReplay, HedgedReplayPreservesDataIntegrity) {
