@@ -1,0 +1,136 @@
+// Extension bench: overload resilience under chaos — does the guard turn a
+// goodput collapse into graceful degradation?
+//
+// Sweeps the chaos cell's offered-load multiplier through and past
+// saturation (every HServer browns out for good shortly after start, two of
+// them also drop sub-requests).  Each load runs twice on identical worlds:
+// *naive* (no guard; the per-tier completion allowances are accounting
+// only) and *guarded* (admission gate shedding batch first, per-server
+// circuit breakers rerouting reads off the browned HServers, a retry-token
+// budget, and deadline-propagated sibling cancellation).
+//
+// Expected shape: naive goodput collapses as load grows — every byte is
+// still delivered, but late, so the on-time fraction goes to zero while
+// queues stretch the makespan.  Guarded goodput stays near the low-load
+// plateau: batch traffic is shed at admission (≥90% of all shed requests),
+// interactive reads ride the SServers, and abandoned work is cancelled
+// before it loads the servers.  The acceptance gates at the bottom encode
+// exactly that contrast and fail the binary (non-zero exit) if it breaks.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "guard/chaos.hpp"
+
+using namespace mha;
+
+namespace {
+
+struct TimedCell {
+  guard::ChaosCellResult cell;
+  double wall = 0.0;
+  bool ok = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init("ext_overload", argc, argv);
+  std::printf("=== Extension: overload resilience (naive vs guarded) under chaos ===\n");
+  const auto allowances = guard::chaos_allowances();
+  std::printf("chaos: all 6 HServers brown out at t=0.02s (x6 service) and never "
+              "recover; S1/S4 drop 25%% of sub-requests\n");
+  std::printf("allowances: batch=%.2fs normal=%.2fs interactive=%.2fs (goodput = "
+              "on-time bytes / makespan)\n\n",
+              allowances[guard::kTierBatch], allowances[guard::kTierNormal],
+              allowances[guard::kTierInteractive]);
+
+  const std::vector<double> loads = {0.5, 1.0, 1.5, 2.0, 3.0};
+
+  // Two independent worlds per load (naive, guarded); cells land by index,
+  // so the sweep is thread-count invariant.
+  auto cells = exec::default_pool().parallel_map(loads.size() * 2, [&](std::size_t i) {
+    guard::ChaosOptions options;
+    options.scale = bench::options().scale;
+    options.load = loads[i / 2];
+    options.guarded = (i % 2) == 1;
+    const double start = bench::wall_now();
+    TimedCell timed;
+    auto cell = guard::run_chaos_cell(options);
+    timed.wall = bench::wall_now() - start;
+    if (!cell.is_ok()) {
+      std::fprintf(stderr, "[ext_overload] load=%.1f %s failed: %s\n", options.load,
+                   options.guarded ? "guarded" : "naive",
+                   cell.status().to_string().c_str());
+      return timed;
+    }
+    timed.cell = std::move(*cell);
+    timed.ok = true;
+    return timed;
+  });
+
+  std::printf("%-6s | %10s %10s %8s | %10s %10s %8s %8s %6s\n", "load",
+              "naiveMiB/s", "good", "late", "guardMiB/s", "good", "shed", "batch%",
+              "fail");
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const TimedCell& naive = cells[l * 2];
+    const TimedCell& guarded = cells[l * 2 + 1];
+    if (!naive.ok || !guarded.ok) continue;
+    const double batch_share =
+        guarded.cell.shed > 0
+            ? 100.0 * static_cast<double>(guarded.cell.shed_by_tier[guard::kTierBatch]) /
+                  static_cast<double>(guarded.cell.shed)
+            : 0.0;
+    std::printf("%-6.1f | %10.1f %10.1f %8zu | %10.1f %10.1f %8zu %7.1f%% %6zu\n",
+                loads[l], naive.cell.throughput_mib_s, naive.cell.goodput_mib_s,
+                naive.cell.late, guarded.cell.throughput_mib_s,
+                guarded.cell.goodput_mib_s, guarded.cell.shed, batch_share,
+                guarded.cell.failed);
+    bench::report().add(l * 2 + 0,
+                        bench::CellRecord{"load " + std::to_string(loads[l]), "naive",
+                                          naive.wall, naive.cell.makespan,
+                                          naive.cell.goodput_mib_s});
+    bench::report().add(l * 2 + 1,
+                        bench::CellRecord{"load " + std::to_string(loads[l]), "guarded",
+                                          guarded.wall, guarded.cell.makespan,
+                                          guarded.cell.goodput_mib_s});
+  }
+
+  // The detailed exhibit: what the guard decided at the top load.
+  const TimedCell& top = cells[cells.size() - 1];
+  if (top.ok) {
+    std::printf("\nguard ledger at load %.1f:\n%s", loads.back(),
+                top.cell.guard_metrics.table().c_str());
+  }
+
+  // Acceptance gates — the graceful-degradation contract, enforced.
+  int failures = 0;
+  const TimedCell& naive_low = cells[0];
+  const TimedCell& naive_top = cells[cells.size() - 2];
+  const TimedCell& guard_low = cells[1];
+  const TimedCell& guard_top = cells[cells.size() - 1];
+  if (naive_low.ok && naive_top.ok && guard_low.ok && guard_top.ok) {
+    const double plateau = guard_low.cell.goodput_mib_s;
+    const bool collapse =
+        naive_top.cell.goodput_mib_s < 0.5 * naive_low.cell.goodput_mib_s;
+    const bool graceful = guard_top.cell.goodput_mib_s >= 0.8 * plateau;
+    const double batch_share =
+        guard_top.cell.shed > 0
+            ? static_cast<double>(guard_top.cell.shed_by_tier[guard::kTierBatch]) /
+                  static_cast<double>(guard_top.cell.shed)
+            : 0.0;
+    const bool shed_ordered = guard_top.cell.shed > 0 && batch_share >= 0.9;
+    std::printf("\nacceptance:\n");
+    std::printf("  naive collapse   (top < 0.5x low-load goodput): %.1f vs %.1f -> %s\n",
+                naive_top.cell.goodput_mib_s, naive_low.cell.goodput_mib_s,
+                collapse ? "PASS" : "FAIL");
+    std::printf("  guarded graceful (top >= 0.8x plateau):         %.1f vs %.1f -> %s\n",
+                guard_top.cell.goodput_mib_s, plateau, graceful ? "PASS" : "FAIL");
+    std::printf("  shed order       (>= 90%% batch tier):           %.1f%% of %zu -> %s\n",
+                100.0 * batch_share, guard_top.cell.shed, shed_ordered ? "PASS" : "FAIL");
+    failures += !collapse + !graceful + !shed_ordered;
+  } else {
+    std::fprintf(stderr, "[ext_overload] acceptance cells missing\n");
+    ++failures;
+  }
+  return bench::finish(failures == 0 ? 0 : 1);
+}

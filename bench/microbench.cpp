@@ -20,11 +20,13 @@
 #include "bench_common.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "common/alloc_counter.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/redirector.hpp"
+#include "guard/guard.hpp"
 #include "io/mpi_file.hpp"
 #include "pfs/extent_store.hpp"
 #include "qos/job.hpp"
@@ -197,6 +199,37 @@ int main(int argc, char** argv) {
                 requests);
     world.pfs.set_scheduler(nullptr);
     world.pfs.set_active_job(common::kDefaultJob);
+  }
+  {
+    // Guarded request path: an OverloadGuard attached and an enforced
+    // end-to-end deadline route every sub-request through the admission
+    // gate, breaker bookkeeping, and cancellation receipts — all of which
+    // must stay allocation-free once the flat per-server state is warm.
+    guard::GuardOptions options;
+    options.shed_backlog = {std::numeric_limits<double>::infinity(),
+                            std::numeric_limits<double>::infinity(),
+                            std::numeric_limits<double>::infinity()};
+    RequestWorld world(4_MiB, 1_MiB);
+    guard::OverloadGuard overload_guard(world.pfs.num_servers(), options);
+    world.pfs.set_guard(&overload_guard);
+    world.pfs.set_active_deadline(1e9);  // enforced, never missed
+    std::vector<std::uint8_t> buffer(64_KiB, 0x99);
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {  // warm-up
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+      (void)world.file->read_at(0, pos, buffer.data(), buffer.size());
+    }
+    common::AllocationScope scope;
+    std::size_t requests = 0;
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {
+      (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
+      (void)world.file->read_at(0, pos, buffer.data(), buffer.size());
+      requests += 2;
+    }
+    std::printf("steady-state allocs/request (guarded, deadline enforced): %.2f over %zu requests\n",
+                static_cast<double>(scope.allocations()) / static_cast<double>(requests),
+                requests);
+    world.pfs.set_guard(nullptr);
+    world.pfs.set_active_deadline(std::numeric_limits<double>::infinity());
   }
 
   // ----------------------------------------------------------------- timed

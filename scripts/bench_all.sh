@@ -36,6 +36,7 @@ benches=(
   ext_scheduler
   ext_fault
   ext_multitenant
+  ext_overload
 )
 
 for bench in "${benches[@]}"; do

@@ -22,6 +22,9 @@ enum class ErrorCode {
   kCorruption,
   kFailedPrecondition,
   kUnavailable,
+  /// Load was shed before any server was charged (admission gate / retry
+  /// tokens); callers should fast-fail or back off, not retry immediately.
+  kOverloaded,
 };
 
 /// Human-readable name of an error code.
@@ -36,6 +39,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kCorruption: return "corruption";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
     case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -56,6 +60,7 @@ class [[nodiscard]] Status {
   static Status corruption(std::string m) { return {ErrorCode::kCorruption, std::move(m)}; }
   static Status failed_precondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
   static Status unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
+  static Status overloaded(std::string m) { return {ErrorCode::kOverloaded, std::move(m)}; }
 
   bool is_ok() const { return code_ == ErrorCode::kOk; }
   explicit operator bool() const { return is_ok(); }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace mha::common {
@@ -56,6 +57,10 @@ struct Request {
   Seconds issue_time = 0.0;
   /// Owning tenant job (kDefaultJob when no job table is attached).
   JobId job = kDefaultJob;
+  /// End-to-end completion deadline (virtual seconds); work still pending
+  /// past this instant is abandoned and its sibling charges cancelled.
+  /// Infinity — the default — disables enforcement.
+  Seconds deadline = std::numeric_limits<double>::infinity();
 
   friend bool operator==(const Request&, const Request&) = default;
 };

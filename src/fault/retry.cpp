@@ -8,8 +8,17 @@ namespace mha::fault {
 common::Seconds backoff_delay(const RetryPolicy& policy, std::size_t attempt,
                               common::Rng& rng) {
   if (attempt == 0) attempt = 1;
-  const double exponent = static_cast<double>(attempt - 1);
-  common::Seconds delay = policy.base_backoff * std::pow(policy.multiplier, exponent);
+  // Iterative doubling with an early stop instead of pow(): for large
+  // attempt counts multiplier^(attempt-1) overflows to inf — and with
+  // base_backoff == 0 the product 0 * inf is NaN, which survives the min()
+  // cap and poisons every downstream virtual-time sum.  The running product
+  // stops growing the moment it clears the cap, so no intermediate can
+  // overflow (for the default multiplier 2.0 this is bit-identical to the
+  // pow() form on every in-range attempt).
+  common::Seconds delay = policy.base_backoff;
+  for (std::size_t i = 1; i < attempt && delay < policy.max_backoff; ++i) {
+    delay *= policy.multiplier;
+  }
   delay = std::min(delay, policy.max_backoff);
   if (policy.jitter > 0.0) {
     const double u = 2.0 * rng.next_double() - 1.0;  // [-1, 1)

@@ -1,0 +1,120 @@
+#include "guard/breaker.hpp"
+
+#include <algorithm>
+
+namespace mha::guard {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  options_.window = std::clamp<std::size_t>(options_.window, 1, 64);
+  options_.close_after = std::max<std::size_t>(options_.close_after, 1);
+}
+
+double CircuitBreaker::failure_rate() const {
+  if (outcome_count_ < options_.min_samples) return 0.0;
+  return static_cast<double>(failures_) / static_cast<double>(outcome_count_);
+}
+
+void CircuitBreaker::push_outcome(bool failure) {
+  const std::uint64_t bit = 1ULL << outcome_head_;
+  if (outcome_count_ == options_.window) {
+    // Ring is full: the slot being overwritten leaves the window.
+    if (outcome_bits_ & bit) --failures_;
+  } else {
+    ++outcome_count_;
+  }
+  if (failure) {
+    outcome_bits_ |= bit;
+    ++failures_;
+  } else {
+    outcome_bits_ &= ~bit;
+  }
+  outcome_head_ = (outcome_head_ + 1) % options_.window;
+}
+
+void CircuitBreaker::open(common::Seconds now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  probe_successes_ = 0;
+  ++counters_.opens;
+}
+
+void CircuitBreaker::close() {
+  state_ = BreakerState::kClosed;
+  // Fresh start: the window that condemned the server is stale evidence
+  // once the probes proved it healthy, and the backlog estimate re-learns
+  // from post-recovery observations.
+  outcome_bits_ = 0;
+  outcome_count_ = 0;
+  outcome_head_ = 0;
+  failures_ = 0;
+  backlog_ewma_ = 0.0;
+  backlog_init_ = false;
+  ++counters_.closes;
+}
+
+bool CircuitBreaker::allow(common::Seconds now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < opened_at_ + options_.open_cooldown) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_successes_ = 0;
+      ++counters_.half_opens;
+      // First probe goes out immediately.
+      last_probe_ = now;
+      ++counters_.probes;
+      return true;
+    case BreakerState::kHalfOpen:
+      if (now < last_probe_ + options_.probe_interval) return false;
+      last_probe_ = now;
+      ++counters_.probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record(common::Seconds now, bool success) {
+  if (state_ == BreakerState::kHalfOpen) {
+    if (!success) {
+      // A failed probe condemns the server for another full cooldown.
+      open(now);
+      return;
+    }
+    if (++probe_successes_ >= options_.close_after) close();
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // rejected traffic records nothing
+  push_outcome(!success);
+  if (outcome_count_ >= options_.min_samples &&
+      failure_rate() >= options_.failure_threshold) {
+    open(now);
+  }
+}
+
+void CircuitBreaker::observe_backlog(common::Seconds now, common::Seconds backlog) {
+  if (!backlog_init_) {
+    backlog_ewma_ = backlog;
+    backlog_init_ = true;
+  } else {
+    backlog_ewma_ += options_.backlog_alpha * (backlog - backlog_ewma_);
+  }
+  // The brownout detector: a browned-out server completes everything it is
+  // given, just slowly, so the failure window never trips — but its queue
+  // visibly stops draining.
+  if (state_ == BreakerState::kClosed && options_.backlog_unhealthy > 0.0 &&
+      backlog_ewma_ >= options_.backlog_unhealthy) {
+    open(now);
+  }
+}
+
+}  // namespace mha::guard

@@ -1,0 +1,120 @@
+// Per-server circuit breaker: closed / open / half-open.
+//
+// A browned-out or flapping server keeps hurting every request routed at it
+// long after the first failure — the client should stop asking.  Each server
+// gets one CircuitBreaker fed from the dispatch path with two health
+// signals:
+//
+//   * a rolling window of sub-request outcomes (success / failure), opening
+//     the breaker when the windowed failure rate crosses a threshold, and
+//   * an EWMA of the server's queue backlog, opening it when the smoothed
+//     backlog crosses `backlog_unhealthy` — the brownout detector: a
+//     browned-out server *succeeds*, just slowly, so failure counting alone
+//     never trips.
+//
+// State machine (the classic shape, Nygard's "Release It!"):
+//
+//            failure rate / backlog over threshold
+//   CLOSED ------------------------------------------> OPEN
+//     ^                                                  |
+//     | close_after consecutive                          | open_cooldown
+//     | probe successes                                  | elapsed
+//     |                                                  v
+//     +--------------------------------------------- HALF-OPEN
+//            (any probe failure reopens)
+//
+// While OPEN, allow() admits nothing.  While HALF-OPEN, allow() admits one
+// probe per `probe_interval` of virtual time; everything between probes is
+// rejected.  All transitions are driven by the virtual clock the caller
+// passes in, so breaker schedules are exactly reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mha::guard {
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* to_string(BreakerState state);
+
+struct BreakerOptions {
+  /// Rolling outcome window (bitmask ring; at most 64).
+  std::size_t window = 32;
+  /// Outcomes required before the failure rate is trusted.
+  std::size_t min_samples = 8;
+  /// Open when windowed failures / samples >= this.
+  double failure_threshold = 0.5;
+  /// EWMA smoothing for the backlog health signal.
+  double backlog_alpha = 0.3;
+  /// Open when the smoothed backlog exceeds this many virtual seconds
+  /// (<= 0 disables the backlog detector).
+  common::Seconds backlog_unhealthy = 0.0;
+  /// OPEN holds at least this long before the first probe.
+  common::Seconds open_cooldown = 0.2;
+  /// HALF-OPEN admits one probe per this interval.
+  common::Seconds probe_interval = 0.02;
+  /// Consecutive probe successes required to close.
+  std::size_t close_after = 3;
+};
+
+/// Per-breaker transition/probe counters (summed into GuardMetrics).
+struct BreakerCounters {
+  std::uint64_t opens = 0;
+  std::uint64_t half_opens = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t probes = 0;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  BreakerState state() const { return state_; }
+  const BreakerCounters& counters() const { return counters_; }
+  double smoothed_backlog() const { return backlog_ewma_; }
+
+  /// Windowed failure rate (0 while under min_samples).
+  double failure_rate() const;
+
+  /// May a request be admitted to this server at virtual time `now`?
+  /// Mutating: performs the OPEN -> HALF-OPEN transition when the cooldown
+  /// has elapsed and consumes the half-open probe slot it grants.
+  bool allow(common::Seconds now);
+
+  /// Non-mutating admission query: does not transition states or consume a
+  /// probe slot (hedging suppression asks this — a hedge must never burn
+  /// the probe budget real traffic needs).
+  bool healthy() const { return state_ == BreakerState::kClosed; }
+
+  /// Feeds one sub-request outcome observed on this server at `now`.
+  void record(common::Seconds now, bool success);
+
+  /// Feeds one backlog observation (seconds of queued work a request
+  /// admitted at `now` would wait behind).
+  void observe_backlog(common::Seconds now, common::Seconds backlog);
+
+ private:
+  void open(common::Seconds now);
+  void close();
+  void push_outcome(bool failure);
+
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  /// Rolling outcome ring: bit i set = failure; only the low `window` bits
+  /// of the ring are live once saturated.
+  std::uint64_t outcome_bits_ = 0;
+  std::size_t outcome_count_ = 0;
+  std::size_t outcome_head_ = 0;
+  std::size_t failures_ = 0;
+  double backlog_ewma_ = 0.0;
+  bool backlog_init_ = false;
+  common::Seconds opened_at_ = 0.0;
+  common::Seconds last_probe_ = 0.0;
+  std::size_t probe_successes_ = 0;
+  BreakerCounters counters_;
+};
+
+}  // namespace mha::guard

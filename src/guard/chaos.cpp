@@ -1,0 +1,167 @@
+#include "guard/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/context.hpp"
+#include "layouts/scheme.hpp"
+#include "workloads/replayer.hpp"
+
+namespace mha::guard {
+
+namespace {
+
+constexpr common::ByteCount kKiB = 1024;
+constexpr common::ByteCount kMiB = 1024 * 1024;
+
+// The chaos schedule: every HServer browns out shortly after the replay
+// starts and never recovers (sustained RAID-rebuild / thermal throttling),
+// and two of them additionally drop a fraction of admitted sub-requests.
+// "Never recovers" makes the schedule scale-invariant: the same windows
+// cover a 0.05-scale smoke run and a full-scale sweep.
+constexpr common::Seconds kChaosStart = 0.02;
+constexpr common::Seconds kForever = 1e9;
+constexpr double kBrownoutFactor = 6.0;
+constexpr double kTransientProbability = 0.25;
+
+}  // namespace
+
+std::array<common::Seconds, kTierCount> chaos_allowances() {
+  // Between the browned-but-uncongested latency (under each bound at the
+  // lowest sweep load) and the queue-inflated latency past saturation (over
+  // it), so the naive cell's delivered-late bytes read as lost goodput.
+  // Past saturation even the admitted first wave of batch writes crosses
+  // 0.6 s, so the guarded cell also exercises deadline-propagated sibling
+  // cancellation (rescued vs wasted bytes in the ledger).
+  return {0.6, 0.4, 0.2};
+}
+
+std::vector<qos::TenantSpec> chaos_tenants(const ChaosOptions& options) {
+  // `load` multiplies client counts — closed-loop concurrency is what drives
+  // the queues past saturation.  `scale` only shrinks per-client volume
+  // (run length), so a smoke run keeps the full run's contention shape.
+  const auto clients = [&](int base) {
+    return std::max(1, static_cast<int>(std::lround(base * options.load)));
+  };
+  const auto scaled = [&](common::ByteCount bytes, common::ByteCount floor) {
+    const auto s = static_cast<common::ByteCount>(static_cast<double>(bytes) *
+                                                  options.scale);
+    return std::max(s, floor);
+  };
+  std::vector<qos::TenantSpec> tenants;
+  // The aggressor is listed first so FCFS sees its worst case inside every
+  // simultaneous-arrival window (same convention as the multi-tenant mixes).
+  qos::TenantSpec batch;
+  batch.name = "batch-write";
+  batch.workload = qos::TenantWorkload::kIorLarge;
+  batch.clients = clients(16);
+  batch.priority = qos::PriorityClass::kBatch;
+  // Several 1-2 MiB requests per client: the first wave is admitted against
+  // empty queues, the later ones meet the admission gate.
+  batch.bytes_per_client = scaled(8 * kMiB, 4 * kMiB);
+  batch.seed = options.seed * 100 + 1;
+  tenants.push_back(batch);
+  qos::TenantSpec normal;
+  normal.name = "norm-hpio";
+  normal.workload = qos::TenantWorkload::kHpio;
+  normal.clients = clients(8);
+  normal.priority = qos::PriorityClass::kNormal;
+  normal.bytes_per_client = scaled(2 * kMiB, 512 * kKiB);
+  normal.seed = options.seed * 100 + 2;
+  tenants.push_back(normal);
+  qos::TenantSpec inter;
+  inter.name = "inter-read";
+  inter.workload = qos::TenantWorkload::kIorSmall;
+  inter.clients = clients(8);
+  inter.priority = qos::PriorityClass::kInteractive;
+  inter.bytes_per_client = scaled(1 * kMiB, 256 * kKiB);
+  inter.seed = options.seed * 100 + 3;
+  tenants.push_back(inter);
+  return tenants;
+}
+
+GuardOptions chaos_guard_options() {
+  GuardOptions options;
+  // Brownout detection: healthy per-server backlog in this mix sits in the
+  // low milliseconds; a browned HServer's EWMA climbs past 50 ms quickly.
+  options.breaker.backlog_unhealthy = 0.05;
+  options.shed_backlog = {0.02, 0.20, 1.00};
+  options.deadline = chaos_allowances();
+  // The transient windows make retries routine, not exceptional: earn
+  // tokens generously so legitimate retry traffic is not the first thing
+  // shed, while still bounding the storm to half the fresh rate.
+  options.retry_token_ratio = 0.5;
+  options.retry_token_burst = 32.0;
+  return options;
+}
+
+common::Result<ChaosCellResult> run_chaos_cell(const ChaosOptions& options) {
+  qos::MultiTenantDriver driver(chaos_tenants(options));
+
+  sim::ClusterConfig cluster;
+  cluster.num_hservers = 6;
+  cluster.num_sservers = 2;
+
+  fault::FaultInjector injector(options.seed * 7919 + 17);
+  for (std::size_t s = 0; s < cluster.num_hservers; ++s) {
+    fault::FaultWindow w;
+    w.server = s;
+    w.kind = fault::FaultKind::kBrownout;
+    w.start = kChaosStart;
+    w.end = kForever;
+    w.factor = kBrownoutFactor;
+    injector.add(w);
+  }
+  for (std::size_t s : {std::size_t{1}, std::size_t{4}}) {
+    fault::FaultWindow w;
+    w.server = s;
+    w.kind = fault::FaultKind::kTransient;
+    w.start = kChaosStart;
+    w.end = kForever;
+    w.probability = kTransientProbability;
+    injector.add(w);
+  }
+  fault::FaultContext fault_context(injector, {}, options.seed * 31 + 5);
+
+  OverloadGuard guard(cluster.num_hservers + cluster.num_sservers,
+                      chaos_guard_options());
+
+  workloads::ReplayOptions replay_options;
+  replay_options.mode = workloads::ReplayMode::kIndependent;
+  replay_options.jobs = &driver.jobs();
+  replay_options.fault_context = &fault_context;
+  replay_options.tolerate_failures = true;
+  replay_options.goodput_allowance = chaos_allowances();
+  if (options.guarded) replay_options.guard = &guard;
+
+  auto scheme = layouts::make_def();
+  auto replay =
+      workloads::run_scheme(*scheme, cluster, driver.combined_trace(), replay_options);
+  if (!replay.is_ok()) return replay.status();
+
+  ChaosCellResult cell;
+  cell.load = options.load;
+  cell.guarded = options.guarded;
+  cell.makespan = replay->makespan;
+  cell.requests = replay->requests;
+  cell.shed = replay->shed_requests;
+  cell.failed = replay->failed_requests;
+  cell.late = replay->late_requests;
+  cell.throughput_mib_s =
+      replay->aggregate_bandwidth / static_cast<double>(kMiB);
+  cell.goodput_mib_s = replay->goodput_bandwidth / static_cast<double>(kMiB);
+  for (std::size_t i = 0;
+       i < replay->tenants.size() && i < driver.jobs().size(); ++i) {
+    const auto tier = static_cast<std::size_t>(
+        driver.jobs().priority(static_cast<common::JobId>(i)));
+    const qos::TenantLatency& t = replay->tenants[i];
+    cell.requests_by_tier[tier] += t.requests + t.shed + t.failed;
+    cell.shed_by_tier[tier] += t.shed;
+    cell.goodput_by_tier[tier] += t.goodput_bytes;
+  }
+  if (options.guarded) cell.guard_metrics = guard.metrics();
+  cell.fault_metrics = injector.metrics();
+  return cell;
+}
+
+}  // namespace mha::guard

@@ -1,0 +1,80 @@
+// Chaos harness for the overload-resilience guard.
+//
+// One *cell* = a three-tenant contention mix (a batch large-write
+// aggressor, a normal strided-write workload, an interactive small-read
+// victim) replayed closed-loop on the paper cluster while a scripted fault
+// schedule browns out every HServer and drops a fraction of sub-requests on
+// two of them.  The `load` knob multiplies every tenant's client count, so
+// sweeping it pushes the offered load through and past saturation.
+//
+// Each cell runs either *naive* (no guard — the same completion allowances
+// are applied as accounting only) or *guarded* (an OverloadGuard attached:
+// admission gate, per-server breakers, retry tokens, deadline-propagated
+// cancellation).  The contrast the ext_overload bench plots: naive goodput
+// collapses past saturation because every byte is delivered late; guarded
+// goodput stays near its pre-overload plateau because batch traffic is shed
+// and interactive reads route around the browned HServers.
+//
+// A cell builds its own world (driver, injector, guard, cluster) and runs
+// single-threaded, so cells compose freely under exec::parallel_map and the
+// results are bit-identical at any thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "guard/guard.hpp"
+#include "qos/driver.hpp"
+
+namespace mha::guard {
+
+struct ChaosOptions {
+  /// Client-count scale (the bench's --scale; CI smoke runs 0.05).
+  double scale = 1.0;
+  /// Offered-load multiplier on top of the base mix's client counts.
+  double load = 1.0;
+  /// Attach an OverloadGuard (false = the naive baseline).
+  bool guarded = false;
+  std::uint64_t seed = 1;
+};
+
+struct ChaosCellResult {
+  double load = 1.0;
+  bool guarded = false;
+  common::Seconds makespan = 0.0;
+  /// Attempted requests (completed + shed + failed).
+  std::size_t requests = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+  std::size_t late = 0;
+  /// All delivered bytes / makespan.
+  double throughput_mib_s = 0.0;
+  /// On-time bytes / makespan — the number the bench gates on.
+  double goodput_mib_s = 0.0;
+  /// Per-tier breakdown (batch, normal, interactive).
+  std::array<std::uint64_t, kTierCount> requests_by_tier{};
+  std::array<std::uint64_t, kTierCount> shed_by_tier{};
+  std::array<common::ByteCount, kTierCount> goodput_by_tier{};
+  /// Zeros for the naive cell.
+  GuardMetrics guard_metrics;
+  fault::FaultMetrics fault_metrics;
+};
+
+/// Per-tier completion allowances both cells are measured against (and the
+/// guarded cell enforces as deadlines).
+std::array<common::Seconds, kTierCount> chaos_allowances();
+
+/// The contention mix a cell replays (exposed for tests).
+std::vector<qos::TenantSpec> chaos_tenants(const ChaosOptions& options);
+
+/// Guard configuration of the guarded cell (exposed for tests).
+GuardOptions chaos_guard_options();
+
+/// Replays one cell; deterministic in `options` alone.
+common::Result<ChaosCellResult> run_chaos_cell(const ChaosOptions& options);
+
+}  // namespace mha::guard

@@ -1,0 +1,105 @@
+#include "guard/guard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/units.hpp"
+
+namespace mha::guard {
+
+const char* tier_name(std::uint8_t tier) {
+  switch (tier) {
+    case kTierBatch: return "batch";
+    case kTierNormal: return "normal";
+    case kTierInteractive: return "interactive";
+  }
+  return "unknown";
+}
+
+OverloadGuard::OverloadGuard(std::size_t num_servers, GuardOptions options)
+    : options_(options),
+      breakers_(num_servers, CircuitBreaker(options.breaker)),
+      retry_tokens_(options.retry_token_burst) {}
+
+void OverloadGuard::set_job_tier(common::JobId job, std::uint8_t tier) {
+  if (job >= job_tier_.size()) job_tier_.resize(job + 1, kTierNormal);
+  job_tier_[job] = std::min<std::uint8_t>(tier, kTierCount - 1);
+}
+
+bool OverloadGuard::admit(common::JobId job, common::Seconds max_backlog) {
+  const std::uint8_t tier = tier_of(job);
+  if (max_backlog > options_.shed_backlog[tier]) {
+    ++metrics_.shed[tier];
+    return false;
+  }
+  ++metrics_.admitted;
+  retry_tokens_ =
+      std::min(retry_tokens_ + options_.retry_token_ratio, options_.retry_token_burst);
+  return true;
+}
+
+bool OverloadGuard::breaker_allow(std::size_t server, common::Seconds now) {
+  return breakers_[server].allow(now);
+}
+
+bool OverloadGuard::take_retry_token() {
+  if (retry_tokens_ < 1.0) {
+    ++metrics_.retry_tokens_denied;
+    return false;
+  }
+  retry_tokens_ -= 1.0;
+  ++metrics_.retry_tokens_granted;
+  return true;
+}
+
+GuardMetrics OverloadGuard::metrics() const {
+  GuardMetrics out = metrics_;
+  for (const CircuitBreaker& b : breakers_) {
+    out.breaker_opens += b.counters().opens;
+    out.breaker_half_opens += b.counters().half_opens;
+    out.breaker_closes += b.counters().closes;
+    out.breaker_probes += b.counters().probes;
+  }
+  return out;
+}
+
+std::string GuardMetrics::table() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "admission: admitted=%llu shed=%llu (batch=%llu normal=%llu "
+                "interactive=%llu)\n",
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(shed_total()),
+                static_cast<unsigned long long>(shed[kTierBatch]),
+                static_cast<unsigned long long>(shed[kTierNormal]),
+                static_cast<unsigned long long>(shed[kTierInteractive]));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "breakers:  opens=%llu half_opens=%llu closes=%llu probes=%llu "
+                "rejected=%llu rerouted=%llu hedges_suppressed=%llu\n",
+                static_cast<unsigned long long>(breaker_opens),
+                static_cast<unsigned long long>(breaker_half_opens),
+                static_cast<unsigned long long>(breaker_closes),
+                static_cast<unsigned long long>(breaker_probes),
+                static_cast<unsigned long long>(breaker_rejections),
+                static_cast<unsigned long long>(breaker_reroutes),
+                static_cast<unsigned long long>(hedges_suppressed));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "retries:   tokens_granted=%llu tokens_denied=%llu\n",
+                static_cast<unsigned long long>(retry_tokens_granted),
+                static_cast<unsigned long long>(retry_tokens_denied));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "deadlines: missed=%llu cancelled=%llu wasted=%llu rescued_bytes=%s "
+                "wasted_bytes=%s\n",
+                static_cast<unsigned long long>(deadline_misses),
+                static_cast<unsigned long long>(siblings_cancelled),
+                static_cast<unsigned long long>(siblings_wasted),
+                common::format_bytes(bytes_rescued).c_str(),
+                common::format_bytes(bytes_wasted).c_str());
+  out += buf;
+  return out;
+}
+
+}  // namespace mha::guard

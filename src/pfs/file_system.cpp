@@ -38,12 +38,66 @@ void HybridPfs::charge_sub(common::OpType op, std::size_t server, common::ByteCo
     result.completion = std::max(result.completion, out.completion);
     result.sub_requests += out.sub_requests;
     ++result.servers_touched;
+    if (out.last_server != sched::DispatchResult::kNoServer) {
+      receipts_.push_back(SubCharge{out.last_server, out.last_charge});
+    }
     return;
   }
-  const common::Seconds done = row_.server(server).submit(op, bytes, t, active_job_);
-  result.completion = std::max(result.completion, done);
+  const sim::Charge c = row_.server(server).charge(op, bytes, t, active_job_);
+  receipts_.push_back(SubCharge{server, c});
+  result.completion = std::max(result.completion, c.completion);
   ++result.sub_requests;
   ++result.servers_touched;
+}
+
+void HybridPfs::rewind_receipts() const {
+  for (std::size_t i = receipts_.size(); i-- > 0;) {
+    const SubCharge& r = receipts_[i];
+    if (r.charge.bytes == 0) continue;
+    if (row_.server(r.server).try_cancel(r.charge)) {
+      if (guard_ != nullptr) guard_->note_sibling_cancelled(r.charge.bytes);
+    } else {
+      // A later admission baked this charge's completion into the queue:
+      // the server will serve it anyway.  Throughput without goodput.
+      row_.server(r.server).note_wasted(r.charge.job, r.charge.bytes);
+      if (guard_ != nullptr) guard_->note_sibling_wasted(r.charge.bytes);
+    }
+  }
+  receipts_.clear();
+}
+
+std::size_t HybridPfs::pick_fallback_sserver(common::Seconds t) const {
+  std::size_t best = servers_.size();
+  common::Seconds best_backlog = 0.0;
+  for (std::size_t s = num_hservers_; s < servers_.size(); ++s) {
+    if (fault_ != nullptr && fault_->injector().offline(s, t)) continue;
+    if (guard_ != nullptr && !guard_->breaker_healthy(s)) continue;
+    const common::Seconds b = row_.server(s).backlog(t);
+    if (best == servers_.size() || b < best_backlog) {
+      best = s;
+      best_backlog = b;
+    }
+  }
+  return best;
+}
+
+common::Status HybridPfs::admit_request(const std::vector<common::ByteCount>& per_server,
+                                        common::Seconds arrival) const {
+  if (guard_ == nullptr) return common::Status::ok();
+  common::Seconds max_backlog = 0.0;
+  for (std::size_t i = 0; i < per_server.size(); ++i) {
+    if (per_server[i] == 0) continue;
+    const common::Seconds b = row_.server(i).backlog(arrival);
+    guard_->observe_server(i, arrival, b);
+    max_backlog = std::max(max_backlog, b);
+  }
+  if (!guard_->admit(active_job_, max_backlog)) {
+    return common::Status::overloaded(
+        "admission gate shed " +
+        std::string(guard::tier_name(guard_->tier_of(active_job_))) +
+        "-tier request (backlog " + std::to_string(max_backlog) + "s)");
+  }
+  return common::Status::ok();
 }
 
 common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType op,
@@ -66,7 +120,19 @@ common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType 
     fault_->note_server_state(i, injector.offline(i, arrival));
   }
 
-  const common::Seconds budget_end = arrival + policy.timeout_budget;
+  // Admission gate: observe post-redo backlogs and shed before any server
+  // is charged (the fast-fail contract of kOverloaded).
+  MHA_RETURN_IF_ERROR(admit_request(per_server, arrival));
+
+  // The retry/offline-wait budget is additionally capped by the request's
+  // end-to-end deadline: waiting past the instant the caller abandons the
+  // request is work nobody will collect.
+  const bool enforce_deadline =
+      guard_ != nullptr && active_deadline_ < std::numeric_limits<double>::infinity();
+  const common::Seconds budget_end =
+      std::min(arrival + policy.timeout_budget,
+               enforce_deadline ? active_deadline_
+                                : std::numeric_limits<double>::infinity());
   for (std::size_t i = 0; i < per_server.size(); ++i) {
     if (per_server[i] == 0) continue;
     std::size_t server = i;
@@ -76,6 +142,7 @@ common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType 
     for (;;) {
       if (injector.offline(server, t)) {
         ++metrics.offline_hits;
+        if (guard_ != nullptr) guard_->record_server(server, t, false);
         if (op == common::OpType::kWrite) {
           // The payload is already durable in the client-visible content
           // plane (store() ran before dispatch), so park the server charge
@@ -90,16 +157,7 @@ common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType 
           // paper's migration story — re-charge the least-loaded online
           // SServer.  Bytes were already load()ed from the content plane,
           // so the answer stays byte-identical.
-          std::size_t best = servers_.size();
-          common::Seconds best_backlog = 0.0;
-          for (std::size_t s = num_hservers_; s < servers_.size(); ++s) {
-            if (injector.offline(s, t)) continue;
-            const common::Seconds b = row_.server(s).backlog(t);
-            if (best == servers_.size() || b < best_backlog) {
-              best = s;
-              best_backlog = b;
-            }
-          }
+          const std::size_t best = pick_fallback_sserver(t);
           if (best != servers_.size()) {
             ++metrics.degraded_reads;
             server = best;
@@ -107,10 +165,12 @@ common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType 
           }
         }
         // No replica to fall back on: wait out the outage if the budget
-        // allows, otherwise surface the failure.
+        // allows, otherwise surface the failure (releasing any siblings
+        // already charged for this request).
         const common::Seconds up = injector.recovery_time(server, t);
         if (up > budget_end) {
           ++metrics.budget_exhausted;
+          rewind_receipts();
           return common::Status::unavailable(
               "server " + std::to_string(server) + " offline past the " +
               std::to_string(policy.timeout_budget) + "s request budget");
@@ -118,16 +178,44 @@ common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType 
         t = up;
         continue;
       }
+      // Circuit breaker: an open breaker turns HServer reads away before
+      // they queue behind a sick server; the replica fallback absorbs them.
+      // Writes pass through — their durability story is the redo log, and
+      // overload protection for them is the admission gate above.
+      if (guard_ != nullptr && op == common::OpType::kRead && is_hserver(server) &&
+          !guard_->breaker_allow(server, t)) {
+        guard_->note_breaker_rejection();
+        const std::size_t best = pick_fallback_sserver(t);
+        if (best != servers_.size()) {
+          guard_->note_reroute();
+          server = best;
+          continue;
+        }
+        // Every fallback is sick too; charging the primary anyway beats
+        // failing a request the admission gate already accepted.
+      }
       if (injector.draw_transient(server, t)) {
+        if (guard_ != nullptr) guard_->record_server(server, t, false);
         if (attempt >= policy.max_attempts) {
           ++metrics.budget_exhausted;
+          rewind_receipts();
           return common::Status::io_error(
               "sub-request to server " + std::to_string(server) + " failed " +
               std::to_string(attempt) + " attempts");
         }
+        // The global retry-token budget outranks the per-request attempt
+        // budget: when the bucket is dry the fleet is already retrying at
+        // its ceiling, and this request sheds instead of piling on.
+        if (guard_ != nullptr && !guard_->take_retry_token()) {
+          ++metrics.budget_exhausted;
+          rewind_receipts();
+          return common::Status::overloaded(
+              "retry tokens exhausted (server " + std::to_string(server) + ")");
+        }
         const common::Seconds delay = fault::backoff_delay(policy, attempt, fault_->rng());
         if (t + delay > budget_end) {
           ++metrics.budget_exhausted;
+          rewind_receipts();
           return common::Status::unavailable(
               "retries on server " + std::to_string(server) +
               " exhausted the request budget");
@@ -139,6 +227,21 @@ common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType 
         continue;
       }
       charge_sub(op, server, bytes, t, result);
+      if (guard_ != nullptr) {
+        // End-to-end deadline: if this sub-request cannot complete before
+        // the caller abandons the request, stop here and cancel the
+        // siblings already charged — work the servers would otherwise
+        // perform for nothing.  The blown deadline is this server's
+        // failure as far as its breaker is concerned: it was too slow.
+        if (enforce_deadline && result.completion > active_deadline_) {
+          guard_->note_deadline_miss();
+          guard_->record_server(server, t, false);
+          rewind_receipts();
+          return common::Status::unavailable(
+              "deadline exceeded dispatching to server " + std::to_string(server));
+        }
+        guard_->record_server(server, t, true);
+      }
       break;
     }
   }
@@ -148,10 +251,14 @@ common::Status HybridPfs::dispatch_degraded(common::FileId file, common::OpType 
 common::Status HybridPfs::dispatch(common::FileId file, common::OpType op,
                                    const std::vector<common::ByteCount>& per_server,
                                    common::Seconds arrival, IoResult& result) const {
+  receipts_.clear();
   if (fault_ != nullptr) {
     return dispatch_degraded(file, op, per_server, arrival, result);
   }
-  if (scheduler_ != nullptr) {
+  MHA_RETURN_IF_ERROR(admit_request(per_server, arrival));
+  const bool enforce_deadline =
+      guard_ != nullptr && active_deadline_ < std::numeric_limits<double>::infinity();
+  if (scheduler_ != nullptr && !enforce_deadline) {
     subs_.clear();
     for (std::size_t i = 0; i < per_server.size(); ++i) {
       if (per_server[i] == 0) continue;
@@ -164,12 +271,18 @@ common::Status HybridPfs::dispatch(common::FileId file, common::OpType op,
     result.servers_touched += subs_.size();
     return common::Status::ok();
   }
+  // Direct path — and, under an enforced deadline, the scheduler path too:
+  // sub-requests go out one at a time so each leaves a cancellation receipt
+  // and the first one that cannot make the deadline aborts the rest.
   for (std::size_t i = 0; i < per_server.size(); ++i) {
     if (per_server[i] == 0) continue;
-    const common::Seconds done = row_.server(i).submit(op, per_server[i], arrival, active_job_);
-    result.completion = std::max(result.completion, done);
-    ++result.sub_requests;
-    ++result.servers_touched;
+    charge_sub(op, i, per_server[i], arrival, result);
+    if (enforce_deadline && result.completion > active_deadline_) {
+      guard_->note_deadline_miss();
+      rewind_receipts();
+      return common::Status::unavailable(
+          "deadline exceeded dispatching to server " + std::to_string(i));
+    }
   }
   return common::Status::ok();
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "fault/context.hpp"
+#include "guard/guard.hpp"
 #include "pfs/data_server.hpp"
 #include "pfs/metadata_server.hpp"
 #include "sched/scheduler.hpp"
@@ -72,6 +74,24 @@ class HybridPfs {
   /// never touch it and stay on job 0.
   void set_active_job(common::JobId job) { active_job_ = job; }
   common::JobId active_job() const { return active_job_; }
+
+  /// Attaches an overload guard (borrowed; may be nullptr).  While set,
+  /// every dispatch consults the guard's admission gate (shedding with a
+  /// typed kOverloaded Status before any server is charged), feeds backlog
+  /// observations to the per-server breakers, and — on the degraded path —
+  /// reroutes HServer reads away from open breakers, spends retry tokens
+  /// for every backoff retry, and enforces the active deadline by
+  /// cancelling already-charged siblings when a sub-request would complete
+  /// past it.
+  void set_guard(guard::OverloadGuard* g) { guard_ = g; }
+  guard::OverloadGuard* guard() const { return guard_; }
+
+  /// End-to-end deadline of every subsequent request (virtual seconds;
+  /// infinity disables).  The replayer stamps arrival + the job's tier
+  /// allowance before each request, same store-only contract as
+  /// set_active_job.  Enforced only while a guard is attached.
+  void set_active_deadline(common::Seconds deadline) { active_deadline_ = deadline; }
+  common::Seconds active_deadline() const { return active_deadline_; }
 
   /// Attaches a fault context (borrowed; may be nullptr).  While set, every
   /// server queue consults the context's injector (crashes push start times,
@@ -137,9 +157,22 @@ class HybridPfs {
   common::Status dispatch_degraded(common::FileId file, common::OpType op,
                                    const std::vector<common::ByteCount>& per_server,
                                    common::Seconds arrival, IoResult& result) const;
-  /// Charges one resolved sub-request at `t` (scheduler or direct path).
+  /// Charges one resolved sub-request at `t` (scheduler or direct path) and
+  /// collects its cancellation receipt in receipts_.
   void charge_sub(common::OpType op, std::size_t server, common::ByteCount bytes,
                   common::Seconds t, IoResult& result) const;
+  /// Admission gate + backlog observation for one request; non-ok when the
+  /// guard shed it.  No-op without a guard.
+  common::Status admit_request(const std::vector<common::ByteCount>& per_server,
+                               common::Seconds arrival) const;
+  /// Cancels every receipt collected for the current request, newest first
+  /// (LIFO, the only order try_cancel can unwind).  Charges that later
+  /// admissions baked in stay — those bytes are marked wasted on their
+  /// server (and the guard's ledger when one is attached).
+  void rewind_receipts() const;
+  /// Least-backlog online SServer whose breaker is closed (the degraded-read
+  /// and breaker-reroute fallback target); servers_.size() when none.
+  std::size_t pick_fallback_sserver(common::Seconds t) const;
 
   sim::ClusterConfig config_;
   MetadataServer mds_;
@@ -147,7 +180,9 @@ class HybridPfs {
   std::size_t num_hservers_ = 0;
   sched::Scheduler* scheduler_ = nullptr;
   fault::FaultContext* fault_ = nullptr;
+  guard::OverloadGuard* guard_ = nullptr;
   common::JobId active_job_ = common::kDefaultJob;
+  common::Seconds active_deadline_ = std::numeric_limits<double>::infinity();
   sched::ServerRow row_;
   // Request-path scratch, reused across read/write calls so the steady state
   // performs zero heap allocations per request.  Same single-client rule as
@@ -157,6 +192,12 @@ class HybridPfs {
   mutable std::vector<common::ByteCount> per_server_;
   mutable StripeLayout::SubExtentVec extents_;
   mutable common::SmallVec<sim::SubRequest, 8> subs_;
+  /// Cancellation receipts of the in-flight request's charged siblings.
+  struct SubCharge {
+    std::size_t server = 0;
+    sim::Charge charge;
+  };
+  mutable common::SmallVec<SubCharge, 8> receipts_;
 };
 
 /// The file-system default stripe size (OrangeFS ships 64 KiB).

@@ -202,6 +202,13 @@ common::Result<MultiTenantResult> MultiTenantDriver::run(const SchemeFactory& ma
           replay->makespan > 0.0
               ? static_cast<double>(t.bytes) / replay->makespan / (1024.0 * 1024.0)
               : 0.0;
+      report.shed = t.shed;
+      report.failed = t.failed;
+      report.late = t.late;
+      report.goodput_mib_s =
+          replay->makespan > 0.0
+              ? static_cast<double>(t.goodput_bytes) / replay->makespan / (1024.0 * 1024.0)
+              : 0.0;
     }
     report.isolated_p50 = (*baselines)[i].p50;
     report.isolated_p99 = (*baselines)[i].p99;

@@ -31,15 +31,19 @@ double weighted_fairness(std::span<const TenantReport> tenants) {
 std::string tenant_table(std::span<const TenantReport> tenants) {
   std::string out =
       "tenant        class        weight reqs     bytes      p50(ms)  p99(ms)  "
-      "slow50 slow99 MiB/s\n";
+      "slow50 slow99 MiB/s     shed     failed late     good MiB/s\n";
   for (const TenantReport& t : tenants) {
-    char line[200];
+    char line[256];
     std::snprintf(line, sizeof(line),
-                  "%-13s %-12s %-6.2f %-8llu %-10s %-8.3f %-8.3f %-6.2f %-6.2f %-9.1f\n",
+                  "%-13s %-12s %-6.2f %-8llu %-10s %-8.3f %-8.3f %-6.2f %-6.2f %-9.1f "
+                  "%-8llu %-6llu %-8llu %-9.1f\n",
                   t.spec.name.c_str(), to_string(t.spec.priority), t.spec.weight,
                   static_cast<unsigned long long>(t.requests),
                   common::format_bytes(t.bytes).c_str(), t.p50 * 1e3, t.p99 * 1e3,
-                  t.slowdown_p50(), t.slowdown_p99(), t.bandwidth_mib_s);
+                  t.slowdown_p50(), t.slowdown_p99(), t.bandwidth_mib_s,
+                  static_cast<unsigned long long>(t.shed),
+                  static_cast<unsigned long long>(t.failed),
+                  static_cast<unsigned long long>(t.late), t.goodput_mib_s);
     out += line;
   }
   return out;

@@ -36,6 +36,15 @@ struct TenantLatency {
   common::Percentiles percentiles;
   common::ByteCount bytes = 0;
   std::uint64_t requests = 0;
+  /// Bytes of this tenant's requests that completed within their tier's
+  /// goodput allowance (== bytes when no allowance was configured).
+  common::ByteCount goodput_bytes = 0;
+  /// Requests the overload guard shed before any server was charged.
+  std::uint64_t shed = 0;
+  /// Requests that failed in flight (deadline miss, retry/timeout budget).
+  std::uint64_t failed = 0;
+  /// Requests that completed past their tier's allowance.
+  std::uint64_t late = 0;
 
   void observe(common::Seconds request_latency, common::ByteCount request_bytes) {
     latency.add(request_latency);
@@ -62,6 +71,12 @@ struct TenantReport {
   double isolated_p99 = 0.0;
   /// Tenant bytes / contended makespan (MiB/s).
   double bandwidth_mib_s = 0.0;
+  /// Overload-resilience outcome counters (zero when no guard ran).
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t late = 0;
+  /// Tenant on-time bytes / contended makespan (MiB/s).
+  double goodput_mib_s = 0.0;
 
   /// Contended / isolated latency ratio; 1.0 = no interference visible.
   double slowdown_p50() const { return isolated_p50 > 0.0 ? p50 / isolated_p50 : 1.0; }

@@ -12,8 +12,10 @@ DispatchResult FcfsScheduler::dispatch(const ServerRow& row,
   for (const sim::SubRequest& sub : subs) {
     sim::ServerSim& server = row.server(sub.server);
     metrics_.observe_backlog(sub.server, server.backlog(arrival));
-    result.completion =
-        std::max(result.completion, server.submit(sub.op, sub.bytes, arrival, sub.job));
+    const sim::Charge c = server.charge(sub.op, sub.bytes, arrival, sub.job);
+    result.completion = std::max(result.completion, c.completion);
+    result.last_charge = c;
+    result.last_server = sub.server;
     ++result.sub_requests;
   }
   metrics_.subs += result.sub_requests;

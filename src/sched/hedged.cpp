@@ -43,31 +43,52 @@ DispatchResult HedgedReadScheduler::dispatch(const ServerRow& row,
     if (predicted > straggler_threshold() && hedgeable) {
       ++metrics_.straggler_detections;
       // Replica target: the SServer predicting the earliest completion.
-      std::size_t replica = row.num_hservers();
+      // With a guard attached, only closed-breaker replicas qualify — a
+      // duplicate aimed at a browned-out server would feed the brownout,
+      // and a half-open server's probe budget belongs to real traffic.
+      std::size_t replica = DispatchResult::kNoServer;
       common::Seconds best = std::numeric_limits<double>::infinity();
       for (std::size_t s = row.num_hservers(); s < row.size(); ++s) {
+        if (guard_ != nullptr && !guard_->breaker_healthy(s)) continue;
         const common::Seconds t = row.server(s).predict(sub.op, sub.bytes, arrival);
         if (t < best) {
           best = t;
           replica = s;
         }
       }
-      const sim::Charge primary_charge = primary.charge(sub.op, sub.bytes, arrival, sub.job);
-      const sim::Charge replica_charge =
-          row.server(replica).charge(sub.op, sub.bytes, arrival, sub.job);
-      ++metrics_.hedges_issued;
-      ++result.hedges;
-      if (replica_charge.completion < primary_charge.completion) {
-        ++metrics_.hedges_won;
-        primary.try_cancel(primary_charge);
-        done = replica_charge.completion;
+      if (replica == DispatchResult::kNoServer) {
+        // Only reachable with a guard: without one every SServer qualifies.
+        if (guard_ != nullptr) guard_->note_hedge_suppressed();
+        const sim::Charge c = primary.charge(sub.op, sub.bytes, arrival, sub.job);
+        result.last_charge = c;
+        result.last_server = sub.server;
+        done = c.completion;
       } else {
-        ++metrics_.hedges_lost;
-        row.server(replica).try_cancel(replica_charge);
-        done = primary_charge.completion;
+        const sim::Charge primary_charge =
+            primary.charge(sub.op, sub.bytes, arrival, sub.job);
+        const sim::Charge replica_charge =
+            row.server(replica).charge(sub.op, sub.bytes, arrival, sub.job);
+        ++metrics_.hedges_issued;
+        ++result.hedges;
+        if (replica_charge.completion < primary_charge.completion) {
+          ++metrics_.hedges_won;
+          primary.try_cancel(primary_charge);
+          done = replica_charge.completion;
+          result.last_charge = replica_charge;
+          result.last_server = replica;
+        } else {
+          ++metrics_.hedges_lost;
+          row.server(replica).try_cancel(replica_charge);
+          done = primary_charge.completion;
+          result.last_charge = primary_charge;
+          result.last_server = sub.server;
+        }
       }
     } else {
-      done = primary.submit(sub.op, sub.bytes, arrival, sub.job);
+      const sim::Charge c = primary.charge(sub.op, sub.bytes, arrival, sub.job);
+      result.last_charge = c;
+      result.last_server = sub.server;
+      done = c.completion;
     }
 
     update_ewma(done - arrival);

@@ -17,6 +17,7 @@
 // degrades to FCFS.
 #pragma once
 
+#include "guard/guard.hpp"
 #include "sched/scheduler.hpp"
 
 namespace mha::sched {
@@ -47,10 +48,17 @@ class HedgedReadScheduler : public Scheduler {
   /// Current hedge trigger (infinite during warmup).
   double straggler_threshold() const;
 
+  /// Attaches an overload guard (borrowed; may be nullptr).  While set,
+  /// replica selection skips servers whose breaker is not closed, and a
+  /// straggler read with no healthy replica left is not hedged at all —
+  /// hedging toward a browned-out server only feeds the brownout.
+  void set_guard(guard::OverloadGuard* g) { guard_ = g; }
+
  private:
   void update_ewma(double latency);
 
   HedgedReadOptions options_;
+  guard::OverloadGuard* guard_ = nullptr;
   double srtt_ = 0.0;
   double rttvar_ = 0.0;
   std::size_t samples_ = 0;

@@ -74,7 +74,10 @@ DispatchResult LoadAwareScheduler::dispatch(const ServerRow& row,
       flagged_[sub.server] = breach;
     }
 
-    const common::Seconds done = server.submit(sub.op, sub.bytes, arrival, sub.job);
+    const sim::Charge charge = server.charge(sub.op, sub.bytes, arrival, sub.job);
+    const common::Seconds done = charge.completion;
+    result.last_charge = charge;
+    result.last_server = sub.server;
     update_ewma(sub.op, done - arrival, sub.bytes);
     outstanding_[sub.server] += sub.bytes;
     ledger_.push_back({done, sub.server, sub.bytes});

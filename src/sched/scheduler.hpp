@@ -42,6 +42,14 @@ struct DispatchResult {
   common::Seconds completion = 0.0;  ///< when the slowest awaited sub finished
   std::size_t sub_requests = 0;      ///< primary sub-requests charged
   std::size_t hedges = 0;            ///< duplicate sub-requests charged
+  /// Receipt of the last charge this dispatch admitted and kept (for a
+  /// hedged read, the winning copy).  The guard's deadline machinery
+  /// dispatches sub-requests one at a time and collects these so it can
+  /// rewind siblings via ServerSim::try_cancel when a request is abandoned.
+  /// last_server == kNoServer when nothing was charged.
+  static constexpr std::size_t kNoServer = static_cast<std::size_t>(-1);
+  sim::Charge last_charge{};
+  std::size_t last_server = kNoServer;
 };
 
 class Scheduler {

@@ -117,20 +117,26 @@ bool ServerSim::try_cancel(const Charge& c) {
   return true;
 }
 
+void ServerSim::note_wasted(common::JobId job, common::ByteCount bytes) {
+  stats_.bytes_wasted += bytes;
+  if (job >= job_stats_.size()) job_stats_.resize(job + 1);
+  job_stats_[job].bytes_wasted += bytes;
+}
+
 std::string stats_table_header() {
-  return "server  kind     subs     bytes        busy(s)   wait(s)   wait/sub(ms)\n";
+  return "server  kind     subs     bytes        busy(s)   wait(s)   wait/sub(ms) wasted\n";
 }
 
 std::string stats_table_row(std::size_t index, const ServerSim& server) {
   const ServerStats& st = server.stats();
   const double wait_per_sub =
       st.sub_requests > 0 ? st.queue_wait / static_cast<double>(st.sub_requests) : 0.0;
-  char line[160];
-  std::snprintf(line, sizeof(line), "S%-6zu %-8s %-8llu %-12s %-9.4f %-9.4f %-9.3f\n", index,
-                common::to_string(server.kind()),
+  char line[192];
+  std::snprintf(line, sizeof(line), "S%-6zu %-8s %-8llu %-12s %-9.4f %-9.4f %-12.3f %-10s\n",
+                index, common::to_string(server.kind()),
                 static_cast<unsigned long long>(st.sub_requests),
                 common::format_bytes(st.bytes_total()).c_str(), st.busy_time, st.queue_wait,
-                wait_per_sub * 1e3);
+                wait_per_sub * 1e3, common::format_bytes(st.bytes_wasted).c_str());
   return line;
 }
 

@@ -27,6 +27,10 @@ struct ServerStats {
   common::Seconds busy_time = 0.0;
   /// Total time sub-requests spent waiting behind earlier work.
   common::Seconds queue_wait = 0.0;
+  /// Bytes of admitted work whose request was later abandoned (deadline
+  /// miss / failed sibling) but could no longer be cancelled — throughput
+  /// the server delivered that produced zero goodput.
+  common::ByteCount bytes_wasted = 0;
 
   common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
 };
@@ -41,6 +45,7 @@ struct JobServerStats {
   common::ByteCount bytes_written = 0;
   common::Seconds busy_time = 0.0;
   common::Seconds queue_wait = 0.0;
+  common::ByteCount bytes_wasted = 0;
 
   common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
 };
@@ -87,6 +92,12 @@ class ServerSim {
   /// was admitted (LIFO cancellation, the only case a hedger needs).
   /// Returns false (and changes nothing) otherwise or for empty charges.
   bool try_cancel(const Charge& c);
+
+  /// Marks `bytes` of already-admitted `job` work as wasted: the owning
+  /// request was abandoned but the charge could not be cancelled, so the
+  /// server will serve it for nothing.  Reconciles aggregate and job rows
+  /// like every other counter (goodput-vs-throughput accounting).
+  void note_wasted(common::JobId job, common::ByteCount bytes);
 
   /// Completion time a sub-request submitted now would get, without
   /// admitting it (the scheduler's look-ahead; exact under virtual time).

@@ -103,6 +103,22 @@ class JobGuard {
   pfs::HybridPfs& pfs_;
 };
 
+/// Same idiom for the overload guard; also resets the active deadline so a
+/// guarded replay never leaves a stale finite deadline on later work.
+class OverloadGuardGuard {
+ public:
+  OverloadGuardGuard(pfs::HybridPfs& pfs, guard::OverloadGuard* g) : pfs_(pfs) {
+    if (g != nullptr) pfs_.set_guard(g);
+  }
+  ~OverloadGuardGuard() {
+    pfs_.set_guard(nullptr);
+    pfs_.set_active_deadline(std::numeric_limits<double>::infinity());
+  }
+
+ private:
+  pfs::HybridPfs& pfs_;
+};
+
 }  // namespace
 
 common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
@@ -114,6 +130,16 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
   SchedulerGuard scheduler_guard(pfs, options.scheduler);
   FaultGuard fault_guard(pfs, options.fault_context);
   JobGuard job_guard(pfs);
+  OverloadGuardGuard overload_guard(pfs, options.guard);
+  if (options.guard != nullptr && options.jobs != nullptr) {
+    // Seed the guard's job -> tier map from the registry's priority classes
+    // so tiered shedding sees the same classes the fair-share policies do.
+    for (std::size_t j = 0; j < options.jobs->size(); ++j) {
+      options.guard->set_job_tier(
+          static_cast<common::JobId>(j),
+          static_cast<std::uint8_t>(options.jobs->priority(static_cast<common::JobId>(j))));
+    }
+  }
   if (options.scheduler != nullptr) {
     options.scheduler->reserve_metrics(trace.records.size(), pfs.num_servers());
   }
@@ -155,27 +181,65 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
     const common::JobId job =
         options.jobs != nullptr ? options.jobs->job_of_rank(r.rank) : common::kDefaultJob;
     if (options.jobs != nullptr) pfs.set_active_job(job);
+    const auto tier = options.jobs != nullptr
+                          ? static_cast<std::size_t>(options.jobs->priority(job))
+                          : static_cast<std::size_t>(qos::PriorityClass::kNormal);
+    const common::Seconds allowance = options.goodput_allowance[tier];
+    if (options.guard != nullptr) {
+      // End-to-end deadline: the rank's clock *now* (request issue, not the
+      // trace's nominal t_start) plus its tier's allowance.
+      pfs.set_active_deadline(mpi.now(r.rank) + allowance);
+    }
     common::Seconds duration = 0.0;
+    common::Status failure = common::Status::ok();
     if (r.op == common::OpType::kWrite) {
       if (fill_payload) {
         replay_write_fill(r.offset, buffer.data(), r.size);
       }
       auto op = file->write_at(r.rank, r.offset, buffer.data(), r.size);
-      if (!op.is_ok()) return op.status();
-      shadow.on_write(r.offset, buffer.data(), r.size);
-      result.bytes_written += r.size;
-      duration = op->duration();
+      if (op.is_ok()) {
+        shadow.on_write(r.offset, buffer.data(), r.size);
+        result.bytes_written += r.size;
+        duration = op->duration();
+      } else {
+        failure = op.status();
+      }
     } else {
       auto op = file->read_at(r.rank, r.offset, buffer.data(), r.size);
-      if (!op.is_ok()) return op.status();
-      MHA_RETURN_IF_ERROR(shadow.check_read(r.offset, buffer.data(), r.size));
-      result.bytes_read += r.size;
-      duration = op->duration();
+      if (op.is_ok()) {
+        MHA_RETURN_IF_ERROR(shadow.check_read(r.offset, buffer.data(), r.size));
+        result.bytes_read += r.size;
+        duration = op->duration();
+      } else {
+        failure = op.status();
+      }
+    }
+    ++result.requests;
+    if (!failure.is_ok()) {
+      // Corruption is never an overload symptom — always fatal.
+      if (!options.tolerate_failures ||
+          failure.code() == common::ErrorCode::kCorruption) {
+        return failure;
+      }
+      if (failure.code() == common::ErrorCode::kOverloaded) {
+        ++result.shed_requests;
+        if (!result.tenants.empty()) ++result.tenants[job].shed;
+      } else {
+        ++result.failed_requests;
+        if (!result.tenants.empty()) ++result.tenants[job].failed;
+      }
+      return common::Status::ok();
     }
     result.request_latency.add(duration);
     latency_pcts.add(duration);
     if (!result.tenants.empty()) result.tenants[job].observe(duration, r.size);
-    ++result.requests;
+    if (duration <= allowance) {
+      result.goodput_bytes += r.size;
+      if (!result.tenants.empty()) result.tenants[job].goodput_bytes += r.size;
+    } else {
+      ++result.late_requests;
+      if (!result.tenants.empty()) ++result.tenants[job].late;
+    }
     return common::Status::ok();
   };
 
@@ -194,10 +258,15 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
         std::vector<common::Request> batch;
         batch.reserve(group.size());
         for (const trace::TraceRecord* r : group) {
-          batch.push_back(common::Request{
-              r->rank, r->op, r->offset, r->size, r->t_start,
-              options.jobs != nullptr ? options.jobs->job_of_rank(r->rank)
-                                      : common::kDefaultJob});
+          const common::JobId job = options.jobs != nullptr
+                                        ? options.jobs->job_of_rank(r->rank)
+                                        : common::kDefaultJob;
+          const auto tier = options.jobs != nullptr
+                                ? static_cast<std::size_t>(options.jobs->priority(job))
+                                : static_cast<std::size_t>(qos::PriorityClass::kNormal);
+          batch.push_back(common::Request{r->rank, r->op, r->offset, r->size,
+                                          r->t_start, job,
+                                          r->t_start + options.goodput_allowance[tier]});
         }
         order = options.scheduler->plan(batch);
       }
@@ -233,6 +302,8 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
   result.makespan = mpi.max_time();
   result.aggregate_bandwidth =
       result.makespan > 0.0 ? static_cast<double>(result.bytes_total()) / result.makespan : 0.0;
+  result.goodput_bandwidth =
+      result.makespan > 0.0 ? static_cast<double>(result.goodput_bytes) / result.makespan : 0.0;
   result.latency_p50 = latency_pcts.percentile(50);
   result.latency_p99 = latency_pcts.percentile(99);
   result.server_stats.reserve(pfs.num_servers());

@@ -16,11 +16,14 @@
 // oracle for redirection.
 #pragma once
 
+#include <array>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/result.hpp"
 #include "common/stats.hpp"
+#include "guard/guard.hpp"
 #include "layouts/scheme.hpp"
 #include "pfs/file_system.hpp"
 #include "qos/job.hpp"
@@ -57,6 +60,25 @@ struct ReplayOptions {
   /// see real job identities — and the result carries per-tenant latency
   /// collectors alongside the aggregate ones.
   const qos::JobTable* jobs = nullptr;
+  /// Overload guard to dispatch under (borrowed; null replays unguarded).
+  /// While attached, the PFS consults its admission gate/breakers/retry
+  /// tokens, each request is stamped with issue + its tier's
+  /// goodput_allowance as the end-to-end deadline, and job -> tier mappings
+  /// are seeded from the job table's priority classes.
+  guard::OverloadGuard* guard = nullptr;
+  /// Per-priority-tier completion allowance in seconds from issue (index =
+  /// qos::PriorityClass value: batch, normal, interactive).  A request
+  /// finishing later is *late*: its bytes count as throughput but not
+  /// goodput.  Infinite entries (the default) disable the accounting.
+  std::array<common::Seconds, 3> goodput_allowance = {
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity()};
+  /// Keep replaying through per-request failures: shed (kOverloaded) and
+  /// failed (deadline/budget/unavailable) requests are counted instead of
+  /// aborting the replay.  Data corruption still aborts — a wrong byte is
+  /// never an overload symptom.
+  bool tolerate_failures = false;
 };
 
 struct ReplayResult {
@@ -79,6 +101,18 @@ struct ReplayResult {
   /// Per-tenant latency/byte collectors, indexed by JobId; filled only when
   /// options.jobs was attached (size == jobs->size()).
   std::vector<qos::TenantLatency> tenants;
+  /// Goodput: bytes of requests that completed within their tier's
+  /// allowance (== bytes_total when no allowance was configured).
+  common::ByteCount goodput_bytes = 0;
+  /// goodput_bytes / makespan.
+  double goodput_bandwidth = 0.0;
+  /// Requests the admission gate / retry-token budget shed (kOverloaded).
+  std::size_t shed_requests = 0;
+  /// Requests that failed for any other tolerated reason (deadline miss,
+  /// retry budget, offline past budget).
+  std::size_t failed_requests = 0;
+  /// Requests that completed but blew their tier's allowance.
+  std::size_t late_requests = 0;
 
   common::ByteCount bytes_total() const { return bytes_read + bytes_written; }
 };

@@ -229,6 +229,41 @@ TEST(RetryPolicy, JitterIsBoundedAndSeedDeterministic) {
   }
 }
 
+TEST(RetryPolicy, HugeAttemptCountSaturatesAtCapWithoutOverflow) {
+  // With the pow() form, multiplier^(attempt-1) overflows to inf long before
+  // attempt 10000; the iterative form must stop growing at the cap.
+  fault::RetryPolicy policy;
+  policy.jitter = 0.0;
+  common::Rng rng(1);
+  const common::Seconds d = fault::backoff_delay(policy, 10000, rng);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_DOUBLE_EQ(d, policy.max_backoff);
+}
+
+TEST(RetryPolicy, ZeroBaseBackoffStaysZeroNotNaN) {
+  // base == 0 made the pow() form compute 0 * inf = NaN at large attempts,
+  // which survives min() and poisons every later virtual-time sum.
+  fault::RetryPolicy policy;
+  policy.base_backoff = 0.0;
+  policy.jitter = 0.0;
+  common::Rng rng(1);
+  for (const std::size_t attempt : {std::size_t{1}, std::size_t{64}, std::size_t{100000}}) {
+    EXPECT_EQ(fault::backoff_delay(policy, attempt, rng), 0.0) << attempt;
+  }
+}
+
+TEST(RetryPolicy, CapBoundaryAttemptIsBitExact) {
+  // 0.5 ms * 2^7 == 64 ms exactly: the attempt that lands on the cap must
+  // equal it bit-for-bit (the early-stop loop must not change the default
+  // schedule), and later attempts stay pinned there.
+  fault::RetryPolicy policy;  // base 0.5e-3, multiplier 2, cap 64e-3
+  policy.jitter = 0.0;
+  common::Rng rng(1);
+  EXPECT_LT(fault::backoff_delay(policy, 7, rng), policy.max_backoff);
+  EXPECT_DOUBLE_EQ(fault::backoff_delay(policy, 8, rng), policy.max_backoff);
+  EXPECT_DOUBLE_EQ(fault::backoff_delay(policy, 9, rng), policy.max_backoff);
+}
+
 // ------------------------------------------------- degraded-mode client ---
 
 class DegradedIoTest : public ::testing::Test {

@@ -5,7 +5,10 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "fault/context.hpp"
+#include "fault/injector.hpp"
 #include "layouts/scheme.hpp"
+#include "pfs/file_system.hpp"
 #include "sched/fcfs.hpp"
 #include "sched/hedged.hpp"
 #include "sched/load_aware.hpp"
@@ -477,6 +480,75 @@ TEST(SchedulerMetrics, TableReportsDecisionsAndPerServerDepth) {
   hedged.reset_metrics();
   EXPECT_EQ(hedged.metrics().requests, 0u);
   EXPECT_EQ(hedged.metrics().hedges_issued, 0u);
+}
+
+// ------------------------------------------------ stats reconciliation ---
+
+TEST(Charge, AggregateStatsEqualSumOfJobRowsThroughCancelAndWaste) {
+  sim::ServerSim server(ServerKind::kHdd, slow_device(), sim::null_network());
+  server.charge(OpType::kRead, 1000, 0.0, 1);
+  server.charge(OpType::kWrite, 2000, 0.0, 2);
+  const sim::Charge last = server.charge(OpType::kRead, 500, 0.0, 1);
+  ASSERT_TRUE(server.try_cancel(last));
+  // An uncancellable abandoned charge lands in the waste column instead.
+  server.note_wasted(2, 2000);
+
+  sim::JobServerStats sum;
+  for (const sim::JobServerStats& row : server.job_stats()) {
+    sum.sub_requests += row.sub_requests;
+    sum.bytes_read += row.bytes_read;
+    sum.bytes_written += row.bytes_written;
+    sum.busy_time += row.busy_time;
+    sum.queue_wait += row.queue_wait;
+    sum.bytes_wasted += row.bytes_wasted;
+  }
+  const sim::ServerStats& total = server.stats();
+  EXPECT_EQ(total.sub_requests, sum.sub_requests);
+  EXPECT_EQ(total.bytes_read, sum.bytes_read);
+  EXPECT_EQ(total.bytes_written, sum.bytes_written);
+  EXPECT_DOUBLE_EQ(total.busy_time, sum.busy_time);
+  EXPECT_DOUBLE_EQ(total.queue_wait, sum.queue_wait);
+  EXPECT_EQ(total.bytes_wasted, sum.bytes_wasted);
+  // The cancel really released the charge and the waste really landed.
+  EXPECT_EQ(total.sub_requests, 2u);
+  EXPECT_EQ(total.bytes_read, 1000u);
+  EXPECT_EQ(total.bytes_wasted, 2000u);
+  EXPECT_EQ(server.job_stats(1).bytes_read, 1000u);
+  EXPECT_EQ(server.job_stats(2).bytes_wasted, 2000u);
+}
+
+TEST(Charge, FailedRequestLeavesNoResidualServerCharges) {
+  // A read that spans both HServers while the second is crashed (and no
+  // SServer replica exists) must surface the failure AND rewind the charge
+  // it already placed on the first server — the mid-dispatch leak.
+  pfs::HybridPfs pfs(tiny_cluster(2, 0));
+  auto file = pfs.create_file("rewind");
+  ASSERT_TRUE(file.is_ok());
+  std::vector<std::uint8_t> payload(128 * 1024, 0xAB);
+  ASSERT_TRUE(pfs.write(*file, 0, payload, 0.0).is_ok());
+  pfs.reset_stats();
+  pfs.reset_clocks();
+
+  fault::FaultInjector injector(7);
+  fault::FaultWindow w;
+  w.server = 1;
+  w.kind = fault::FaultKind::kCrash;
+  w.start = 0.0;
+  w.end = 100.0;  // far past the retry budget
+  injector.add(w);
+  fault::FaultContext fault_context(injector, {}, 11);
+  pfs.set_fault_context(&fault_context);
+
+  std::vector<std::uint8_t> out(payload.size());
+  auto io = pfs.read(*file, 0, out.data(), out.size(), 0.0);
+  EXPECT_FALSE(io.is_ok());
+  EXPECT_GE(injector.metrics().offline_hits, 1u);
+  EXPECT_GE(injector.metrics().budget_exhausted, 1u);
+  for (std::size_t s = 0; s < pfs.num_servers(); ++s) {
+    EXPECT_EQ(pfs.server_stats(s).sub_requests, 0u) << "server " << s;
+    EXPECT_EQ(pfs.server_stats(s).bytes_read, 0u) << "server " << s;
+    EXPECT_EQ(pfs.server_stats(s).bytes_wasted, 0u) << "server " << s;
+  }
 }
 
 }  // namespace
