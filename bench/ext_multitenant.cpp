@@ -96,7 +96,7 @@ std::vector<Mix> build_mixes() {
   {
     Mix mix;
     mix.name = "mixed-apps";
-    mix.note = "IOR + HPIO + BTIO + LANL, weights 2:1:1:1";
+    mix.note = "IOR + HPIO + BTIO + LANL + DL, weights 2:1:1:1:1";
     qos::TenantSpec ior;
     ior.name = "ior";
     ior.workload = qos::TenantWorkload::kIorSmall;
@@ -128,6 +128,13 @@ std::vector<Mix> build_mixes() {
     la.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
     la.seed = 34;
     mix.tenants.push_back(la);
+    qos::TenantSpec dl;
+    dl.name = "dlpipe";
+    dl.workload = qos::TenantWorkload::kDlPipe;
+    dl.clients = bench::scaled_procs(128, 8);
+    dl.bytes_per_client = bench::scaled_bytes(1_MiB, 256 * 1024);
+    dl.seed = 35;
+    mix.tenants.push_back(dl);
     mixes.push_back(std::move(mix));
   }
   return mixes;

@@ -21,6 +21,7 @@
 
 #include "common/units.hpp"
 #include "sched/scheduler.hpp"
+#include "workloads/dlpipe.hpp"
 #include "workloads/ior.hpp"
 
 using namespace mha;
@@ -159,6 +160,17 @@ int main(int argc, char** argv) {
   // Within-iteration skew: the load-aware showcase (heterogeneous batches).
   run_case("Skewed batch 64 KiB + 1 MiB per iter, 32 procs",
            skewed_batch_case(common::OpType::kRead), common::OpType::kRead);
+
+  // DL input pipeline: epoch-shuffled 128 KiB sample reads (ResNet-style).
+  // Every training step is one synchronous iteration of small random reads,
+  // so this is the shape the batched request path coalesces hardest — and a
+  // random-access pattern neither scheduler has seen above.
+  {
+    workloads::DlPipeConfig config =
+        workloads::dl_resnet(bench::scaled_procs(32), bench::scaled_bytes(128_MiB), 5);
+    run_case("DL pipeline 128 KiB epoch-shuffled, 32 procs",
+             workloads::dl_pipeline(config), common::OpType::kRead);
+  }
 
   // Fig. 9 shape: mixed process counts, 256 KiB requests.
   {

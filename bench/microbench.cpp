@@ -38,21 +38,36 @@ using namespace mha::common::literals;
 
 namespace {
 
-/// Times `op` over `iters` iterations and records one JSON cell.
+/// Times `op` over `iters` iterations and records one JSON cell.  A batched
+/// kernel passes ops_per_iter > 1 so ns/op stays per *request* (comparable
+/// to the serial baselines); byte-moving kernels pass bytes_per_op so the
+/// cell reports real MiB/s instead of 0.  Returns ns/op for speedup gates.
 template <typename Fn>
-void timed(std::size_t sequence, const char* label, std::size_t iters, Fn&& op) {
+double timed(std::size_t sequence, const char* label, std::size_t iters, Fn&& op,
+             std::size_t ops_per_iter = 1, common::ByteCount bytes_per_op = 0) {
   const double start = bench::wall_now();
   for (std::size_t i = 0; i < iters; ++i) op(i);
   const double elapsed = bench::wall_now() - start;
+  const double ops = static_cast<double>(iters) * static_cast<double>(ops_per_iter);
   bench::CellRecord cell;
   cell.case_label = label;
   cell.variant = "timed";
   cell.wall_seconds = elapsed;
-  cell.ops_per_s = elapsed > 0.0 ? static_cast<double>(iters) / elapsed : 0.0;
-  cell.ns_per_op = static_cast<double>(elapsed) * 1e9 / static_cast<double>(iters);
+  cell.ops_per_s = elapsed > 0.0 ? ops / elapsed : 0.0;
+  cell.ns_per_op = ops > 0.0 ? elapsed * 1e9 / ops : 0.0;
+  cell.mib_per_s = elapsed > 0.0 && bytes_per_op > 0
+                       ? static_cast<double>(bytes_per_op) * ops / elapsed /
+                             static_cast<double>(common::kMiB)
+                       : 0.0;
   bench::report().add(sequence, cell);
-  std::fprintf(stderr, "%-28s %12.1f ops/s  %10.2f ns/op\n", label, cell.ops_per_s,
-               cell.ns_per_op);
+  if (cell.mib_per_s > 0.0) {
+    std::fprintf(stderr, "%-32s %12.1f ops/s  %10.2f ns/op  %10.1f MiB/s\n", label,
+                 cell.ops_per_s, cell.ns_per_op, cell.mib_per_s);
+  } else {
+    std::fprintf(stderr, "%-32s %12.1f ops/s  %10.2f ns/op\n", label, cell.ops_per_s,
+                 cell.ns_per_op);
+  }
+  return cell.ns_per_op;
 }
 
 core::Drt dense_table(common::ByteCount file_bytes, common::ByteCount entry) {
@@ -68,12 +83,12 @@ core::Drt dense_table(common::ByteCount file_bytes, common::ByteCount entry) {
 /// the world must not relocate them after open).
 struct RequestWorld {
   pfs::HybridPfs pfs;
-  io::MpiSim mpi{1};
+  io::MpiSim mpi;
   std::unique_ptr<core::Redirector> redirector;
   std::unique_ptr<io::MpiFile> file;
 
-  RequestWorld(common::ByteCount file_bytes, common::ByteCount entry)
-      : pfs(bench::paper_cluster()) {
+  RequestWorld(common::ByteCount file_bytes, common::ByteCount entry, int ranks = 1)
+      : pfs(bench::paper_cluster()), mpi(ranks) {
     (void)pfs.create_file("micro.f");
     auto r = core::Redirector::create(
         pfs, core::Redirector::identity_table("micro.f", file_bytes, entry));
@@ -87,7 +102,20 @@ struct RequestWorld {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::init("micro", argc, argv);
+  // --assert-batch-speedup: exit non-zero unless the batched request path
+  // beats the serial per-request baseline by >= 3x at batch size 32 (the
+  // CI perf-smoke gate).  Filtered out before bench::init, which rejects
+  // flags it does not know.
+  bool assert_batch_speedup = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--assert-batch-speedup") == 0) {
+      assert_batch_speedup = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  bench::init("micro", static_cast<int>(args.size()), args.data());
   constexpr common::ByteCount kFile = 16_MiB;
   constexpr common::ByteCount kEntry = 64_KiB;
   constexpr common::ByteCount kRequest = 4_KiB;
@@ -163,6 +191,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(store.stored_bytes()));
   }
   {
+    // Batched store write: 32 adjacent 4 KiB slices land as ONE extent with
+    // the checksum refresh merged across the whole span (not 32 per-slice
+    // rechecksums) — the coalescing the batched request path rides.
+    pfs::ExtentStore store;
+    std::vector<std::uint8_t> payload(32 * 4_KiB, 3);
+    std::vector<pfs::ExtentStore::IoSlice> slices;
+    for (std::size_t i = 0; i < 32; ++i) {
+      slices.push_back(pfs::ExtentStore::IoSlice{
+          static_cast<common::Offset>(i) * 4_KiB, payload.data() + i * 4_KiB, 4_KiB});
+    }
+    store.write_batch(slices);
+    std::printf("extent store after batched 32x4KiB adjacent write: %zu extent(s), %llu bytes\n",
+                store.extent_count(),
+                static_cast<unsigned long long>(store.stored_bytes()));
+  }
+  {
     // DRT split shape for a representative straddling request.
     const core::Drt drt = dense_table(kFile, kEntry);
     const auto segs = drt.lookup(kEntry - 1_KiB, 2_KiB);  // straddles two entries
@@ -231,6 +275,36 @@ int main(int argc, char** argv) {
     world.pfs.set_guard(nullptr);
     world.pfs.set_active_deadline(std::numeric_limits<double>::infinity());
   }
+  {
+    // Batched request path: after the first batch grows the arenas, the
+    // whole vectorized pipeline — shared-cursor translate, cross-request
+    // coalescing, one dispatch per server — must be allocation-free.
+    RequestWorld world(4_MiB, 1_MiB, /*ranks=*/32);
+    std::vector<std::uint8_t> buffer(32 * 4_KiB, 0x42);
+    std::vector<io::BatchOp> ops(32);
+    io::BatchOutcomeVec outcomes;
+    const auto run_batches = [&](std::size_t* requests) {
+      for (common::Offset base = 0; base < 4_MiB; base += 32 * 4_KiB) {
+        for (std::size_t w = 0; w < ops.size(); ++w) {
+          ops[w].rank = static_cast<int>(w);
+          ops[w].offset = base + static_cast<common::Offset>(w) * 4_KiB;
+          ops[w].size = 4_KiB;
+          ops[w].read_out = buffer.data() + w * 4_KiB;
+          ops[w].write_data = buffer.data() + w * 4_KiB;
+        }
+        world.file->write_at_batch(ops, outcomes);
+        world.file->read_at_batch(ops, outcomes);
+        if (requests != nullptr) *requests += 2 * ops.size();
+      }
+    };
+    run_batches(nullptr);  // warm-up
+    common::AllocationScope scope;
+    std::size_t requests = 0;
+    run_batches(&requests);
+    std::printf("steady-state allocs/request (batched 32x4KiB, fast path): %.2f over %zu requests\n",
+                static_cast<double>(scope.allocations()) / static_cast<double>(requests),
+                requests);
+  }
 
   // ----------------------------------------------------------------- timed
   std::fprintf(stderr, "=== microbench timed kernels (machine-dependent) ===\n");
@@ -250,6 +324,14 @@ int main(int argc, char** argv) {
     for (auto& o : offsets) o = rng.next_below(kFile - kRequest);
     timed(1, "drt_lookup_hit_random", n, [&](std::size_t i) {
       drt.lookup(offsets[i % offsets.size()], kRequest, scratch);
+    });
+    // The batched-translate hint: one cursor shared across an ascending
+    // sweep gallops from the previous hit instead of re-searching.
+    core::Drt::LookupCursor cursor;
+    timed(8, "drt_lookup_cursor_sequential", n, [&](std::size_t i) {
+      const common::Offset pos = (static_cast<common::Offset>(i) * kRequest) % kFile;
+      if (pos == 0) cursor = core::Drt::LookupCursor{};
+      drt.lookup(pos, kRequest, scratch, cursor);
     });
   }
   {
@@ -273,10 +355,74 @@ int main(int argc, char** argv) {
     }
     timed(3, "translate_dispatch_write", iters(200'000), [&](std::size_t i) {
       (void)world.file->write_at(0, (i * 64_KiB) % 4_MiB, buffer.data(), buffer.size());
-    });
+    }, 1, 64_KiB);
     timed(4, "translate_dispatch_read", iters(200'000), [&](std::size_t i) {
       (void)world.file->read_at(0, (i * 64_KiB) % 4_MiB, buffer.data(), buffer.size());
-    });
+    }, 1, 64_KiB);
+  }
+  double serial_write_ns = 0.0;
+  double serial_read_ns = 0.0;
+  double batch32_write_ns = 0.0;
+  double batch32_read_ns = 0.0;
+  {
+    // Batched vs serial end-to-end path, small-request regime: adjacent
+    // 4 KiB requests, where per-request fixed costs (translate, dispatch,
+    // checksum refresh of a whole 64 KiB chunk) dominate and coalescing
+    // pays.  ns/op is per request in both shapes.
+    RequestWorld world(4_MiB, 1_MiB, /*ranks=*/128);
+    std::vector<std::uint8_t> buffer(128 * 4_KiB, 0x5A);
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 4_KiB) {  // warm file
+      (void)world.file->write_at(0, pos, buffer.data(), 4_KiB);
+    }
+    serial_write_ns =
+        timed(9, "translate_dispatch_write_4k", iters(200'000), [&](std::size_t i) {
+          (void)world.file->write_at(0, (i * 4_KiB) % 4_MiB, buffer.data(), 4_KiB);
+        }, 1, 4_KiB);
+    serial_read_ns =
+        timed(10, "translate_dispatch_read_4k", iters(200'000), [&](std::size_t i) {
+          (void)world.file->read_at(0, (i * 4_KiB) % 4_MiB, buffer.data(), 4_KiB);
+        }, 1, 4_KiB);
+
+    const std::size_t batch_sizes[] = {8, 32, 128};
+    std::vector<io::BatchOp> ops;
+    io::BatchOutcomeVec outcomes;
+    std::size_t sequence = 11;
+    for (const std::size_t n : batch_sizes) {
+      ops.resize(n);
+      const common::ByteCount span = static_cast<common::ByteCount>(n) * 4_KiB;
+      const auto run_batch = [&](std::size_t i) {
+        const common::Offset base = (static_cast<common::Offset>(i) * span) % 4_MiB;
+        for (std::size_t w = 0; w < n; ++w) {
+          ops[w].rank = static_cast<int>(w);
+          ops[w].offset = base + static_cast<common::Offset>(w) * 4_KiB;
+          ops[w].size = 4_KiB;
+          ops[w].read_out = buffer.data() + w * 4_KiB;
+          ops[w].write_data = buffer.data() + w * 4_KiB;
+        }
+      };
+      run_batch(0);
+      world.file->write_at_batch(ops, outcomes);  // warm the arenas
+      world.file->read_at_batch(ops, outcomes);
+      char label[64];
+      std::snprintf(label, sizeof(label), "translate_dispatch_write_batch%zu", n);
+      const double write_ns = timed(sequence++, label, iters(400'000 / n),
+                                    [&](std::size_t i) {
+                                      run_batch(i);
+                                      world.file->write_at_batch(ops, outcomes);
+                                    },
+                                    n, 4_KiB);
+      std::snprintf(label, sizeof(label), "translate_dispatch_read_batch%zu", n);
+      const double read_ns = timed(sequence++, label, iters(400'000 / n),
+                                   [&](std::size_t i) {
+                                     run_batch(i);
+                                     world.file->read_at_batch(ops, outcomes);
+                                   },
+                                   n, 4_KiB);
+      if (n == 32) {
+        batch32_write_ns = write_ns;
+        batch32_read_ns = read_ns;
+      }
+    }
   }
   {
     pfs::ExtentStore store;
@@ -286,10 +432,10 @@ int main(int argc, char** argv) {
     }
     timed(5, "extent_store_write_inplace", iters(500'000), [&](std::size_t i) {
       store.write((i * 64_KiB) % 8_MiB, block.data(), block.size());
-    });
+    }, 1, 64_KiB);
     timed(6, "extent_store_read_fast", iters(500'000), [&](std::size_t i) {
       store.read((i * 64_KiB) % 8_MiB, block.data(), block.size());
-    });
+    }, 1, 64_KiB);
   }
   {
     // Steady-state replay: the whole measurement harness end to end.
@@ -310,12 +456,16 @@ int main(int argc, char** argv) {
     (void)workloads::replay(pfs, plain, trace);  // warm-up
     const std::size_t reps = iters(40);
     std::size_t requests = 0;
+    common::ByteCount bytes = 0;
     const double start = bench::wall_now();
     for (std::size_t i = 0; i < reps; ++i) {
       pfs.reset_stats();
       pfs.reset_clocks();
       auto result = workloads::replay(pfs, plain, trace);
-      if (result.is_ok()) requests += result->requests;
+      if (result.is_ok()) {
+        requests += result->requests;
+        bytes += result->bytes_total();
+      }
     }
     const double elapsed = bench::wall_now() - start;
     bench::CellRecord cell;
@@ -325,9 +475,26 @@ int main(int argc, char** argv) {
     cell.ops_per_s = elapsed > 0.0 ? static_cast<double>(requests) / elapsed : 0.0;
     cell.ns_per_op =
         requests > 0 ? elapsed * 1e9 / static_cast<double>(requests) : 0.0;
+    cell.mib_per_s = elapsed > 0.0 ? static_cast<double>(bytes) / elapsed /
+                                         static_cast<double>(common::kMiB)
+                                   : 0.0;
     bench::report().add(7, cell);
-    std::fprintf(stderr, "%-28s %12.1f req/s  %10.2f ns/req\n", "replay_steady_state",
-                 cell.ops_per_s, cell.ns_per_op);
+    std::fprintf(stderr, "%-32s %12.1f req/s  %10.2f ns/req  %10.1f MiB/s\n",
+                 "replay_steady_state", cell.ops_per_s, cell.ns_per_op, cell.mib_per_s);
+  }
+
+  if (assert_batch_speedup) {
+    const double write_speedup =
+        batch32_write_ns > 0.0 ? serial_write_ns / batch32_write_ns : 0.0;
+    const double read_speedup =
+        batch32_read_ns > 0.0 ? serial_read_ns / batch32_read_ns : 0.0;
+    std::fprintf(stderr,
+                 "batch32 speedup vs serial 4k: write %.2fx, read %.2fx (gate: >= 3x)\n",
+                 write_speedup, read_speedup);
+    if (write_speedup < 3.0 || read_speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: batched request path under 3x speedup gate\n");
+      return bench::finish(1);
+    }
   }
   return bench::finish();
 }

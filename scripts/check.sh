@@ -37,9 +37,11 @@ cmake --build --preset asan -j "${jobs}" --target ext_fault
 
 # ThreadSanitizer pass over the concurrency surface: the exec pool's own
 # tests plus the sched/fault/guard suites that exercise replay on the pool
-# (the guard suite's chaos cells fan out on it).  The rest of the suite is
-# single-threaded and already covered above, so only the affected binaries
-# are built to keep single-core runtimes sane.
+# (the guard suite's chaos cells fan out on it) and the batched-vs-serial
+# equivalence suite (its thread-invariance test fans combos out on an
+# 8-thread pool).  The rest of the suite is single-threaded and already
+# covered above, so only the affected binaries are built to keep
+# single-core runtimes sane.
 cmake --preset tsan
-cmake --build --preset tsan -j "${jobs}" --target mha_exec_tests mha_system_tests mha_guard_tests
-ctest --preset tsan -j "${jobs}" -R 'Exec|Sched|Scheduler|Fault|Retry|TryCancel|Degraded|Migration|Journal|RecoveryIdempotence|CircuitBreaker|OverloadGuard|ChaosCell|StatsTable'
+cmake --build --preset tsan -j "${jobs}" --target mha_exec_tests mha_system_tests mha_guard_tests mha_batch_tests
+ctest --preset tsan -j "${jobs}" -R 'Exec|Sched|Scheduler|Fault|Retry|TryCancel|Degraded|Migration|Journal|RecoveryIdempotence|CircuitBreaker|OverloadGuard|ChaosCell|StatsTable|Batch'

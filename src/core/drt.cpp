@@ -59,10 +59,44 @@ common::Status Drt::insert(DrtEntry entry) {
   return common::Status::ok();
 }
 
+std::size_t Drt::fill_segments(common::Offset pos, common::Offset end, std::size_t idx,
+                               SegmentVec& out) const {
+  const std::size_t n = entries_.size();
+  const FlatEntry* base = entries_.data();
+  std::size_t last = n;
+  while (pos < end) {
+    // Skip entries entirely before `pos`.
+    while (idx < n && base[idx].o_end() <= pos) ++idx;
+    if (idx == n || base[idx].o_offset >= end) {
+      // Tail gap: passthrough to the original file.
+      out.emplace_back(DrtSegment{false, kNoRegion, pos, end - pos, pos});
+      break;
+    }
+    const FlatEntry& e = base[idx];
+    if (e.o_offset > pos) {
+      // Gap before the next entry.
+      out.emplace_back(DrtSegment{false, kNoRegion, pos, e.o_offset - pos, pos});
+      pos = e.o_offset;
+    }
+    const common::Offset piece_end = std::min<common::Offset>(end, e.o_end());
+    DrtSegment seg;
+    seg.redirected = true;
+    seg.region = e.region;
+    seg.target_offset = e.r_offset + (pos - e.o_offset);
+    seg.length = piece_end - pos;
+    seg.logical_offset = pos;
+    out.emplace_back(seg);
+    pos = piece_end;
+    last = idx;
+    ++idx;
+  }
+  return last;
+}
+
 void Drt::lookup(common::Offset offset, common::ByteCount size, SegmentVec& out) const {
   out.clear();
   if (size == 0) return;
-  common::Offset pos = offset;
+  const common::Offset pos = offset;
   const common::Offset end = offset + size;
   const std::size_t n = entries_.size();
   const FlatEntry* base = entries_.data();
@@ -91,32 +125,54 @@ void Drt::lookup(common::Offset offset, common::ByteCount size, SegmentVec& out)
     if (idx > 0) --idx;
   }
 
-  while (pos < end) {
-    // Skip entries entirely before `pos`.
-    while (idx < n && base[idx].o_end() <= pos) ++idx;
-    if (idx == n || base[idx].o_offset >= end) {
-      // Tail gap: passthrough to the original file.
-      out.emplace_back(DrtSegment{false, kNoRegion, pos, end - pos, pos});
-      break;
+  const std::size_t last = fill_segments(pos, end, idx, out);
+  if (last < n) hint_ = last;  // next sequential lookup starts here
+}
+
+void Drt::lookup(common::Offset offset, common::ByteCount size, SegmentVec& out,
+                 LookupCursor& cursor) const {
+  out.clear();
+  if (size == 0) return;
+  const common::Offset pos = offset;
+  const common::Offset end = offset + size;
+  const std::size_t n = entries_.size();
+  const FlatEntry* base = entries_.data();
+
+  // Resolve the start entry relative to the cursor.  A batch translate
+  // visits offsets in sorted order, so the target is at or a short gallop
+  // ahead of the cursor; only a backwards-moving stream pays the full
+  // binary search.
+  std::size_t idx = 0;
+  if (n > 0) {
+    const std::size_t c = cursor.index < n ? cursor.index : n - 1;
+    if (base[c].o_offset > pos) {
+      idx = first_after(pos);
+      if (idx > 0) --idx;
+    } else {
+      // Exponential probe from the cursor: after the loop every entry up to
+      // `hi` starts at or before `pos` and the first entry past `pos` lies
+      // within the last doubled window — O(log gap) total, two comparisons
+      // for the adjacent-request case.
+      std::size_t hi = c;
+      std::size_t step = 1;
+      while (hi + step < n && base[hi + step].o_offset <= pos) {
+        hi += step;
+        step <<= 1;
+      }
+      std::size_t lo = hi;
+      std::size_t len = std::min(step, n - hi);
+      while (len > 0) {  // branchless lower bound inside the window
+        const std::size_t half = len >> 1;
+        const bool le = base[lo + half].o_offset <= pos;
+        lo = le ? lo + half + 1 : lo;
+        len = le ? len - half - 1 : half;
+      }
+      idx = lo - 1;  // base[hi].o_offset <= pos, so lo >= hi + 1 >= 1
     }
-    const FlatEntry& e = base[idx];
-    if (e.o_offset > pos) {
-      // Gap before the next entry.
-      out.emplace_back(DrtSegment{false, kNoRegion, pos, e.o_offset - pos, pos});
-      pos = e.o_offset;
-    }
-    const common::Offset piece_end = std::min<common::Offset>(end, e.o_end());
-    DrtSegment seg;
-    seg.redirected = true;
-    seg.region = e.region;
-    seg.target_offset = e.r_offset + (pos - e.o_offset);
-    seg.length = piece_end - pos;
-    seg.logical_offset = pos;
-    out.emplace_back(seg);
-    pos = piece_end;
-    hint_ = idx;  // last consumed entry: the next sequential lookup starts here
-    ++idx;
   }
+
+  const std::size_t last = fill_segments(pos, end, idx, out);
+  cursor.index = last < n ? last : idx;
 }
 
 void Drt::mark_dirty(common::Offset offset, common::ByteCount size) {

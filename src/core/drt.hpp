@@ -98,6 +98,26 @@ class Drt {
   /// Convenience wrapper for tests and build-time callers.
   std::vector<DrtSegment> lookup(common::Offset offset, common::ByteCount size) const;
 
+  /// Caller-owned position for a batch of lookups.  The per-instance hint_
+  /// remembers only the single last lookup, so interleaved streams (or a
+  /// batch translate restarted from offset 0 every iteration) degrade to the
+  /// binary-search path.  A cursor pins the position to *one* offset-sorted
+  /// stream: lookup(..., cursor) resolves the start entry by galloping
+  /// forward from the cursor's index (O(log gap), O(1) for adjacent
+  /// requests) and falls back to binary search only when the stream moved
+  /// backwards.  Value-semantic and trivially copyable; a stale cursor is
+  /// only ever a cache miss.
+  struct LookupCursor {
+    std::size_t index = 0;
+  };
+
+  /// lookup() with a caller-owned cursor instead of the shared hint.  Batch
+  /// translates sort their requests by offset and walk one cursor across
+  /// them, so every request after the first resolves its start entry on the
+  /// sequential path.
+  void lookup(common::Offset offset, common::ByteCount size, SegmentVec& out,
+              LookupCursor& cursor) const;
+
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
@@ -146,6 +166,13 @@ class Drt {
 
   /// First index whose o_offset is > pos (branchless binary search).
   std::size_t first_after(common::Offset pos) const;
+
+  /// Emits the segments of [pos, end) starting the entry walk at `idx` (the
+  /// last entry with o_offset <= pos, or 0/n when none); returns the index
+  /// of the last entry consumed (n when the range fell entirely in a gap).
+  /// The shared body of both lookup() flavours.
+  std::size_t fill_segments(common::Offset pos, common::Offset end, std::size_t idx,
+                            SegmentVec& out) const;
 
   RegionId intern(const std::string& name);
 

@@ -23,6 +23,20 @@ void Redirector::translate(common::Offset offset, common::ByteCount size,
   ++translations_;
   out.clear();
   drt_.lookup(offset, size, scratch_);
+  emit_segments(out);
+}
+
+void Redirector::translate(common::Offset offset, common::ByteCount size,
+                           io::SegmentList& out, io::TranslateCursor& cursor) {
+  ++translations_;
+  out.clear();
+  Drt::LookupCursor c{cursor.index};
+  drt_.lookup(offset, size, scratch_, c);
+  cursor.index = c.index;
+  emit_segments(out);
+}
+
+void Redirector::emit_segments(io::SegmentList& out) const {
   for (const DrtSegment& seg : scratch_) {
     const common::FileId file = seg.redirected ? region_files_[seg.region] : original_;
     const common::Offset target = seg.target_offset;

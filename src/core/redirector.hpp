@@ -37,6 +37,12 @@ class Redirector : public io::IoInterceptor {
   void translate(common::Offset offset, common::ByteCount size,
                  io::SegmentList& out) override;
 
+  /// Batched-path variant: rides the caller's cursor through the DRT so an
+  /// ascending-offset batch resolves each lookup from where the previous
+  /// one ended (Drt::LookupCursor gallop) instead of a fresh binary search.
+  void translate(common::Offset offset, common::ByteCount size, io::SegmentList& out,
+                 io::TranslateCursor& cursor) override;
+
   common::Seconds lookup_overhead() const override { return lookup_overhead_; }
 
   /// Marks the DRT entries under an intercepted write dirty — their region
@@ -64,6 +70,10 @@ class Redirector : public io::IoInterceptor {
  private:
   Redirector(Drt drt, common::FileId original, common::Seconds lookup_overhead)
       : drt_(std::move(drt)), original_(original), lookup_overhead_(lookup_overhead) {}
+
+  /// Shared tail of both translate overloads: resolve scratch_'s DRT
+  /// segments to file ids and coalesce contiguous same-file pieces.
+  void emit_segments(io::SegmentList& out) const;
 
   Drt drt_;
   common::FileId original_;

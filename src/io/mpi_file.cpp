@@ -51,6 +51,120 @@ common::Result<OpResult> MpiFile::do_op(int rank, common::OpType op, common::Off
   return result;
 }
 
+void MpiFile::do_op_batch(common::OpType op, std::span<const BatchOp> ops,
+                          BatchOutcomeVec& results) {
+  results.clear();
+  results.resize(ops.size());
+  if (ops.empty()) return;
+
+  // Client timeline per op, exactly as do_op charges it: start at the
+  // rank's current clock, then tracer + redirection overheads.  Ranks are
+  // distinct (see BatchOp), so no op's issue time depends on another's
+  // completion — the same independence the serial loop has within one
+  // synchronous iteration.
+  batch_issue_.clear();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    common::Seconds issue = mpi_->now(ops[i].rank);
+    results[i].op.start = issue;
+    if (tracer_ != nullptr) issue += tracer_->per_op_overhead();
+    if (interceptor_ != nullptr) issue += interceptor_->lookup_overhead();
+    batch_issue_.push_back(issue);
+  }
+
+  // Translate in ascending-offset order under one shared cursor so each
+  // lookup resumes where the previous one ended (the DRT sequential-hint
+  // path); the per-op segment lists land in a flat store addressed by op
+  // index, so the pfs batch below is still assembled in op order.
+  batch_order_.clear();
+  for (std::uint32_t i = 0; i < ops.size(); ++i) batch_order_.push_back(i);
+  std::sort(batch_order_.begin(), batch_order_.end(),
+            [&ops](std::uint32_t a, std::uint32_t b) {
+              if (ops[a].offset != ops[b].offset) return ops[a].offset < ops[b].offset;
+              return a < b;
+            });
+  seg_store_.clear();
+  seg_range_.resize(ops.size());
+  TranslateCursor cursor;
+  for (const std::uint32_t idx : batch_order_) {
+    const BatchOp& o = ops[idx];
+    segments_.clear();
+    if (interceptor_ != nullptr) {
+      interceptor_->translate(o.offset, o.size, segments_, cursor);
+      if (op == common::OpType::kWrite) interceptor_->note_write(o.offset, o.size);
+    } else {
+      segments_.push_back(RedirectSegment{file_, o.offset, o.size, o.offset});
+    }
+    seg_range_[idx] = {static_cast<std::uint32_t>(seg_store_.size()),
+                       static_cast<std::uint32_t>(segments_.size())};
+    for (const RedirectSegment& seg : segments_) seg_store_.push_back(seg);
+  }
+
+  // One pfs batch for every segment of every op, grouped by op index so a
+  // failing segment skips its later siblings exactly like the serial loop
+  // returning at the first failure.
+  batch_reqs_.clear();
+  for (std::uint32_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& o = ops[i];
+    const auto [begin, count] = seg_range_[i];
+    for (std::uint32_t k = begin; k < begin + count; ++k) {
+      const RedirectSegment& seg = seg_store_[k];
+      const common::Offset into = seg.logical_offset - o.offset;
+      batch_reqs_.push_back(pfs::BatchRequest{
+          seg.file, seg.offset, seg.length,
+          o.read_out != nullptr ? o.read_out + into : nullptr,
+          o.write_data != nullptr ? o.write_data + into : nullptr, batch_issue_[i],
+          o.job, o.deadline, i});
+    }
+  }
+  if (op == common::OpType::kRead) {
+    pfs_->read_batch(std::span<const pfs::BatchRequest>(batch_reqs_.data(),
+                                                        batch_reqs_.size()),
+                     batch_results_);
+  } else {
+    pfs_->write_batch(std::span<const pfs::BatchRequest>(batch_reqs_.data(),
+                                                         batch_reqs_.size()),
+                      batch_results_);
+  }
+
+  // Fold segment outcomes back per op: first failing segment's Status wins
+  // and the rank's clock stays put; a fully successful op advances its rank
+  // and is traced, both identical to the serial path.
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& o = ops[i];
+    const std::uint32_t count = seg_range_[i].second;
+    common::Seconds completion = batch_issue_[i];
+    common::Status status;
+    for (std::uint32_t m = 0; m < count; ++m, ++k) {
+      const pfs::BatchOpResult& res = batch_results_[k];
+      if (status.is_ok() && !res.skipped && !res.status.is_ok()) {
+        status = res.status;
+      }
+      if (status.is_ok()) {
+        completion = std::max(completion, res.io.completion);
+      }
+    }
+    if (!status.is_ok()) {
+      results[i].status = status;
+      continue;
+    }
+    results[i].op.completion = completion;
+    mpi_->advance(o.rank, completion);
+    if (tracer_ != nullptr) {
+      tracer_->record(o.rank, next_fd_, op, o.offset, o.size, results[i].op.start,
+                      completion - results[i].op.start);
+    }
+  }
+}
+
+void MpiFile::read_at_batch(std::span<const BatchOp> ops, BatchOutcomeVec& results) {
+  do_op_batch(common::OpType::kRead, ops, results);
+}
+
+void MpiFile::write_at_batch(std::span<const BatchOp> ops, BatchOutcomeVec& results) {
+  do_op_batch(common::OpType::kWrite, ops, results);
+}
+
 common::Result<OpResult> MpiFile::read_at(int rank, common::Offset offset, std::uint8_t* out,
                                           common::ByteCount size) {
   return do_op(rank, common::OpType::kRead, offset, out, nullptr, size);

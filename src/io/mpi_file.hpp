@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -36,6 +39,16 @@ struct RedirectSegment {
 /// makes translation allocation-free in steady state.
 using SegmentList = common::SmallVec<RedirectSegment, 8>;
 
+/// Opaque resume position threaded through the translations of one batch.
+/// A batch translated in ascending-offset order with one shared cursor lets
+/// a table-backed interceptor resume each lookup where the previous one
+/// ended (the Drt sequential-hint path) instead of binary-searching from
+/// scratch per request.  Value-semantic and cheap; a stale cursor is only a
+/// cache miss, never a correctness problem.
+struct TranslateCursor {
+  std::size_t index = 0;
+};
+
 /// Translates logical extents of the original file into physical segments.
 /// The default behaviour (no interceptor) is the identity mapping onto the
 /// original file.
@@ -48,6 +61,15 @@ class IoInterceptor {
   /// (cleared first).
   virtual void translate(common::Offset offset, common::ByteCount size,
                          SegmentList& out) = 0;
+
+  /// Cursor-carrying variant used by the batched path.  Interceptors that
+  /// can exploit positional locality override this (core::Redirector maps
+  /// the cursor onto Drt::LookupCursor); the default ignores the cursor.
+  virtual void translate(common::Offset offset, common::ByteCount size, SegmentList& out,
+                         TranslateCursor& cursor) {
+    (void)cursor;
+    translate(offset, size, out);
+  }
 
   /// Convenience wrapper (tests / cold paths): translate into a fresh list.
   SegmentList translate(common::Offset offset, common::ByteCount size) {
@@ -86,6 +108,33 @@ struct OpResult {
   common::Seconds duration() const { return completion - start; }
 };
 
+/// One logical request of a collective batch (read_at_batch /
+/// write_at_batch).  All ops of one batch MUST target distinct ranks — each
+/// rank's clock is read once at batch start and advanced once at the end,
+/// so two ops on the same rank would both issue at the same instant instead
+/// of serializing (the replayer enforces this by splitting its per-iteration
+/// plan into distinct-rank runs).
+struct BatchOp {
+  int rank = 0;
+  common::Offset offset = 0;
+  common::ByteCount size = 0;
+  std::uint8_t* read_out = nullptr;         ///< read_at_batch destination
+  const std::uint8_t* write_data = nullptr; ///< write_at_batch payload
+  common::JobId job = common::kDefaultJob;
+  common::Seconds deadline = std::numeric_limits<double>::infinity();
+};
+
+/// Per-op outcome of a batched call, index-parallel to the input span.  An
+/// op whose pfs segments all succeeded carries the serial-identical OpResult
+/// and its rank's clock was advanced; a failed op leaves its rank's clock
+/// untouched, exactly like the serial error path.
+struct BatchOpOutcome {
+  common::Status status;
+  OpResult op;
+};
+
+using BatchOutcomeVec = common::SmallVec<BatchOpOutcome, 8>;
+
 class MpiFile {
  public:
   /// Opens `name` on `pfs` (must exist).  The handle is shared by all ranks
@@ -111,6 +160,18 @@ class MpiFile {
   common::Result<OpResult> write_at(int rank, common::Offset offset,
                                     const std::uint8_t* data, common::ByteCount size);
 
+  /// Collective batched I/O (MPI_File_read_at_all-shaped): issues every op
+  /// of `ops` as ONE batched pfs call.  Per-op client overheads (tracer +
+  /// redirection lookup) are charged exactly as the serial path does, but
+  /// the batch translates in ascending-offset order under one shared
+  /// TranslateCursor (so sorted batches ride the DRT sequential-hint path)
+  /// and the pfs layer coalesces across ops and dispatches once per server.
+  /// Outcomes — Statuses, timings, traced records, rank clocks — are
+  /// identical to calling read_at/write_at serially in list order.  See
+  /// BatchOp for the distinct-ranks requirement.
+  void read_at_batch(std::span<const BatchOp> ops, BatchOutcomeVec& results);
+  void write_at_batch(std::span<const BatchOp> ops, BatchOutcomeVec& results);
+
   /// Convenience: write a byte vector / read into a fresh vector.
   common::Result<OpResult> write_at(int rank, common::Offset offset,
                                     const std::vector<std::uint8_t>& data);
@@ -124,6 +185,8 @@ class MpiFile {
   common::Result<OpResult> do_op(int rank, common::OpType op, common::Offset offset,
                                  std::uint8_t* read_out, const std::uint8_t* write_data,
                                  common::ByteCount size);
+  void do_op_batch(common::OpType op, std::span<const BatchOp> ops,
+                   BatchOutcomeVec& results);
 
   pfs::HybridPfs* pfs_;
   MpiSim* mpi_;
@@ -135,6 +198,17 @@ class MpiFile {
   /// Per-handle translation scratch, reused across requests (the handle is
   /// single-client; see the thread-safety rule in core/drt.hpp).
   SegmentList segments_;
+  // Batched-path scratch, reused across batches (same single-client rule).
+  /// Per-op issue times (rank clock + client overheads).
+  common::SmallVec<common::Seconds, 8> batch_issue_;
+  /// Op indices in ascending-offset translation order.
+  common::SmallVec<std::uint32_t, 8> batch_order_;
+  /// Flat segment store plus per-op (begin, count) ranges into it.
+  common::SmallVec<RedirectSegment, 16> seg_store_;
+  common::SmallVec<std::pair<std::uint32_t, std::uint32_t>, 8> seg_range_;
+  /// The assembled pfs batch (group = op index) and its results.
+  common::SmallVec<pfs::BatchRequest, 16> batch_reqs_;
+  pfs::BatchResultVec batch_results_;
 };
 
 }  // namespace mha::io

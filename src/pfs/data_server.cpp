@@ -21,6 +21,11 @@ void DataServer::store(common::FileId file, common::Offset physical_offset,
   if (store_data_) stores_[file].write(physical_offset, data, size);
 }
 
+void DataServer::store_batch(common::FileId file,
+                             std::span<const ExtentStore::IoSlice> slices) {
+  if (store_data_ && !slices.empty()) stores_[file].write_batch(slices);
+}
+
 void DataServer::load(common::FileId file, common::Offset physical_offset, std::uint8_t* out,
                       common::ByteCount size) const {
   auto it = stores_.find(file);
@@ -66,6 +71,13 @@ common::Status DataServer::load_verified(common::FileId file, common::Offset phy
     return common::Status::ok();
   }
   return it->second.verified_read(physical_offset, out, size);
+}
+
+common::Status DataServer::verify_range(common::FileId file, common::Offset physical_offset,
+                                        common::ByteCount size) const {
+  auto it = stores_.find(file);
+  if (it == stores_.end()) return common::Status::ok();
+  return it->second.verify_range(physical_offset, size);
 }
 
 common::ByteCount DataServer::stored_bytes(common::FileId file) const {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,12 @@ class DataServer {
   void load(common::FileId file, common::Offset physical_offset, std::uint8_t* out,
             common::ByteCount size) const;
 
+  /// Batched store: all of one batch's pieces destined for `file` on this
+  /// server, applied in list order with every touched checksum chunk
+  /// recomputed exactly once (see ExtentStore::write_batch).  Content and
+  /// CRC state identical to per-piece store()s.
+  void store_batch(common::FileId file, std::span<const ExtentStore::IoSlice> slices);
+
   /// store() with a silent-corruption decision applied to the content plane
   /// (bit-rot / torn / misdirected; kNone degrades to a plain store).
   void store_faulted(common::FileId file, common::Offset physical_offset,
@@ -63,6 +70,14 @@ class DataServer {
   /// consistent), matching load().
   common::Status load_verified(common::FileId file, common::Offset physical_offset,
                                std::uint8_t* out, common::ByteCount size) const;
+
+  /// The verification half of load_verified without the copy-out.  Batched
+  /// reads verify one coalesced physical run per server — the same chunk
+  /// set the per-sub verifications would cover, paid once — then move bytes
+  /// with raw load()s.  Absent files verify trivially, matching
+  /// load_verified.
+  common::Status verify_range(common::FileId file, common::Offset physical_offset,
+                              common::ByteCount size) const;
 
   /// Drops all extents of `file` (file removal).
   void remove_file(common::FileId file) { stores_.erase(file); }

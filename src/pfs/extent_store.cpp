@@ -20,6 +20,40 @@ void ExtentStore::write(common::Offset offset, const std::uint8_t* data,
   rechecksum(offset, size);
 }
 
+void ExtentStore::write_batch(std::span<const IoSlice> slices) {
+  // Content plane first, in list order: overlap between slices resolves the
+  // same way the equivalent write() sequence would.
+  batch_chunks_.clear();
+  for (const IoSlice& s : slices) {
+    if (s.size == 0) continue;
+    raw_write(s.offset, s.data, s.size);
+    batch_chunks_.emplace_back(s.offset / kChecksumChunk,
+                               (s.offset + s.size - 1) / kChecksumChunk);
+  }
+  if (batch_chunks_.empty()) return;
+  // Checksum plane once per touched chunk: sort the per-slice chunk ranges,
+  // merge overlapping/adjacent ones, rechecksum each merged run.  A strict
+  // gap between runs is a chunk no slice touched — it must keep its old CRC.
+  std::sort(batch_chunks_.begin(), batch_chunks_.end());
+  std::size_t run_first = batch_chunks_.front().first;
+  std::size_t run_last = batch_chunks_.front().second;
+  const auto flush = [&] {
+    rechecksum(static_cast<common::Offset>(run_first) * kChecksumChunk,
+               static_cast<common::ByteCount>(run_last - run_first + 1) * kChecksumChunk);
+  };
+  for (std::size_t i = 1; i < batch_chunks_.size(); ++i) {
+    const auto& [first, last] = batch_chunks_[i];
+    if (first <= run_last + 1) {
+      run_last = std::max(run_last, last);
+    } else {
+      flush();
+      run_first = first;
+      run_last = last;
+    }
+  }
+  flush();
+}
+
 void ExtentStore::raw_write(common::Offset offset, const std::uint8_t* data,
                             common::ByteCount size) {
   if (size == 0) return;

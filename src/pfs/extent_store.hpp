@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -52,6 +54,22 @@ class ExtentStore {
   /// adjacent extents.  Recomputes the checksum of every touched chunk.
   void write(common::Offset offset, const std::vector<std::uint8_t>& data);
   void write(common::Offset offset, const std::uint8_t* data, common::ByteCount size);
+
+  /// One piece of a batched write (physical offset + borrowed payload).
+  struct IoSlice {
+    common::Offset offset = 0;
+    const std::uint8_t* data = nullptr;
+    common::ByteCount size = 0;
+  };
+
+  /// Applies `slices` in list order (so overlaps resolve exactly as the
+  /// equivalent sequence of write() calls would), then recomputes each
+  /// touched checksum chunk exactly once.  Because the checksum of a chunk
+  /// is a pure function of its final content, the resulting extent map and
+  /// CRC state are identical to per-slice write()s — the batch merely stops
+  /// paying the full chunk staging + CRC once per slice when many slices
+  /// share a chunk (the dominant cost of small sub-stripe writes).
+  void write_batch(std::span<const IoSlice> slices);
 
   /// Reads `size` bytes at `offset`; unwritten holes read as zero.
   std::vector<std::uint8_t> read(common::Offset offset, common::ByteCount size) const;
@@ -136,6 +154,10 @@ class ExtentStore {
   // const verification paths can reuse it (single-client rule, see
   // core/drt.hpp).
   mutable std::vector<std::uint8_t> scratch_;
+  // write_batch scratch: per-slice [first, last] chunk ranges, sorted and
+  // merged for the deduplicated rechecksum pass.  Capacity is retained
+  // across batches (zero-alloc steady state).
+  std::vector<std::pair<std::size_t, std::size_t>> batch_chunks_;
 };
 
 }  // namespace mha::pfs

@@ -370,6 +370,256 @@ common::Result<IoResult> HybridPfs::read(common::FileId file, common::Offset off
   return result;
 }
 
+void HybridPfs::batch_serial(common::OpType op, std::span<const BatchRequest> reqs,
+                             BatchResultVec& results) {
+  const common::JobId saved_job = active_job_;
+  const common::Seconds saved_deadline = active_deadline_;
+  bool have_failed_group = false;
+  std::uint32_t failed_group = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const BatchRequest& r = reqs[i];
+    BatchOpResult& out = results[i];
+    if (have_failed_group && r.group == failed_group) {
+      out.skipped = true;
+      continue;
+    }
+    active_job_ = r.job;
+    active_deadline_ = r.deadline;
+    const common::Result<IoResult> res =
+        op == common::OpType::kWrite
+            ? write(r.file, r.offset, r.write_data, r.size, r.arrival)
+            : read(r.file, r.offset, r.read_out, r.size, r.arrival);
+    if (res.is_ok()) {
+      out.io = *res;
+    } else {
+      out.status = res.status();
+      have_failed_group = true;
+      failed_group = r.group;
+    }
+  }
+  active_job_ = saved_job;
+  active_deadline_ = saved_deadline;
+}
+
+bool HybridPfs::batch_translate(std::span<const BatchRequest> reqs,
+                                BatchResultVec& results) {
+  batch_subs_.clear();
+  batch_sub_begin_.clear();
+  bool have_failed_group = false;
+  std::uint32_t failed_group = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const BatchRequest& r = reqs[i];
+    batch_sub_begin_.push_back(static_cast<std::uint32_t>(batch_subs_.size()));
+    if (have_failed_group && r.group == failed_group) {
+      results[i].skipped = true;
+      continue;
+    }
+    if (r.file >= mds_.file_count()) {
+      results[i].status = common::Status::out_of_range("bad file id");
+      have_failed_group = true;
+      failed_group = r.group;
+      continue;
+    }
+    mds_.info(r.file).layout.map_extent(r.offset, r.size, extents_);
+    for (const SubExtent& sub : extents_) {
+      batch_subs_.push_back(BatchSub{static_cast<std::uint32_t>(i),
+                                     static_cast<std::uint32_t>(sub.server), r.file,
+                                     sub.physical_offset, sub.length, sub.logical_offset});
+    }
+    any = true;
+  }
+  batch_sub_begin_.push_back(static_cast<std::uint32_t>(batch_subs_.size()));
+  return any;
+}
+
+void HybridPfs::batch_dispatch(common::OpType op, std::span<const BatchRequest> reqs,
+                               BatchResultVec& results) {
+  receipts_.clear();
+  if (scheduler_ != nullptr) {
+    // Scheduler path: one policy dispatch per request in batch order —
+    // identical queue evolution to the serial scheduler path (no guard on
+    // the fast path, so deadlines are never enforced here, matching
+    // serial).
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      BatchOpResult& out = results[i];
+      if (out.skipped || !out.status.is_ok()) continue;
+      out.io.completion = reqs[i].arrival;
+      std::fill(per_server_.begin(), per_server_.end(), 0);
+      for (std::uint32_t k = batch_sub_begin_[i]; k < batch_sub_begin_[i + 1]; ++k) {
+        per_server_[batch_subs_[k].server] += batch_subs_[k].length;
+      }
+      subs_.clear();
+      for (std::size_t s = 0; s < per_server_.size(); ++s) {
+        if (per_server_[s] == 0) continue;
+        subs_.push_back(sim::SubRequest{s, op, per_server_[s], reqs[i].job});
+      }
+      const sched::DispatchResult dr = scheduler_->dispatch(
+          row_, std::span<const sim::SubRequest>(subs_.data(), subs_.size()),
+          reqs[i].arrival);
+      out.io.completion = std::max(out.io.completion, dr.completion);
+      out.io.sub_requests += dr.sub_requests;
+      out.io.servers_touched += subs_.size();
+    }
+    return;
+  }
+  // Direct path: flatten every request's per-server aggregate sub-ops into
+  // one list, then make ONE dispatch call per touched server carrying that
+  // server's share of the whole batch.  Within a server the sub-ops keep
+  // batch order, so the queue evolution (including which sub-ops see the
+  // queued-startup discount) is bit-identical to per-request charges.
+  batch_charges_.clear();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    BatchOpResult& out = results[i];
+    if (out.skipped || !out.status.is_ok()) continue;
+    out.io.completion = reqs[i].arrival;
+    std::fill(per_server_.begin(), per_server_.end(), 0);
+    for (std::uint32_t k = batch_sub_begin_[i]; k < batch_sub_begin_[i + 1]; ++k) {
+      per_server_[batch_subs_[k].server] += batch_subs_[k].length;
+    }
+    for (std::size_t s = 0; s < per_server_.size(); ++s) {
+      if (per_server_[s] == 0) continue;
+      batch_charges_.push_back(BatchCharge{
+          static_cast<std::uint32_t>(s),
+          sim::ServerSim::BatchSubOp{op, per_server_[s], reqs[i].arrival, reqs[i].job,
+                                     static_cast<std::uint32_t>(i), 0.0}});
+    }
+  }
+  for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+    batch_server_ops_.clear();
+    for (const BatchCharge& bc : batch_charges_) {
+      if (bc.server == s) batch_server_ops_.push_back(bc.op);
+    }
+    if (batch_server_ops_.empty()) continue;
+    row_.server(s).charge_batch(
+        std::span<sim::ServerSim::BatchSubOp>(batch_server_ops_.data(),
+                                              batch_server_ops_.size()));
+    for (const sim::ServerSim::BatchSubOp& sub : batch_server_ops_) {
+      BatchOpResult& out = results[sub.tag];
+      out.io.completion = std::max(out.io.completion, sub.completion);
+      ++out.io.sub_requests;
+      ++out.io.servers_touched;
+    }
+  }
+}
+
+void HybridPfs::write_batch(std::span<const BatchRequest> reqs, BatchResultVec& results) {
+  results.clear();
+  results.resize(reqs.size());
+  if (reqs.empty()) return;
+  if (!batch_fast_path()) {
+    batch_serial(common::OpType::kWrite, reqs, results);
+    return;
+  }
+  if (batch_translate(reqs, results)) {
+    // Content plane: group the translated subs by (server, file), keeping
+    // batch order within each group so overlapping writes land exactly as
+    // the serial sequence would, and push each group through one
+    // store_batch call (every touched checksum chunk paid once instead of
+    // once per sub-stripe piece — the dominant cost of small writes).
+    if (!servers_.empty() && servers_[0]->stores_data()) {
+      batch_sorted_ = batch_subs_;
+      std::sort(batch_sorted_.begin(), batch_sorted_.end(),
+                [](const BatchSub& a, const BatchSub& b) {
+                  if (a.server != b.server) return a.server < b.server;
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.req != b.req) return a.req < b.req;
+                  return a.logical_offset < b.logical_offset;
+                });
+      std::size_t g = 0;
+      while (g < batch_sorted_.size()) {
+        const std::uint32_t server = batch_sorted_[g].server;
+        const common::FileId file = batch_sorted_[g].file;
+        batch_slices_.clear();
+        std::size_t e = g;
+        for (; e < batch_sorted_.size() && batch_sorted_[e].server == server &&
+               batch_sorted_[e].file == file;
+             ++e) {
+          const BatchSub& s = batch_sorted_[e];
+          const BatchRequest& r = reqs[s.req];
+          batch_slices_.push_back(ExtentStore::IoSlice{
+              s.physical_offset, r.write_data + (s.logical_offset - r.offset), s.length});
+        }
+        servers_[server]->store_batch(
+            file, std::span<const ExtentStore::IoSlice>(batch_slices_.data(),
+                                                        batch_slices_.size()));
+        g = e;
+      }
+    }
+    batch_dispatch(common::OpType::kWrite, reqs, results);
+  }
+  // Metadata extends in batch order (an order-independent max, kept
+  // deterministic anyway); failed and skipped requests never extend.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (results[i].status.is_ok() && !results[i].skipped) {
+      mds_.extend(reqs[i].file, reqs[i].offset + reqs[i].size);
+    }
+  }
+}
+
+void HybridPfs::read_batch(std::span<const BatchRequest> reqs, BatchResultVec& results) {
+  results.clear();
+  results.resize(reqs.size());
+  if (reqs.empty()) return;
+  if (!batch_fast_path()) {
+    batch_serial(common::OpType::kRead, reqs, results);
+    return;
+  }
+  if (!batch_translate(reqs, results)) return;
+  // Verification plane: sort the subs by physical position, coalesce
+  // overlap-or-adjacent runs per (server, file), and verify each run once.
+  // A run never bridges a physical gap, so its chunk set is exactly the
+  // union of the per-sub chunk sets the serial path would verify — shared
+  // chunks just get checked once instead of once per sub.
+  batch_sorted_ = batch_subs_;
+  std::sort(batch_sorted_.begin(), batch_sorted_.end(),
+            [](const BatchSub& a, const BatchSub& b) {
+              if (a.server != b.server) return a.server < b.server;
+              if (a.file != b.file) return a.file < b.file;
+              if (a.physical_offset != b.physical_offset) {
+                return a.physical_offset < b.physical_offset;
+              }
+              return a.req < b.req;
+            });
+  bool clean = true;
+  for (std::size_t g = 0; g < batch_sorted_.size() && clean;) {
+    const BatchSub& head = batch_sorted_[g];
+    common::Offset run_end = head.physical_offset + head.length;
+    std::size_t e = g + 1;
+    for (; e < batch_sorted_.size(); ++e) {
+      const BatchSub& s = batch_sorted_[e];
+      if (s.server != head.server || s.file != head.file ||
+          s.physical_offset > run_end) {
+        break;
+      }
+      run_end = std::max(run_end, s.physical_offset + s.length);
+    }
+    clean = servers_[head.server]
+                ->verify_range(head.file, head.physical_offset,
+                               run_end - head.physical_offset)
+                .is_ok();
+    g = e;
+  }
+  if (!clean) {
+    // Corruption somewhere under the batch: re-run everything through the
+    // serial member so the failing request gets the exact serial Status
+    // (chunk, CRCs, server), siblings complete or skip exactly as serial,
+    // and partially-filled output buffers match.  Nothing was mutated by
+    // the verify pass, so the replay starts from the same state.
+    for (std::size_t i = 0; i < results.size(); ++i) results[i] = BatchOpResult{};
+    batch_serial(common::OpType::kRead, reqs, results);
+    return;
+  }
+  // Content plane: raw loads per sub — verification already passed, and
+  // every destination slice is distinct, so order is irrelevant.
+  for (const BatchSub& s : batch_subs_) {
+    const BatchRequest& r = reqs[s.req];
+    servers_[s.server]->load(s.file, s.physical_offset,
+                             r.read_out + (s.logical_offset - r.offset), s.length);
+  }
+  batch_dispatch(common::OpType::kRead, reqs, results);
+}
+
 common::Result<IoResult> HybridPfs::write(common::FileId file, common::Offset offset,
                                           const std::vector<std::uint8_t>& data,
                                           common::Seconds arrival) {

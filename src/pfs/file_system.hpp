@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,37 @@ struct IoResult {
   std::size_t servers_touched = 0;
   std::size_t sub_requests = 0;
 };
+
+/// One request of a batched read_batch/write_batch call.  `group` ties
+/// together sibling segments that one middleware request was split into:
+/// when a group member fails, later members of the same group are skipped
+/// (exactly what the serial client does when it stops at the first failing
+/// segment).  Groups must be contiguous in the batch and independent
+/// requests must use distinct group ids — MpiFile assigns the record index.
+struct BatchRequest {
+  common::FileId file = 0;
+  common::Offset offset = 0;
+  common::ByteCount size = 0;
+  /// Destination for read_batch (ignored by write_batch).
+  std::uint8_t* read_out = nullptr;
+  /// Payload for write_batch (ignored by read_batch).
+  const std::uint8_t* write_data = nullptr;
+  common::Seconds arrival = 0.0;
+  common::JobId job = common::kDefaultJob;
+  common::Seconds deadline = std::numeric_limits<double>::infinity();
+  std::uint32_t group = 0;
+};
+
+/// Per-request outcome of a batched call, index-parallel to the input span.
+struct BatchOpResult {
+  common::Status status;
+  IoResult io;
+  /// True when the request was never issued because an earlier member of
+  /// its group failed; `status` stays ok and `io` is zero.
+  bool skipped = false;
+};
+
+using BatchResultVec = common::SmallVec<BatchOpResult, 8>;
 
 struct PfsOptions {
   /// Optional KV file persisting per-file layouts (the RST).
@@ -121,6 +153,26 @@ class HybridPfs {
                                 std::uint8_t* out, common::ByteCount size,
                                 common::Seconds arrival) const;
 
+  /// Batched request path: issues every request of `reqs` with semantics
+  /// identical to calling write()/read() serially in batch order (same
+  /// stored bytes and CRC state, same per-server queue evolution, same
+  /// aggregate and per-job stats, same Statuses), while paying the batch
+  /// costs once instead of per request.  Without a guard or fault context
+  /// the fast path runs: one vectorized translate pass, per-(server, file)
+  /// coalesced content-plane ops (one store_batch / merged verify_range
+  /// per physical run), and ONE ServerSim dispatch per touched server
+  /// carrying the whole batch's sub-op list.  With a guard attached the
+  /// admission gate, deadline enforcement and tier shedding run per
+  /// request inside the batch (the guard picks its victims request by
+  /// request); with a fault context the degraded path and the silent-fault
+  /// RNG draw order are preserved exactly — both fall back to the serial
+  /// member functions per request.  `results` is cleared and filled
+  /// index-parallel to `reqs`.  Zero heap allocations in the steady state:
+  /// all scratch is owned by this HybridPfs and retains capacity across
+  /// batches (same single-client rule as the serial scratch).
+  void write_batch(std::span<const BatchRequest> reqs, BatchResultVec& results);
+  void read_batch(std::span<const BatchRequest> reqs, BatchResultVec& results);
+
   /// Convenience byte-vector overloads.
   common::Result<IoResult> write(common::FileId file, common::Offset offset,
                                  const std::vector<std::uint8_t>& data,
@@ -174,6 +226,27 @@ class HybridPfs {
   /// and breaker-reroute fallback target); servers_.size() when none.
   std::size_t pick_fallback_sserver(common::Seconds t) const;
 
+  /// True when batches may take the coalesced fast path: with no guard and
+  /// no fault context a dispatch cannot fail, so reordering the content
+  /// plane ahead of the timing plane is unobservable.
+  bool batch_fast_path() const { return guard_ == nullptr && fault_ == nullptr; }
+  /// Exact-equivalence fallback: every request issued through the serial
+  /// write()/read() member in batch order (guard decisions, fault RNG draws
+  /// and degraded-mode bookkeeping all happen in the serial sequence),
+  /// honouring group skip.  Restores active job/deadline afterwards.
+  void batch_serial(common::OpType op, std::span<const BatchRequest> reqs,
+                    BatchResultVec& results);
+  /// Fast-path pass 1: validates file ids and translates every request's
+  /// extents into the flat batch_subs_ list (per-request ranges in
+  /// batch_sub_begin_), applying group skip for translate failures.
+  /// Returns false when no request survived.
+  bool batch_translate(std::span<const BatchRequest> reqs, BatchResultVec& results);
+  /// Fast-path timing plane: per-request per-server aggregation, then either
+  /// one scheduler dispatch per request (scheduler attached) or one
+  /// charge_batch call per touched server for the whole batch.
+  void batch_dispatch(common::OpType op, std::span<const BatchRequest> reqs,
+                      BatchResultVec& results);
+
   sim::ClusterConfig config_;
   MetadataServer mds_;
   std::vector<std::unique_ptr<DataServer>> servers_;
@@ -198,6 +271,31 @@ class HybridPfs {
     sim::Charge charge;
   };
   mutable common::SmallVec<SubCharge, 8> receipts_;
+  // Batch-path scratch (same ownership rule as the serial scratch above).
+  /// One translated sub-extent of one batch request.
+  struct BatchSub {
+    std::uint32_t req = 0;  ///< index into the batch
+    std::uint32_t server = 0;
+    common::FileId file = 0;
+    common::Offset physical_offset = 0;
+    common::ByteCount length = 0;
+    common::Offset logical_offset = 0;
+  };
+  mutable common::SmallVec<BatchSub, 32> batch_subs_;
+  /// Per-request [begin, end) ranges into batch_subs_ (size = reqs + 1).
+  mutable common::SmallVec<std::uint32_t, 16> batch_sub_begin_;
+  /// Sorted copy of batch_subs_ for content-plane grouping/coalescing.
+  mutable common::SmallVec<BatchSub, 32> batch_sorted_;
+  /// Flattened (server, sub-op) list for the one-dispatch-per-server pass.
+  struct BatchCharge {
+    std::uint32_t server = 0;
+    sim::ServerSim::BatchSubOp op;
+  };
+  mutable common::SmallVec<BatchCharge, 32> batch_charges_;
+  /// One server's contiguous sub-op list handed to ServerSim::charge_batch.
+  mutable common::SmallVec<sim::ServerSim::BatchSubOp, 32> batch_server_ops_;
+  /// Per-(server, file) slice list handed to DataServer::store_batch.
+  mutable common::SmallVec<ExtentStore::IoSlice, 32> batch_slices_;
 };
 
 /// The file-system default stripe size (OrangeFS ships 64 KiB).

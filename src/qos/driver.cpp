@@ -6,6 +6,7 @@
 #include "exec/thread_pool.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/btio.hpp"
+#include "workloads/dlpipe.hpp"
 #include "workloads/hpio.hpp"
 #include "workloads/ior.hpp"
 #include "workloads/replayer.hpp"
@@ -85,6 +86,15 @@ trace::Trace generate(const TenantSpec& spec, int clients) {
       config.loops = std::max(2, static_cast<int>(spec.bytes_per_client / (256 * kKiB)));
       return workloads::lanl_app2(config);
     }
+    case TenantWorkload::kDlPipe: {
+      // One training epoch reads the whole dataset, so size the dataset to
+      // half the requested volume and train two epochs — the reshuffle
+      // between them is the signature access pattern.
+      workloads::DlPipeConfig config =
+          workloads::dl_resnet(clients, std::max<common::ByteCount>(volume / 2, 8 * kMiB),
+                               spec.seed);
+      return workloads::dl_pipeline(config);
+    }
   }
   return {};
 }
@@ -103,6 +113,8 @@ const char* to_string(TenantWorkload workload) {
       return "btio";
     case TenantWorkload::kLanl:
       return "lanl";
+    case TenantWorkload::kDlPipe:
+      return "dl-pipe";
   }
   return "unknown";
 }

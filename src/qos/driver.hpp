@@ -43,6 +43,7 @@ enum class TenantWorkload {
   kHpio = 2,      ///< HPIO strided writes, 16/32/64 KiB regions
   kBtio = 3,      ///< BTIO write+readback phases (clients rounded to a square)
   kLanl = 4,      ///< LANL App2 loop pattern (16 B + ~128 KiB writes)
+  kDlPipe = 5,    ///< DL input pipeline: epoch-shuffled 128 KiB sample reads
 };
 
 const char* to_string(TenantWorkload workload);

@@ -1,0 +1,75 @@
+#include "workloads/dlpipe.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/ior.hpp"
+
+namespace mha::workloads {
+
+trace::Trace dl_pipeline(const DlPipeConfig& config) {
+  assert(config.num_procs > 0 && config.sample_size > 0);
+  trace::Trace trace;
+  trace.file_name = config.file_name;
+
+  const std::size_t num_samples = static_cast<std::size_t>(
+      std::max<common::ByteCount>(config.dataset_size / config.sample_size, 1));
+  const std::size_t procs = static_cast<std::size_t>(config.num_procs);
+  // Each epoch covers every sample once; partial final steps (samples not a
+  // multiple of the worker count) run with fewer readers, like a last
+  // ragged minibatch.
+  const std::size_t steps = (num_samples + procs - 1) / procs;
+
+  std::vector<std::size_t> order(num_samples);
+  std::size_t step_base = 0;
+  for (int epoch = 0; epoch < std::max(config.epochs, 1); ++epoch) {
+    // Epoch reshuffle: a fresh seeded permutation per epoch, as a DL data
+    // loader draws without replacement each pass over the dataset.
+    for (std::size_t i = 0; i < num_samples; ++i) order[i] = i;
+    common::Rng rng(config.seed + static_cast<std::uint64_t>(epoch));
+    rng.shuffle(order);
+    for (std::size_t step = 0; step < steps; ++step) {
+      const common::Seconds t =
+          static_cast<double>(step_base + step) * kIterationSpacing;
+      for (std::size_t w = 0; w < procs; ++w) {
+        const std::size_t idx = step * procs + w;
+        if (idx >= num_samples) break;
+        trace::TraceRecord r;
+        r.pid = 1000 + static_cast<std::uint32_t>(w);
+        r.rank = static_cast<std::int32_t>(w);
+        r.fd = 3;
+        r.op = common::OpType::kRead;
+        r.offset = static_cast<common::Offset>(order[idx]) * config.sample_size;
+        r.size = config.sample_size;
+        r.t_start = t;
+        trace.records.push_back(r);
+      }
+    }
+    step_base += steps;
+  }
+  return trace;
+}
+
+DlPipeConfig dl_resnet(int num_procs, common::ByteCount dataset_size,
+                       std::uint64_t seed) {
+  DlPipeConfig config;
+  config.num_procs = num_procs;
+  config.sample_size = 128 * 1024;
+  config.dataset_size = dataset_size;
+  config.seed = seed;
+  return config;
+}
+
+DlPipeConfig dl_bert(int num_procs, common::ByteCount dataset_size,
+                     std::uint64_t seed) {
+  DlPipeConfig config;
+  config.num_procs = num_procs;
+  config.sample_size = 512 * 1024;
+  config.dataset_size = dataset_size;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace mha::workloads

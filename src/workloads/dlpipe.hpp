@@ -1,0 +1,56 @@
+// Deep-learning input-pipeline workload generation (bbThemis-style).
+//
+// A DL training job's I/O is the data-loading half of the pipeline: every
+// epoch, each worker reads its share of the dataset's samples in a freshly
+// shuffled order — many small random reads against one large shared file,
+// repeated for as many epochs as the job trains.  The shuffle makes the
+// access pattern adversarial for a sequential layout while the sample size
+// is fixed and known, which is exactly the regime the paper's
+// heterogeneity-aware placement (hot small regions onto SServers) targets,
+// and the per-iteration fan-out of one sample read per worker is the batch
+// shape the batched request path coalesces.
+//
+// Two canned classes mirror the bbThemis evaluation workloads: ResNet-style
+// vision training (small ~128 KiB JPEG-ish samples, large sample count) and
+// BERT-style language pretraining (larger ~512 KiB sequence shards, fewer
+// samples per epoch).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace mha::workloads {
+
+struct DlPipeConfig {
+  /// Data-loader worker processes (one MPI rank each).
+  int num_procs = 16;
+  /// Bytes of one training sample; every read is exactly one sample.
+  common::ByteCount sample_size = 128 * 1024;
+  /// Total dataset bytes; the sample count is dataset_size / sample_size.
+  common::ByteCount dataset_size = 64ULL * 1024 * 1024;
+  /// Training epochs; each epoch reads every sample exactly once in a
+  /// fresh seeded shuffle (epoch reshuffling).
+  int epochs = 2;
+  std::uint64_t seed = 1;
+  std::string file_name = "dlpipe.dataset";
+};
+
+/// Generates the epoch-shuffled read trace: per epoch, a Fisher-Yates
+/// permutation of all samples (seeded by `seed` + epoch) is dealt
+/// round-robin across the workers, and each training step is one
+/// synchronous iteration in which every worker reads its next sample.
+/// Read-only — the dataset is written once before training, outside the
+/// measured window.
+trace::Trace dl_pipeline(const DlPipeConfig& config);
+
+/// ResNet-50-style vision job: 128 KiB samples over the given dataset.
+DlPipeConfig dl_resnet(int num_procs, common::ByteCount dataset_size,
+                       std::uint64_t seed = 1);
+
+/// BERT-style language job: 512 KiB sequence shards over the given dataset.
+DlPipeConfig dl_bert(int num_procs, common::ByteCount dataset_size,
+                     std::uint64_t seed = 1);
+
+}  // namespace mha::workloads

@@ -243,6 +243,115 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
     return common::Status::ok();
   };
 
+  // Batched synchronous issue: the current maximal run of same-op,
+  // distinct-rank records (in plan order) plus its payload arena.  One
+  // arena resize per run; slices address each record's bytes, so the whole
+  // run moves through one collective call with zero per-record allocation.
+  std::vector<const trace::TraceRecord*> run;
+  std::vector<std::uint8_t> rank_used(static_cast<std::size_t>(world), 0);
+  std::vector<std::uint8_t> batch_buf;
+  std::vector<io::BatchOp> batch_ops;
+  io::BatchOutcomeVec batch_outcomes;
+
+  const auto job_of = [&](const trace::TraceRecord& r) {
+    return options.jobs != nullptr ? options.jobs->job_of_rank(r.rank)
+                                   : common::kDefaultJob;
+  };
+  const auto allowance_of = [&](common::JobId job) {
+    const auto tier = options.jobs != nullptr
+                          ? static_cast<std::size_t>(options.jobs->priority(job))
+                          : static_cast<std::size_t>(qos::PriorityClass::kNormal);
+    return options.goodput_allowance[tier];
+  };
+
+  auto flush_run = [&]() -> common::Status {
+    common::Status failure = common::Status::ok();
+    if (run.size() == 1) {
+      // A lone record pays none of the batch assembly; issue() is already
+      // the exact serial path.
+      failure = issue(*run[0]);
+    } else if (!run.empty()) {
+      const common::OpType op = run[0]->op;
+      common::ByteCount total = 0;
+      for (const trace::TraceRecord* r : run) total += r->size;
+      if (batch_buf.size() < total) batch_buf.resize(total);
+      batch_ops.clear();
+      common::ByteCount off = 0;
+      for (const trace::TraceRecord* r : run) {
+        const common::JobId job = job_of(*r);
+        common::Seconds deadline = std::numeric_limits<double>::infinity();
+        if (options.guard != nullptr) {
+          // Same stamp as issue(): the rank's clock now + the tier allowance.
+          deadline = mpi.now(r->rank) + allowance_of(job);
+        }
+        std::uint8_t* slice = batch_buf.data() + off;
+        if (op == common::OpType::kWrite && fill_payload) {
+          replay_write_fill(r->offset, slice, r->size);
+        }
+        batch_ops.push_back(io::BatchOp{
+            r->rank, r->offset, r->size, op == common::OpType::kRead ? slice : nullptr,
+            op == common::OpType::kWrite ? slice : nullptr, job, deadline});
+        off += r->size;
+      }
+      const std::span<const io::BatchOp> ops(batch_ops.data(), batch_ops.size());
+      if (op == common::OpType::kRead) {
+        file->read_at_batch(ops, batch_outcomes);
+      } else {
+        file->write_at_batch(ops, batch_outcomes);
+      }
+      // Per-record bookkeeping, replicating issue()'s accounting exactly.
+      off = 0;
+      for (std::size_t i = 0; i < run.size() && failure.is_ok(); ++i) {
+        const trace::TraceRecord* r = run[i];
+        const std::uint8_t* slice = batch_buf.data() + off;
+        off += r->size;
+        const common::JobId job = job_of(*r);
+        const common::Seconds allowance = allowance_of(job);
+        const io::BatchOpOutcome& oc = batch_outcomes[i];
+        ++result.requests;
+        if (!oc.status.is_ok()) {
+          if (!options.tolerate_failures ||
+              oc.status.code() == common::ErrorCode::kCorruption) {
+            failure = oc.status;
+            break;
+          }
+          if (oc.status.code() == common::ErrorCode::kOverloaded) {
+            ++result.shed_requests;
+            if (!result.tenants.empty()) ++result.tenants[job].shed;
+          } else {
+            ++result.failed_requests;
+            if (!result.tenants.empty()) ++result.tenants[job].failed;
+          }
+          continue;
+        }
+        if (op == common::OpType::kWrite) {
+          shadow.on_write(r->offset, slice, r->size);
+          result.bytes_written += r->size;
+        } else {
+          failure = shadow.check_read(r->offset, slice, r->size);
+          if (!failure.is_ok()) break;
+          result.bytes_read += r->size;
+        }
+        const common::Seconds duration = oc.op.duration();
+        result.request_latency.add(duration);
+        latency_pcts.add(duration);
+        if (!result.tenants.empty()) result.tenants[job].observe(duration, r->size);
+        if (duration <= allowance) {
+          result.goodput_bytes += r->size;
+          if (!result.tenants.empty()) result.tenants[job].goodput_bytes += r->size;
+        } else {
+          ++result.late_requests;
+          if (!result.tenants.empty()) ++result.tenants[job].late;
+        }
+      }
+    }
+    for (const trace::TraceRecord* r : run) {
+      rank_used[static_cast<std::size_t>(r->rank)] = 0;
+    }
+    run.clear();
+    return failure;
+  };
+
   if (options.mode == ReplayMode::kSynchronous) {
     // Iterations are groups of records sharing a t_start; a barrier closes
     // each iteration, so arrivals inside one iteration are simultaneous —
@@ -271,8 +380,22 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
         order = options.scheduler->plan(batch);
       }
       for (std::size_t i : order) {
-        MHA_RETURN_IF_ERROR(issue(*group[i]));
+        const trace::TraceRecord* r = group[i];
+        if (!options.batch_requests) {
+          MHA_RETURN_IF_ERROR(issue(*r));
+          continue;
+        }
+        // A run breaks on an op-type change or a rank repeat: the second
+        // request of one rank must see its first one's completion (the
+        // closed-loop contract), so it belongs to the next batch.
+        if (!run.empty() &&
+            (r->op != run[0]->op || rank_used[static_cast<std::size_t>(r->rank)] != 0)) {
+          MHA_RETURN_IF_ERROR(flush_run());
+        }
+        run.push_back(r);
+        rank_used[static_cast<std::size_t>(r->rank)] = 1;
       }
+      MHA_RETURN_IF_ERROR(flush_run());
       mpi.barrier();
     }
   } else {

@@ -79,6 +79,15 @@ struct ReplayOptions {
   /// aborting the replay.  Data corruption still aborts — a wrong byte is
   /// never an overload symptom.
   bool tolerate_failures = false;
+  /// Synchronous mode only: issue each iteration's plan-ordered records
+  /// through the collective batched path (MpiFile::read_at_batch /
+  /// write_at_batch) — maximal same-op runs over distinct ranks become one
+  /// batch each, translated under a shared DRT cursor and dispatched once
+  /// per server at the PFS.  Semantically identical to per-record issue
+  /// (the batched-vs-serial equivalence suite pins stored bytes, per-job
+  /// server stats and Statuses); disable to A/B the serial path.
+  /// Independent mode always issues per record.
+  bool batch_requests = true;
 };
 
 struct ReplayResult {
