@@ -15,13 +15,15 @@
 //             diffed.
 //
 // Kernels: DRT lookup (sequential hit / random hit / miss), full
-// translate+dispatch through MpiFile -> Redirector -> HybridPfs, extent-store
-// write/read fast paths, and steady-state trace replay.
+// translate+dispatch through MpiFile -> Redirector -> HybridPfs, page-cache
+// read hits, extent-store write/read fast paths, and steady-state trace
+// replay.
 #include "bench_common.hpp"
 
 #include <cstring>
 #include <limits>
 
+#include "cache/page_cache.hpp"
 #include "common/alloc_counter.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -107,10 +109,17 @@ int main(int argc, char** argv) {
   // CI perf-smoke gate).  Filtered out before bench::init, which rejects
   // flags it does not know.
   bool assert_batch_speedup = false;
+  // --assert-cache-speedup: exit non-zero unless a page-cache read hit is
+  // >= 50x cheaper than the uncached 4 KiB translate+dispatch baseline.
+  bool assert_cache_speedup = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strcmp(argv[i], "--assert-batch-speedup") == 0) {
       assert_batch_speedup = true;
+      continue;
+    }
+    if (i > 0 && std::strcmp(argv[i], "--assert-cache-speedup") == 0) {
+      assert_cache_speedup = true;
       continue;
     }
     args.push_back(argv[i]);
@@ -305,6 +314,48 @@ int main(int argc, char** argv) {
                 static_cast<double>(scope.allocations()) / static_cast<double>(requests),
                 requests);
   }
+  {
+    // Page-cache hit path: once every page is resident, a read is a table
+    // probe plus a client-local memcpy — it must not allocate.
+    RequestWorld world(4_MiB, 1_MiB);
+    cache::CacheConfig config;
+    config.num_pages = 64;  // 4 MiB pool: the whole file stays resident
+    cache::CachedFile cached(*world.file, world.mpi, world.pfs, config);
+    std::vector<std::uint8_t> buffer(64_KiB, 0);
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {  // warm the pool
+      (void)cached.read_at(0, pos, buffer.data(), 64_KiB);
+    }
+    common::AllocationScope scope;
+    std::size_t requests = 0;
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 4_KiB) {
+      (void)cached.read_at(0, pos, buffer.data(), 4_KiB);
+      ++requests;
+    }
+    std::printf("steady-state allocs/request (cached 4KiB read hits):      %.2f over %zu requests\n",
+                static_cast<double>(scope.allocations()) / static_cast<double>(requests),
+                requests);
+  }
+  {
+    // Write-back coalescing shape: 256 adjacent 4 KiB writes dirty 16 pages
+    // and the sync flush must dispatch them as ONE offset-sorted run.
+    RequestWorld world(4_MiB, 1_MiB);
+    cache::CacheConfig config;
+    config.num_pages = 64;
+    cache::CachedFile cached(*world.file, world.mpi, world.pfs, config);
+    std::vector<std::uint8_t> block(4_KiB, 0x6B);
+    for (common::Offset pos = 0; pos < 1_MiB; pos += 4_KiB) {
+      (void)cached.write_at(0, pos, block.data(), block.size());
+    }
+    (void)cached.flush_all(0.0);
+    const cache::CacheMetrics& m = cached.metrics();
+    std::printf("write-back coalescing (256x4KiB adjacent): absorbed=%llu coalesced=%llu "
+                "-> %llu run(s), %llu page(s), %llu bytes\n",
+                static_cast<unsigned long long>(m.absorbed_writes),
+                static_cast<unsigned long long>(m.coalesced_writes),
+                static_cast<unsigned long long>(m.flush_ops),
+                static_cast<unsigned long long>(m.flush_pages),
+                static_cast<unsigned long long>(m.flush_bytes));
+  }
 
   // ----------------------------------------------------------------- timed
   std::fprintf(stderr, "=== microbench timed kernels (machine-dependent) ===\n");
@@ -315,7 +366,7 @@ int main(int argc, char** argv) {
   {
     const core::Drt drt = dense_table(kFile, kEntry);
     core::Drt::SegmentVec scratch;
-    const std::size_t n = iters(2'000'000);
+    const std::size_t n = iters(200'000);
     timed(0, "drt_lookup_sequential", n, [&](std::size_t i) {
       drt.lookup((static_cast<common::Offset>(i) * kRequest) % kFile, kRequest, scratch);
     });
@@ -341,7 +392,7 @@ int main(int argc, char** argv) {
       (void)drt.insert(core::DrtEntry{pos, kEntry, "micro.region", pos / 2});
     }
     core::Drt::SegmentVec scratch;
-    timed(2, "drt_lookup_miss", iters(2'000'000), [&](std::size_t i) {
+    timed(2, "drt_lookup_miss", iters(200'000), [&](std::size_t i) {
       const common::Offset gap =
           kEntry + (static_cast<common::Offset>(i) * 2 * kEntry) % kFile;
       drt.lookup(gap + 4_KiB, kRequest, scratch);
@@ -353,10 +404,10 @@ int main(int argc, char** argv) {
     for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {
       (void)world.file->write_at(0, pos, buffer.data(), buffer.size());
     }
-    timed(3, "translate_dispatch_write", iters(200'000), [&](std::size_t i) {
+    timed(3, "translate_dispatch_write", iters(20'000), [&](std::size_t i) {
       (void)world.file->write_at(0, (i * 64_KiB) % 4_MiB, buffer.data(), buffer.size());
     }, 1, 64_KiB);
-    timed(4, "translate_dispatch_read", iters(200'000), [&](std::size_t i) {
+    timed(4, "translate_dispatch_read", iters(20'000), [&](std::size_t i) {
       (void)world.file->read_at(0, (i * 64_KiB) % 4_MiB, buffer.data(), buffer.size());
     }, 1, 64_KiB);
   }
@@ -375,11 +426,11 @@ int main(int argc, char** argv) {
       (void)world.file->write_at(0, pos, buffer.data(), 4_KiB);
     }
     serial_write_ns =
-        timed(9, "translate_dispatch_write_4k", iters(200'000), [&](std::size_t i) {
+        timed(9, "translate_dispatch_write_4k", iters(20'000), [&](std::size_t i) {
           (void)world.file->write_at(0, (i * 4_KiB) % 4_MiB, buffer.data(), 4_KiB);
         }, 1, 4_KiB);
     serial_read_ns =
-        timed(10, "translate_dispatch_read_4k", iters(200'000), [&](std::size_t i) {
+        timed(10, "translate_dispatch_read_4k", iters(20'000), [&](std::size_t i) {
           (void)world.file->read_at(0, (i * 4_KiB) % 4_MiB, buffer.data(), 4_KiB);
         }, 1, 4_KiB);
 
@@ -405,14 +456,14 @@ int main(int argc, char** argv) {
       world.file->read_at_batch(ops, outcomes);
       char label[64];
       std::snprintf(label, sizeof(label), "translate_dispatch_write_batch%zu", n);
-      const double write_ns = timed(sequence++, label, iters(400'000 / n),
+      const double write_ns = timed(sequence++, label, iters(40'000 / n),
                                     [&](std::size_t i) {
                                       run_batch(i);
                                       world.file->write_at_batch(ops, outcomes);
                                     },
                                     n, 4_KiB);
       std::snprintf(label, sizeof(label), "translate_dispatch_read_batch%zu", n);
-      const double read_ns = timed(sequence++, label, iters(400'000 / n),
+      const double read_ns = timed(sequence++, label, iters(40'000 / n),
                                    [&](std::size_t i) {
                                      run_batch(i);
                                      world.file->read_at_batch(ops, outcomes);
@@ -424,16 +475,32 @@ int main(int argc, char** argv) {
       }
     }
   }
+  double cached_hit_ns = 0.0;
+  {
+    // Cache hit kernel: the comparison target for translate_dispatch_read_4k
+    // — a resident 4 KiB read skips translate and dispatch entirely.
+    RequestWorld world(4_MiB, 1_MiB);
+    cache::CacheConfig config;
+    config.num_pages = 64;
+    cache::CachedFile cached(*world.file, world.mpi, world.pfs, config);
+    std::vector<std::uint8_t> buffer(64_KiB, 0);
+    for (common::Offset pos = 0; pos < 4_MiB; pos += 64_KiB) {  // warm the pool
+      (void)cached.read_at(0, pos, buffer.data(), 64_KiB);
+    }
+    cached_hit_ns = timed(17, "cached_read_hit", iters(200'000), [&](std::size_t i) {
+      (void)cached.read_at(0, (i * 4_KiB) % 4_MiB, buffer.data(), 4_KiB);
+    }, 1, 4_KiB);
+  }
   {
     pfs::ExtentStore store;
     std::vector<std::uint8_t> block(64_KiB, 2);
     for (common::Offset pos = 0; pos < 8_MiB; pos += 64_KiB) {
       store.write(pos, block.data(), block.size());
     }
-    timed(5, "extent_store_write_inplace", iters(500'000), [&](std::size_t i) {
+    timed(5, "extent_store_write_inplace", iters(50'000), [&](std::size_t i) {
       store.write((i * 64_KiB) % 8_MiB, block.data(), block.size());
     }, 1, 64_KiB);
-    timed(6, "extent_store_read_fast", iters(500'000), [&](std::size_t i) {
+    timed(6, "extent_store_read_fast", iters(50'000), [&](std::size_t i) {
       store.read((i * 64_KiB) % 8_MiB, block.data(), block.size());
     }, 1, 64_KiB);
   }
@@ -454,7 +521,7 @@ int main(int argc, char** argv) {
     layouts::Deployment plain;
     plain.file_name = trace.file_name;
     (void)workloads::replay(pfs, plain, trace);  // warm-up
-    const std::size_t reps = iters(40);
+    const std::size_t reps = iters(8);
     std::size_t requests = 0;
     common::ByteCount bytes = 0;
     const double start = bench::wall_now();
@@ -483,6 +550,17 @@ int main(int argc, char** argv) {
                  "replay_steady_state", cell.ops_per_s, cell.ns_per_op, cell.mib_per_s);
   }
 
+  if (assert_cache_speedup) {
+    const double hit_speedup =
+        cached_hit_ns > 0.0 ? serial_read_ns / cached_hit_ns : 0.0;
+    std::fprintf(stderr,
+                 "cached hit speedup vs uncached 4k read: %.1fx (gate: >= 50x)\n",
+                 hit_speedup);
+    if (hit_speedup < 50.0) {
+      std::fprintf(stderr, "FAIL: cached read hit under 50x speedup gate\n");
+      return bench::finish(1);
+    }
+  }
   if (assert_batch_speedup) {
     const double write_speedup =
         batch32_write_ns > 0.0 ? serial_write_ns / batch32_write_ns : 0.0;

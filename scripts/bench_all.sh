@@ -37,6 +37,7 @@ benches=(
   ext_fault
   ext_multitenant
   ext_overload
+  ext_cache
 )
 
 for bench in "${benches[@]}"; do

@@ -25,6 +25,14 @@ cmake --build --preset asan -j "${jobs}" --target microbench
 "${repo_root}/build-asan/bench/microbench" --threads=1 --scale=0.05 \
   | diff -u "${repo_root}/bench/golden/microbench.stdout" -
 
+# Page-cache gate: re-run the cache suites by name (hit/eviction semantics,
+# boundary-exact coalescing, cached-replay equivalence, cache-vs-migration
+# consistency), then the coalescing bench whose exit code enforces the
+# >=10x dispatched-op / >=3x bandwidth contract on the LANL pattern.
+ctest --preset asan -j "${jobs}" -R 'Cache|Cached|Prefetch|ReadAhead|Flush|Clock'
+cmake --build --preset asan -j "${jobs}" --target ext_cache
+"${repo_root}/build-asan/bench/ext_cache" --threads=1 --scale=0.05 > /dev/null
+
 # Integrity gate: re-run the checksum/scrub/crash-recovery suites by name so
 # a filter typo in the binaries can never silently drop them, then run the
 # seeded corruption + scrub sweep (the tail section of ext_fault) under the

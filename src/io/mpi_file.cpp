@@ -157,6 +157,88 @@ void MpiFile::do_op_batch(common::OpType op, std::span<const BatchOp> ops,
   }
 }
 
+void MpiFile::dispatch_bulk(common::OpType op, std::span<const BulkOp> ops,
+                            common::Seconds issue, BulkOutcomeVec& results) {
+  results.clear();
+  results.resize(ops.size());
+  if (ops.empty()) return;
+
+  // One client, one instant: every op issues at `issue` plus its own
+  // redirection lookup (the same per-request charge do_op makes — batching
+  // saves server round trips, not table consultations).
+  const common::Seconds lookup =
+      interceptor_ != nullptr ? interceptor_->lookup_overhead() : 0.0;
+  const common::Seconds op_issue = issue + lookup;
+
+  // Translate in ascending-offset order under one shared cursor (callers
+  // usually pass offset-sorted runs; sorting here keeps the DRT gallop path
+  // engaged either way), landing per-op segments in the flat store.
+  batch_order_.clear();
+  for (std::uint32_t i = 0; i < ops.size(); ++i) batch_order_.push_back(i);
+  std::sort(batch_order_.begin(), batch_order_.end(),
+            [&ops](std::uint32_t a, std::uint32_t b) {
+              if (ops[a].offset != ops[b].offset) return ops[a].offset < ops[b].offset;
+              return a < b;
+            });
+  seg_store_.clear();
+  seg_range_.resize(ops.size());
+  TranslateCursor cursor;
+  for (const std::uint32_t idx : batch_order_) {
+    const BulkOp& o = ops[idx];
+    segments_.clear();
+    if (interceptor_ != nullptr) {
+      interceptor_->translate(o.offset, o.size, segments_, cursor);
+      if (op == common::OpType::kWrite) interceptor_->note_write(o.offset, o.size);
+    } else {
+      segments_.push_back(RedirectSegment{file_, o.offset, o.size, o.offset});
+    }
+    seg_range_[idx] = {static_cast<std::uint32_t>(seg_store_.size()),
+                       static_cast<std::uint32_t>(segments_.size())};
+    for (const RedirectSegment& seg : segments_) seg_store_.push_back(seg);
+  }
+
+  batch_reqs_.clear();
+  for (std::uint32_t i = 0; i < ops.size(); ++i) {
+    const BulkOp& o = ops[i];
+    const auto [begin, count] = seg_range_[i];
+    for (std::uint32_t k = begin; k < begin + count; ++k) {
+      const RedirectSegment& seg = seg_store_[k];
+      const common::Offset into = seg.logical_offset - o.offset;
+      batch_reqs_.push_back(pfs::BatchRequest{
+          seg.file, seg.offset, seg.length,
+          o.read_out != nullptr ? o.read_out + into : nullptr,
+          o.write_data != nullptr ? o.write_data + into : nullptr, op_issue, o.job,
+          o.deadline, i});
+    }
+  }
+  if (op == common::OpType::kRead) {
+    pfs_->read_batch(std::span<const pfs::BatchRequest>(batch_reqs_.data(),
+                                                        batch_reqs_.size()),
+                     batch_results_);
+  } else {
+    pfs_->write_batch(std::span<const pfs::BatchRequest>(batch_reqs_.data(),
+                                                         batch_reqs_.size()),
+                      batch_results_);
+  }
+
+  // Fold per op: first failing segment's Status wins (later siblings were
+  // group-skipped by the pfs layer), successful ops report the slowest
+  // segment's completion.
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const std::uint32_t count = seg_range_[i].second;
+    common::Seconds completion = op_issue;
+    common::Status status;
+    for (std::uint32_t m = 0; m < count; ++m, ++k) {
+      const pfs::BatchOpResult& res = batch_results_[k];
+      if (status.is_ok() && !res.skipped && !res.status.is_ok()) status = res.status;
+      if (status.is_ok()) completion = std::max(completion, res.io.completion);
+    }
+    results[i].status = status;
+    results[i].completion = status.is_ok() ? completion : op_issue;
+  }
+}
+
 void MpiFile::read_at_batch(std::span<const BatchOp> ops, BatchOutcomeVec& results) {
   do_op_batch(common::OpType::kRead, ops, results);
 }

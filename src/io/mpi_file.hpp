@@ -135,6 +135,29 @@ struct BatchOpOutcome {
 
 using BatchOutcomeVec = common::SmallVec<BatchOpOutcome, 8>;
 
+/// One op of a single-client vectored dispatch (dispatch_bulk).  Unlike
+/// BatchOp there is no rank: every op of the call issues at the same virtual
+/// instant on behalf of one client — the shape of a cache tier flushing
+/// coalesced dirty runs or issuing one batched prefetch.  `job` attributes
+/// the server charges (a flushed page is charged to the job whose write
+/// dirtied it, not whoever triggered the flush).
+struct BulkOp {
+  common::Offset offset = 0;
+  common::ByteCount size = 0;
+  std::uint8_t* read_out = nullptr;         ///< read destination
+  const std::uint8_t* write_data = nullptr; ///< write payload
+  common::JobId job = common::kDefaultJob;
+  common::Seconds deadline = std::numeric_limits<double>::infinity();
+};
+
+/// Per-op outcome of dispatch_bulk, index-parallel to the input span.
+struct BulkOutcome {
+  common::Status status;
+  common::Seconds completion = 0.0;
+};
+
+using BulkOutcomeVec = common::SmallVec<BulkOutcome, 8>;
+
 class MpiFile {
  public:
   /// Opens `name` on `pfs` (must exist).  The handle is shared by all ranks
@@ -150,6 +173,11 @@ class MpiFile {
 
   /// Attaches the redirection-phase interceptor (borrowed; may be nullptr).
   void set_interceptor(IoInterceptor* interceptor) { interceptor_ = interceptor; }
+  IoInterceptor* interceptor() const { return interceptor_; }
+
+  /// Logical size of the underlying file (one past the highest written
+  /// byte) — the cache tier's page-in clip.
+  common::ByteCount size() const { return pfs_->file_size(file_); }
 
   /// MPI_File_read_at: issues at the rank's current clock and advances it
   /// to the completion time.
@@ -171,6 +199,19 @@ class MpiFile {
   /// BatchOp for the distinct-ranks requirement.
   void read_at_batch(std::span<const BatchOp> ops, BatchOutcomeVec& results);
   void write_at_batch(std::span<const BatchOp> ops, BatchOutcomeVec& results);
+
+  /// Single-client vectored dispatch: every op issues at virtual instant
+  /// `issue` as ONE batched pfs call — translated in ascending-offset order
+  /// under a shared cursor, coalesced per server, one dispatch per touched
+  /// server.  Charges one redirection lookup per op (as the serial path
+  /// does) but touches no rank clock and no tracer: the caller owns the
+  /// client timeline and folds the returned completions in itself.  This is
+  /// the cache tier's flush/prefetch entry point — a write-back flush is
+  /// many offset-sorted runs leaving one client at one instant, which the
+  /// per-rank batched API cannot express (its ops must target distinct
+  /// ranks).
+  void dispatch_bulk(common::OpType op, std::span<const BulkOp> ops,
+                     common::Seconds issue, BulkOutcomeVec& results);
 
   /// Convenience: write a byte vector / read into a fresh vector.
   common::Result<OpResult> write_at(int rank, common::Offset offset,

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/page_cache.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
 #include "guard/guard.hpp"
@@ -88,6 +89,19 @@ struct ReplayOptions {
   /// server stats and Statuses); disable to A/B the serial path.
   /// Independent mode always issues per record.
   bool batch_requests = true;
+  /// Client-side page cache to replay through (borrowed; null replays
+  /// uncached).  All requests route through a cache::CachedFile wrapped
+  /// around the replay's MpiFile: hits and absorbed writes cost the cache's
+  /// hit_overhead instead of the full translate+dispatch round trip, dirty
+  /// pages flush as coalesced bulk runs (attributed to the dirtying job),
+  /// and a final sync flush closes the replay — its completion extends the
+  /// makespan.  Close-to-open mode flushes + invalidates at every
+  /// synchronous barrier.  Caching disables the collective batched path
+  /// (the cache issues its own bulk dispatches instead).
+  const cache::CacheConfig* cache = nullptr;
+  /// When caching, the cache's counters are copied here at replay end
+  /// (borrowed; may be null).
+  cache::CacheMetrics* cache_metrics = nullptr;
 };
 
 struct ReplayResult {

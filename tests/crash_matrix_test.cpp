@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/page_cache.hpp"
 #include "common/crc32.hpp"
 #include "common/units.hpp"
 #include "core/pipeline.hpp"
@@ -218,6 +219,70 @@ TEST_P(CrashMatrix, RecoversConsistentlyAndIdempotently) {
   const core::RecoveryReport again = recover();
   EXPECT_EQ(again.action, core::RecoveryAction::kNone);
   EXPECT_FALSE(again.journal_torn);
+  EXPECT_EQ(state_fingerprint(*pfs_), fingerprint);
+}
+
+// Cache-vs-migration consistency, swept over the same crash matrix: a
+// client holding cached (and dirty) pages runs the migration protocol —
+// prepare flushes its dirty overlap, commit/recovery invalidates — and
+// whatever state the crash resolved to, re-reads through the cache see
+// exactly the recovered bytes and recovery stays idempotent underneath a
+// repopulated cache.
+TEST_P(CrashMatrix, CachedPagesSurviveMigrationConsistently) {
+  const Combo combo = GetParam();
+  io::MpiSim mpi(1);
+  auto file = io::MpiFile::open(*pfs_, mpi, "orig");
+  ASSERT_TRUE(file.is_ok());
+  cache::CacheConfig config;
+  config.page_size = 16_KiB;
+  config.num_pages = 16;
+  config.mode = cache::ConsistencyMode::kWriteBack;
+  cache::CachedFile cached(*file, mpi, *pfs_, config);
+
+  // Warm the cache over ranges the migration will move, and leave one page
+  // dirty.  The dirty bytes equal the pattern, so both recovery outcomes
+  // (fully migrated / fully original) remain pattern-consistent.
+  std::vector<std::uint8_t> buffer(16_KiB);
+  ASSERT_TRUE(cached.read_at(0, 0, buffer.data(), buffer.size()).is_ok());
+  ASSERT_TRUE(cached.read_at(0, 256_KiB, buffer.data(), buffer.size()).is_ok());
+  const std::vector<std::uint8_t> bytes = pattern(4_KiB, 4_KiB);
+  ASSERT_TRUE(cached.write_at(0, 4_KiB, bytes.data(), bytes.size()).is_ok());
+  ASSERT_TRUE(cached.is_dirty(0, 4_KiB));
+
+  // Migration protocol, prepare side: the migrator must copy current bytes.
+  auto prepared = cached.prepare_migration(0, 512_KiB, mpi.max_time());
+  ASSERT_TRUE(prepared.is_ok()) << prepared.status().to_string();
+  EXPECT_EQ(cached.dirty_pages(0), 0u);
+
+  crash_at(combo.site);
+  if (combo.torn) tear_tail(journal_path_);
+  const core::RecoveryReport report = recover();
+  expect_consistent(*pfs_, "orig", 512_KiB, report);
+  const std::uint32_t fingerprint = state_fingerprint(*pfs_);
+
+  // Migration protocol, commit/recovery side: the placement under the
+  // cached pages changed (or was rolled back) — drop them.
+  cached.invalidate(0, 512_KiB);
+  EXPECT_FALSE(cached.is_cached(0, 0));
+  EXPECT_FALSE(cached.is_cached(0, 256_KiB));
+  EXPECT_GT(cached.metrics().invalidated_pages, 0u);
+
+  // Re-reads route through whatever placement recovery landed on and must
+  // reproduce the pattern byte-for-byte, repopulating the cache.
+  auto redirector = core::Redirector::create(*pfs_, report.drt);
+  if (report.has_drt) {
+    ASSERT_TRUE(redirector.is_ok()) << redirector.status().to_string();
+    file->set_interceptor(&*redirector);
+  }
+  for (const common::Offset offset : {common::Offset{0}, common::Offset{256_KiB}}) {
+    ASSERT_TRUE(cached.read_at(0, offset, buffer.data(), buffer.size()).is_ok());
+    EXPECT_EQ(buffer, pattern(offset, 16_KiB)) << "offset " << offset;
+    EXPECT_TRUE(cached.is_cached(0, offset));
+  }
+
+  // Idempotence holds underneath the repopulated cache.
+  const core::RecoveryReport again = recover();
+  EXPECT_EQ(again.action, core::RecoveryAction::kNone);
   EXPECT_EQ(state_fingerprint(*pfs_), fingerprint);
 }
 
