@@ -11,8 +11,11 @@
 // full stripe and every transient retries against the same queue.  MHA's
 // SServer-heavy regions shrink the blast radius, and hedging adds a second
 // path around stragglers, so MHA+hedged should hold the highest bandwidth at
-// every nonzero fault level with zero integrity failures.  Everything is
-// seeded: same binary, same numbers.
+// every nonzero fault level with zero integrity failures.  Every cell also
+// replays twice — batched dispatch and serial — on identically seeded worlds
+// and asserts the numbers are bitwise-identical: vectorized dispatch must not
+// change a single fault decision.  Everything is seeded: same binary, same
+// numbers.
 #include "bench_common.hpp"
 
 #include "common/rng.hpp"
@@ -97,12 +100,16 @@ int main(int argc, char** argv) {
     fault::FaultMetrics metrics;
     bool ok = false;
     bool corruption = false;
+    bool batch_equal = false;  ///< batched dispatch == serial dispatch, exactly
   };
   // Every (level, scheme, policy) cell replays with its own PFS and a fresh
   // injector seeded identically, so cells are independent and the schedule
-  // each one sees does not depend on the fan-out.  Printing — including the
-  // DEF+fcfs baseline deltas, which read a sibling cell — runs after the
-  // join in presentation order.
+  // each one sees does not depend on the fan-out.  Each cell runs TWICE —
+  // batched dispatch (the default request path) and serial — on identically
+  // seeded worlds, and asserts the two are bitwise-identical: the vectorized
+  // path must not change a single timing or fault decision even on a
+  // degraded cluster.  Printing — including the DEF+fcfs baseline deltas,
+  // which read a sibling cell — runs after the join in presentation order.
   auto cells = exec::default_pool().parallel_map(
       num_levels * cells_per_level, [&](std::size_t index) {
         const FaultLevel& level = kLevels[index / cells_per_level];
@@ -111,36 +118,71 @@ int main(int argc, char** argv) {
         const sched::SchedulerKind kind = kinds[index % kinds.size()];
         Cell cell;
         const double start = bench::wall_now();
-        auto scheme = std::string(scheme_name) == "DEF" ? layouts::make_def()
-                                                        : layouts::make_mha();
-        auto scheduler = sched::make_scheduler(kind);
-        // Fresh injector per run, same seed: every cell sees the identical
-        // fault schedule and the whole sweep is reproducible.
-        fault::FaultInjector injector(kFaultSeed);
-        injector.add_random(fault_config(level, num_servers));
-        fault::FaultContext context(injector);
-        workloads::ReplayOptions options;
-        options.verify_data = true;
-        options.scheduler = scheduler.get();
-        options.fault_context = &context;
-        auto result = workloads::run_scheme(*scheme, cluster, trace, options);
-        if (!result.is_ok()) {
-          cell.corruption = result.status().code() == common::ErrorCode::kCorruption;
-          std::fprintf(stderr, "[ext_fault] %s/%s/%s failed: %s\n", level.label,
-                       scheme_name, to_string(kind),
-                       result.status().to_string().c_str());
-          return cell;
-        }
-        cell.bandwidth = result->aggregate_bandwidth / static_cast<double>(common::kMiB);
-        cell.p50 = result->latency_p50;
-        cell.p99 = result->latency_p99;
-        cell.metrics = injector.metrics();
+
+        struct Run {
+          bool ok = false;
+          bool corruption = false;
+          double bandwidth = 0.0;
+          double p50 = 0.0;
+          double p99 = 0.0;
+          std::size_t failed = 0;
+          fault::FaultMetrics metrics;
+        };
+        const auto run_once = [&](bool batched) {
+          Run run;
+          auto scheme = std::string(scheme_name) == "DEF" ? layouts::make_def()
+                                                          : layouts::make_mha();
+          auto scheduler = sched::make_scheduler(kind);
+          // Fresh injector per run, same seed: every run sees the identical
+          // fault schedule and the whole sweep is reproducible.
+          fault::FaultInjector injector(kFaultSeed);
+          injector.add_random(fault_config(level, num_servers));
+          fault::FaultContext context(injector);
+          workloads::ReplayOptions options;
+          options.verify_data = true;
+          options.scheduler = scheduler.get();
+          options.fault_context = &context;
+          options.batch_requests = batched;
+          auto result = workloads::run_scheme(*scheme, cluster, trace, options);
+          if (!result.is_ok()) {
+            run.corruption = result.status().code() == common::ErrorCode::kCorruption;
+            std::fprintf(stderr, "[ext_fault] %s/%s/%s (%s) failed: %s\n", level.label,
+                         scheme_name, to_string(kind), batched ? "batched" : "serial",
+                         result.status().to_string().c_str());
+            return run;
+          }
+          run.bandwidth = result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+          run.p50 = result->latency_p50;
+          run.p99 = result->latency_p99;
+          run.failed = result->failed_requests;
+          run.metrics = injector.metrics();
+          run.ok = true;
+          return run;
+        };
+
+        const Run batched = run_once(true);
+        const Run serial = run_once(false);
+        cell.corruption = batched.corruption || serial.corruption;
+        if (!batched.ok || !serial.ok) return cell;
+        cell.bandwidth = batched.bandwidth;
+        cell.p50 = batched.p50;
+        cell.p99 = batched.p99;
+        cell.metrics = batched.metrics;
+        cell.batch_equal =
+            batched.bandwidth == serial.bandwidth && batched.p50 == serial.p50 &&
+            batched.p99 == serial.p99 && batched.failed == serial.failed &&
+            batched.metrics.transient_errors == serial.metrics.transient_errors &&
+            batched.metrics.retries == serial.metrics.retries &&
+            batched.metrics.degraded_reads == serial.metrics.degraded_reads &&
+            batched.metrics.offline_hits == serial.metrics.offline_hits &&
+            batched.metrics.budget_exhausted == serial.metrics.budget_exhausted;
         cell.wall = bench::wall_now() - start;
         cell.ok = true;
         return cell;
       });
 
   std::size_t integrity_failures = 0;
+  std::size_t batch_mismatches = 0;
   std::string harsh_mha_hedged_table;
   for (std::size_t l = 0; l < num_levels; ++l) {
     const FaultLevel& level = kLevels[l];
@@ -161,10 +203,12 @@ int main(int argc, char** argv) {
         if (std::string(scheme_name) == "DEF" && kind == sched::SchedulerKind::kFcfs) {
           def_fcfs_bandwidth = cell.bandwidth;
         }
+        if (!cell.batch_equal) ++batch_mismatches;
         char decisions[200];
         std::snprintf(decisions, sizeof(decisions),
-                      "transients=%llu retries=%llu degraded=%llu offline-hits=%llu "
-                      "budget-exhausted=%llu",
+                      "batch==serial:%s transients=%llu retries=%llu degraded=%llu "
+                      "offline-hits=%llu budget-exhausted=%llu",
+                      cell.batch_equal ? "yes" : "NO",
                       static_cast<unsigned long long>(m.transient_errors),
                       static_cast<unsigned long long>(m.retries),
                       static_cast<unsigned long long>(m.degraded_reads),
@@ -197,6 +241,9 @@ int main(int argc, char** argv) {
   std::printf("\nintegrity failures across the sweep: %zu (every degraded read is "
               "byte-checked against the shadow copy)\n",
               integrity_failures);
+  std::printf("batched-vs-serial dispatch mismatches: %zu (every cell replayed both "
+              "ways on identically seeded worlds; all numbers must match exactly)\n",
+              batch_mismatches);
 
   // ------------------------------------------------------------------------
   // Seeded corruption & scrub sweep.  Runs single-threaded after the grid
@@ -379,5 +426,5 @@ int main(int argc, char** argv) {
               "chunk repaired)\n",
               sweep_ok ? "PASS" : "FAIL");
 
-  return bench::finish(integrity_failures == 0 && sweep_ok ? 0 : 1);
+  return bench::finish(integrity_failures == 0 && batch_mismatches == 0 && sweep_ok ? 0 : 1);
 }

@@ -68,9 +68,9 @@ int main(int argc, char** argv) {
     return timed;
   });
 
-  std::printf("%-6s | %10s %10s %8s | %10s %10s %8s %8s %6s\n", "load",
+  std::printf("%-6s | %10s %10s %8s | %10s %10s %8s %8s %6s %12s %8s %12s\n", "load",
               "naiveMiB/s", "good", "late", "guardMiB/s", "good", "shed", "batch%",
-              "fail");
+              "fail", "brk(o/h/c)", "reroute", "tokens(g/d)");
   for (std::size_t l = 0; l < loads.size(); ++l) {
     const TimedCell& naive = cells[l * 2];
     const TimedCell& guarded = cells[l * 2 + 1];
@@ -80,11 +80,25 @@ int main(int argc, char** argv) {
             ? 100.0 * static_cast<double>(guarded.cell.shed_by_tier[guard::kTierBatch]) /
                   static_cast<double>(guarded.cell.shed)
             : 0.0;
-    std::printf("%-6.1f | %10.1f %10.1f %8zu | %10.1f %10.1f %8zu %7.1f%% %6zu\n",
+    // Breaker life-cycle and retry-token budget, straight from the guard
+    // ledger: how often servers tripped open, probed half-open and recovered,
+    // and how hard the retry budget was hit (denied = exhaustion events).
+    const guard::GuardMetrics& gm = guarded.cell.guard_metrics;
+    char breaker[32];
+    std::snprintf(breaker, sizeof(breaker), "%llu/%llu/%llu",
+                  static_cast<unsigned long long>(gm.breaker_opens),
+                  static_cast<unsigned long long>(gm.breaker_half_opens),
+                  static_cast<unsigned long long>(gm.breaker_closes));
+    char tokens[32];
+    std::snprintf(tokens, sizeof(tokens), "%llu/%llu",
+                  static_cast<unsigned long long>(gm.retry_tokens_granted),
+                  static_cast<unsigned long long>(gm.retry_tokens_denied));
+    std::printf("%-6.1f | %10.1f %10.1f %8zu | %10.1f %10.1f %8zu %7.1f%% %6zu %12s %8llu %12s\n",
                 loads[l], naive.cell.throughput_mib_s, naive.cell.goodput_mib_s,
                 naive.cell.late, guarded.cell.throughput_mib_s,
                 guarded.cell.goodput_mib_s, guarded.cell.shed, batch_share,
-                guarded.cell.failed);
+                guarded.cell.failed, breaker,
+                static_cast<unsigned long long>(gm.breaker_reroutes), tokens);
     bench::report().add(l * 2 + 0,
                         bench::CellRecord{"load " + std::to_string(loads[l]), "naive",
                                           naive.wall, naive.cell.makespan,

@@ -1,0 +1,459 @@
+// Extension bench: surviving permanent server loss.
+//
+// The paper's evaluation assumes servers never disappear; this bench kills
+// one mid-workload and asks what the layout scheme can still serve.  A
+// Fig. 7-shaped IOR read mix replays synchronously under {DEF, MHA+replica}
+// x {no-kill, kill an HServer, kill an SServer}; at a mid-replay barrier the
+// victim is marked dead in the membership view AND its extent stores are
+// wiped (the bytes are gone, not merely unreachable), then the throttled
+// rebuilder trickles the re-protection copy between the remaining
+// iterations, charged to a batch-tier QoS job.
+//
+// Expected shape: DEF has one copy of everything, so any loss surfaces
+// failed requests.  MHA+replica keeps a secondary copy of every hot (h > 0)
+// region on a cost-model-chosen SServer, so an HServer loss is absorbed by
+// failover reads with ZERO failures and byte-identical data; an SServer
+// loss honestly loses only unreplicated cold regions (wrong bytes are never
+// served).  After the rebuild commits, re-reading the workload touches no
+// dead server at all.  Exit code gates pin all of this, plus crash+resume
+// of the rebuild journal and a bounded victim p99.  Everything prints after
+// the grid join: stdout is byte-identical at any --threads=N.
+#include "bench_common.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "core/redirector.hpp"
+#include "fault/journal.hpp"
+#include "io/mpi_file.hpp"
+#include "qos/job.hpp"
+#include "repair/membership.hpp"
+#include "repair/rebuilder.hpp"
+#include "workloads/ior.hpp"
+
+using namespace mha;
+using namespace mha::common::literals;
+
+namespace {
+
+struct KillCase {
+  const char* label;
+  int victim;  ///< server index; -1 = no kill
+};
+
+trace::Trace read_mix(int num_procs) {
+  workloads::IorMixedSizesConfig config;
+  config.num_procs = num_procs;
+  config.request_sizes = {128_KiB, 256_KiB};
+  config.file_size = bench::scaled_bytes(64_MiB);
+  config.op = common::OpType::kRead;
+  config.file_name = "repair.ior";
+  config.seed = 11;
+  return workloads::ior_mixed_sizes(config);
+}
+
+std::size_t count_iterations(const trace::Trace& trace) {
+  std::size_t iterations = 0;
+  double last = -1.0;
+  for (const trace::TraceRecord& r : trace.records) {
+    if (r.t_start != last) {
+      ++iterations;
+      last = r.t_start;
+    }
+  }
+  return iterations;
+}
+
+std::string journal_path(std::size_t cell) {
+  return "/tmp/ext_repair_" + std::to_string(::getpid()) + "_" +
+         std::to_string(cell) + ".db";
+}
+
+struct Cell {
+  bool ok = false;            ///< replay completed (failures tolerated)
+  double bandwidth = 0.0;     ///< MiB/s
+  double p99 = 0.0;           ///< seconds
+  double makespan = 0.0;
+  double wall = 0.0;
+  std::size_t failed = 0;
+  std::size_t shed = 0;
+  pfs::FailoverStats failover;
+  std::uint64_t final_epoch = 0;
+  // Rebuild (MHA kill cells only).
+  bool rebuild_ran = false;
+  bool rebuild_done = false;
+  common::ByteCount overlap_bytes = 0;  ///< copied while the workload ran
+  repair::RebuildReport rebuild;
+  common::ByteCount rebuild_job_bytes = 0;
+  // Post-rebuild re-read of every traced range (content-plane oracle).
+  std::size_t post_mismatches = 0;
+  std::size_t post_unavailable = 0;
+  std::uint64_t post_failover_reads = 0;
+  std::string membership_table;
+};
+
+/// Re-reads every traced range through the deployment's interceptor and
+/// scores it against the populate pattern (the workload is read-only, so
+/// the pattern is the exact oracle).  Unavailable ranges are counted, never
+/// scored: serving WRONG bytes is the one unforgivable outcome.
+void verify_traced_ranges(pfs::HybridPfs& pfs, const layouts::Deployment& deployment,
+                          const trace::Trace& trace, std::size_t& mismatches,
+                          std::size_t& unavailable) {
+  mismatches = 0;
+  unavailable = 0;
+  io::MpiSim mpi(1);
+  auto handle = io::MpiFile::open(pfs, mpi, deployment.file_name);
+  if (!handle.is_ok()) {
+    mismatches = trace.records.size();
+    return;
+  }
+  handle->set_interceptor(deployment.interceptor.get());
+  std::vector<std::uint8_t> buffer;
+  std::vector<std::uint8_t> want;
+  for (const trace::TraceRecord& r : trace.records) {
+    buffer.assign(r.size, 0);
+    auto read = handle->read_at(0, r.offset, buffer.data(), r.size);
+    if (!read.is_ok()) {
+      ++unavailable;
+      continue;
+    }
+    want.resize(r.size);
+    layouts::populate_fill(r.offset, want.data(), r.size);
+    if (std::memcmp(buffer.data(), want.data(), r.size) != 0) ++mismatches;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init("ext_repair", argc, argv);
+  std::printf("=== Extension: permanent server loss — membership, failover, online rebuild ===\n");
+
+  const auto cluster = bench::paper_cluster();
+  const int num_procs = bench::scaled_procs(16);
+  const trace::Trace trace = read_mix(num_procs);
+  const std::size_t iterations = count_iterations(trace);
+  // Kill a third of the way in: enough replay before the loss to measure a
+  // healthy phase, enough after that failover + the rebuild trickle overlap
+  // real traffic.
+  const std::size_t kill_barrier = std::max<std::size_t>(1, iterations / 3);
+  const int first_sserver = static_cast<int>(cluster.num_hservers);
+
+  std::printf("IOR read mix 128+256 KiB, %zu iterations; kill at barrier %zu; "
+              "byte-level verification on.\n",
+              iterations, kill_barrier);
+  std::printf("victims: none | HServer 0 (hot stripes -> replica failover) | "
+              "SServer %d (cold regions are unreplicated)\n",
+              first_sserver);
+
+  const KillCase kills[] = {
+      {"no-kill", -1},
+      {"kill-H0", 0},
+      {"kill-S", first_sserver},
+  };
+  const std::vector<const char*> scheme_names = {"DEF", "MHA+rep"};
+  const std::size_t num_kills = std::size(kills);
+  const std::size_t num_cells = num_kills * scheme_names.size();
+
+  // Every (kill, scheme) cell runs on a fresh world: own PFS, membership
+  // view, rebuild journal.  Printing runs after the join in presentation
+  // order, so stdout is byte-identical at any --threads=N.
+  auto cells = exec::default_pool().parallel_map(num_cells, [&](std::size_t index) {
+    const KillCase& kill = kills[index / scheme_names.size()];
+    const bool is_mha = index % scheme_names.size() == 1;
+    Cell cell;
+    const double start = bench::wall_now();
+
+    pfs::HybridPfs pfs(cluster);
+    layouts::Deployment deployment;
+    core::Redirector* redirector = nullptr;
+    if (is_mha) {
+      core::MhaOptions options;
+      options.replicate_hot = true;
+      auto scheme = layouts::make_mha(options);
+      auto prepared = scheme->prepare(pfs, trace);
+      if (!prepared.is_ok()) return cell;
+      deployment = std::move(prepared).take();
+      // MhaScheme's interceptor IS the pipeline's redirector; the rebuilder
+      // needs the concrete type for DRT retargeting.
+      redirector = static_cast<core::Redirector*>(deployment.interceptor.get());
+    } else {
+      auto scheme = layouts::make_def();
+      auto prepared = scheme->prepare(pfs, trace);
+      if (!prepared.is_ok()) return cell;
+      deployment = std::move(prepared).take();
+    }
+
+    repair::Membership membership(pfs.num_servers());
+    pfs.set_membership(&membership);
+
+    // Tenants: the application is a normal-tier job owning every rank; the
+    // rebuild is charged to a batch-tier job, the lowest QoS tier.
+    qos::JobTable jobs;
+    const common::JobId app_job = jobs.add("app", 1.0, qos::PriorityClass::kNormal);
+    jobs.assign_ranks(app_job, 0, num_procs);
+    const common::JobId rebuild_job =
+        jobs.add("rebuild", 1.0, qos::PriorityClass::kBatch);
+
+    const std::string journal = journal_path(index);
+    std::remove(journal.c_str());
+    repair::RebuildOptions rebuild_options;
+    rebuild_options.chunk = 256_KiB;
+    rebuild_options.rate = 64.0 * 1024.0 * 1024.0;  // 64 MiB/s virtual throttle
+    rebuild_options.job = rebuild_job;
+    std::optional<repair::Rebuilder> rebuilder;
+    if (redirector != nullptr) {
+      rebuilder.emplace(pfs, *redirector, membership, journal, rebuild_options);
+    }
+
+    // The kill fires at a quiescent barrier instant; afterwards every
+    // barrier pumps the throttled rebuild between iterations.
+    std::size_t barriers = 0;
+    bool killed = false;
+    bool repair_ok = true;
+    workloads::ReplayOptions options;
+    options.verify_data = true;
+    options.tolerate_failures = true;
+    options.jobs = &jobs;
+    options.on_barrier = [&](common::Seconds now) {
+      ++barriers;
+      if (kill.victim >= 0 && !killed && barriers == kill_barrier) {
+        repair::kill_server(membership, pfs,
+                            static_cast<std::size_t>(kill.victim), now);
+        killed = true;
+        if (rebuilder.has_value()) {
+          repair_ok = rebuilder->plan(now).is_ok() && repair_ok;
+        }
+      }
+      if (rebuilder.has_value() && killed && rebuilder->planned() &&
+          !rebuilder->done()) {
+        repair_ok = rebuilder->step(now).is_ok() && repair_ok;
+      }
+    };
+
+    auto result = workloads::replay(pfs, deployment, trace, options);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "[ext_repair] %s/%s failed: %s\n", kill.label,
+                   is_mha ? "MHA+rep" : "DEF", result.status().to_string().c_str());
+      return cell;
+    }
+    cell.bandwidth = result->aggregate_bandwidth / static_cast<double>(common::kMiB);
+    cell.p99 = result->latency_p99;
+    cell.makespan = result->makespan;
+    cell.failed = result->failed_requests;
+    cell.shed = result->shed_requests;
+    cell.failover = pfs.failover_stats();
+
+    // Drain the rebuild to completion after the workload (it keeps its
+    // throttle only in virtual time).
+    if (rebuilder.has_value() && killed && repair_ok) {
+      cell.rebuild_ran = true;
+      cell.overlap_bytes = rebuilder->report().bytes_copied;
+      repair_ok = rebuilder->run_to_completion(result->makespan).is_ok() && repair_ok;
+      cell.rebuild_done = repair_ok && rebuilder->done();
+      cell.rebuild = rebuilder->report();
+      for (std::size_t s = 0; s < pfs.num_servers(); ++s) {
+        cell.rebuild_job_bytes +=
+            pfs.data_server(s).sim().job_stats(rebuild_job).bytes_total();
+      }
+    }
+
+    // Content-plane oracle: after everything settled, every traced range is
+    // re-read and byte-checked.  With the rebuild committed, the surviving
+    // copies must serve without touching the replica at all.
+    pfs.reset_failover_stats();
+    verify_traced_ranges(pfs, deployment, trace, cell.post_mismatches,
+                         cell.post_unavailable);
+    cell.post_failover_reads = pfs.failover_stats().failover_reads;
+    cell.final_epoch = membership.epoch();
+    cell.membership_table = membership.table();
+    std::remove(journal.c_str());
+    cell.wall = bench::wall_now() - start;
+    cell.ok = repair_ok;
+    return cell;
+  });
+
+  // ---------------------------------------------------------- printing ----
+  bool gates_ok = true;
+  const auto gate = [&](bool pass, const char* what) {
+    std::printf("gate %-52s %s\n", what, pass ? "PASS" : "FAIL");
+    gates_ok = gates_ok && pass;
+  };
+
+  for (std::size_t k = 0; k < num_kills; ++k) {
+    std::printf("\n--- %s ---\n", kills[k].label);
+    std::printf("%-8s %9s %9s %7s %6s %9s %8s %8s  %s\n", "scheme", "MiB/s",
+                "p99(ms)", "failed", "shed", "failover", "unavail", "epoch",
+                "post-rebuild re-read");
+    for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+      const Cell& cell = cells[k * scheme_names.size() + s];
+      char post[160];
+      if (cell.rebuild_ran) {
+        std::snprintf(post, sizeof(post),
+                      "mismatch=%zu unavail=%zu failover=%llu | rebuild %s: "
+                      "%zu prim + %zu rep, lost=%zu, %.1f MiB (%.1f overlapped), "
+                      "job-charged %.1f MiB",
+                      cell.post_mismatches, cell.post_unavailable,
+                      static_cast<unsigned long long>(cell.post_failover_reads),
+                      cell.rebuild_done ? "done" : "INCOMPLETE",
+                      cell.rebuild.primaries_rebuilt, cell.rebuild.replicas_rebuilt,
+                      cell.rebuild.lost_regions,
+                      static_cast<double>(cell.rebuild.bytes_copied) / (1 << 20),
+                      static_cast<double>(cell.overlap_bytes) / (1 << 20),
+                      static_cast<double>(cell.rebuild_job_bytes) / (1 << 20));
+      } else {
+        std::snprintf(post, sizeof(post), "mismatch=%zu unavail=%zu failover=%llu",
+                      cell.post_mismatches, cell.post_unavailable,
+                      static_cast<unsigned long long>(cell.post_failover_reads));
+      }
+      std::printf("%-8s %9.1f %9.3f %7zu %6zu %9llu %8llu %8llu  %s\n",
+                  scheme_names[s], cell.bandwidth, cell.p99 * 1e3, cell.failed,
+                  cell.shed,
+                  static_cast<unsigned long long>(cell.failover.failover_reads),
+                  static_cast<unsigned long long>(cell.failover.unavailable),
+                  static_cast<unsigned long long>(cell.final_epoch), post);
+      bench::report().add(k * scheme_names.size() + s,
+                          bench::CellRecord{kills[k].label, scheme_names[s],
+                                            cell.wall, cell.makespan,
+                                            cell.bandwidth});
+    }
+  }
+
+  const Cell& def_nokill = cells[0];
+  const Cell& mha_nokill = cells[1];
+  const Cell& def_killh = cells[2];
+  const Cell& mha_killh = cells[3];
+  const Cell& def_kills = cells[4];
+  const Cell& mha_kills = cells[5];
+
+  std::printf("\nmembership after kill-H0 (MHA): %s", mha_killh.membership_table.c_str());
+
+  std::printf("\n=== exit-code gates ===\n");
+  gate(def_nokill.ok && mha_nokill.ok && def_killh.ok && mha_killh.ok &&
+           def_kills.ok && mha_kills.ok,
+       "all cells replayed (failures tolerated, no corruption)");
+  gate(mha_nokill.failed == 0 && mha_nokill.failover.failover_reads == 0 &&
+           mha_nokill.post_mismatches == 0 && mha_nokill.post_unavailable == 0,
+       "MHA no-kill baseline is clean (no failover, no failures)");
+  gate(mha_killh.failed == 0 && mha_killh.failover.unavailable == 0 &&
+           mha_killh.failover.failover_reads > 0,
+       "MHA kill-H: zero data loss, served by replica failover");
+  gate(def_killh.failed > 0,
+       "DEF kill-H contrast: unreplicated loss surfaces failures");
+  gate(mha_killh.rebuild_done && mha_killh.rebuild.primaries_rebuilt > 0 &&
+           mha_killh.rebuild.lost_regions == 0,
+       "MHA kill-H: rebuild completed, no region lost");
+  gate(mha_killh.post_mismatches == 0 && mha_killh.post_unavailable == 0 &&
+           mha_killh.post_failover_reads == 0,
+       "MHA kill-H: post-rebuild re-read needs no failover at all");
+  gate(mha_killh.p99 <= 10.0 * std::max(mha_nokill.p99, 1e-9),
+       "MHA kill-H: victim p99 within 10x of no-kill baseline");
+  gate(mha_kills.post_mismatches == 0 && def_kills.post_mismatches == 0,
+       "kill-S: wrong bytes are never served (loss is typed, not silent)");
+  gate(def_kills.failed > 0, "DEF kill-S contrast: loss surfaces failures");
+
+  // ------------------------------------------------------------------------
+  // Crash + resume mid-rebuild (deterministic, single-threaded): the rebuild
+  // journals its plan and per-task progress, so a crash at any point rolls
+  // forward from a fresh Rebuilder over the same journal file.
+  std::printf("\n=== rebuild crash + resume (deterministic, single-threaded) ===\n");
+  bool crash_ok = true;
+  {
+    const char* points[] = {"copying", "switched-task-0"};
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+      pfs::HybridPfs pfs(cluster);
+      core::MhaOptions options;
+      options.replicate_hot = true;
+      auto scheme = layouts::make_mha(options);
+      auto prepared = scheme->prepare(pfs, trace);
+      if (!prepared.is_ok()) {
+        crash_ok = false;
+        continue;
+      }
+      layouts::Deployment deployment = std::move(prepared).take();
+      auto* redirector = static_cast<core::Redirector*>(deployment.interceptor.get());
+      repair::Membership membership(pfs.num_servers());
+      pfs.set_membership(&membership);
+      repair::kill_server(membership, pfs, 0, 1.0);
+
+      const std::string journal = journal_path(100 + p);
+      std::remove(journal.c_str());
+      repair::RebuildOptions crashing;
+      crashing.crash_at = [&](std::string_view at) { return at == points[p]; };
+      {
+        repair::Rebuilder rebuilder(pfs, *redirector, membership, journal, crashing);
+        const bool crashed = !rebuilder.run_to_completion(1.0).is_ok();
+        crash_ok = crash_ok && crashed;
+      }
+      repair::Rebuilder resumed(pfs, *redirector, membership, journal);
+      const bool resumed_ok = resumed.resume(2.0).is_ok() &&
+                              resumed.run_to_completion(2.0).is_ok() &&
+                              resumed.done();
+      std::size_t mismatches = 0;
+      std::size_t unavailable = 0;
+      pfs.reset_failover_stats();
+      verify_traced_ranges(pfs, deployment, trace, mismatches, unavailable);
+      fault::MigrationJournal reopened;
+      const bool journal_clean = reopened.open(journal).is_ok() &&
+                                 !reopened.active() &&
+                                 reopened.phase() == fault::JournalPhase::kNone;
+      std::printf("crash at %-16s resume=%s re-read: mismatch=%zu unavail=%zu "
+                  "failover=%llu journal-clean=%s\n",
+                  points[p], resumed_ok ? "ok" : "FAIL", mismatches, unavailable,
+                  static_cast<unsigned long long>(
+                      pfs.failover_stats().failover_reads),
+                  journal_clean ? "yes" : "NO");
+      crash_ok = crash_ok && resumed_ok && mismatches == 0 && unavailable == 0 &&
+                 pfs.failover_stats().failover_reads == 0 && journal_clean;
+      std::remove(journal.c_str());
+    }
+  }
+  gate(crash_ok, "rebuild crashed mid-flight resumes to a clean commit");
+
+  // ------------------------------------------------------------------------
+  // Sequential double loss: epochs order the two kills, and each rebuild
+  // re-homes onto whatever still survives.
+  std::printf("\n=== sequential double loss (deterministic, single-threaded) ===\n");
+  bool double_ok = true;
+  {
+    pfs::HybridPfs pfs(cluster);
+    core::MhaOptions options;
+    options.replicate_hot = true;
+    auto scheme = layouts::make_mha(options);
+    auto prepared = scheme->prepare(pfs, trace);
+    double_ok = prepared.is_ok();
+    if (double_ok) {
+      layouts::Deployment deployment = std::move(prepared).take();
+      auto* redirector = static_cast<core::Redirector*>(deployment.interceptor.get());
+      repair::Membership membership(pfs.num_servers());
+      pfs.set_membership(&membership);
+      for (std::size_t round = 0; round < 2 && double_ok; ++round) {
+        const std::size_t victim = round;  // HServer 0, then HServer 1
+        repair::kill_server(membership, pfs, victim, 1.0 + static_cast<double>(round));
+        const std::string journal = journal_path(200 + round);
+        std::remove(journal.c_str());
+        repair::Rebuilder rebuilder(pfs, *redirector, membership, journal);
+        double_ok = rebuilder.run_to_completion(1.0 + static_cast<double>(round)).is_ok() &&
+                    rebuilder.done() && rebuilder.report().lost_regions == 0;
+        std::printf("round %zu: killed server %zu -> %s", round, victim,
+                    rebuilder.report().table().c_str());
+        std::remove(journal.c_str());
+      }
+      std::size_t mismatches = 0;
+      std::size_t unavailable = 0;
+      pfs.reset_failover_stats();
+      verify_traced_ranges(pfs, deployment, trace, mismatches, unavailable);
+      double_ok = double_ok && mismatches == 0 && unavailable == 0;
+      std::printf("after both rebuilds: %sre-read: mismatch=%zu unavail=%zu "
+                  "(%zu membership events)\n",
+                  membership.table().c_str(), mismatches, unavailable,
+                  membership.events().size());
+    }
+  }
+  gate(double_ok, "two sequential losses both rebuilt, zero data loss");
+
+  return bench::finish(gates_ok ? 0 : 1);
+}

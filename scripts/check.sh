@@ -43,13 +43,22 @@ ctest --preset asan -j "${jobs}" \
 cmake --build --preset asan -j "${jobs}" --target ext_fault
 "${repo_root}/build-asan/bench/ext_fault" --threads=1 --scale=0.05 > /dev/null
 
+# Repair gate: re-run the permanent-loss suites by name (membership epochs,
+# replica column, failover/mirror semantics, rebuild crash matrix), then the
+# kill-grid bench whose exit code enforces zero data loss for replicated
+# regions, rebuild-to-zero-failover and the bounded victim p99.
+ctest --preset asan -j "${jobs}" -R 'Repair|Membership|DrtReplica|Failover|Rebuild|Unreplicated|KillWipes'
+cmake --build --preset asan -j "${jobs}" --target ext_repair
+"${repo_root}/build-asan/bench/ext_repair" --threads=1 --scale=0.05 > /dev/null
+
 # ThreadSanitizer pass over the concurrency surface: the exec pool's own
 # tests plus the sched/fault/guard suites that exercise replay on the pool
-# (the guard suite's chaos cells fan out on it) and the batched-vs-serial
+# (the guard suite's chaos cells fan out on it), the batched-vs-serial
 # equivalence suite (its thread-invariance test fans combos out on an
-# 8-thread pool).  The rest of the suite is single-threaded and already
-# covered above, so only the affected binaries are built to keep
-# single-core runtimes sane.
+# 8-thread pool), and the repair suite (ext_repair's kill cells pump the
+# rebuilder from replay barriers on pool threads).  The rest of the suite
+# is single-threaded and already covered above, so only the affected
+# binaries are built to keep single-core runtimes sane.
 cmake --preset tsan
-cmake --build --preset tsan -j "${jobs}" --target mha_exec_tests mha_system_tests mha_guard_tests mha_batch_tests
-ctest --preset tsan -j "${jobs}" -R 'Exec|Sched|Scheduler|Fault|Retry|TryCancel|Degraded|Migration|Journal|RecoveryIdempotence|CircuitBreaker|OverloadGuard|ChaosCell|StatsTable|Batch'
+cmake --build --preset tsan -j "${jobs}" --target mha_exec_tests mha_system_tests mha_guard_tests mha_batch_tests mha_repair_tests
+ctest --preset tsan -j "${jobs}" -R 'Exec|Sched|Scheduler|Fault|Retry|TryCancel|Degraded|Migration|Journal|RecoveryIdempotence|CircuitBreaker|OverloadGuard|ChaosCell|StatsTable|Batch|Repair|Membership|Rebuild|Failover'

@@ -8,8 +8,46 @@ namespace mha::core {
 
 RegionId Drt::intern(const std::string& name) {
   auto [it, inserted] = region_ids_.try_emplace(name, static_cast<RegionId>(region_names_.size()));
-  if (inserted) region_names_.push_back(name);
+  if (inserted) {
+    region_names_.push_back(name);
+    region_replica_.push_back(kNoRegion);
+  }
   return it->second;
+}
+
+common::Status Drt::set_replica(const std::string& r_file, const std::string& replica_file) {
+  if (replica_file.empty() || replica_file == r_file) {
+    return common::Status::invalid_argument("DRT: bad replica name for " + r_file);
+  }
+  const auto it = region_ids_.find(r_file);
+  if (it == region_ids_.end()) {
+    return common::Status::not_found("DRT: unknown region " + r_file);
+  }
+  const RegionId region = it->second;
+  const RegionId replica = intern(replica_file);
+  region_replica_[region] = replica;
+  for (FlatEntry& e : entries_) {
+    if (e.region == region) e.replica = replica;
+  }
+  return common::Status::ok();
+}
+
+common::Status Drt::retarget_region(const std::string& old_name, const std::string& new_name) {
+  if (new_name.empty() || new_name == old_name) {
+    return common::Status::invalid_argument("DRT: bad retarget name " + new_name);
+  }
+  const auto it = region_ids_.find(old_name);
+  if (it == region_ids_.end()) {
+    return common::Status::not_found("DRT: unknown region " + old_name);
+  }
+  if (region_ids_.find(new_name) != region_ids_.end()) {
+    return common::Status::already_exists("DRT: region " + new_name + " already interned");
+  }
+  const RegionId id = it->second;
+  region_ids_.erase(it);
+  region_ids_.emplace(new_name, id);
+  region_names_[id] = new_name;
+  return common::Status::ok();
 }
 
 std::size_t Drt::first_after(common::Offset pos) const {
@@ -55,6 +93,10 @@ common::Status Drt::insert(DrtEntry entry) {
   flat.r_offset = entry.r_offset;
   flat.region = intern(entry.r_file);
   flat.dirty = entry.dirty ? 1 : 0;
+  if (!entry.replica_file.empty()) {
+    flat.replica = intern(entry.replica_file);
+    region_replica_[flat.region] = flat.replica;
+  }
   entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos), flat);
   return common::Status::ok();
 }
@@ -85,6 +127,7 @@ std::size_t Drt::fill_segments(common::Offset pos, common::Offset end, std::size
     seg.target_offset = e.r_offset + (pos - e.o_offset);
     seg.length = piece_end - pos;
     seg.logical_offset = pos;
+    seg.replica = e.replica;
     out.emplace_back(seg);
     pos = piece_end;
     last = idx;
@@ -201,6 +244,7 @@ std::size_t Drt::metadata_bytes() const {
   std::size_t total = 0;
   for (const FlatEntry& e : entries_) {
     total += sizeof(DrtEntry) + region_names_[e.region].size();
+    if (e.replica != kNoRegion) total += region_names_[e.replica].size();
   }
   return total;
 }
@@ -209,19 +253,29 @@ std::vector<DrtEntry> Drt::entries() const {
   std::vector<DrtEntry> out;
   out.reserve(entries_.size());
   for (const FlatEntry& e : entries_) {
-    out.push_back(
-        DrtEntry{e.o_offset, e.length, region_names_[e.region], e.r_offset, e.dirty != 0});
+    DrtEntry entry{e.o_offset, e.length, region_names_[e.region], e.r_offset, e.dirty != 0};
+    if (e.replica != kNoRegion) entry.replica_file = region_names_[e.replica];
+    out.push_back(std::move(entry));
   }
   return out;
 }
 
 common::Status Drt::save(kv::KvStore& store) const {
   char key[128];
-  char value[192];
+  char value[320];
   for (const FlatEntry& e : entries_) {
     std::snprintf(key, sizeof(key), "%s#%020" PRIu64, o_file_.c_str(), e.o_offset);
-    std::snprintf(value, sizeof(value), "%" PRIu64 ",%s,%" PRIu64, e.length,
-                  region_names_[e.region].c_str(), e.r_offset);
+    // The replica column rides as an optional fourth field; unreplicated
+    // entries keep the original three-field record byte-identical, so old
+    // stores load and old records parse unchanged.
+    if (e.replica != kNoRegion) {
+      std::snprintf(value, sizeof(value), "%" PRIu64 ",%s,%" PRIu64 ",%s", e.length,
+                    region_names_[e.region].c_str(), e.r_offset,
+                    region_names_[e.replica].c_str());
+    } else {
+      std::snprintf(value, sizeof(value), "%" PRIu64 ",%s,%" PRIu64, e.length,
+                    region_names_[e.region].c_str(), e.r_offset);
+    }
     MHA_RETURN_IF_ERROR(store.put(key, value));
   }
   return common::Status::ok();
@@ -235,14 +289,18 @@ common::Result<Drt> Drt::load(kv::KvStore& store, const std::string& o_file) {
     if (key.substr(0, prefix.size()) != prefix) return true;
     DrtEntry entry;
     char r_file[128] = {0};
+    char replica[128] = {0};
+    const int fields = std::sscanf(std::string(value).c_str(),
+                                   "%" SCNu64 ",%127[^,],%" SCNu64 ",%127[^,]",
+                                   &entry.length, r_file, &entry.r_offset, replica);
     if (std::sscanf(std::string(key).c_str() + prefix.size(), "%" SCNu64,
                     &entry.o_offset) != 1 ||
-        std::sscanf(std::string(value).c_str(), "%" SCNu64 ",%127[^,],%" SCNu64,
-                    &entry.length, r_file, &entry.r_offset) != 3) {
+        fields < 3) {
       status = common::Status::corruption("DRT: bad persisted entry: " + std::string(key));
       return false;
     }
     entry.r_file = r_file;
+    if (fields == 4) entry.replica_file = replica;
     status = drt.insert(std::move(entry));
     return status.is_ok();
   });

@@ -53,6 +53,9 @@ struct DrtEntry {
   /// through the redirector since migration, so the original file's bytes
   /// for this range are stale and must not be used as a repair source.
   bool dirty = false;
+  /// Failover copy of the region this entry points into ("" = unreplicated).
+  /// Persisted: a replica recorded in the DRT survives restarts with it.
+  std::string replica_file;
 
   friend bool operator==(const DrtEntry&, const DrtEntry&) = default;
 };
@@ -65,6 +68,10 @@ struct DrtSegment {
   common::Offset target_offset = 0; ///< offset in the region (or the original)
   common::ByteCount length = 0;
   common::Offset logical_offset = 0;  ///< position within the original file
+  /// Interned id of the region's failover replica file (kNoRegion when the
+  /// region is unreplicated or the segment is passthrough).  Rides along in
+  /// the same POD so replica-aware callers pay no extra lookup.
+  RegionId replica = kNoRegion;
 };
 
 class Drt {
@@ -121,9 +128,28 @@ class Drt {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  /// Interned region-file name table.
+  /// Interned region-file name table.  Replica files are interned in the
+  /// same table (they are resolved to file ids by the same Redirector pass),
+  /// so region_count() includes them; replica_of_region() tells them apart.
   std::size_t region_count() const { return region_names_.size(); }
   const std::string& region_name(RegionId id) const { return region_names_[id]; }
+
+  /// Records `replica_file` as the failover copy of region `r_file`: the
+  /// replica name is interned and stamped into the replica column of every
+  /// entry pointing into that region.  The replica shares the region's
+  /// logical byte space (byte k of the region == byte k of the replica).
+  common::Status set_replica(const std::string& r_file, const std::string& replica_file);
+
+  /// Interned replica of a region; kNoRegion when unreplicated.
+  RegionId replica_of_region(RegionId region) const {
+    return region < region_replica_.size() ? region_replica_[region] : kNoRegion;
+  }
+
+  /// Renames an interned region (or replica) file in place — the rebuild
+  /// retarget: every entry referencing the id now resolves to `new_name`,
+  /// with no entry rewrite.  Fails when `old_name` is unknown or `new_name`
+  /// is already interned.
+  common::Status retarget_region(const std::string& old_name, const std::string& new_name);
 
   /// Total bytes covered by entries (tracked incrementally; O(1)).
   common::ByteCount covered_bytes() const { return covered_bytes_; }
@@ -153,13 +179,14 @@ class Drt {
   static common::Result<Drt> load(kv::KvStore& store, const std::string& o_file);
 
  private:
-  /// In-memory entry: POD, 32 bytes, names interned.
+  /// In-memory entry: POD, 40 bytes, names interned.
   struct FlatEntry {
     common::Offset o_offset = 0;
     common::ByteCount length = 0;
     common::Offset r_offset = 0;
     RegionId region = 0;
-    std::uint8_t dirty = 0;  ///< fits the existing padding; see DrtEntry::dirty
+    RegionId replica = kNoRegion;  ///< failover copy; see DrtEntry::replica_file
+    std::uint8_t dirty = 0;  ///< fits the trailing padding; see DrtEntry::dirty
 
     common::Offset o_end() const { return o_offset + length; }
   };
@@ -181,6 +208,9 @@ class Drt {
   std::vector<FlatEntry> entries_;
   std::vector<std::string> region_names_;
   std::unordered_map<std::string, RegionId> region_ids_;  // insert-time only
+  /// RegionId -> interned replica id (kNoRegion), index-parallel with
+  /// region_names_ (grown by intern).
+  std::vector<RegionId> region_replica_;
   common::ByteCount covered_bytes_ = 0;
   // Sequential-lookup cache: index of the last entry the previous lookup
   // consumed.  Mutated under const (see header comment); always validated

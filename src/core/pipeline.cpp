@@ -90,6 +90,7 @@ common::Result<MhaDeployment> MhaPipeline::deploy(pfs::HybridPfs& pfs,
   fault::MigrationJournal journal;
   ApplyOptions apply_options;
   apply_options.crash_at = options.crash_at;
+  apply_options.replicate_hot = options.replicate_hot;
   if (!options.journal_path.empty()) {
     MHA_RETURN_IF_ERROR(journal.open(options.journal_path));
     if (journal.active()) {
@@ -103,7 +104,14 @@ common::Result<MhaDeployment> MhaPipeline::deploy(pfs::HybridPfs& pfs,
   auto placement = Placer::apply(pfs, deployment.plan.plan, deployment.plan.stripe_pairs,
                                  apply_options);
   if (!placement.is_ok()) return placement.status();
-  deployment.placement = *placement;
+  deployment.placement = std::move(placement).take();
+
+  // Stamp the replica column before the DRT is persisted or the redirector
+  // resolves file ids: the durable table is the source of truth the runtime
+  // failover index is built from.
+  for (const auto& [region, replica] : deployment.placement.replica_pairs) {
+    MHA_RETURN_IF_ERROR(deployment.plan.plan.drt.set_replica(region, replica));
+  }
 
   // Optional DRT durability (§IV-A).  The initial table is bulk-loaded and
   // synced once; runtime updates would use SyncMode::kEveryWrite.

@@ -46,6 +46,12 @@ struct MhaOptions {
   std::string journal_path;
   /// Test hook forwarded to the Placer (see core::ApplyOptions::crash_at).
   std::function<bool(std::string_view)> crash_at;
+  /// Heterogeneity-aware replication at placement time (repair tentpole):
+  /// every hot (h > 0) region gets a secondary copy on a cost-model-chosen
+  /// SServer, recorded in the DRT's replica column and registered with the
+  /// pfs failover table by the redirection phase.  Off by default — existing
+  /// deployments stay byte-identical.
+  bool replicate_hot = false;
 };
 
 /// Output of the planning phases (2-3).

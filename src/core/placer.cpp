@@ -1,9 +1,11 @@
 #include "core/placer.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "common/log.hpp"
+#include "core/cost_model.hpp"
 
 namespace mha::core {
 
@@ -128,6 +130,63 @@ common::Result<PlacementReport> Placer::apply(pfs::HybridPfs& pfs,
     MHA_RETURN_IF_ERROR(journal->commit());
   }
   if (crash_at("committed")) return injected_crash("committed");
+
+  // Heterogeneity-aware replication (after the commit on purpose: replicas
+  // are derived, re-creatable data — see ApplyOptions::replicate_hot).
+  // Every hot region (h > 0 — it has HServer-resident stripes that a dead
+  // HDD box would strand) gets a full secondary copy on one SServer, chosen
+  // by projected SServer write cost over the replica bytes already assigned
+  // there; identical SServers degrade to balance-by-bytes, heterogeneous
+  // ones prefer the faster device.
+  if (options.replicate_hot) {
+    const CostParams params = CostParams::from_cluster(pfs.config());
+    std::vector<common::ByteCount> replica_load(pfs.num_sservers(), 0);
+    for (std::size_t g = 0; g < plan.regions.size(); ++g) {
+      const Region& region = plan.regions[g];
+      if (stripe_pairs[g].h == 0 || region.length == 0) continue;
+      std::size_t best = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < pfs.num_sservers(); ++s) {
+        const double cost =
+            params.alpha_sw +
+            params.beta_sw * static_cast<double>(replica_load[s] + region.length);
+        if (cost < best_cost) {
+          best = s;
+          best_cost = cost;
+        }
+      }
+      const std::size_t server = pfs.num_hservers() + best;
+      std::vector<common::ByteCount> widths(pfs.num_servers(), 0);
+      widths[server] = pfs::kDefaultStripe;
+      auto layout = pfs::StripeLayout::create(std::move(widths));
+      if (!layout.is_ok()) return layout.status();
+      const std::string replica_name = region.name + ".rep";
+      auto replica = pfs.create_file(replica_name, std::move(layout).take());
+      if (!replica.is_ok()) return replica.status();
+      const common::FileId source = region_ids.at(region.name);
+      common::ByteCount copied = 0;
+      while (copied < region.length) {
+        const common::ByteCount piece =
+            std::min<common::ByteCount>(options.chunk, region.length - copied);
+        buffer.resize(piece);
+        auto read = pfs.read(source, copied, buffer.data(), piece, clock);
+        if (!read.is_ok()) return read.status();
+        auto write = pfs.write(*replica, copied, buffer.data(), piece, read->completion);
+        if (!write.is_ok()) return write.status();
+        clock = write->completion;
+        copied += piece;
+      }
+      replica_load[best] += region.length;
+      report.replica_pairs.emplace_back(region.name, replica_name);
+      ++report.replicas_created;
+      report.bytes_replicated += region.length;
+      MHA_DEBUG << "placer: replica " << replica_name << " on SServer " << server;
+      if (crash_at("replica-" + std::to_string(g))) {
+        return injected_crash("replica-" + std::to_string(g));
+      }
+    }
+    if (crash_at("replicated")) return injected_crash("replicated");
+  }
 
   report.migration_time = clock;
   return report;

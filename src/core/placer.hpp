@@ -26,6 +26,12 @@ struct PlacementReport {
   common::ByteCount bytes_migrated = 0;
   common::Seconds migration_time = 0.0;  ///< virtual time the copy took
   std::size_t regions_created = 0;
+  // Heterogeneity-aware replication (ApplyOptions::replicate_hot).
+  std::size_t replicas_created = 0;
+  common::ByteCount bytes_replicated = 0;
+  /// (region, replica) file-name pairs placement created; the pipeline
+  /// stamps the DRT's replica column from these.
+  std::vector<std::pair<std::string, std::string>> replica_pairs;
 };
 
 struct ApplyOptions {
@@ -39,9 +45,19 @@ struct ApplyOptions {
   fault::MigrationJournal* journal = nullptr;
   /// Test hook simulating a crash: called with each named crash point
   /// ("planned", "regions-created", "copying", "copied-entry-<i>", "copied",
-  /// "committed"); returning true aborts placement there, leaving exactly
-  /// the on-disk journal state a real crash would.
+  /// "committed", "replica-<g>", "replicated"); returning true aborts
+  /// placement there, leaving exactly the on-disk journal state a real
+  /// crash would.
   std::function<bool(std::string_view)> crash_at;
+  /// Heterogeneity-aware replication: after the migration commits, write a
+  /// secondary copy of each hot (HServer-resident, h > 0) region onto the
+  /// cost-model-chosen SServer (least projected transfer time under the
+  /// cluster's Eq. 2 parameters; ties go to the lowest index).  Replicas
+  /// are derived data and deliberately NOT part of the migration journal: a
+  /// crash between commit and replica completion leaves a partial
+  /// "<region>.rep" file that a re-deploy or the rebuilder re-creates from
+  /// the intact primary.
+  bool replicate_hot = false;
 };
 
 class Placer {

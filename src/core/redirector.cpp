@@ -7,15 +7,29 @@ common::Result<Redirector> Redirector::create(pfs::HybridPfs& pfs, Drt drt,
   auto original = pfs.open(drt.o_file());
   if (!original.is_ok()) return original.status();
   Redirector redirector(std::move(drt), *original, lookup_overhead);
-  // Resolve every interned region name once; all region files must already
-  // exist (the Placer runs before the redirection phase).
-  redirector.region_files_.reserve(redirector.drt_.region_count());
-  for (RegionId id = 0; id < redirector.drt_.region_count(); ++id) {
-    auto file = pfs.open(redirector.drt_.region_name(id));
-    if (!file.is_ok()) return file.status();
-    redirector.region_files_.push_back(*file);
-  }
+  // Resolve every interned region name once; all region files (including
+  // replica files) must already exist (the Placer runs before the
+  // redirection phase).  Replica pairs recorded in the DRT are registered
+  // with the pfs failover table here — the runtime index the request path
+  // consults is built from the durable column, never the other way round.
+  MHA_RETURN_IF_ERROR(redirector.refresh(pfs));
   return redirector;
+}
+
+common::Status Redirector::refresh(pfs::HybridPfs& pfs) {
+  region_files_.resize(drt_.region_count(), common::kInvalidFileId);
+  for (RegionId id = 0; id < drt_.region_count(); ++id) {
+    auto file = pfs.open(drt_.region_name(id));
+    if (!file.is_ok()) return file.status();
+    region_files_[id] = *file;
+  }
+  for (RegionId id = 0; id < drt_.region_count(); ++id) {
+    const RegionId replica = drt_.replica_of_region(id);
+    if (replica != kNoRegion) {
+      pfs.set_replica(region_files_[id], region_files_[replica]);
+    }
+  }
+  return common::Status::ok();
 }
 
 void Redirector::translate(common::Offset offset, common::ByteCount size,

@@ -57,7 +57,16 @@ class Redirector : public io::IoInterceptor {
   std::string locate(common::Offset offset) const override;
 
   const Drt& drt() const { return drt_; }
+  /// Mutable table access for the rebuilder's retarget/replica updates; call
+  /// refresh() afterwards so the resolved file-id table catches up.
+  Drt& mutable_drt() { return drt_; }
   std::size_t translations() const { return translations_; }
+
+  /// Re-resolves the region-file table against `pfs` after the DRT's
+  /// interned names changed (rebuild retarget, new replicas) and re-registers
+  /// every replica pair with the pfs failover table.  Existing RegionIds keep
+  /// their slots, so in-flight segments stay valid.
+  common::Status refresh(pfs::HybridPfs& pfs);
 
   /// Resolved file id for an interned region (bench/test introspection).
   common::FileId region_file(RegionId region) const { return region_files_[region]; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "repair/membership.hpp"
+
 namespace mha::pfs {
 
 HybridPfs::HybridPfs(const sim::ClusterConfig& config, PfsOptions options)
@@ -66,10 +68,92 @@ void HybridPfs::rewind_receipts() const {
   receipts_.clear();
 }
 
+bool HybridPfs::failover_active() const {
+  return membership_ != nullptr && membership_->dead_count() > 0;
+}
+
+void HybridPfs::set_replica(common::FileId primary, common::FileId replica) {
+  if (replica_of_.size() <= primary) {
+    replica_of_.resize(primary + 1, common::kInvalidFileId);
+  }
+  replica_of_[primary] = replica;
+}
+
+void HybridPfs::clear_replica(common::FileId primary) {
+  if (primary < replica_of_.size()) replica_of_[primary] = common::kInvalidFileId;
+}
+
+void HybridPfs::wipe_server(std::size_t server) {
+  for (common::FileId f = 0; f < mds_.file_count(); ++f) {
+    servers_[server]->remove_file(f);
+  }
+}
+
+common::Status HybridPfs::failover_read_sub(common::FileId file, const SubExtent& sub,
+                                            std::uint8_t* out) const {
+  const common::FileId replica = replica_of(file);
+  if (replica == common::kInvalidFileId) {
+    ++failover_stats_.unavailable;
+    return common::Status::unavailable(
+        "server " + std::to_string(sub.server) + " is dead and file " +
+        std::to_string(file) + " has no replica for [" +
+        std::to_string(sub.logical_offset) + ", +" + std::to_string(sub.length) + ")");
+  }
+  // The replica shares the file's logical byte space, so this sub-extent's
+  // bytes live at the same logical range of the replica; map them through
+  // the replica's own layout and serve from there, charging the replica's
+  // servers under the active job (exact attribution).
+  const StripeLayout& layout = mds_.info(replica).layout;
+  layout.map_extent(sub.logical_offset, sub.length, failover_extents_);
+  for (const SubExtent& rsub : failover_extents_) {
+    if (membership_->dead(rsub.server)) {
+      ++failover_stats_.unavailable;
+      return common::Status::unavailable(
+          "file " + std::to_string(file) + " lost both copies (replica server " +
+          std::to_string(rsub.server) + " is dead too)");
+    }
+    common::Status verified = servers_[rsub.server]->load_verified(
+        replica, rsub.physical_offset, out + (rsub.logical_offset - sub.logical_offset),
+        rsub.length);
+    if (!verified.is_ok()) {
+      if (fault_ != nullptr) ++fault_->metrics().corruption_detected;
+      return common::Status::corruption("server " + std::to_string(rsub.server) +
+                                        " file " + std::to_string(replica) + ": " +
+                                        verified.message());
+    }
+    per_server_[rsub.server] += rsub.length;
+    ++failover_stats_.failover_reads;
+    failover_stats_.failover_bytes += rsub.length;
+  }
+  return common::Status::ok();
+}
+
+common::Status HybridPfs::mirror_write_sub(common::FileId replica, const SubExtent& sub,
+                                           const std::uint8_t* data) {
+  const StripeLayout& layout = mds_.info(replica).layout;
+  layout.map_extent(sub.logical_offset, sub.length, failover_extents_);
+  for (const SubExtent& rsub : failover_extents_) {
+    if (membership_ != nullptr && membership_->dead(rsub.server)) {
+      ++failover_stats_.unavailable;
+      return common::Status::unavailable("replica server " + std::to_string(rsub.server) +
+                                         " is dead");
+    }
+    servers_[rsub.server]->store(replica, rsub.physical_offset,
+                                 data + (rsub.logical_offset - sub.logical_offset),
+                                 rsub.length);
+    per_server_[rsub.server] += rsub.length;
+    ++failover_stats_.mirrored_writes;
+    failover_stats_.mirror_bytes += rsub.length;
+  }
+  mds_.extend(replica, sub.logical_offset + sub.length);
+  return common::Status::ok();
+}
+
 std::size_t HybridPfs::pick_fallback_sserver(common::Seconds t) const {
   std::size_t best = servers_.size();
   common::Seconds best_backlog = 0.0;
   for (std::size_t s = num_hservers_; s < servers_.size(); ++s) {
+    if (membership_ != nullptr && membership_->dead(s)) continue;
     if (fault_ != nullptr && fault_->injector().offline(s, t)) continue;
     if (guard_ != nullptr && !guard_->breaker_healthy(s)) continue;
     const common::Seconds b = row_.server(s).backlog(t);
@@ -321,26 +405,55 @@ common::Result<IoResult> HybridPfs::write(common::FileId file, common::Offset of
   // as a single server message (the per-server term of Eq. 2).
   std::fill(per_server_.begin(), per_server_.end(), 0);
   layout.map_extent(offset, size, extents_);
+  const common::FileId replica = replica_of(file);
+  const bool failover = failover_active();
+  if (failover && replica == common::kInvalidFileId) {
+    // Fail before any content-plane mutation (matching the batched path,
+    // which rejects the request at translate time): a write that cannot
+    // reach a dead server and has no replica to land on would otherwise be
+    // silently lossy.
+    for (const SubExtent& sub : extents_) {
+      if (!membership_->dead(sub.server)) continue;
+      ++failover_stats_.unavailable;
+      return common::Status::unavailable(
+          "server " + std::to_string(sub.server) + " is dead and file " +
+          std::to_string(file) + " has no replica");
+    }
+  }
   for (const SubExtent& sub : extents_) {
-    // Silent-fault injection point: with a fault context attached, each
-    // stored sub-extent may be bit-rotted, torn or misdirected on its way to
-    // the content plane.  The draw consumes randomness only under a covering
-    // silent window, and the sim charges normal time either way — silent
-    // faults are invisible to schedulers and to every timing golden.
-    if (fault_ != nullptr) {
-      const sim::WriteFault wf = fault_->injector().draw_write_fault(
-          sub.server, arrival, sub.physical_offset, sub.length);
-      if (wf.kind != sim::WriteFault::Kind::kNone) {
-        servers_[sub.server]->store_faulted(file, sub.physical_offset,
-                                            data + (sub.logical_offset - offset),
-                                            sub.length, wf);
+    const bool dead = failover && membership_->dead(sub.server);
+    if (dead) {
+      // Primary copy is gone for good; the mirror store below is the only
+      // landing site, and it carries the full charge.
+      ++failover_stats_.failover_writes;
+    } else {
+      // Silent-fault injection point: with a fault context attached, each
+      // stored sub-extent may be bit-rotted, torn or misdirected on its way
+      // to the content plane.  The draw consumes randomness only under a
+      // covering silent window, and the sim charges normal time either way —
+      // silent faults are invisible to schedulers and to every timing golden.
+      bool stored = false;
+      if (fault_ != nullptr) {
+        const sim::WriteFault wf = fault_->injector().draw_write_fault(
+            sub.server, arrival, sub.physical_offset, sub.length);
+        if (wf.kind != sim::WriteFault::Kind::kNone) {
+          servers_[sub.server]->store_faulted(file, sub.physical_offset,
+                                              data + (sub.logical_offset - offset),
+                                              sub.length, wf);
+          per_server_[sub.server] += sub.length;
+          stored = true;
+        }
+      }
+      if (!stored) {
+        servers_[sub.server]->store(file, sub.physical_offset,
+                                    data + (sub.logical_offset - offset), sub.length);
         per_server_[sub.server] += sub.length;
-        continue;
       }
     }
-    servers_[sub.server]->store(file, sub.physical_offset,
-                                data + (sub.logical_offset - offset), sub.length);
-    per_server_[sub.server] += sub.length;
+    if (replica != common::kInvalidFileId) {
+      MHA_RETURN_IF_ERROR(
+          mirror_write_sub(replica, sub, data + (sub.logical_offset - offset)));
+    }
   }
   MHA_RETURN_IF_ERROR(dispatch(file, common::OpType::kWrite, per_server_, arrival, result));
   mds_.extend(file, offset + size);
@@ -356,7 +469,13 @@ common::Result<IoResult> HybridPfs::read(common::FileId file, common::Offset off
   result.completion = arrival;
   std::fill(per_server_.begin(), per_server_.end(), 0);
   layout.map_extent(offset, size, extents_);
+  const bool failover = failover_active();
   for (const SubExtent& sub : extents_) {
+    if (failover && membership_->dead(sub.server)) {
+      MHA_RETURN_IF_ERROR(
+          failover_read_sub(file, sub, out + (sub.logical_offset - offset)));
+      continue;
+    }
     common::Status verified = servers_[sub.server]->load_verified(
         file, sub.physical_offset, out + (sub.logical_offset - offset), sub.length);
     if (!verified.is_ok()) {
@@ -401,16 +520,18 @@ void HybridPfs::batch_serial(common::OpType op, std::span<const BatchRequest> re
   active_deadline_ = saved_deadline;
 }
 
-bool HybridPfs::batch_translate(std::span<const BatchRequest> reqs,
+bool HybridPfs::batch_translate(common::OpType op, std::span<const BatchRequest> reqs,
                                 BatchResultVec& results) {
   batch_subs_.clear();
   batch_sub_begin_.clear();
+  const bool failover = failover_active();
   bool have_failed_group = false;
   std::uint32_t failed_group = 0;
   bool any = false;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const BatchRequest& r = reqs[i];
-    batch_sub_begin_.push_back(static_cast<std::uint32_t>(batch_subs_.size()));
+    const std::uint32_t req_begin = static_cast<std::uint32_t>(batch_subs_.size());
+    batch_sub_begin_.push_back(req_begin);
     if (have_failed_group && r.group == failed_group) {
       results[i].skipped = true;
       continue;
@@ -422,10 +543,62 @@ bool HybridPfs::batch_translate(std::span<const BatchRequest> reqs,
       continue;
     }
     mds_.info(r.file).layout.map_extent(r.offset, r.size, extents_);
+    const common::FileId replica = replica_of(r.file);
+    common::Status failed;
     for (const SubExtent& sub : extents_) {
-      batch_subs_.push_back(BatchSub{static_cast<std::uint32_t>(i),
-                                     static_cast<std::uint32_t>(sub.server), r.file,
-                                     sub.physical_offset, sub.length, sub.logical_offset});
+      const bool dead = failover && membership_->dead(sub.server);
+      if (dead && replica == common::kInvalidFileId) {
+        ++failover_stats_.unavailable;
+        failed = common::Status::unavailable(
+            "server " + std::to_string(sub.server) + " is dead and file " +
+            std::to_string(r.file) + " has no replica");
+        break;
+      }
+      if (!dead) {
+        batch_subs_.push_back(BatchSub{static_cast<std::uint32_t>(i),
+                                       static_cast<std::uint32_t>(sub.server), r.file,
+                                       sub.physical_offset, sub.length,
+                                       sub.logical_offset});
+      } else if (op == common::OpType::kWrite) {
+        ++failover_stats_.failover_writes;
+      }
+      // Replica subs: reads retarget only when the primary is dead; writes
+      // always mirror so the copies stay coherent for a future kill.
+      if (replica != common::kInvalidFileId &&
+          (dead || op == common::OpType::kWrite)) {
+        mds_.info(replica).layout.map_extent(sub.logical_offset, sub.length,
+                                             failover_extents_);
+        for (const SubExtent& rsub : failover_extents_) {
+          if (membership_ != nullptr && membership_->dead(rsub.server)) {
+            ++failover_stats_.unavailable;
+            failed = common::Status::unavailable(
+                "file " + std::to_string(r.file) + " lost both copies (replica server " +
+                std::to_string(rsub.server) + " is dead too)");
+            break;
+          }
+          batch_subs_.push_back(BatchSub{static_cast<std::uint32_t>(i),
+                                         static_cast<std::uint32_t>(rsub.server), replica,
+                                         rsub.physical_offset, rsub.length,
+                                         rsub.logical_offset});
+          if (op == common::OpType::kRead) {
+            ++failover_stats_.failover_reads;
+            failover_stats_.failover_bytes += rsub.length;
+          } else {
+            ++failover_stats_.mirrored_writes;
+            failover_stats_.mirror_bytes += rsub.length;
+          }
+        }
+        if (!failed.is_ok()) break;
+      }
+    }
+    if (!failed.is_ok()) {
+      // The failed request contributes nothing: no content op, no charge
+      // (same no-mutation contract as the serial pre-scan).
+      batch_subs_.resize(req_begin);
+      results[i].status = failed;
+      have_failed_group = true;
+      failed_group = r.group;
+      continue;
     }
     any = true;
   }
@@ -511,7 +684,7 @@ void HybridPfs::write_batch(std::span<const BatchRequest> reqs, BatchResultVec& 
     batch_serial(common::OpType::kWrite, reqs, results);
     return;
   }
-  if (batch_translate(reqs, results)) {
+  if (batch_translate(common::OpType::kWrite, reqs, results)) {
     // Content plane: group the translated subs by (server, file), keeping
     // batch order within each group so overlapping writes land exactly as
     // the serial sequence would, and push each group through one
@@ -550,9 +723,14 @@ void HybridPfs::write_batch(std::span<const BatchRequest> reqs, BatchResultVec& 
   }
   // Metadata extends in batch order (an order-independent max, kept
   // deterministic anyway); failed and skipped requests never extend.
+  // Mirrored replicas extend with their primary, matching the serial path.
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     if (results[i].status.is_ok() && !results[i].skipped) {
       mds_.extend(reqs[i].file, reqs[i].offset + reqs[i].size);
+      const common::FileId replica = replica_of(reqs[i].file);
+      if (replica != common::kInvalidFileId) {
+        mds_.extend(replica, reqs[i].offset + reqs[i].size);
+      }
     }
   }
 }
@@ -565,7 +743,7 @@ void HybridPfs::read_batch(std::span<const BatchRequest> reqs, BatchResultVec& r
     batch_serial(common::OpType::kRead, reqs, results);
     return;
   }
-  if (!batch_translate(reqs, results)) return;
+  if (!batch_translate(common::OpType::kRead, reqs, results)) return;
   // Verification plane: sort the subs by physical position, coalesce
   // overlap-or-adjacent runs per (server, file), and verify each run once.
   // A run never bridges a physical gap, so its chunk set is exactly the

@@ -26,6 +26,10 @@
 #include "sched/scheduler.hpp"
 #include "sim/cluster_sim.hpp"
 
+namespace mha::repair {
+class Membership;
+}  // namespace mha::repair
+
 namespace mha::pfs {
 
 /// Outcome of one file request.
@@ -71,6 +75,18 @@ struct PfsOptions {
   std::string rst_path;
   /// When false the data servers are timing-only (see DataServer).
   bool store_data = true;
+};
+
+/// Everything the failover machinery decided (FaultMetrics style): reads
+/// retargeted from dead servers to replicas, writes mirrored to keep
+/// replicas coherent, and requests that found no surviving copy.
+struct FailoverStats {
+  std::uint64_t failover_reads = 0;   ///< replica sub-reads serving a dead primary
+  common::ByteCount failover_bytes = 0;
+  std::uint64_t failover_writes = 0;  ///< primary sub-writes skipped (dead server)
+  std::uint64_t mirrored_writes = 0;  ///< replica sub-writes keeping copies in sync
+  common::ByteCount mirror_bytes = 0;
+  std::uint64_t unavailable = 0;      ///< requests with no surviving copy
 };
 
 class HybridPfs {
@@ -134,6 +150,35 @@ class HybridPfs {
   /// writes to offline servers park in the redo log and replay on recovery.
   void set_fault_context(fault::FaultContext* fault);
   fault::FaultContext* fault_context() const { return fault_; }
+
+  /// Attaches a cluster membership view (borrowed; may be nullptr).  While
+  /// set, every sub-request targeting a dead server fails over: reads
+  /// retarget to the file's registered replica (exact per-job charge
+  /// attribution — the replica's servers are charged under the requester's
+  /// job), writes mirror to the replica so copies stay coherent, and
+  /// requests over dead unreplicated data surface a typed kUnavailable.
+  /// With no dead servers the request path pays one pointer test.
+  void set_membership(const repair::Membership* membership) { membership_ = membership; }
+  const repair::Membership* membership() const { return membership_; }
+
+  /// Registers `replica` as the failover copy of `primary`.  The replica
+  /// must cover the same logical byte space (byte k of primary == byte k of
+  /// replica); the Redirector registers region replicas from the DRT's
+  /// replica column.  Flat-array lookup, zero-alloc on the request path.
+  void set_replica(common::FileId primary, common::FileId replica);
+  void clear_replica(common::FileId primary);
+  /// Replica of `primary`, kInvalidFileId when unreplicated.
+  common::FileId replica_of(common::FileId primary) const {
+    return primary < replica_of_.size() ? replica_of_[primary] : common::kInvalidFileId;
+  }
+
+  const FailoverStats& failover_stats() const { return failover_stats_; }
+  void reset_failover_stats() { failover_stats_ = FailoverStats{}; }
+
+  /// Drops every extent stored on server `server` — the content-plane half
+  /// of permanent loss (repair::kill_server calls this so the data is
+  /// really gone, not just unreachable).
+  void wipe_server(std::size_t server);
 
   /// Creates a file with the given layout (layout width count must equal the
   /// server count).
@@ -226,6 +271,19 @@ class HybridPfs {
   /// and breaker-reroute fallback target); servers_.size() when none.
   std::size_t pick_fallback_sserver(common::Seconds t) const;
 
+  /// True when a membership view is attached and reports at least one dead
+  /// server — the only case the failover branches below are entered.
+  bool failover_active() const;
+  /// Serves one sub-extent of a dead server from `file`'s replica: loads the
+  /// replica's bytes into `out` (verified) and charges the replica servers
+  /// in per_server_.  kUnavailable when no surviving copy exists.
+  common::Status failover_read_sub(common::FileId file, const SubExtent& sub,
+                                   std::uint8_t* out) const;
+  /// Mirrors one sub-extent's payload onto `replica` (store + per_server_
+  /// charge), keeping the copies coherent for future failover.
+  common::Status mirror_write_sub(common::FileId replica, const SubExtent& sub,
+                                  const std::uint8_t* data);
+
   /// True when batches may take the coalesced fast path: with no guard and
   /// no fault context a dispatch cannot fail, so reordering the content
   /// plane ahead of the timing plane is unobservable.
@@ -238,9 +296,13 @@ class HybridPfs {
                     BatchResultVec& results);
   /// Fast-path pass 1: validates file ids and translates every request's
   /// extents into the flat batch_subs_ list (per-request ranges in
-  /// batch_sub_begin_), applying group skip for translate failures.
-  /// Returns false when no request survived.
-  bool batch_translate(std::span<const BatchRequest> reqs, BatchResultVec& results);
+  /// batch_sub_begin_), applying group skip for translate failures.  Op-
+  /// aware for failover: dead-server subs retarget to replica subs (reads)
+  /// or are replaced by mirror subs (writes, which mirror on live primaries
+  /// too); a request with no surviving copy fails here with kUnavailable
+  /// and contributes no subs.  Returns false when no request survived.
+  bool batch_translate(common::OpType op, std::span<const BatchRequest> reqs,
+                       BatchResultVec& results);
   /// Fast-path timing plane: per-request per-server aggregation, then either
   /// one scheduler dispatch per request (scheduler attached) or one
   /// charge_batch call per touched server for the whole batch.
@@ -254,6 +316,12 @@ class HybridPfs {
   sched::Scheduler* scheduler_ = nullptr;
   fault::FaultContext* fault_ = nullptr;
   guard::OverloadGuard* guard_ = nullptr;
+  const repair::Membership* membership_ = nullptr;
+  /// FileId -> replica FileId (kInvalidFileId), grown by set_replica only.
+  std::vector<common::FileId> replica_of_;
+  /// Mutated under const on the read path (same single-client rule as the
+  /// scratch below).
+  mutable FailoverStats failover_stats_;
   common::JobId active_job_ = common::kDefaultJob;
   common::Seconds active_deadline_ = std::numeric_limits<double>::infinity();
   sched::ServerRow row_;
@@ -264,6 +332,9 @@ class HybridPfs {
   // world, so this is free there).
   mutable std::vector<common::ByteCount> per_server_;
   mutable StripeLayout::SubExtentVec extents_;
+  /// Second mapping scratch for replica extents (nested inside the extents_
+  /// walk, so it cannot share).
+  mutable StripeLayout::SubExtentVec failover_extents_;
   mutable common::SmallVec<sim::SubRequest, 8> subs_;
   /// Cancellation receipts of the in-flight request's charged siblings.
   struct SubCharge {

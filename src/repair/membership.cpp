@@ -1,0 +1,77 @@
+#include "repair/membership.hpp"
+
+#include <limits>
+
+namespace mha::repair {
+
+const char* to_string(ServerState state) {
+  switch (state) {
+    case ServerState::kUp: return "up";
+    case ServerState::kSuspect: return "suspect";
+    case ServerState::kDead: return "dead";
+    case ServerState::kRebuilding: return "rebuilding";
+  }
+  return "?";
+}
+
+Membership::Membership(std::size_t num_servers)
+    : states_(num_servers, ServerState::kUp) {}
+
+void Membership::set_state(std::size_t server, ServerState state, common::Seconds now) {
+  const ServerState from = states_[server];
+  if (from == state) return;
+  // Death is permanent: a dead server may oscillate between kDead and
+  // kRebuilding (rebuild start/finish) but never regains kUp/kSuspect.
+  const bool was_dead = from == ServerState::kDead || from == ServerState::kRebuilding;
+  const bool is_dead = state == ServerState::kDead || state == ServerState::kRebuilding;
+  if (was_dead && !is_dead) return;
+  states_[server] = state;
+  if (is_dead && !was_dead) ++dead_count_;
+  ++epoch_;
+  events_.push_back(MembershipEvent{epoch_, server, from, state, now});
+}
+
+void Membership::kill(std::size_t server, common::Seconds now,
+                      fault::FaultInjector* injector) {
+  if (dead(server)) return;
+  if (injector != nullptr) {
+    fault::FaultWindow window;
+    window.server = server;
+    window.kind = fault::FaultKind::kCrash;
+    window.start = now;
+    window.end = std::numeric_limits<double>::infinity();
+    injector->add(window);
+  }
+  set_state(server, ServerState::kDead, now);
+}
+
+void Membership::observe_guard(const guard::OverloadGuard& guard, common::Seconds now) {
+  const std::size_t n = std::min(states_.size(), guard.num_servers());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (dead(s)) continue;
+    switch (guard.breaker_state(s)) {
+      case guard::BreakerState::kOpen:
+        set_state(s, ServerState::kSuspect, now);
+        break;
+      case guard::BreakerState::kClosed:
+        set_state(s, ServerState::kUp, now);
+        break;
+      case guard::BreakerState::kHalfOpen:
+        break;  // the probe decides
+    }
+  }
+}
+
+std::string Membership::table() const {
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (const ServerState s : states_) ++counts[static_cast<std::size_t>(s)];
+  std::string out = "membership: epoch=" + std::to_string(epoch_);
+  out += "  up=" + std::to_string(counts[0]);
+  out += " suspect=" + std::to_string(counts[1]);
+  out += " dead=" + std::to_string(counts[2]);
+  out += " rebuilding=" + std::to_string(counts[3]);
+  out += "\n";
+  return out;
+}
+
+}  // namespace mha::repair

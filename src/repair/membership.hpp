@@ -1,0 +1,114 @@
+// Cluster membership for permanent server loss (the repair subsystem's
+// ground truth).
+//
+// The fault layer models outages as *windows* — every crash eventually
+// ends, so the client machinery (redo log, degraded reads, offline waits)
+// is built around "wait or work around until the window closes".  A lost
+// device never comes back.  Membership is the small state machine that
+// makes that distinction first-class:
+//
+//   kUp         - serving normally
+//   kSuspect    - the overload guard's breaker on this server is open; the
+//                 server still holds its data, but new work avoids it
+//   kDead       - permanently lost (kill_server); its stores are gone and
+//                 every sub-request targeting it must fail over
+//   kRebuilding - still dead, but the background rebuilder is re-homing its
+//                 regions; flips back to... nothing — a dead server never
+//                 resurrects.  The state exists so benches/operators can see
+//                 rebuild progress per server.
+//
+// Every transition bumps a monotonically increasing cluster *epoch* and is
+// recorded in an event log, so "which membership view produced this
+// placement" is a single integer comparison — the classic guard against
+// acting on a stale view.
+//
+// Layering: membership sits beside the guard/fault libraries, *below*
+// pfs::HybridPfs (which consults `dead()` on the request path the same way
+// it consults the injector).  The pfs-aware kill helper that also wipes the
+// dead server's stores lives in repair/rebuilder.hpp, one layer up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "guard/guard.hpp"
+
+namespace mha::repair {
+
+enum class ServerState : std::uint8_t {
+  kUp = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kRebuilding = 3,
+};
+
+const char* to_string(ServerState state);
+
+/// One membership transition (epoch-stamped audit log).
+struct MembershipEvent {
+  std::uint64_t epoch = 0;
+  std::size_t server = 0;
+  ServerState from = ServerState::kUp;
+  ServerState to = ServerState::kUp;
+  common::Seconds at = 0.0;
+};
+
+class Membership {
+ public:
+  explicit Membership(std::size_t num_servers);
+
+  std::size_t num_servers() const { return states_.size(); }
+  ServerState state(std::size_t server) const { return states_[server]; }
+
+  /// Cluster epoch: bumped by every state transition.  Epoch 0 is the
+  /// all-up genesis view.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// True when `server` no longer holds data (kDead or kRebuilding).  The
+  /// request hot path's only membership query — a flat vector load.
+  bool dead(std::size_t server) const {
+    return states_[server] == ServerState::kDead ||
+           states_[server] == ServerState::kRebuilding;
+  }
+
+  /// Number of dead/rebuilding servers; zero means the failover machinery
+  /// can be skipped wholesale.
+  std::size_t dead_count() const { return dead_count_; }
+
+  /// Transitions `server` to `state` at virtual instant `now`, bumping the
+  /// epoch.  No-op (and no epoch bump) when the state is unchanged; a dead
+  /// server can move to kRebuilding and back but never to kUp/kSuspect.
+  void set_state(std::size_t server, ServerState state, common::Seconds now);
+
+  /// Permanent loss: marks `server` kDead and — when an injector is given —
+  /// adds an unbounded crash window starting at `now`, so schedulers and
+  /// look-ahead see the loss the same way they see transient crashes.  The
+  /// caller must separately wipe the server's stores to make the loss real
+  /// in the content plane (repair::kill_server in rebuilder.hpp does both).
+  void kill(std::size_t server, common::Seconds now,
+            fault::FaultInjector* injector = nullptr);
+
+  /// Promotes the guard's breaker verdicts into suspicion: an open breaker
+  /// marks its (live) server kSuspect, a closed breaker clears suspicion
+  /// back to kUp.  Half-open keeps the current state (the probe decides).
+  /// Dead servers are never touched — suspicion is a health opinion,
+  /// death is a fact.
+  void observe_guard(const guard::OverloadGuard& guard, common::Seconds now);
+
+  const std::vector<MembershipEvent>& events() const { return events_; }
+
+  /// "membership: epoch=...  up=... suspect=... dead=... rebuilding=..."
+  /// one-liner for bench tables.
+  std::string table() const;
+
+ private:
+  std::vector<ServerState> states_;
+  std::uint64_t epoch_ = 0;
+  std::size_t dead_count_ = 0;
+  std::vector<MembershipEvent> events_;
+};
+
+}  // namespace mha::repair

@@ -413,6 +413,7 @@ common::Result<ReplayResult> replay(pfs::HybridPfs& pfs,
         auto epoch = cached->epoch_close();
         if (!epoch.is_ok()) return epoch.status();
       }
+      if (options.on_barrier) options.on_barrier(mpi.max_time());
     }
   } else {
     // Discrete-event free-running replay: per-rank cursors, always dispatch

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -102,6 +103,12 @@ struct ReplayOptions {
   /// When caching, the cache's counters are copied here at replay end
   /// (borrowed; may be null).
   cache::CacheMetrics* cache_metrics = nullptr;
+  /// Synchronous mode only: invoked after every iteration barrier (and the
+  /// close-to-open epoch flush, when caching) with the synced virtual time.
+  /// The world is quiescent at that instant — no request is in flight — so
+  /// the hook may mutate it: the repair bench kills a server here and pumps
+  /// the rebuilder between iterations.
+  std::function<void(common::Seconds)> on_barrier;
 };
 
 struct ReplayResult {

@@ -17,6 +17,8 @@
 #include "core/reorganizer.hpp"
 #include "io/mpi_file.hpp"
 #include "layouts/scheme.hpp"
+#include "repair/membership.hpp"
+#include "repair/rebuilder.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/replayer.hpp"
 
@@ -644,6 +646,127 @@ TEST(Cache, CloseToOpenReplayVerifies) {
   replay_options.cache = &config;
   auto result = workloads::replay(pfs, *deployment, trace, replay_options);
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+}
+
+// ------------------------------------------------- cache x permanent loss ---
+
+/// A replicated world for the cache-under-loss tests: 2H+2S, one hot
+/// H-resident region [0, 128K) replicated onto an SServer (replicate_hot),
+/// passthrough above.  Killing HServer 0 wipes its stores, so any
+/// byte-correct page fill below really came from the replica.
+struct LossWorld {
+  std::unique_ptr<pfs::HybridPfs> pfs;
+  std::unique_ptr<core::Redirector> redirector;
+  std::unique_ptr<repair::Membership> membership;
+  std::unique_ptr<io::MpiSim> mpi;
+  std::unique_ptr<io::MpiFile> file;
+
+  LossWorld() {
+    pfs = std::make_unique<pfs::HybridPfs>(tiny_cluster(2, 2));
+    auto original = pfs->create_file("orig");
+    EXPECT_TRUE(original.is_ok());
+    EXPECT_TRUE(layouts::populate_file(*pfs, *original, 256_KiB).is_ok());
+
+    core::ReorganizePlan plan;
+    plan.drt = core::Drt("orig");
+    core::Region r0;
+    r0.name = "orig.mha.r0";
+    r0.length = 128_KiB;
+    plan.regions.push_back(r0);
+    EXPECT_TRUE(plan.drt.insert(core::DrtEntry{0, 128_KiB, r0.name, 0}).is_ok());
+    core::ApplyOptions apply;
+    apply.replicate_hot = true;
+    auto report = core::Placer::apply(*pfs, plan, {core::StripePair{32_KiB, 0}}, apply);
+    EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+    for (const auto& [region, replica] : report->replica_pairs) {
+      EXPECT_TRUE(plan.drt.set_replica(region, replica).is_ok());
+    }
+
+    auto redir = core::Redirector::create(*pfs, std::move(plan.drt));
+    EXPECT_TRUE(redir.is_ok());
+    redirector = std::make_unique<core::Redirector>(std::move(*redir));
+    membership = std::make_unique<repair::Membership>(pfs->num_servers());
+    pfs->set_membership(membership.get());
+    mpi = std::make_unique<io::MpiSim>(1);
+    auto f = io::MpiFile::open(*pfs, *mpi, "orig");
+    EXPECT_TRUE(f.is_ok());
+    file = std::make_unique<io::MpiFile>(std::move(*f));
+    file->set_interceptor(redirector.get());
+    pfs->reset_stats();
+    pfs->reset_clocks();
+  }
+
+  cache::CacheConfig small_config() const {
+    cache::CacheConfig config;
+    config.page_size = 16_KiB;
+    config.num_pages = 16;
+    config.mode = cache::ConsistencyMode::kWriteBack;
+    return config;
+  }
+};
+
+TEST(Cache, FailoverReadPopulatesFrames) {
+  LossWorld w;
+  cache::CachedFile cached(*w.file, *w.mpi, *w.pfs, w.small_config());
+  repair::kill_server(*w.membership, *w.pfs, 0, 0.0);
+
+  // The miss fills a whole page whose even stripes lived on the dead
+  // HServer: the fill is served through replica failover, byte-identical.
+  std::vector<std::uint8_t> buf(4_KiB);
+  ASSERT_TRUE(cached.read_at(0, 10_KiB, buf.data(), buf.size()).is_ok());
+  EXPECT_EQ(buf, pattern(10_KiB, 4_KiB));
+  EXPECT_GT(w.pfs->failover_stats().failover_reads, 0u);
+  EXPECT_EQ(w.pfs->failover_stats().unavailable, 0u);
+  EXPECT_TRUE(cached.is_cached(0, 10_KiB));
+
+  // The frame is now a normal cache page: the re-read hits it without
+  // touching the replica (or any server) again.
+  const std::uint64_t failovers = w.pfs->failover_stats().failover_reads;
+  const std::uint64_t before = total_sub_requests(*w.pfs);
+  ASSERT_TRUE(cached.read_at(0, 8_KiB, buf.data(), buf.size()).is_ok());
+  EXPECT_EQ(buf, pattern(8_KiB, 4_KiB));
+  EXPECT_EQ(cached.metrics().hits, 1u);
+  EXPECT_EQ(w.pfs->failover_stats().failover_reads, failovers);
+  EXPECT_EQ(total_sub_requests(*w.pfs), before);
+}
+
+TEST(Cache, RebuildRunsMigrationProtocolAgainstCache) {
+  LossWorld w;
+  cache::CachedFile cached(*w.file, *w.mpi, *w.pfs, w.small_config());
+
+  // Warm a clean frame and absorb a dirty write inside the region, both
+  // write-back deferred: the newest bytes exist only in the pool.
+  std::vector<std::uint8_t> buf(4_KiB);
+  ASSERT_TRUE(cached.read_at(0, 64_KiB, buf.data(), buf.size()).is_ok());
+  const auto bytes = marked(4_KiB, 0xEE);
+  ASSERT_TRUE(cached.write_at(0, 20_KiB, bytes.data(), bytes.size()).is_ok());
+  EXPECT_TRUE(cached.is_dirty(0, 20_KiB));
+
+  repair::kill_server(*w.membership, *w.pfs, 0, 1.0);
+  repair::RebuildOptions options;
+  options.cache = &cached;
+  repair::Rebuilder rebuilder(*w.pfs, *w.redirector, *w.membership, "", options);
+  ASSERT_TRUE(rebuilder.run_to_completion(1.0).is_ok());
+  ASSERT_TRUE(rebuilder.done());
+  EXPECT_EQ(rebuilder.report().primaries_rebuilt, 1u);
+
+  // prepare_migration flushed the dirty page before the copy, so the
+  // rebuilt primary holds the written bytes; invalidate then dropped every
+  // frame whose placement changed.
+  EXPECT_FALSE(cached.is_dirty(0, 20_KiB));
+  EXPECT_FALSE(cached.is_cached(0, 64_KiB));
+  EXPECT_GT(cached.metrics().invalidated_pages, 0u);
+
+  // The uncached client view reads the rebuilt region byte-identically —
+  // no failover, no unavailability — including the cache-absorbed write.
+  w.pfs->reset_failover_stats();
+  std::vector<std::uint8_t> all(256_KiB);
+  ASSERT_TRUE(w.file->read_at(0, 0, all.data(), all.size()).is_ok());
+  std::vector<std::uint8_t> want = pattern(0, 256_KiB);
+  for (common::ByteCount i = 0; i < 4_KiB; ++i) want[20_KiB + i] = 0xEE;
+  EXPECT_EQ(all, want);
+  EXPECT_EQ(w.pfs->failover_stats().failover_reads, 0u);
+  EXPECT_EQ(w.pfs->failover_stats().unavailable, 0u);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "fault/journal.hpp"
 #include "io/mpi_file.hpp"
 #include "layouts/scheme.hpp"
+#include "repair/membership.hpp"
+#include "repair/rebuilder.hpp"
 
 namespace mha {
 namespace {
@@ -467,6 +470,125 @@ INSTANTIATE_TEST_SUITE_P(DeploySites, PipelineCrashMatrix,
                                            Combo{"committed", false},
                                            Combo{"committed", true}),
                          combo_name);
+
+// --------------------------------------------------- rebuild crash sites ---
+
+/// Rebuild-after-server-loss over the same discipline: every rebuilder crash
+/// site, each with and without a torn final journal record.  The world is a
+/// replicated 2H+2S cluster whose hot H-resident region loses HServer 0 (the
+/// stores are wiped); whatever the crash left behind, the recovery contract
+/// is that the client view stays byte-identical throughout, and after
+/// resume (plus a fresh plan when the torn tail erased the whole plan —
+/// nothing was mutated in that case) the region serves with no failover at
+/// all and the journal is clean.
+class RebuildCrashMatrix : public ::testing::TestWithParam<Combo> {
+ protected:
+  void SetUp() override {
+    journal_path_ = temp_path("rebuild");
+    pfs_ = std::make_unique<pfs::HybridPfs>(tiny_cluster(2, 2));
+    auto original = pfs_->create_file("orig");
+    ASSERT_TRUE(original.is_ok());
+    ASSERT_TRUE(layouts::populate_file(*pfs_, *original, 256_KiB).is_ok());
+
+    core::ReorganizePlan plan;
+    plan.drt = core::Drt("orig");
+    core::Region r0;
+    r0.name = "orig.mha.r0";
+    r0.length = 128_KiB;
+    plan.regions.push_back(r0);
+    ASSERT_TRUE(plan.drt.insert(core::DrtEntry{0, 128_KiB, r0.name, 0}).is_ok());
+    core::ApplyOptions apply;
+    apply.replicate_hot = true;
+    auto report = core::Placer::apply(*pfs_, plan, {core::StripePair{32_KiB, 0}}, apply);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    for (const auto& [region, replica] : report->replica_pairs) {
+      ASSERT_TRUE(plan.drt.set_replica(region, replica).is_ok());
+    }
+    auto redirector = core::Redirector::create(*pfs_, std::move(plan.drt));
+    ASSERT_TRUE(redirector.is_ok());
+    redirector_.emplace(std::move(redirector).take());
+    membership_ = std::make_unique<repair::Membership>(pfs_->num_servers());
+    pfs_->set_membership(membership_.get());
+  }
+  void TearDown() override { std::remove(journal_path_.c_str()); }
+
+  /// Byte-identical client view; returns the failover reads the pass needed.
+  std::uint64_t verify_and_count_failovers() {
+    pfs_->reset_failover_stats();
+    io::MpiSim mpi(1);
+    auto file = io::MpiFile::open(*pfs_, mpi, "orig");
+    EXPECT_TRUE(file.is_ok());
+    file->set_interceptor(&*redirector_);
+    std::vector<std::uint8_t> buffer(256_KiB);
+    EXPECT_TRUE(file->read_at(0, 0, buffer.data(), buffer.size()).is_ok());
+    EXPECT_EQ(buffer, pattern(0, 256_KiB));
+    EXPECT_EQ(pfs_->failover_stats().unavailable, 0u);
+    return pfs_->failover_stats().failover_reads;
+  }
+
+  std::string journal_path_;
+  std::unique_ptr<pfs::HybridPfs> pfs_;
+  std::optional<core::Redirector> redirector_;
+  std::unique_ptr<repair::Membership> membership_;
+};
+
+TEST_P(RebuildCrashMatrix, ResumesToCleanCommit) {
+  const Combo combo = GetParam();
+  repair::kill_server(*membership_, *pfs_, 0, 1.0);
+  {
+    repair::RebuildOptions options;
+    options.crash_at = [&combo](std::string_view p) { return p == combo.site; };
+    repair::Rebuilder rebuilder(*pfs_, *redirector_, *membership_, journal_path_,
+                                options);
+    ASSERT_FALSE(rebuilder.run_to_completion(1.0).is_ok());
+  }
+  if (combo.torn) tear_tail(journal_path_);
+
+  // Mid-crash, torn or not, the client view is already byte-identical (the
+  // replica covers whatever the half-rebuilt state cannot serve).
+  verify_and_count_failovers();
+
+  {
+    repair::Rebuilder resumed(*pfs_, *redirector_, *membership_, journal_path_);
+    ASSERT_TRUE(resumed.resume(2.0).is_ok());
+    ASSERT_TRUE(resumed.run_to_completion(2.0).is_ok());
+    ASSERT_TRUE(resumed.done());
+  }
+  if (verify_and_count_failovers() > 0) {
+    // The torn tail erased the whole journaled plan, so resume was an inert
+    // no-op over an unmutated world; a fresh plan carries it to completion.
+    ASSERT_TRUE(combo.torn);
+    repair::Rebuilder replanned(*pfs_, *redirector_, *membership_, journal_path_);
+    ASSERT_TRUE(replanned.run_to_completion(3.0).is_ok());
+    ASSERT_TRUE(replanned.done());
+  }
+
+  // Committed: the region serves byte-identically with zero failover, the
+  // journal is clean, and the state fingerprint survives a redundant resume.
+  EXPECT_EQ(verify_and_count_failovers(), 0u);
+  {
+    fault::MigrationJournal journal;
+    ASSERT_TRUE(journal.open(journal_path_).is_ok());
+    EXPECT_FALSE(journal.active());
+    EXPECT_EQ(journal.phase(), fault::JournalPhase::kNone);
+  }
+  const std::uint32_t fingerprint = state_fingerprint(*pfs_);
+  repair::Rebuilder redundant(*pfs_, *redirector_, *membership_, journal_path_);
+  EXPECT_TRUE(redundant.resume(4.0).is_ok());
+  EXPECT_TRUE(redundant.done());
+  EXPECT_EQ(state_fingerprint(*pfs_), fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, RebuildCrashMatrix,
+    ::testing::Values(Combo{"planned", false}, Combo{"planned", true},
+                      Combo{"created", false}, Combo{"created", true},
+                      Combo{"copying", false}, Combo{"copying", true},
+                      Combo{"copied-task-0", false}, Combo{"copied-task-0", true},
+                      Combo{"copied", false}, Combo{"copied", true},
+                      Combo{"switched-task-0", false}, Combo{"switched-task-0", true},
+                      Combo{"switched", false}, Combo{"switched", true}),
+    combo_name);
 
 }  // namespace
 }  // namespace mha
